@@ -1,0 +1,79 @@
+"""Ablation — FastRoute-style shedding vs hard route withdrawal (§2/[23]).
+
+The same overload incident handled two ways: withdrawing the hot
+front-end's anycast route (the operation §2 warns "can lead to cascading
+overloading"), and FastRoute-style layered shedding, where the hot
+front-end's colocated DNS gradually hands queries to the next anycast
+ring.  Shedding should keep the front-end online, shed only the excess,
+and take no one else down.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.cdn.failover import WithdrawalSimulator, frontend_loads
+from repro.cdn.fastroute import (
+    FastRouteBalancer,
+    LayeredAnycastNetwork,
+    default_layers,
+)
+
+
+@pytest.fixture(scope="module")
+def incident(quick_study):
+    scenario = quick_study.scenario
+    baseline = frontend_loads(scenario.network, scenario.clients)
+    layers = default_layers(scenario.deployment)
+    hot = max(
+        (fe for fe in baseline if fe not in layers[1]), key=baseline.get
+    )
+    positive = sorted(v for v in baseline.values() if v > 0)
+    median = positive[len(positive) // 2]
+    capacities = {}
+    for fe in scenario.deployment.frontends:
+        load = max(baseline.get(fe.frontend_id, 0.0), median)
+        factor = 6.0 if fe.frontend_id in layers[1] else 1.2
+        capacities[fe.frontend_id] = load * factor
+    capacities[hot] = baseline[hot] * 0.8
+    return scenario, layers, hot, capacities
+
+
+def test_ablation_fastroute_vs_withdrawal(benchmark, incident):
+    scenario, layers, hot, capacities = incident
+
+    simulator = WithdrawalSimulator(
+        scenario.topology,
+        scenario.deployment,
+        scenario.clients,
+        capacities=capacities,
+    )
+    cascade = simulator.cascade([hot], max_rounds=6)
+
+    layered = LayeredAnycastNetwork(
+        scenario.topology, scenario.deployment, layers
+    )
+    balancer = FastRouteBalancer(layered, scenario.clients, capacities)
+    shed = benchmark(balancer.balance)
+
+    lines = [
+        f"Ablation — overload at {hot} (capacity "
+        f"{capacities[hot]:,.0f} queries/day)",
+        "",
+        "Hard withdrawal:",
+        "  " + cascade.format().replace("\n", "\n  "),
+        "",
+        "FastRoute shedding:",
+        "  " + shed.format().replace("\n", "\n  "),
+        f"  {hot} final load: {shed.loads.get(hot, 0.0):,.0f}",
+    ]
+    write_report("ablation_fastroute", "\n".join(lines))
+
+    # Withdrawal knocks the front-end (at least) out; shedding keeps it
+    # serving within capacity and converges.
+    assert hot in cascade.final_withdrawn
+    assert shed.converged
+    assert shed.loads[hot] <= capacities[hot] + 1e-6
+    assert shed.loads[hot] > 0
+    # Shedding never takes more offline than withdrawal does.
+    assert len(cascade.final_withdrawn) >= 1

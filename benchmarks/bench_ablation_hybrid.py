@@ -1,0 +1,60 @@
+"""Ablation — hybrid anycast+DNS vs always-predict (§6's closing idea).
+
+The hybrid scheme redirects only groups whose predicted gain clears a
+threshold, leaving everyone else on anycast.  Compared with redirecting
+every predicted group, it should keep most of the improvement while
+shrinking both the DNS control plane and the worse-off population.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.core.hybrid import HybridConfig, HybridRedirector
+from repro.core.predictor import HistoryBasedPredictor
+
+THRESHOLDS = (0.0, 5.0, 10.0, 25.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_study):
+    aggregates = paper_study.dataset.ecs_aggregates
+    predictor = HistoryBasedPredictor()
+    full_mapping = predictor.mapping_for_day(aggregates, day=0)
+    rows = [("always-predict", len(full_mapping), None)]
+    for threshold in THRESHOLDS:
+        hybrid = HybridRedirector(
+            HybridConfig(min_predicted_gain_ms=threshold)
+        )
+        selected = hybrid.select_redirections(aggregates, day=0)
+        gains = [p.predicted_gain_ms for p in selected.values()]
+        rows.append(
+            (
+                f"hybrid>= {threshold:4.1f}ms",
+                len(selected),
+                sum(gains) / len(gains) if gains else 0.0,
+            )
+        )
+    return rows, len(full_mapping)
+
+
+def test_ablation_hybrid(benchmark, paper_study, sweep):
+    rows, full_size = sweep
+    hybrid = HybridRedirector()
+    benchmark(
+        hybrid.select_redirections, paper_study.dataset.ecs_aggregates, 0
+    )
+
+    lines = ["Ablation — hybrid redirection threshold (day 0, ECS groups)"]
+    for name, size, mean_gain in rows:
+        gain_text = f"  mean predicted gain {mean_gain:6.1f} ms" if mean_gain else ""
+        lines.append(f"  {name:>18s} redirects {size:5d} groups{gain_text}")
+    write_report("ablation_hybrid", "\n".join(lines))
+
+    sizes = {name: size for name, size, _ in rows}
+    # Higher thresholds redirect fewer groups.
+    assert sizes["hybrid>=  0.0ms"] >= sizes["hybrid>=  5.0ms"]
+    assert sizes["hybrid>=  5.0ms"] >= sizes["hybrid>= 10.0ms"]
+    assert sizes["hybrid>= 10.0ms"] >= sizes["hybrid>= 25.0ms"]
+    # The hybrid control plane is a strict subset of always-predict.
+    assert sizes["hybrid>= 10.0ms"] <= full_size

@@ -1,0 +1,57 @@
+"""Ablation — the >=20-measurement cut on prediction candidates (§6).
+
+The paper only considers targets with 20+ measurements from a group.
+Lowering the cut admits noisier candidates (more predictions, worse hit
+rate); raising it starves low-volume groups.  This sweep quantifies that
+trade-off on the reproduced dataset.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.analysis.prediction_eval import evaluate_prediction
+from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
+
+CUTS = (5, 10, 20, 40)
+
+
+@pytest.fixture(scope="module")
+def sweep(paper_study):
+    rows = []
+    for cut in CUTS:
+        predictor = HistoryBasedPredictor(PredictorConfig(min_samples=cut))
+        mapping = predictor.mapping_for_day(
+            paper_study.dataset.ecs_aggregates, day=0
+        )
+        evaluation = evaluate_prediction(
+            paper_study.dataset, predictor, groupings=("ecs",),
+            eval_percentiles=(50.0,),
+        )
+        rows.append((cut, len(mapping), evaluation.summary("ecs", 50.0)))
+    return rows
+
+
+def test_ablation_min_samples(benchmark, paper_study, sweep):
+    predictor = HistoryBasedPredictor(PredictorConfig(min_samples=20))
+    benchmark(
+        predictor.mapping_for_day, paper_study.dataset.ecs_aggregates, 0
+    )
+
+    lines = ["Ablation — prediction min-samples cut (ECS, eval at median)"]
+    for cut, redirections, summary in sweep:
+        lines.append(
+            f"  cut {cut:3d}: {redirections:5d} day-0 redirections, "
+            f"improved {summary.fraction_improved:6.1%}, "
+            f"worse {summary.fraction_worse:6.1%}"
+        )
+    write_report("ablation_min_samples", "\n".join(lines))
+
+    redirections = {cut: n for cut, n, _ in sweep}
+    # A stricter cut can only shrink the redirected set.
+    assert (
+        redirections[5] >= redirections[10]
+        >= redirections[20] >= redirections[40]
+    )
+    # The paper's cut of 20 still leaves a usable redirected set.
+    assert redirections[20] > 0

@@ -1,0 +1,27 @@
+"""Fig 1 — CDF of min latency to the nearest-N front-ends (N=1,3,5,7,9).
+
+Paper shape: latency decreases as more candidates are included, with
+negligible benefit past ~5 front-ends — the justification for measuring
+only the ten nearest candidates (§3.3).
+"""
+
+from conftest import write_figure
+
+
+def test_fig1_diminishing_returns(benchmark, paper_study):
+    result = benchmark(
+        paper_study.fig1_diminishing_returns, (1, 3, 5, 7, 9)
+    )
+    write_figure(
+        "fig1_diminishing_returns", result.format(), result.series,
+        title="Fig 1 - min latency to nearest-N front-ends (CDF of /24s)",
+        x_label="min latency (ms)",
+    )
+
+    medians = result.medians_ms
+    # More candidates never hurt.
+    assert medians[1] >= medians[3] >= medians[5] >= medians[7] >= medians[9]
+    # The gain from 1 -> 5 dominates the gain from 5 -> 9 (the paper's
+    # "diminishing returns" reading).
+    assert result.gain_ms(1, 5) >= result.gain_ms(5, 9)
+    assert result.gain_ms(5, 9) <= 2.0

@@ -1,0 +1,25 @@
+"""Fig 2 — distance from volume-weighted clients to the Nth-closest
+front-end (N = 1..4).
+
+Paper values: median ~280 km to the closest, ~700 km to the 2nd, ~1300 km
+to the 4th.
+"""
+
+from conftest import write_figure
+
+
+def test_fig2_client_distance(benchmark, paper_study):
+    result = benchmark(paper_study.fig2_client_distance)
+    write_figure(
+        "fig2_client_distance", result.format(), result.series,
+        title="Fig 2 - distance to Nth-closest front-end (weighted CDF)",
+        x_label="km", log_x=True,
+    )
+
+    medians = result.medians_km
+    # Monotone by construction of "Nth closest".
+    assert list(medians) == sorted(medians)
+    # Shape: closest front-end within a few hundred km for the median
+    # client; 4th-closest roughly 1-3 thousand km.
+    assert medians[0] < 700
+    assert 700 < medians[3] < 3500

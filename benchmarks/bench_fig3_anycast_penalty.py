@@ -1,0 +1,29 @@
+"""Fig 3 — CCDF of (anycast − best measured unicast) latency per request,
+split World / United States / Europe.
+
+Paper headline: anycast is at least 25 ms slower for ~20% of requests and
+100 ms or more slower for just under 10%.
+"""
+
+from conftest import write_figure
+
+
+def test_fig3_anycast_penalty(benchmark, paper_study):
+    result = benchmark(paper_study.fig3_anycast_penalty)
+    write_figure(
+        "fig3_anycast_penalty", result.format(), result.series,
+        title="Fig 3 - CCDF of anycast minus best unicast (per request)",
+        x_label="difference (ms)",
+    )
+
+    world = result.fraction_slower["world"]
+    # ~20% of requests >= 25 ms slower (generous band around the paper's).
+    assert 0.10 <= world[25.0] <= 0.33
+    # Just under 10% are >= 100 ms slower.
+    assert 0.03 <= world[100.0] <= 0.15
+    # Most requests see little penalty.
+    assert world[1.0] < 0.65
+    # Europe's dense deployment does at least as well as the world at the
+    # 25 ms threshold.
+    europe = result.fraction_slower["europe"]
+    assert europe[25.0] <= world[25.0] + 0.02

@@ -1,0 +1,30 @@
+"""Fig 4 — distance from clients to the anycast front-end serving them,
+and distance *past* the closest front-end, over one production day.
+
+Paper: ~55% of clients land on the nearest front-end; ~75% are within
+~400 km of their closest; 82% of clients / 87% of query volume are within
+2000 km of their serving front-end (weighted looks better than
+unweighted).
+"""
+
+from conftest import write_figure
+
+
+def test_fig4_anycast_distance(benchmark, paper_study):
+    result = benchmark(paper_study.fig4_anycast_distance, 0)
+    write_figure(
+        "fig4_anycast_distance", result.format(), result.series,
+        title="Fig 4 - client-to-anycast-front-end distance (CDF)",
+        x_label="km", log_x=True,
+    )
+
+    # Most clients land on or near their closest front-end...
+    assert 0.40 <= result.fraction_at_nearest <= 0.85
+    # ...and the bulk of traffic is served within 2000 km.
+    assert result.fraction_within_2000km >= 0.70
+    assert result.fraction_within_2000km_weighted >= 0.70
+    # 75% of clients are within a few hundred km past their closest.
+    assert result.past_closest_p75_km <= 800
+    # There is a tail of genuinely distant redirection (the paper's
+    # 10-15% of /24s directed to distant front-ends).
+    assert result.past_closest_p90_km > result.past_closest_p75_km

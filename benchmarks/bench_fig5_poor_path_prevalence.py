@@ -1,0 +1,26 @@
+"""Fig 5 — daily prevalence of poor anycast paths during April 2015.
+
+Paper: on an average day 19% of /24s see some improvement from a specific
+unicast front-end; 12% see >=10 ms; only 4% see >=50 ms.
+"""
+
+from conftest import write_report
+
+
+def test_fig5_poor_path_prevalence(benchmark, paper_study):
+    result = benchmark(paper_study.fig5_poor_path_prevalence)
+    write_report("fig5_poor_path_prevalence", result.format())
+
+    any_improvement = result.mean_fraction(1.0)
+    ten = result.mean_fraction(10.0)
+    fifty = result.mean_fraction(50.0)
+    hundred = result.mean_fraction(100.0)
+    # Ordering is strict: higher thresholds are rarer.
+    assert any_improvement > ten > fifty >= hundred
+    # Shape bands around the paper's 19% / 12% / 4%.
+    assert 0.10 <= ten <= 0.30
+    assert fifty <= 0.10
+    # Poor paths are a daily condition: every day shows a nonzero 'all'.
+    assert all(
+        row[1.0] > 0 for row in result.daily_fractions.values()
+    )

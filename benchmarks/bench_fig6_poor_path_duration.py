@@ -1,0 +1,32 @@
+"""Fig 6 — how long poor anycast paths persist across April 2015.
+
+Paper: the majority of ever-poor /24s are poor on a single day; ~10% are
+poor on five or more days; only ~5% are poor five or more days in a row.
+"""
+
+from conftest import write_figure
+
+
+def test_fig6_poor_path_duration(benchmark, paper_study):
+    result = benchmark(paper_study.fig6_poor_path_duration)
+    write_figure(
+        "fig6_poor_path_duration", result.format(),
+        [result.days_poor, result.max_consecutive],
+        title="Fig 6 - poor-path duration (CDF of ever-poor /24s)",
+        x_label="days",
+    )
+
+    # Many problems are short-lived; a persistent minority exists.  (The
+    # reproduction's poor set skews more persistent than the paper's 60%
+    # single-day — see EXPERIMENTS.md for the deviation discussion.)
+    assert result.fraction_single_day >= 0.10
+    assert result.fraction_five_plus_days < 0.60
+    # Consecutive persistence is rarer than total-day persistence.
+    assert (
+        result.fraction_five_plus_consecutive
+        <= result.fraction_five_plus_days
+    )
+    # The days-poor CDF starts below the max-consecutive CDF nowhere
+    # (total days >= max run, so its CDF is weakly lower).
+    for days_y, run_y in zip(result.days_poor.ys, result.max_consecutive.ys):
+        assert days_y <= run_y + 1e-9

@@ -1,0 +1,29 @@
+"""Fig 7 — cumulative fraction of clients that changed front-ends over a
+week (Wednesday through Tuesday).
+
+Paper: 7% within the first day; 2-4% more per weekday; under 0.5% on
+weekend days; 21% across the whole week.
+"""
+
+from conftest import write_report
+
+
+def test_fig7_frontend_affinity(benchmark, paper_study):
+    result = benchmark(paper_study.fig7_frontend_affinity, 7)
+    write_report("fig7_frontend_affinity", result.format())
+
+    # A visible minority churns on day one...
+    assert 0.02 <= result.first_day_fraction <= 0.16
+    # ...and the weekly total lands in the paper's neighborhood, with the
+    # vast majority of clients never switching.
+    assert 0.08 <= result.week_fraction <= 0.35
+    # Weekend increments (Sat=index 3, Sun=index 4 for an Apr-1 start) are
+    # small compared with weekday increments.
+    weekend = result.daily_increment(3) + result.daily_increment(4)
+    weekdays = (
+        result.daily_increment(1)
+        + result.daily_increment(2)
+        + result.daily_increment(5)
+        + result.daily_increment(6)
+    )
+    assert weekend < weekdays

@@ -1,0 +1,24 @@
+"""Fig 8 — change in client-to-front-end distance when the front-end
+changes.
+
+Paper: switches are mostly local — median change 483 km, 83% within
+2000 km — with a long tail.
+"""
+
+from conftest import write_figure
+
+
+def test_fig8_switch_distance(benchmark, paper_study):
+    result = benchmark(paper_study.fig8_switch_distance)
+    write_figure(
+        "fig8_switch_distance", result.format(), [result.series],
+        title="Fig 8 - distance change on front-end switch (CDF)",
+        x_label="km", log_x=True,
+    )
+
+    assert result.switch_count > 50
+    # Switches land on a nearby alternative front-end...
+    assert 200 <= result.median_km <= 2000
+    assert result.fraction_within_2000km >= 0.6
+    # ...with a long tail (the CDF has mass beyond 2000 km).
+    assert result.fraction_within_2000km < 1.0

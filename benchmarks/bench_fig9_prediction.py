@@ -1,0 +1,29 @@
+"""Fig 9 — improvement over anycast from prediction-driven DNS
+redirection (ECS and LDNS grouping; median and 75th percentile).
+
+Paper: most weighted /24s see no change (prediction keeps them on
+anycast); ~30% improve under ECS grouping with ~10% made worse; LDNS
+grouping is a bit worse on both counts (27% improve, 17% worse).
+"""
+
+from conftest import write_figure
+
+
+def test_fig9_prediction(benchmark, paper_study):
+    result = benchmark(paper_study.fig9_prediction)
+    write_figure(
+        "fig9_prediction", result.format(), result.series,
+        title="Fig 9 - improvement over anycast (weighted CDF)",
+        x_label="improvement (ms)",
+    )
+
+    ecs = result.summary("ecs", 50.0)
+    ldns = result.summary("ldns", 50.0)
+    # A substantial minority of weighted clients improves...
+    assert 0.12 <= ecs.fraction_improved <= 0.45
+    # ...a smaller fraction is made worse...
+    assert 0.0 < ecs.fraction_worse < ecs.fraction_improved
+    # ...and most clients are untouched (prediction = anycast).
+    assert ecs.fraction_unchanged >= 0.45
+    # LDNS grouping pays a penalty relative to ECS on the 'worse' side.
+    assert ldns.fraction_worse >= ecs.fraction_worse - 0.02

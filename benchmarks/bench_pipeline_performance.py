@@ -1,0 +1,76 @@
+"""Performance benchmarks for the simulation substrate itself.
+
+These are classic microbenchmarks (not figure reproductions): how fast the
+BGP solver converges, how fast the data plane resolves, and how fast a
+full campaign day runs.  They guard against performance regressions in
+the hot paths every figure depends on.
+"""
+
+import random
+
+from repro.cdn.deployment import DeploymentConfig, attach_cdn
+from repro.cdn.network import CdnNetwork
+from repro.clients.population import ClientPopulationConfig
+from repro.geo.metros import MetroDatabase
+from repro.net.bgp import Announcement, RouteComputation
+from repro.net.topology import AsRole, TopologyBuilder, populate_base_internet
+from repro.simulation.campaign import CampaignRunner
+from repro.simulation.clock import SimulationCalendar
+from repro.simulation.scenario import Scenario, ScenarioConfig
+
+
+def build_world(seed=11):
+    builder = TopologyBuilder(MetroDatabase())
+    populate_base_internet(builder, seed=seed)
+    deployment = attach_cdn(builder, DeploymentConfig(), seed=seed)
+    return builder.build(), deployment
+
+
+def test_bgp_anycast_computation(benchmark):
+    topology, deployment = build_world()
+    computation = RouteComputation(topology)
+    announcement = Announcement(
+        prefix=deployment.anycast_prefix, origin_asn=deployment.asn
+    )
+    rib = benchmark(computation.compute, announcement)
+    assert len(rib) == len(topology)
+
+
+def test_cdn_network_construction(benchmark):
+    """Builds the anycast RIB plus one unicast RIB per front-end."""
+    topology, deployment = build_world()
+    network = benchmark(CdnNetwork, topology, deployment)
+    assert len(network.frontends) == len(deployment.frontends)
+
+
+def test_data_plane_resolution(benchmark):
+    topology, deployment = build_world()
+    network = CdnNetwork(topology, deployment)
+    pairs = [
+        (a.asn, sorted(a.pop_metros)[0])
+        for a in topology.ases_with_role(AsRole.ACCESS)
+    ]
+
+    def resolve_all():
+        total_km = 0.0
+        for asn, metro in pairs:
+            total_km += network.anycast_path(asn, metro).total_km
+        return total_km
+
+    benchmark(resolve_all)
+
+
+def test_single_campaign_day(benchmark):
+    """End-to-end cost of one measured day at a small population."""
+    config = ScenarioConfig(
+        seed=3,
+        population=ClientPopulationConfig(prefix_count=150),
+        calendar=SimulationCalendar(num_days=1),
+    )
+    scenario = Scenario.build(config)
+
+    def run_day():
+        return CampaignRunner(scenario).run().measurement_count
+
+    measurements = benchmark.pedantic(run_day, rounds=3, iterations=1)
+    assert measurements > 0

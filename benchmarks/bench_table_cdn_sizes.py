@@ -1,0 +1,39 @@
+"""§4's CDN deployment-size comparison table.
+
+Paper: four extreme outliers (Google/Akamai ~1000+, the two Chinese
+CDNs >100 in China); CDNetworks (161) and SkyparkCDN (119) next; the
+remaining 17 CDNs run 17..62 locations, with the measured CDN at the
+Level3 (62) / MaxCDN scale.
+"""
+
+from conftest import write_report
+
+
+def format_table(rows):
+    lines = ["§4 — CDN deployment sizes (locations)"]
+    for entry in rows:
+        flags = []
+        if entry.is_outlier:
+            flags.append("outlier")
+        if entry.is_anycast:
+            flags.append("anycast")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        lines.append(f"  {entry.name:24s} {entry.locations:5d}{suffix}")
+    return "\n".join(lines)
+
+
+def test_table_cdn_sizes(benchmark, paper_study):
+    rows = benchmark(paper_study.cdn_size_table)
+    write_report("table_cdn_sizes", format_table(rows))
+
+    by_name = {e.name: e for e in rows}
+    bing = next(e for e in rows if "Bing" in e.name)
+    # The measured deployment sits at the Level3/MaxCDN scale.
+    assert abs(bing.locations - by_name["Level3"].locations) <= 10
+    # Outliers really are outliers: bigger than every non-outlier except
+    # the two large non-outlier deployments the paper singles out.
+    non_outlier_max = max(
+        e.locations for e in rows if not e.is_outlier
+    )
+    assert non_outlier_max == 161  # CDNetworks
+    assert sum(1 for e in rows if e.is_outlier) == 4

@@ -1,0 +1,72 @@
+"""Shared benchmark fixtures.
+
+``paper_study`` runs the full paper-scale campaign once per session
+(~1500 client /24s over the 28 days of April 2015) and is shared by every
+figure benchmark; the benchmarks then time the analysis that regenerates
+each figure and write its rows to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.clients.population import ClientPopulationConfig
+from repro.core.study import AnycastStudy
+from repro.simulation.clock import SimulationCalendar
+from repro.simulation.scenario import ScenarioConfig
+
+#: Paper-scale knobs (kept here so every bench agrees on them).
+PAPER_PREFIXES = 1500
+PAPER_DAYS = 28
+PAPER_SEED = 2015
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def paper_config(seed: int = PAPER_SEED) -> ScenarioConfig:
+    """The scenario configuration used by the figure benchmarks."""
+    return ScenarioConfig(
+        seed=seed,
+        population=ClientPopulationConfig(prefix_count=PAPER_PREFIXES),
+        calendar=SimulationCalendar(num_days=PAPER_DAYS),
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_study() -> AnycastStudy:
+    study = AnycastStudy(paper_config())
+    # Force the expensive stages now so individual benchmarks time only
+    # their own analysis.
+    study.dataset
+    return study
+
+
+@pytest.fixture(scope="session")
+def quick_study() -> AnycastStudy:
+    """A small study for benchmarks that re-run the pipeline itself."""
+    config = ScenarioConfig(
+        seed=7,
+        population=ClientPopulationConfig(prefix_count=200),
+        calendar=SimulationCalendar(num_days=5),
+    )
+    study = AnycastStudy(config)
+    study.dataset
+    return study
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    """Persist a figure's formatted rows under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def write_figure(name: str, text: str, series, **chart_kwargs) -> pathlib.Path:
+    """Persist formatted rows plus an ASCII rendering of the figure."""
+    from repro.analysis.plotting import ascii_chart
+
+    chart = ascii_chart(list(series), **chart_kwargs)
+    return write_report(name, text + "\n\n" + chart)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""§4's CDN deployment-size survey plus front-end proximity.
+
+Prints the 21-CDN location-count comparison the paper uses to place the
+measured deployment in context, then the Fig 2 distance distribution for
+the simulated population.
+
+Run:
+    python examples/cdn_size_survey.py
+"""
+
+from repro import AnycastStudy, ScenarioConfig
+from repro.cdn.catalog import anycast_cdns, catalog
+from repro.clients.population import ClientPopulationConfig
+from repro.simulation.clock import SimulationCalendar
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        seed=2015,
+        population=ClientPopulationConfig(prefix_count=400),
+        calendar=SimulationCalendar(num_days=1),
+    )
+    study = AnycastStudy(config)
+    deployment_size = len(study.scenario.network.frontends)
+
+    print("CDN deployment sizes (from public data cited in §4):")
+    for entry in catalog(include_bing=True, bing_locations=deployment_size):
+        marker = " *" if entry.is_outlier else ""
+        anycast = " [anycast]" if entry.is_anycast else ""
+        print(f"  {entry.name:24s} {entry.locations:5d}{marker}{anycast}")
+    print("  (* = extreme outlier per the paper)")
+
+    names = ", ".join(
+        e.name for e in anycast_cdns(include_bing=False)
+    )
+    print(f"\nKnown anycast CDNs in the survey: {names}.")
+
+    fig2 = study.fig2_client_distance()
+    print("\nHow close are clients to this deployment's front-ends?")
+    for n, median in enumerate(fig2.medians_km, start=1):
+        print(f"  median distance to {n}-closest front-end: {median:6.0f} km")
+
+
+if __name__ == "__main__":
+    main()

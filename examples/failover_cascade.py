@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Withdrawing an anycast front-end: the §2 cascading-overload hazard.
+
+"If a particular front-end becomes overloaded, it is difficult to
+gradually direct traffic away from that front-end ... Simply withdrawing
+the route to take that front-end offline can lead to cascading
+overloading of nearby front-ends."  (This is why FastRoute exists.)
+
+This example withdraws the busiest front-end under two provisioning
+regimes and shows where its load lands — stable with generous headroom,
+cascading when capacity is tight.
+
+Run:
+    python examples/failover_cascade.py
+"""
+
+from repro import Scenario, ScenarioConfig
+from repro.cdn.failover import WithdrawalSimulator
+from repro.clients.population import ClientPopulationConfig
+from repro.simulation.clock import SimulationCalendar
+
+
+def main() -> None:
+    scenario = Scenario.build(
+        ScenarioConfig(
+            seed=2015,
+            population=ClientPopulationConfig(prefix_count=500),
+            calendar=SimulationCalendar(num_days=1),
+        )
+    )
+
+    # Two drills: draining a lightly loaded front-end with generous headroom
+    # (routine maintenance, should be stable), and yanking the busiest
+    # front-end with tight provisioning (the §2 hazard).
+    for headroom, pick in ((1.6, "smallest"), (1.1, "busiest")):
+        simulator = WithdrawalSimulator(
+            scenario.topology,
+            scenario.deployment,
+            scenario.clients,
+            headroom=headroom,
+        )
+        baseline = simulator.baseline_loads
+        loaded = sorted(
+            (fe for fe, load in baseline.items() if load > 0),
+            key=baseline.get,
+        )
+        victim = loaded[-1] if pick == "busiest" else loaded[0]
+        print(
+            f"\n=== headroom {headroom:.2f}x — withdrawing the {pick} "
+            f"front-end {victim} "
+            f"(steady-state load {baseline[victim]:,.0f} queries/day) ==="
+        )
+
+        after = simulator.loads_after_withdrawal([victim])
+        gains = sorted(
+            (
+                (after[fe] - baseline.get(fe, 0.0), fe)
+                for fe in after
+            ),
+            reverse=True,
+        )
+        print("Where the load went:")
+        for gain, frontend_id in gains[:5]:
+            if gain <= 0:
+                break
+            capacity = simulator.capacities[frontend_id]
+            status = "OVER" if after[frontend_id] > capacity else "ok"
+            print(
+                f"  {frontend_id:8s} +{gain:10,.0f}  "
+                f"now {after[frontend_id]:10,.0f} / cap {capacity:10,.0f}  "
+                f"[{status}]"
+            )
+
+        result = simulator.cascade([victim], max_rounds=6)
+        print(result.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Hybrid anycast + DNS redirection (§6's closing proposal).
+
+Compares three operating points on the same campaign data:
+
+* pure anycast (the production default),
+* always-predict (redirect every group the predictor maps off anycast),
+* hybrid (redirect only groups with a predicted gain >= 10 ms, capped).
+
+For each, reports the query-weighted fraction of clients improved/worsened
+on the evaluation day and the size of the DNS mapping that must be
+operated — the trade-off the hybrid is designed around.
+
+Run:
+    python examples/hybrid_deployment.py
+"""
+
+from repro import AnycastStudy, ScenarioConfig
+from repro.clients.population import ClientPopulationConfig
+from repro.core.hybrid import HybridConfig, HybridRedirector
+from repro.core.predictor import HistoryBasedPredictor
+from repro.dns.authoritative import ANYCAST_TARGET
+from repro.simulation.clock import SimulationCalendar
+
+
+def evaluate_mapping(dataset, mapping, eval_day, min_samples=5):
+    """Weighted improved/worse fractions of a group->target mapping."""
+    improved = worse = unchanged = 0.0
+    for client in dataset.clients:
+        weight = client.daily_queries
+        target = mapping.get(client.key, ANYCAST_TARGET)
+        if target == ANYCAST_TARGET:
+            unchanged += weight
+            continue
+        anycast = dataset.ecs_aggregates.digest(
+            eval_day, client.key, ANYCAST_TARGET
+        )
+        chosen = dataset.ecs_aggregates.digest(eval_day, client.key, target)
+        if (
+            anycast is None or chosen is None
+            or anycast.count < min_samples or chosen.count < min_samples
+        ):
+            unchanged += weight
+            continue
+        delta = anycast.median() - chosen.median()
+        if delta >= 1.0:
+            improved += weight
+        elif delta <= -1.0:
+            worse += weight
+        else:
+            unchanged += weight
+    total = improved + worse + unchanged
+    return improved / total, worse / total
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        seed=2015,
+        population=ClientPopulationConfig(prefix_count=400),
+        calendar=SimulationCalendar(num_days=6),
+    )
+    study = AnycastStudy(config)
+    dataset = study.dataset
+    train_day = dataset.calendar.num_days - 2
+    eval_day = train_day + 1
+    aggregates = dataset.ecs_aggregates
+
+    predictor = HistoryBasedPredictor()
+    always_mapping = predictor.mapping_for_day(aggregates, train_day)
+
+    hybrid = HybridRedirector(HybridConfig(min_predicted_gain_ms=10.0))
+    hybrid_mapping = {
+        group: p.target_id
+        for group, p in hybrid.select_redirections(aggregates, train_day).items()
+    }
+
+    schemes = [
+        ("pure anycast", {}),
+        ("always-predict", always_mapping),
+        ("hybrid (>=10ms)", hybrid_mapping),
+    ]
+    print(
+        f"{'scheme':16s} {'mappings':>9s} {'improved':>10s} {'worse':>8s}"
+    )
+    for name, mapping in schemes:
+        improved, worse = evaluate_mapping(dataset, mapping, eval_day)
+        print(
+            f"{name:16s} {len(mapping):9d} {improved:9.1%} {worse:7.1%}"
+        )
+
+    print(
+        "\nThe hybrid keeps most of the win at a fraction of the DNS "
+        "mappings — the scalability argument the paper closes §6 with."
+    )
+
+
+if __name__ == "__main__":
+    main()

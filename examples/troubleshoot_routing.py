@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Troubleshooting poor anycast routes with traceroutes (§5 workflow).
+
+The paper's authors found ISP-metro pairs with poor performance and issued
+RIPE Atlas traceroutes from them, uncovering two pathologies: BGP blind to
+intradomain topology, and ISPs hauling traffic to remote peering points
+(Moscow clients handed off in Stockholm; Denver clients in Phoenix).
+
+This example runs the same workflow against the simulator: rank (ISP,
+metro) vantages by anycast distance inflation, then print traceroutes for
+the worst cases alongside the best unicast alternative.
+
+Run:
+    python examples/troubleshoot_routing.py
+"""
+
+from repro.cdn.deployment import DeploymentConfig, attach_cdn
+from repro.cdn.network import CdnNetwork
+from repro.geo.coords import haversine_km
+from repro.geo.metros import MetroDatabase
+from repro.net.topology import AsRole, EgressPolicy, TopologyBuilder, populate_base_internet
+from repro.net.traceroute import trace_route
+
+
+def main() -> None:
+    builder = TopologyBuilder(MetroDatabase())
+    populate_base_internet(builder, seed=2015)
+    deployment = attach_cdn(builder, DeploymentConfig(), seed=2015)
+    topology = builder.build()
+    network = CdnNetwork(topology, deployment)
+    metro_db = topology.metro_db
+
+    # Rank every (access ISP, metro) vantage by how far anycast carries
+    # its traffic beyond the nearest front-end.
+    cases = []
+    for access in topology.ases_with_role(AsRole.ACCESS):
+        for metro in sorted(access.pop_metros):
+            location = metro_db.get(metro).location
+            path = network.anycast_path(access.asn, metro, location)
+            served_km = haversine_km(location, path.frontend.location)
+            nearest = network.nearest_frontends(location, 1)[0]
+            nearest_km = haversine_km(location, nearest.location)
+            inflation = served_km - nearest_km
+            if inflation > 300.0:
+                cases.append((inflation, access, metro, path, nearest))
+
+    cases.sort(key=lambda row: -row[0])
+    print(
+        f"Found {len(cases)} ISP-metro vantages with anycast carried "
+        f">300 km past the nearest front-end.\n"
+    )
+
+    for inflation, access, metro, path, nearest in cases[:5]:
+        metro_name = metro_db.get(metro).name
+        print("=" * 72)
+        print(
+            f"{access.name} (AS{access.asn}) clients in {metro_name}: "
+            f"anycast serves from {path.frontend.metro.name} "
+            f"({inflation:.0f} km past the nearest front-end, "
+            f"{nearest.metro.name})"
+        )
+        if access.egress_policy is EgressPolicy.COLD_POTATO:
+            egress_name = metro_db.get(access.cold_potato_egress).name
+            print(
+                f"  Suspect: the ISP uses cold-potato egress via "
+                f"{egress_name} — the paper's 'Moscow handed off in "
+                f"Stockholm' pathology."
+            )
+        print("\n  Anycast data plane:")
+        trace = trace_route(
+            topology, network.anycast_rib, access.asn, metro
+        )
+        print("  " + trace.format().replace("\n", "\n  "))
+        print(
+            f"\n  Best alternative: unicast to {nearest.frontend_id} "
+            f"({nearest.metro.name})"
+        )
+        unicast_trace = trace_route(
+            topology,
+            network.unicast_rib(nearest.frontend_id),
+            access.asn,
+            metro,
+        )
+        print("  " + unicast_trace.format().replace("\n", "\n  "))
+        print()
+
+
+if __name__ == "__main__":
+    main()

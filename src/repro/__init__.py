@@ -1,0 +1,67 @@
+"""repro — reproduction of "Analyzing the Performance of an Anycast CDN"
+(Calder et al., IMC 2015).
+
+The package builds, from scratch, everything the paper's measurement study
+needed — a policy-faithful AS-level Internet, an anycast CDN with the
+§3.1 routing configuration, a client population, the JavaScript-beacon
+methodology, and the §6 history-based prediction scheme — and regenerates
+every figure of the evaluation.
+
+Quickstart::
+
+    from repro import AnycastStudy, ScenarioConfig
+
+    study = AnycastStudy(ScenarioConfig(seed=2015))
+    print(study.fig3_anycast_penalty().format())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core.hybrid import HybridConfig, HybridRedirector
+from repro.core.predictor import (
+    HistoryBasedPredictor,
+    Prediction,
+    PredictorConfig,
+)
+from repro.core.study import AnycastStudy
+from repro.errors import (
+    AddressError,
+    AnalysisError,
+    ConfigurationError,
+    GeoError,
+    MeasurementError,
+    PredictionError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+)
+from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.dataset import StudyDataset
+from repro.simulation.scenario import Scenario, ScenarioConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "AnalysisError",
+    "AnycastStudy",
+    "CampaignConfig",
+    "CampaignRunner",
+    "ConfigurationError",
+    "GeoError",
+    "HistoryBasedPredictor",
+    "HybridConfig",
+    "HybridRedirector",
+    "MeasurementError",
+    "Prediction",
+    "PredictionError",
+    "PredictorConfig",
+    "ReproError",
+    "RoutingError",
+    "Scenario",
+    "ScenarioConfig",
+    "StudyDataset",
+    "TopologyError",
+    "__version__",
+]

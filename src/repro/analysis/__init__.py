@@ -1,0 +1,105 @@
+"""Analyses reproducing each figure of the paper's evaluation."""
+
+from repro.analysis.affinity import (
+    AffinityResult,
+    SwitchDistanceResult,
+    daily_switch_rate,
+    frontend_affinity,
+    switch_distance_cdf,
+)
+from repro.analysis.ldns_proximity import (
+    LdnsProximityResult,
+    ldns_proximity,
+)
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.tcp_disruption import (
+    TcpDisruptionResult,
+    format_disruption_table,
+    tcp_disruption,
+)
+
+# NOTE: repro.analysis.report is intentionally not re-exported here — it
+# consumes repro.core.study (which consumes this package), so re-exporting
+# it would create an import cycle.  Import it as repro.analysis.report.
+from repro.analysis.anycast_perf import (
+    EUROPE,
+    UNITED_STATES,
+    WORLD,
+    AnycastDistanceResult,
+    AnycastPenaltyResult,
+    anycast_distance_cdf,
+    anycast_penalty_ccdf,
+)
+from repro.analysis.geo_artifacts import (
+    GeoArtifactResult,
+    geolocation_artifacts,
+)
+from repro.analysis.poor_paths import (
+    DailyImprovement,
+    PoorPathDuration,
+    PoorPathPrevalence,
+    daily_improvements,
+    poor_path_duration,
+    poor_path_prevalence,
+)
+from repro.analysis.prediction_eval import (
+    ECS,
+    LDNS,
+    ImprovementSummary,
+    PredictionEvaluation,
+    evaluate_prediction,
+)
+from repro.analysis.proximity import (
+    DiminishingReturnsResult,
+    NthClosestDistances,
+    diminishing_returns,
+    nth_closest_distance_cdf,
+)
+from repro.analysis.stats import (
+    CdfSeries,
+    WeightedDistribution,
+    linear_grid,
+    log2_grid,
+)
+
+__all__ = [
+    "ECS",
+    "EUROPE",
+    "LDNS",
+    "UNITED_STATES",
+    "WORLD",
+    "AffinityResult",
+    "AnycastDistanceResult",
+    "AnycastPenaltyResult",
+    "CdfSeries",
+    "DailyImprovement",
+    "LdnsProximityResult",
+    "DiminishingReturnsResult",
+    "GeoArtifactResult",
+    "ImprovementSummary",
+    "NthClosestDistances",
+    "PoorPathDuration",
+    "PoorPathPrevalence",
+    "PredictionEvaluation",
+    "SwitchDistanceResult",
+    "TcpDisruptionResult",
+    "WeightedDistribution",
+    "ascii_chart",
+    "anycast_distance_cdf",
+    "anycast_penalty_ccdf",
+    "daily_improvements",
+    "daily_switch_rate",
+    "format_disruption_table",
+    "ldns_proximity",
+    "tcp_disruption",
+    "diminishing_returns",
+    "evaluate_prediction",
+    "frontend_affinity",
+    "geolocation_artifacts",
+    "linear_grid",
+    "log2_grid",
+    "nth_closest_distance_cdf",
+    "poor_path_duration",
+    "poor_path_prevalence",
+    "switch_distance_cdf",
+]

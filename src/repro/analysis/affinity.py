@@ -1,0 +1,212 @@
+"""Figs 7–8: front-end affinity — do clients stick to one front-end?
+
+From passive logs: a client has "changed front-ends by day d" once it has
+been served by two different front-ends (within a day, or across days) at
+any point up to d.  Fig 7 accumulates that fraction over a week starting
+Wednesday; Fig 8 looks at switches and plots the change in client-to-
+front-end distance they caused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.analysis.stats import CdfSeries, WeightedDistribution, log2_grid
+from repro.cdn.frontend import FrontEnd
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.geolocation import GeolocationDatabase
+from repro.simulation.dataset import StudyDataset
+
+
+@dataclass(frozen=True)
+class AffinityResult:
+    """Fig 7 result: cumulative switched fraction by end of each day."""
+
+    #: (day label, cumulative fraction switched) per day of the window.
+    cumulative: Tuple[Tuple[str, float], ...]
+    first_day_fraction: float
+    week_fraction: float
+    client_count: int
+
+    def format(self) -> str:
+        """Paper-style summary plus per-day rows."""
+        lines = [
+            "Fig 7 — cumulative fraction of clients that changed front-ends",
+            f"  by end of first day: {self.first_day_fraction:6.1%}",
+            f"  by end of window:    {self.week_fraction:6.1%}",
+        ]
+        for label, fraction in self.cumulative:
+            lines.append(f"  {label:4s} {fraction:7.3f}")
+        return "\n".join(lines)
+
+    def daily_increment(self, index: int) -> float:
+        """Fraction newly switched during the index-th day of the window."""
+        if index == 0:
+            return self.cumulative[0][1]
+        return self.cumulative[index][1] - self.cumulative[index - 1][1]
+
+
+def frontend_affinity(
+    dataset: StudyDataset,
+    start_day: int = 0,
+    num_days: int = 7,
+) -> AffinityResult:
+    """Compute Fig 7 over a window of the passive logs.
+
+    Only clients with traffic on every day of the window are counted, so
+    "has not switched" is a statement about observed traffic, not absence
+    of data.
+    """
+    if num_days < 1:
+        raise AnalysisError("num_days must be >= 1")
+    calendar = dataset.calendar
+    if start_day < 0 or start_day + num_days > calendar.num_days:
+        raise AnalysisError("window outside the campaign calendar")
+
+    days = list(range(start_day, start_day + num_days))
+    per_client_daily: Dict[str, List[Set[str]]] = {}
+    for offset, day in enumerate(days):
+        for client_key, counts in dataset.passive.iter_day(day):
+            slots = per_client_daily.setdefault(
+                client_key, [set() for _ in days]
+            )
+            slots[offset] = set(counts)
+
+    cumulative: List[float] = []
+    eligible = {
+        client_key: slots
+        for client_key, slots in per_client_daily.items()
+        if all(slots)
+    }
+    if not eligible:
+        raise AnalysisError("no client had traffic on every day of the window")
+
+    switched: Set[str] = set()
+    fractions: List[Tuple[str, float]] = []
+    for offset, day in enumerate(days):
+        for client_key, slots in eligible.items():
+            if client_key in switched:
+                continue
+            seen: Set[str] = set()
+            for earlier in range(offset + 1):
+                seen |= slots[earlier]
+            if len(seen) > 1:
+                switched.add(client_key)
+        fractions.append(
+            (calendar.day_name(day), len(switched) / len(eligible))
+        )
+
+    return AffinityResult(
+        cumulative=tuple(fractions),
+        first_day_fraction=fractions[0][1],
+        week_fraction=fractions[-1][1],
+        client_count=len(eligible),
+    )
+
+
+def daily_switch_rate(dataset: StudyDataset, day: int) -> float:
+    """Fraction of active clients served by multiple front-ends on a day.
+
+    §5 compares this against the 1.1-4.7% instance-switch rates reported
+    for anycast DNS root servers [20, 33], noting the CDN's rate is
+    "slightly higher", plausibly because the deployment is ~10x larger
+    than K-root's was.
+    """
+    clients = dataset.passive.clients_on(day)
+    if not clients:
+        raise AnalysisError(f"no passive traffic on day {day}")
+    switched = sum(
+        1
+        for client_key in clients
+        if len(dataset.passive.frontends_for(day, client_key)) > 1
+    )
+    return switched / len(clients)
+
+
+@dataclass(frozen=True)
+class SwitchDistanceResult:
+    """Fig 8 result: distance change caused by front-end switches."""
+
+    series: CdfSeries
+    median_km: float
+    fraction_within_2000km: float
+    switch_count: int
+
+    def format(self) -> str:
+        """Paper-style summary plus CDF rows."""
+        return "\n".join(
+            [
+                "Fig 8 — change in client-to-front-end distance on switch",
+                f"  median change:   {self.median_km:7.0f} km",
+                f"  within 2000 km:  {self.fraction_within_2000km:6.1%}",
+                f"  switches seen:   {self.switch_count}",
+                self.series.format_rows(),
+            ]
+        )
+
+
+def switch_distance_cdf(
+    dataset: StudyDataset,
+    frontends: Sequence[FrontEnd],
+    geolocation: GeolocationDatabase,
+    start_day: int = 0,
+    num_days: Optional[int] = None,
+) -> SwitchDistanceResult:
+    """Compute Fig 8: |d(client, new FE) − d(client, old FE)| per switch.
+
+    Switch events are read off the passive logs: within a day, every
+    distinct pair of front-ends serving the client counts once; across
+    consecutive days, a change of primary front-end counts once.
+    """
+    frontends_by_id = {fe.frontend_id: fe for fe in frontends}
+    calendar = dataset.calendar
+    if num_days is None:
+        num_days = calendar.num_days - start_day
+    if num_days < 1 or start_day + num_days > calendar.num_days:
+        raise AnalysisError("window outside the campaign calendar")
+
+    def client_location(client_key: str) -> GeoPoint:
+        return geolocation.lookup(client_key)
+
+    def distance(client_key: str, frontend_id: str) -> float:
+        frontend = frontends_by_id.get(frontend_id)
+        if frontend is None:
+            raise AnalysisError(f"unknown front-end {frontend_id!r}")
+        return haversine_km(client_location(client_key), frontend.location)
+
+    changes: List[float] = []
+    previous_primary: Dict[str, str] = {}
+    for day in range(start_day, start_day + num_days):
+        for client_key, counts in dataset.passive.iter_day(day):
+            ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            primary = ordered[0][0]
+            # Intra-day switches: the client was served by several
+            # front-ends within the day.
+            if len(ordered) > 1:
+                base = distance(client_key, ordered[0][0])
+                for other_id, _ in ordered[1:]:
+                    changes.append(
+                        abs(distance(client_key, other_id) - base)
+                    )
+            # Across-day switch of primary front-end.
+            earlier = previous_primary.get(client_key)
+            if earlier is not None and earlier != primary:
+                changes.append(
+                    abs(
+                        distance(client_key, primary)
+                        - distance(client_key, earlier)
+                    )
+                )
+            previous_primary[client_key] = primary
+
+    if not changes:
+        raise AnalysisError("no front-end switches in the window")
+    dist = WeightedDistribution(changes)
+    return SwitchDistanceResult(
+        series=dist.cdf_series("switch distance change", log2_grid(64.0, 8192.0)),
+        median_km=dist.median(),
+        fraction_within_2000km=dist.fraction_at_or_below(2000.0),
+        switch_count=len(changes),
+    )

@@ -1,0 +1,115 @@
+"""Text plots: render CDF/CCDF series as ASCII charts.
+
+The benchmark harness regenerates every figure's *data*; these helpers
+make the regenerated figures readable in a terminal or a text file —
+multiple series share one canvas with distinct markers, with optional
+log-x (the paper's km axes) rendering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.analysis.stats import CdfSeries
+
+#: Series markers, assigned in order.
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Sequence[CdfSeries],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "",
+    y_label: str = "fraction",
+    title: str = "",
+) -> str:
+    """Render series on one ASCII canvas.
+
+    Args:
+        series: One or more CDF/CCDF series (same x domain).
+        width/height: Plot area size in characters.
+        log_x: Use a log-scaled x axis (the paper's distance figures).
+        x_label/y_label/title: Annotations.
+
+    Returns:
+        A multi-line string; series are drawn with distinct markers and a
+        legend maps markers to labels.
+    """
+    if not series:
+        raise AnalysisError("nothing to plot")
+    if width < 16 or height < 4:
+        raise AnalysisError("canvas too small to be readable")
+    if len(series) > len(_MARKERS):
+        raise AnalysisError(f"at most {len(_MARKERS)} series per chart")
+
+    xs_all = [x for s in series for x in s.xs]
+    if not xs_all:
+        raise AnalysisError("series have no points")
+    x_min, x_max = min(xs_all), max(xs_all)
+    if log_x and x_min <= 0:
+        raise AnalysisError("log-x requires positive x values")
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    def x_to_col(x: float) -> int:
+        if log_x:
+            position = (math.log(x) - math.log(x_min)) / (
+                math.log(x_max) - math.log(x_min)
+            )
+        else:
+            position = (x - x_min) / (x_max - x_min)
+        return min(width - 1, max(0, int(round(position * (width - 1)))))
+
+    def y_to_row(y: float) -> int:
+        y = min(1.0, max(0.0, y))
+        return min(height - 1, max(0, int(round((1.0 - y) * (height - 1)))))
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, one in enumerate(series):
+        marker = _MARKERS[index]
+        previous_col: Optional[int] = None
+        previous_row: Optional[int] = None
+        for x, y in zip(one.xs, one.ys):
+            col, row = x_to_col(x), y_to_row(y)
+            # Draw a crude connecting segment so sparse series read as
+            # lines, not dust.
+            if previous_col is not None and col - previous_col > 1:
+                for step_col in range(previous_col + 1, col):
+                    fraction = (step_col - previous_col) / (col - previous_col)
+                    step_row = int(
+                        round(previous_row + fraction * (row - previous_row))
+                    )
+                    if canvas[step_row][step_col] == " ":
+                        canvas[step_row][step_col] = "."
+            canvas[row][col] = marker
+            previous_col, previous_row = col, row
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        y_value = 1.0 - row_index / (height - 1)
+        prefix = f"{y_value:4.2f} |" if row_index % 2 == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    middle = x_label or ""
+    padding = max(1, width - len(left) - len(right) - len(middle))
+    lines.append(
+        "      " + left + " " * (padding // 2) + middle
+        + " " * (padding - padding // 2) + right
+        + ("  (log)" if log_x else "")
+    )
+    lines.append(
+        "      legend: "
+        + "  ".join(
+            f"{_MARKERS[i]}={one.label}" for i, one in enumerate(series)
+        )
+        + (f"   y: {y_label}" if y_label else "")
+    )
+    return "\n".join(lines)

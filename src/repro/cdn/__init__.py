@@ -1,0 +1,62 @@
+"""CDN substrate: front-ends, deployment, backbone, data plane, catalog."""
+
+from repro.cdn.backbone import BackboneRoute, CdnBackbone
+from repro.cdn.catalog import (
+    CdnCatalogEntry,
+    anycast_cdns,
+    catalog,
+    non_outliers,
+)
+from repro.cdn.fastroute import (
+    AnycastLayer,
+    FastRouteBalancer,
+    FastRouteResult,
+    LayeredAnycastNetwork,
+    ShedDecision,
+    default_layers,
+)
+from repro.cdn.failover import (
+    CascadeResult,
+    CascadeStep,
+    WithdrawalSimulator,
+    frontend_loads,
+)
+from repro.cdn.deployment import (
+    DEFAULT_ANYCAST_PREFIX,
+    DEFAULT_FRONTEND_METROS,
+    DEFAULT_UNICAST_POOL,
+    CdnDeployment,
+    DeploymentConfig,
+    attach_cdn,
+)
+from repro.cdn.frontend import FrontEnd, nearest_frontends
+from repro.cdn.network import CdnNetwork, ServedPath
+
+__all__ = [
+    "AnycastLayer",
+    "BackboneRoute",
+    "CascadeResult",
+    "CascadeStep",
+    "CdnBackbone",
+    "FastRouteBalancer",
+    "FastRouteResult",
+    "LayeredAnycastNetwork",
+    "ShedDecision",
+    "WithdrawalSimulator",
+    "default_layers",
+    "frontend_loads",
+    "CdnCatalogEntry",
+    "CdnDeployment",
+    "CdnNetwork",
+    "DEFAULT_ANYCAST_PREFIX",
+    "DEFAULT_FRONTEND_METROS",
+    "DEFAULT_UNICAST_POOL",
+    "DeploymentConfig",
+    "FrontEnd",
+    "ServedPath",
+    "anycast_cdns",
+    "attach_cdn",
+    "catalog",
+    "nearest_frontends",
+    "non_outliers",
+]

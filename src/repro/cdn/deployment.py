@@ -1,0 +1,282 @@
+"""CDN deployment: front-end placement and attachment to the Internet.
+
+The measured CDN (§3, §4) has "dozens of front end locations around the
+world, all within the same Microsoft-operated autonomous system" — most
+similar in scale to Level3 (62 locations) and MaxCDN.  The default
+deployment here places 64 front-ends, skewed toward North America and
+Europe like the paper's (the Fig 4 discussion credits the NA/EU density
+for anycast's good behaviour there).
+
+Attachment policy:
+
+* The CDN AS peers with every tier-1 at shared metros (global reachability).
+* It peers with transit ASes and — with configurable probability — access
+  ISPs at shared metros.  Peering density is the main knob controlling how
+  often anycast ingress lands near the client.
+* Besides front-end metros, the CDN has *peering-only* PoPs: metros where
+  it exchanges traffic but hosts no front-end.  Traffic ingressing there is
+  carried over the backbone to the nearest front-end, reproducing §5's
+  "border router with a long intradomain route" pathology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cdn.frontend import FrontEnd
+from repro.geo.metros import MetroDatabase
+from repro.net.ip import IPv4Prefix, PrefixAllocator
+from repro.net.topology import (
+    AsRole,
+    AutonomousSystem,
+    LinkKind,
+    TopologyBuilder,
+)
+
+#: Default front-end metros (64 locations, NA/EU-heavy like the paper's CDN).
+DEFAULT_FRONTEND_METROS: Tuple[str, ...] = (
+    # North America (24)
+    "nyc", "lax", "chi", "dfw", "hou", "was", "mia", "atl", "bos", "phx",
+    "sfo", "sea", "den", "msp", "sdg", "stl", "por", "slc", "kan", "clt",
+    "yto", "ymq", "yvr", "mex",
+    # Europe (20)
+    "lon", "par", "fra", "ber", "ams", "bru", "mad", "bcn", "rom", "mil",
+    "zrh", "vie", "prg", "waw", "bud", "ath", "dub", "man", "sto", "hel",
+    # Asia (10)
+    "tyo", "osa", "sel", "hkg", "tpe", "sin", "kul", "bom", "del", "maa",
+    # South America (4)
+    "sao", "rio", "bue", "scl",
+    # Oceania (4)
+    "syd", "mel", "per", "akl",
+    # Africa (2)
+    "jnb", "cpt",
+)
+
+#: Default unicast pool: front-end /24s are carved out of this supernet.
+DEFAULT_UNICAST_POOL = "198.18.0.0/16"
+#: Default anycast prefix, announced from every CDN PoP.
+DEFAULT_ANYCAST_PREFIX = "192.0.2.0/24"
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Knobs for CDN placement and interconnection.
+
+    Attributes:
+        cdn_asn: The CDN's AS number (8075 echoes Microsoft's).
+        frontend_metros: Metro codes hosting front-ends; ``None`` selects
+            the 64-location default.
+        peering_only_metro_count: Extra CDN PoPs with no front-end, chosen
+            from the remaining metros.
+        transit_peering_probability: Chance of peering with each transit AS
+            that shares a metro with the CDN.
+        access_peering_probability: Chance of peering with each access ISP
+            that shares a metro with the CDN.
+        interconnect_density: Probability each shared metro is actually an
+            interconnection point on a non-tier-1 peering link (at least one
+            always is).  Values below 1.0 model sparse peering: an ISP that
+            peers with the CDN, but not in every city both occupy — one of
+            the §5 root causes of suboptimal anycast ingress.
+        anycast_prefix: The anycast /24.
+        unicast_pool: Supernet that per-front-end unicast /24s come from.
+    """
+
+    cdn_asn: int = 8075
+    cdn_name: str = "Bing-CDN"
+    frontend_metros: Optional[Tuple[str, ...]] = None
+    peering_only_metro_count: int = 6
+    transit_peering_probability: float = 0.8
+    access_peering_probability: float = 0.75
+    interconnect_density: float = 0.95
+    anycast_prefix: str = DEFAULT_ANYCAST_PREFIX
+    unicast_pool: str = DEFAULT_UNICAST_POOL
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transit_peering_probability",
+            "access_peering_probability",
+            "interconnect_density",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.peering_only_metro_count < 0:
+            raise ConfigurationError(
+                "peering_only_metro_count must be non-negative"
+            )
+
+    def resolved_frontend_metros(self) -> Tuple[str, ...]:
+        """The configured front-end metro codes (defaults applied)."""
+        return (
+            self.frontend_metros
+            if self.frontend_metros is not None
+            else DEFAULT_FRONTEND_METROS
+        )
+
+
+@dataclass(frozen=True)
+class CdnDeployment:
+    """A placed CDN: front-ends, addressing, and its AS in the topology.
+
+    Create via :func:`attach_cdn`; the CDN AS and all its peering links are
+    then part of the builder this was attached to.
+    """
+
+    asn: int
+    frontends: Tuple[FrontEnd, ...]
+    anycast_prefix: IPv4Prefix
+    peering_only_metros: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.frontends:
+            raise ConfigurationError("a CDN deployment needs >= 1 front-end")
+
+    @property
+    def frontend_metros(self) -> FrozenSet[str]:
+        """Metros hosting a front-end."""
+        return frozenset(fe.metro_code for fe in self.frontends)
+
+    @property
+    def pop_metros(self) -> FrozenSet[str]:
+        """All CDN PoP metros (front-end plus peering-only)."""
+        return self.frontend_metros | self.peering_only_metros
+
+    def frontend_by_id(self, frontend_id: str) -> FrontEnd:
+        """Look up a front-end by identifier."""
+        for fe in self.frontends:
+            if fe.frontend_id == frontend_id:
+                return fe
+        raise ConfigurationError(f"unknown front-end {frontend_id!r}")
+
+    def frontend_at_metro(self, metro_code: str) -> FrontEnd:
+        """The front-end hosted at a metro."""
+        for fe in self.frontends:
+            if fe.metro_code == metro_code:
+                return fe
+        raise ConfigurationError(f"no front-end at metro {metro_code!r}")
+
+    def has_frontend_at(self, metro_code: str) -> bool:
+        """Whether a metro hosts a front-end."""
+        return any(fe.metro_code == metro_code for fe in self.frontends)
+
+
+def attach_cdn(
+    builder: TopologyBuilder,
+    config: Optional[DeploymentConfig] = None,
+    seed: int = 0,
+) -> CdnDeployment:
+    """Place the CDN's AS into a topology under construction.
+
+    Must be called after :func:`repro.net.topology.populate_base_internet`
+    so the ISPs to peer with exist.
+
+    Returns:
+        The deployment handle used by :class:`repro.cdn.network.CdnNetwork`.
+    """
+    cfg = config or DeploymentConfig()
+    rng = random.Random(seed)
+    metro_db = builder.metro_db
+
+    frontend_codes = cfg.resolved_frontend_metros()
+    if len(set(frontend_codes)) != len(frontend_codes):
+        raise ConfigurationError("duplicate front-end metro codes")
+    for code in frontend_codes:
+        if code not in metro_db:
+            raise ConfigurationError(f"unknown front-end metro {code!r}")
+
+    # Peering-only PoPs sit in metros *near* existing front-ends - extra
+    # interconnection density in regions the CDN already serves (the S5
+    # case study has a border router "very close to a front-end"), not
+    # lone outposts whose backbone haul would dwarf the front-end grid.
+    frontend_locations = [
+        metro_db.get(code).location for code in frontend_codes
+    ]
+    remaining = sorted(
+        (m for m in metro_db if m.code not in set(frontend_codes)),
+        key=lambda m: (
+            min(m.location.distance_km(loc) for loc in frontend_locations),
+            m.code,
+        ),
+    )
+    peering_only = frozenset(
+        m.code for m in remaining[: cfg.peering_only_metro_count]
+    )
+
+    allocator = PrefixAllocator(IPv4Prefix.parse(cfg.unicast_pool))
+    frontends = tuple(
+        FrontEnd(
+            frontend_id=f"fe-{code}",
+            metro=metro_db.get(code),
+            unicast_prefix=allocator.allocate_slash24(),
+        )
+        for code in frontend_codes
+    )
+
+    pop_metros = frozenset(frontend_codes) | peering_only
+    builder.add_as(
+        AutonomousSystem(
+            asn=cfg.cdn_asn,
+            name=cfg.cdn_name,
+            role=AsRole.CDN,
+            pop_metros=pop_metros,
+        )
+    )
+
+    # The CDN buys backstop transit from the tier-1 with the widest
+    # footprint (interconnecting at every CDN PoP), so even a prefix
+    # announced at a single peering point — the §3.1 unicast
+    # configuration — is reachable from every AS.
+    tier1s = [a for a in builder.ases() if a.role is AsRole.TIER1]
+    if not tier1s:
+        raise ConfigurationError(
+            "attach_cdn requires a populated base Internet (no tier-1s found)"
+        )
+    backstop = max(tier1s, key=lambda a: (len(a.pop_metros), -a.asn))
+    missing = pop_metros - backstop.pop_metros
+    if missing:
+        raise ConfigurationError(
+            f"backstop AS{backstop.asn} lacks PoPs at {sorted(missing)}; "
+            "the base Internet must include an everywhere-present tier-1"
+        )
+    builder.connect(
+        cfg.cdn_asn, backstop.asn, LinkKind.CUSTOMER_PROVIDER, pop_metros
+    )
+
+    for as_ in builder.ases():
+        if as_.asn in (cfg.cdn_asn, backstop.asn):
+            continue
+        shared = builder.shared_metros(cfg.cdn_asn, as_.asn)
+        if not shared:
+            continue
+        if as_.role is AsRole.TIER1:
+            probability = 1.0
+        elif as_.role is AsRole.TRANSIT:
+            probability = cfg.transit_peering_probability
+        else:
+            probability = cfg.access_peering_probability
+        if rng.random() >= probability:
+            continue
+        if as_.role is AsRole.TIER1:
+            interconnects = shared  # tier-1s interconnect everywhere shared
+        else:
+            kept = [
+                code
+                for code in sorted(shared)
+                if rng.random() < cfg.interconnect_density
+            ]
+            if not kept:
+                kept = [rng.choice(sorted(shared))]
+            interconnects = frozenset(kept)
+        builder.connect(cfg.cdn_asn, as_.asn, LinkKind.PEERING, interconnects)
+
+    return CdnDeployment(
+        asn=cfg.cdn_asn,
+        frontends=frontends,
+        anycast_prefix=IPv4Prefix.parse(cfg.anycast_prefix),
+        peering_only_metros=peering_only,
+    )

@@ -1,0 +1,330 @@
+"""FastRoute-style layered anycast load shedding.
+
+§2 of the paper: "anycast is unaware of server load.  If a particular
+front-end becomes overloaded, it is difficult to gradually direct traffic
+away from that front-end, although there has been recent progress in this
+area [23]."  Reference [23] is FastRoute (NSDI '15) — the load balancer
+running on the very CDN the paper measures.
+
+FastRoute's core idea, reproduced here:
+
+* Front-ends are organized into *layers* of anycast rings.  Layer 0
+  contains every front-end; higher layers contain progressively fewer,
+  better-provisioned hubs, each ring announcing its own anycast prefix.
+* DNS servers are colocated with front-ends and reached over the same
+  anycast ring, so the DNS server answering a client's query sits at the
+  front-end that would serve it — giving that front-end *local* control.
+* When a front-end runs hot, its colocated DNS hands an increasing
+  fraction of its queries the next layer's VIP instead of layer 0's.
+  Shed traffic lands wherever the next ring's anycast takes it; no global
+  coordination is needed.
+
+The reproduction builds each ring's BGP state with the same machinery as
+the main CDN and iterates per-front-end shed fractions until no
+front-end exceeds capacity (or the top layer absorbs the remainder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cdn.backbone import CdnBackbone
+from repro.cdn.deployment import CdnDeployment
+from repro.clients.population import ClientPrefix
+from repro.net.anycast import AnycastResolver
+from repro.net.bgp import Announcement, RouteComputation
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import Topology
+
+#: Address block the per-layer anycast VIPs come from.
+_LAYER_PREFIX_BASE = "192.0.2.0/24"
+
+
+@dataclass(frozen=True)
+class AnycastLayer:
+    """One anycast ring: a subset of front-ends sharing a VIP."""
+
+    index: int
+    frontend_ids: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.frontend_ids:
+            raise ConfigurationError(f"layer {self.index} has no front-ends")
+
+
+class LayeredAnycastNetwork:
+    """Per-layer anycast routing state over one topology.
+
+    Layer 0 must contain every front-end; each higher layer must be a
+    subset of the one below it (FastRoute's rings nest).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        deployment: CdnDeployment,
+        layers: Sequence[FrozenSet[str]],
+    ) -> None:
+        if not layers:
+            raise ConfigurationError("need at least one layer")
+        all_ids = {fe.frontend_id for fe in deployment.frontends}
+        if set(layers[0]) != all_ids:
+            raise ConfigurationError("layer 0 must contain every front-end")
+        for below, above in zip(layers, layers[1:]):
+            if not set(above) <= set(below):
+                raise ConfigurationError("layers must nest (ring k+1 ⊆ ring k)")
+            if not above:
+                raise ConfigurationError("layers cannot be empty")
+
+        self._topology = topology
+        self._deployment = deployment
+        self._layers = tuple(
+            AnycastLayer(index=i, frontend_ids=frozenset(ids))
+            for i, ids in enumerate(layers)
+        )
+        metro_of = {
+            fe.frontend_id: fe.metro_code for fe in deployment.frontends
+        }
+        computation = RouteComputation(topology)
+        base = IPv4Prefix.parse(_LAYER_PREFIX_BASE)
+        self._resolvers: List[AnycastResolver] = []
+        self._backbones: List[CdnBackbone] = []
+        for layer in self._layers:
+            metros = frozenset(metro_of[i] for i in layer.frontend_ids)
+            if layer.index == 0:
+                # Layer 0 is the production ring: every PoP announces.
+                metros = deployment.pop_metros
+            announcement = Announcement(
+                prefix=base,  # same VIP block; rings are distinct RIBs
+                origin_asn=deployment.asn,
+                origin_metros=metros,
+            )
+            rib = computation.compute(announcement)
+            self._resolvers.append(AnycastResolver(topology, rib))
+            self._backbones.append(
+                CdnBackbone(
+                    deployment,
+                    topology.metro_db,
+                    live_frontends=layer.frontend_ids,
+                )
+            )
+
+    @property
+    def layers(self) -> Tuple[AnycastLayer, ...]:
+        """The nested rings, layer 0 first."""
+        return self._layers
+
+    def serving_frontend(
+        self, layer_index: int, client_asn: int, client_metro: str
+    ) -> str:
+        """Front-end id serving a client on one ring."""
+        if not 0 <= layer_index < len(self._layers):
+            raise ConfigurationError(f"no layer {layer_index}")
+        resolver = self._resolvers[layer_index]
+        ingress = resolver.ingress_metro(client_asn, client_metro)
+        return self._backbones[layer_index].frontend_for_ingress(
+            ingress
+        ).frontend_id
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """One front-end's local shedding state."""
+
+    frontend_id: str
+    layer_index: int
+    shed_fraction: float
+
+
+@dataclass(frozen=True)
+class FastRouteResult:
+    """Converged load-shedding state.
+
+    Attributes:
+        loads: Final per-front-end load.
+        decisions: Per-front-end shed fraction at each layer where the
+            front-end had to shed.
+        iterations: Relaxation rounds used.
+        converged: Whether every front-end ended within capacity.
+    """
+
+    loads: Dict[str, float]
+    decisions: Tuple[ShedDecision, ...]
+    iterations: int
+    converged: bool
+
+    def shed_fraction(self, frontend_id: str, layer_index: int = 0) -> float:
+        """The shed fraction a front-end applied on a layer (0 if none)."""
+        for decision in self.decisions:
+            if (
+                decision.frontend_id == frontend_id
+                and decision.layer_index == layer_index
+            ):
+                return decision.shed_fraction
+        return 0.0
+
+    def format(self) -> str:
+        """Summary of who shed how much."""
+        lines = [
+            f"FastRoute shedding ({'converged' if self.converged else 'NOT converged'}, "
+            f"{self.iterations} rounds):"
+        ]
+        for decision in sorted(
+            self.decisions, key=lambda d: (-d.shed_fraction, d.frontend_id)
+        ):
+            lines.append(
+                f"  layer {decision.layer_index}: {decision.frontend_id} "
+                f"sheds {decision.shed_fraction:6.1%}"
+            )
+        if not self.decisions:
+            lines.append("  no front-end needed to shed")
+        return "\n".join(lines)
+
+
+class FastRouteBalancer:
+    """Iterative local load shedding across nested anycast rings.
+
+    Each round, every over-capacity front-end raises the fraction of its
+    arriving queries whose DNS answer points at the next ring — exactly
+    the local knob FastRoute gives a front-end — and loads are recomputed.
+    Shedding is proportional (a fraction of *every* client at the hot
+    front-end), matching DNS-based probabilistic shedding.
+    """
+
+    def __init__(
+        self,
+        network: LayeredAnycastNetwork,
+        clients: Sequence[ClientPrefix],
+        capacities: Mapping[str, float],
+        step: float = 0.25,
+    ) -> None:
+        if not clients:
+            raise ConfigurationError("balancer needs clients")
+        if not 0.0 < step <= 1.0:
+            raise ConfigurationError("step must be in (0, 1]")
+        self._network = network
+        self._clients = tuple(clients)
+        self._capacities = dict(capacities)
+        self._step = step
+        # Precompute each client's serving front-end per layer.
+        self._assignment: List[Tuple[ClientPrefix, Tuple[str, ...]]] = []
+        for client in self._clients:
+            per_layer = tuple(
+                network.serving_frontend(
+                    layer.index, client.asn, client.home_metro
+                )
+                for layer in network.layers
+            )
+            self._assignment.append((client, per_layer))
+        missing = {
+            frontend_id
+            for _, per_layer in self._assignment
+            for frontend_id in per_layer
+        } - set(self._capacities)
+        if missing:
+            raise ConfigurationError(
+                f"capacities missing for {sorted(missing)}"
+            )
+
+    def _loads(self, shed: Dict[Tuple[str, int], float]) -> Dict[str, float]:
+        loads: Dict[str, float] = {}
+        for client, per_layer in self._assignment:
+            weight = client.daily_queries
+            for layer_index, frontend_id in enumerate(per_layer):
+                is_last = layer_index == len(per_layer) - 1
+                fraction = (
+                    0.0
+                    if is_last
+                    else shed.get((frontend_id, layer_index), 0.0)
+                )
+                kept = weight * (1.0 - fraction)
+                loads[frontend_id] = loads.get(frontend_id, 0.0) + kept
+                weight -= kept
+                if weight <= 0.0:
+                    break
+        return loads
+
+    def balance(self, max_rounds: int = 40) -> FastRouteResult:
+        """Relax shed fractions until every front-end fits (or give up)."""
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        shed: Dict[Tuple[str, int], float] = {}
+        last_layer = len(self._network.layers) - 1
+        loads = self._loads(shed)
+        iterations = 0
+        for _ in range(max_rounds):
+            iterations += 1
+            over = {
+                frontend_id: load
+                for frontend_id, load in loads.items()
+                if load > self._capacities[frontend_id]
+            }
+            if not over:
+                break
+            changed = False
+            for frontend_id, load in over.items():
+                for layer_index in range(last_layer):
+                    key = (frontend_id, layer_index)
+                    current = shed.get(key, 0.0)
+                    if current >= 1.0:
+                        continue
+                    excess = 1.0 - self._capacities[frontend_id] / load
+                    increment = min(self._step, max(0.02, excess))
+                    shed[key] = min(1.0, current + increment)
+                    changed = True
+                    break
+            if not changed:
+                break
+            new_loads = self._loads(shed)
+            if all(
+                abs(new_loads.get(k, 0.0) - loads.get(k, 0.0)) < 1e-9
+                for k in set(new_loads) | set(loads)
+            ):
+                # Shedding made no progress — the hot front-end is its own
+                # next-ring target (a hub/core).  Rings cannot relieve a
+                # core; it has to be provisioned.  Stop rather than spin.
+                loads = new_loads
+                break
+            loads = new_loads
+        converged = all(
+            load <= self._capacities[frontend_id] + 1e-9
+            for frontend_id, load in loads.items()
+        )
+        decisions = tuple(
+            ShedDecision(
+                frontend_id=frontend_id,
+                layer_index=layer_index,
+                shed_fraction=fraction,
+            )
+            for (frontend_id, layer_index), fraction in sorted(shed.items())
+            if fraction > 0.0
+        )
+        return FastRouteResult(
+            loads=loads,
+            decisions=decisions,
+            iterations=iterations,
+            converged=converged,
+        )
+
+
+def default_layers(
+    deployment: CdnDeployment, hub_count: int = 12, core_count: int = 4
+) -> Tuple[FrozenSet[str], ...]:
+    """A sensible three-ring layering for a deployment.
+
+    Layer 0: every front-end.  Layer 1: the ``hub_count`` front-ends in
+    the biggest metros (regional hubs).  Layer 2: the ``core_count``
+    biggest of those (global cores, assumed massively provisioned).
+    """
+    if hub_count < core_count or core_count < 1:
+        raise ConfigurationError("need hub_count >= core_count >= 1")
+    ranked = sorted(
+        deployment.frontends,
+        key=lambda fe: (-fe.metro.population_m, fe.frontend_id),
+    )
+    layer0 = frozenset(fe.frontend_id for fe in deployment.frontends)
+    layer1 = frozenset(fe.frontend_id for fe in ranked[:hub_count])
+    layer2 = frozenset(fe.frontend_id for fe in ranked[:core_count])
+    return (layer0, layer1, layer2)

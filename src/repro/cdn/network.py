@@ -1,0 +1,306 @@
+"""The deployed CDN bound to a frozen topology: §3.1's routing configuration.
+
+:class:`CdnNetwork` owns the control plane (one anycast RIB announced from
+every CDN PoP; one unicast RIB per front-end announced only at that
+front-end's peering metro) and answers the two data-plane questions the
+measurement layer asks:
+
+* *anycast*: which front-end serves this client, and over what path?
+* *unicast to front-end F*: what path does traffic to F's unicast /24 take?
+
+Both answers come back as a :class:`ServedPath` carrying the geographic
+path length and hop count the latency model converts to an RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.cdn.backbone import CdnBackbone
+from repro.cdn.deployment import CdnDeployment
+from repro.cdn.frontend import FrontEnd, nearest_frontends
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.net.anycast import AnycastResolver, AnycastRoute
+from repro.net.bgp import Announcement, BgpRib, RouteComputation
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class ServedPath:
+    """A resolved client→front-end service path.
+
+    Attributes:
+        frontend: The front-end that serves the request.
+        route: The inter-domain data-plane walk (client AS → CDN ingress).
+        ingress_metro: Peering metro where traffic entered the CDN.
+        path_km: Geographic length of the inter-domain walk, starting at
+            the client's actual location (not just its metro center).
+        backbone_km: Intradomain distance from ingress to the front-end
+            (zero when the ingress metro hosts a front-end).
+        as_hops: Number of AS-level hops traversed (client AS included).
+    """
+
+    frontend: FrontEnd
+    route: AnycastRoute
+    ingress_metro: str
+    path_km: float
+    backbone_km: float
+    as_hops: int
+
+    @property
+    def total_km(self) -> float:
+        """Interdomain plus backbone distance."""
+        return self.path_km + self.backbone_km
+
+
+class CdnNetwork:
+    """Control and data plane of the deployed CDN over one topology.
+
+    Construction computes the anycast RIB and one unicast RIB per
+    front-end (the §3.1 unicast configuration: "only the routers at the
+    closest peering point to that front-end announce the prefix").
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        deployment: CdnDeployment,
+        withdrawn_frontends: FrozenSet[str] = frozenset(),
+    ) -> None:
+        """Bind the CDN to a topology.
+
+        Args:
+            withdrawn_frontends: Front-ends taken offline — their metros
+                stop announcing the anycast prefix, their unicast prefixes
+                disappear, and the backbone routes around them.  §2 warns
+                that exactly this operation "can lead to cascading
+                overloading of nearby front-ends"; see
+                :mod:`repro.cdn.failover`.
+        """
+        if deployment.asn not in topology:
+            raise ConfigurationError(
+                f"deployment AS{deployment.asn} is not in the topology; "
+                "attach_cdn() must run before the builder freezes"
+            )
+        all_ids = {fe.frontend_id for fe in deployment.frontends}
+        unknown = withdrawn_frontends - all_ids
+        if unknown:
+            raise ConfigurationError(
+                f"cannot withdraw unknown front-ends {sorted(unknown)}"
+            )
+        live_ids = frozenset(all_ids - withdrawn_frontends)
+        if not live_ids:
+            raise ConfigurationError("cannot withdraw every front-end")
+        self._topology = topology
+        self._deployment = deployment
+        self._withdrawn = frozenset(withdrawn_frontends)
+        self._backbone = CdnBackbone(
+            deployment, topology.metro_db, live_frontends=live_ids
+        )
+
+        withdrawn_metros = frozenset(
+            fe.metro_code
+            for fe in deployment.frontends
+            if fe.frontend_id in withdrawn_frontends
+        )
+        anycast_metros = deployment.pop_metros - withdrawn_metros
+
+        computation = RouteComputation(topology)
+        anycast_announcement = Announcement(
+            prefix=deployment.anycast_prefix,
+            origin_asn=deployment.asn,
+            origin_metros=anycast_metros,
+        )
+        self._anycast_rib = computation.compute(anycast_announcement)
+        self._anycast_resolver = AnycastResolver(topology, self._anycast_rib)
+
+        self._unicast_ribs: Dict[str, BgpRib] = {}
+        self._unicast_resolvers: Dict[str, AnycastResolver] = {}
+        for fe in deployment.frontends:
+            if fe.frontend_id in withdrawn_frontends:
+                continue
+            announcement = Announcement(
+                prefix=fe.unicast_prefix,
+                origin_asn=deployment.asn,
+                origin_metros=frozenset({fe.metro_code}),
+            )
+            rib = computation.compute(announcement)
+            self._unicast_ribs[fe.frontend_id] = rib
+            self._unicast_resolvers[fe.frontend_id] = AnycastResolver(topology, rib)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The frozen topology the CDN is attached to."""
+        return self._topology
+
+    @property
+    def deployment(self) -> CdnDeployment:
+        """The CDN deployment (front-ends, addressing)."""
+        return self._deployment
+
+    @property
+    def backbone(self) -> CdnBackbone:
+        """The ingress→front-end backbone table."""
+        return self._backbone
+
+    @property
+    def anycast_rib(self) -> BgpRib:
+        """Best anycast routes per AS."""
+        return self._anycast_rib
+
+    def unicast_rib(self, frontend_id: str) -> BgpRib:
+        """Best routes per AS toward one front-end's unicast prefix."""
+        try:
+            return self._unicast_ribs[frontend_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown front-end {frontend_id!r}"
+            ) from None
+
+    @property
+    def frontends(self) -> Tuple[FrontEnd, ...]:
+        """The *live* front-ends (deployment minus withdrawals)."""
+        return tuple(
+            fe
+            for fe in self._deployment.frontends
+            if fe.frontend_id not in self._withdrawn
+        )
+
+    @property
+    def withdrawn_frontends(self) -> FrozenSet[str]:
+        """Front-ends currently taken offline."""
+        return self._withdrawn
+
+    def nearest_frontends(self, point: GeoPoint, count: int) -> Tuple[FrontEnd, ...]:
+        """The ``count`` live front-ends nearest a point, closest first."""
+        return nearest_frontends(self.frontends, point, count)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def _served_path(
+        self,
+        route: AnycastRoute,
+        frontend: FrontEnd,
+        backbone_km: float,
+        client_location: Optional[GeoPoint],
+    ) -> ServedPath:
+        metro_db = self._topology.metro_db
+        path_km = 0.0
+        previous = client_location
+        for _, metro_code in route.hops:
+            location = metro_db.get(metro_code).location
+            if previous is not None:
+                path_km += haversine_km(previous, location)
+            previous = location
+        return ServedPath(
+            frontend=frontend,
+            route=route,
+            ingress_metro=route.ingress_metro,
+            path_km=path_km,
+            backbone_km=backbone_km,
+            as_hops=len(route.hops),
+        )
+
+    def anycast_path(
+        self,
+        client_asn: int,
+        client_metro: str,
+        client_location: Optional[GeoPoint] = None,
+        egress_rank: int = 0,
+    ) -> ServedPath:
+        """Resolve the anycast service path for a client.
+
+        Args:
+            client_asn: The client's access AS.
+            client_metro: The AS PoP metro the client attaches at.
+            client_location: The client's actual coordinates; when given,
+                the first leg (client → first metro) is included in
+                ``path_km``.
+            egress_rank: Alternate first-hop egress rank (route churn).
+
+        Raises:
+            RoutingError: if the client's AS has no anycast route.
+        """
+        route = self._anycast_resolver.resolve(
+            client_asn, client_metro, egress_rank
+        )
+        backbone_route = self._backbone.route(route.ingress_metro)
+        return self._served_path(
+            route, backbone_route.frontend, backbone_route.backbone_km,
+            client_location,
+        )
+
+    def unicast_path(
+        self,
+        frontend_id: str,
+        client_asn: int,
+        client_metro: str,
+        client_location: Optional[GeoPoint] = None,
+    ) -> ServedPath:
+        """Resolve the path to one front-end's unicast prefix.
+
+        The unicast prefix is announced only at the front-end's own metro,
+        so the ingress always equals that metro and there is no backbone
+        leg — the head-to-head configuration of §3.1.
+
+        Raises:
+            RoutingError: if the client's AS has no route to the prefix.
+        """
+        frontend = self._deployment.frontend_by_id(frontend_id)
+        resolver = self._unicast_resolvers[frontend_id]
+        route = resolver.resolve(client_asn, client_metro)
+        if route.ingress_metro != frontend.metro_code:
+            raise RoutingError(
+                f"unicast ingress for {frontend_id} resolved to "
+                f"{route.ingress_metro!r}, expected {frontend.metro_code!r}"
+            )
+        return self._served_path(route, frontend, 0.0, client_location)
+
+    def anycast_variant_ranks(
+        self, client_asn: int, client_metro: str, max_rank: int = 4
+    ) -> Tuple[int, ...]:
+        """First-hop egress ranks that yield *distinct serving front-ends*.
+
+        Rank 0 (the steady state) is always first; subsequent ranks are
+        kept only when they change the front-end the backbone serves the
+        client from — a different ingress carried to the same front-end is
+        not an observable route change.  The churn model flips unstable
+        clients between these ranks.
+        """
+        count = self._anycast_resolver.variant_count(client_asn, client_metro)
+        ranks: List[int] = []
+        seen: List[str] = []
+        for rank in range(min(count, max_rank + 1)):
+            ingress = self._anycast_resolver.ingress_metro(
+                client_asn, client_metro, rank
+            )
+            frontend_id = self._backbone.frontend_for_ingress(ingress).frontend_id
+            if frontend_id not in seen:
+                seen.append(frontend_id)
+                ranks.append(rank)
+        return tuple(ranks)
+
+    def anycast_variant_ingresses(
+        self, client_asn: int, client_metro: str, max_rank: int = 4
+    ) -> Tuple[str, ...]:
+        """Distinct anycast ingress metros reachable via egress ranks.
+
+        Companion of :meth:`anycast_variant_ranks`, ordered the same way.
+        """
+        ranks = self.anycast_variant_ranks(client_asn, client_metro, max_rank)
+        return tuple(
+            self._anycast_resolver.ingress_metro(client_asn, client_metro, rank)
+            for rank in ranks
+        )
+
+    def has_anycast_route(self, client_asn: int) -> bool:
+        """Whether an AS can reach the anycast prefix at all."""
+        return self._anycast_rib.has_route(client_asn)

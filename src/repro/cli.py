@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report`` — run a full study and print every figure's rows.
+* ``catalog`` — print the §4 CDN deployment-size table.
+* ``troubleshoot`` — the §5 workflow: worst anycast vantages + traceroutes.
+* ``failover`` — withdraw a front-end and trace the §2 overload cascade.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.anycast_perf import anycast_penalty_ccdf
+from repro.analysis.poor_paths import poor_path_duration, poor_path_prevalence
+from repro.analysis.prediction_eval import evaluate_prediction
+from repro.cdn.catalog import catalog
+from repro.cdn.failover import WithdrawalSimulator
+from repro.clients.population import ClientPopulationConfig
+from repro.core.study import AnycastStudy
+from repro.geo.coords import haversine_km
+from repro.measurement.export import load_dataset, save_dataset
+from repro.measurement.probes import ProbeNetwork
+from repro.net.topology import AsRole
+from repro.simulation.clock import SimulationCalendar
+from repro.simulation.scenario import ScenarioConfig
+
+
+def _study_config(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=args.seed,
+        population=ClientPopulationConfig(prefix_count=args.prefixes),
+        calendar=SimulationCalendar(num_days=args.days),
+    )
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prefixes", type=int, default=400,
+        help="client /24 count (default 400)",
+    )
+    parser.add_argument(
+        "--days", type=int, default=7,
+        help="campaign length in days (default 7)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2015, help="scenario seed (default 2015)"
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a study and print (or write) the full figure report."""
+    study = AnycastStudy(_study_config(args))
+    report = study.full_report()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a campaign and persist its dataset as JSON."""
+    study = AnycastStudy(_study_config(args))
+    dataset = study.dataset
+    save_dataset(dataset, args.dataset)
+    print(
+        f"campaign complete: {dataset.beacon_count:,} beacons, "
+        f"{dataset.measurement_count:,} measurements -> {args.dataset}"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Replay dataset-only figures from a saved campaign."""
+    dataset = load_dataset(args.dataset)
+    sections = {
+        "fig3": lambda: anycast_penalty_ccdf(dataset).format(),
+        "fig5": lambda: poor_path_prevalence(dataset).format(),
+        "fig6": lambda: poor_path_duration(dataset).format(),
+        "fig9": lambda: evaluate_prediction(dataset).format(),
+    }
+    wanted = args.figures or sorted(sections)
+    for name in wanted:
+        if name not in sections:
+            print(
+                f"unknown figure {name!r}; dataset-only figures: "
+                f"{', '.join(sorted(sections))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(sections[name]())
+        print()
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    """Print the §4 CDN deployment-size table."""
+    for entry in catalog(include_bing=True, bing_locations=args.bing_locations):
+        flags = []
+        if entry.is_outlier:
+            flags.append("outlier")
+        if entry.is_anycast:
+            flags.append("anycast")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{entry.name:24s} {entry.locations:5d}{suffix}")
+    return 0
+
+
+def cmd_troubleshoot(args: argparse.Namespace) -> int:
+    """Find the worst anycast vantages and print their traceroutes."""
+    study = AnycastStudy(_study_config(args))
+    scenario = study.scenario
+    topology = scenario.topology
+    network = scenario.network
+    probes = ProbeNetwork(topology, coverage=1.0, seed=args.seed)
+
+    cases = []
+    for access in topology.ases_with_role(AsRole.ACCESS):
+        for metro in sorted(access.pop_metros):
+            location = topology.metro_db.get(metro).location
+            path = network.anycast_path(access.asn, metro, location)
+            served = haversine_km(location, path.frontend.location)
+            nearest = network.nearest_frontends(location, 1)[0]
+            inflation = served - haversine_km(location, nearest.location)
+            if inflation > args.min_inflation_km:
+                cases.append((inflation, access.asn, metro))
+    cases.sort(reverse=True)
+
+    print(
+        f"{len(cases)} vantages with anycast carried "
+        f">{args.min_inflation_km:.0f} km past the nearest front-end"
+    )
+    for inflation, asn, metro in cases[: args.top]:
+        result = probes.investigate(network, asn, metro)
+        if result is None:
+            continue
+        anycast_trace, unicast_trace = result
+        print("=" * 70)
+        print(f"AS{asn} @ {metro}: +{inflation:.0f} km")
+        print(anycast_trace.format())
+        print("best unicast alternative:")
+        print(unicast_trace.format())
+    return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    """Withdraw a front-end and print the §2 overload cascade."""
+    study = AnycastStudy(_study_config(args))
+    scenario = study.scenario
+    simulator = WithdrawalSimulator(
+        scenario.topology,
+        scenario.deployment,
+        scenario.clients,
+        headroom=args.headroom,
+    )
+    frontend_id = args.frontend
+    if frontend_id not in simulator.baseline_loads:
+        known = ", ".join(sorted(simulator.baseline_loads)[:8])
+        print(
+            f"unknown front-end {frontend_id!r}; known ids start: {known}...",
+            file=sys.stderr,
+        )
+        return 2
+    result = simulator.cascade([frontend_id], max_rounds=args.max_rounds)
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Analyzing the Performance of an Anycast CDN' "
+            "(IMC 2015)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser(
+        "report", help="run a study and print every figure"
+    )
+    _add_scale_arguments(report)
+    report.add_argument("--out", help="write the report to a file")
+    report.set_defaults(func=cmd_report)
+
+    run = subparsers.add_parser(
+        "run", help="run a campaign and save the dataset to JSON"
+    )
+    _add_scale_arguments(run)
+    run.add_argument("dataset", help="output dataset path (JSON)")
+    run.set_defaults(func=cmd_run)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="analyze a saved dataset (dataset-only figures)"
+    )
+    analyze.add_argument("dataset", help="dataset path from 'run'")
+    analyze.add_argument(
+        "--figures", nargs="*",
+        help="subset of figures: fig3 fig5 fig6 fig9 (default: all)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    catalog_parser = subparsers.add_parser(
+        "catalog", help="print the §4 CDN size table"
+    )
+    catalog_parser.add_argument(
+        "--bing-locations", type=int, default=64,
+        help="location count for the measured CDN row",
+    )
+    catalog_parser.set_defaults(func=cmd_catalog)
+
+    troubleshoot = subparsers.add_parser(
+        "troubleshoot", help="find and trace poor anycast vantages (§5)"
+    )
+    _add_scale_arguments(troubleshoot)
+    troubleshoot.add_argument("--top", type=int, default=3)
+    troubleshoot.add_argument("--min-inflation-km", type=float, default=300.0)
+    troubleshoot.set_defaults(func=cmd_troubleshoot)
+
+    failover = subparsers.add_parser(
+        "failover", help="withdraw a front-end and trace the cascade (§2)"
+    )
+    _add_scale_arguments(failover)
+    failover.add_argument("frontend", help="front-end id, e.g. fe-lon")
+    failover.add_argument("--headroom", type=float, default=1.5)
+    failover.add_argument("--max-rounds", type=int, default=10)
+    failover.set_defaults(func=cmd_failover)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Client substrate: /24 prefixes, their placement, volume, and workload."""
+
+from repro.clients.population import (
+    ClientPopulationConfig,
+    ClientPrefix,
+    generate_population,
+)
+from repro.clients.workload import WorkloadConfig, WorkloadModel
+
+__all__ = [
+    "ClientPopulationConfig",
+    "ClientPrefix",
+    "WorkloadConfig",
+    "WorkloadModel",
+    "generate_population",
+]

@@ -1,0 +1,105 @@
+"""Query workload: how many queries and beacons each /24 produces per day.
+
+Two rates matter to the reproduction:
+
+* *Query volume* drives the passive logs and all volume weighting; it has
+  a weekly shape (weekends are quieter) on top of each prefix's mean.
+* *Beacon executions* are a sampled fraction of result pages (§3.2.2: "we
+  inject a JavaScript beacon into a small fraction of Bing Search
+  results"), so beacon counts scale with query volume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.clients.population import ClientPrefix
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Workload knobs.
+
+    Attributes:
+        beacon_fraction: Fraction of queries that carry the beacon.
+        weekend_volume_factor: Multiplier on query volume for weekend days.
+        max_beacons_per_day: Cap on beacon executions per /24-day, the
+            engineering sampling limit §6 alludes to ("our sampling rate
+            was limited due to engineering issues").
+        min_beacons_per_day: Floor for prefixes with any traffic at all, so
+            low-volume prefixes still appear in daily analyses.
+    """
+
+    beacon_fraction: float = 0.5
+    weekend_volume_factor: float = 0.75
+    max_beacons_per_day: int = 250
+    min_beacons_per_day: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beacon_fraction <= 1.0:
+            raise ConfigurationError("beacon_fraction must be in (0, 1]")
+        if not 0.0 < self.weekend_volume_factor <= 1.0:
+            raise ConfigurationError(
+                "weekend_volume_factor must be in (0, 1]"
+            )
+        if self.max_beacons_per_day < 1:
+            raise ConfigurationError("max_beacons_per_day must be >= 1")
+        if not 0 <= self.min_beacons_per_day <= self.max_beacons_per_day:
+            raise ConfigurationError(
+                "min_beacons_per_day must be in [0, max_beacons_per_day]"
+            )
+
+
+class WorkloadModel:
+    """Per-day query and beacon counts for a client prefix."""
+
+    def __init__(self, config: WorkloadConfig = WorkloadConfig()) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """The workload parameters."""
+        return self._config
+
+    def daily_queries(
+        self, client: ClientPrefix, is_weekend: bool, rng: random.Random
+    ) -> int:
+        """Query count for one /24-day (Poisson-ish around its mean)."""
+        mean = client.daily_queries
+        if is_weekend:
+            mean *= self._config.weekend_volume_factor
+        # Gaussian approximation to Poisson keeps this cheap at scale and
+        # indistinguishable for the means involved (>= ~10).
+        if mean < 20.0:
+            count = _poisson(mean, rng)
+        else:
+            count = int(round(rng.gauss(mean, mean ** 0.5)))
+        return max(0, count)
+
+    def daily_beacons(self, queries: int, rng: random.Random) -> int:
+        """Beacon executions among ``queries`` result pages."""
+        cfg = self._config
+        if queries <= 0:
+            return 0
+        mean = queries * cfg.beacon_fraction
+        if mean < 20.0:
+            count = _poisson(mean, rng)
+        else:
+            count = int(round(rng.gauss(mean, mean ** 0.5)))
+        count = max(count, cfg.min_beacons_per_day)
+        return min(count, cfg.max_beacons_per_day, queries)
+
+
+def _poisson(mean: float, rng: random.Random) -> int:
+    """Knuth's Poisson sampler (adequate for small means)."""
+    if mean <= 0.0:
+        return 0
+    limit = 2.718281828459045 ** (-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

@@ -1,0 +1,18 @@
+"""The paper's core contribution: prediction, hybrid redirection, study."""
+
+from repro.core.hybrid import HybridConfig, HybridRedirector
+from repro.core.predictor import (
+    HistoryBasedPredictor,
+    Prediction,
+    PredictorConfig,
+)
+from repro.core.study import AnycastStudy
+
+__all__ = [
+    "AnycastStudy",
+    "HistoryBasedPredictor",
+    "HybridConfig",
+    "HybridRedirector",
+    "Prediction",
+    "PredictorConfig",
+]

@@ -1,0 +1,121 @@
+"""Hybrid anycast + DNS redirection (§6's closing proposal).
+
+"The key idea is to use DNS-based redirection for a small subset of poor
+performing clients, while leaving others to anycast."  The hybrid scheme
+wraps the history-based predictor and redirects a group only when the
+predicted gain over anycast clears a threshold, bounding both the blast
+radius of bad predictions and the operational footprint of the DNS layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import PredictionError
+from repro.core.predictor import (
+    HistoryBasedPredictor,
+    Prediction,
+    PredictorConfig,
+)
+from repro.dns.authoritative import ANYCAST_TARGET, StaticMappingPolicy
+from repro.measurement.aggregate import GroupedDailyAggregates
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Hybrid-scheme parameters.
+
+    Attributes:
+        predictor: The underlying §6 predictor configuration.
+        min_predicted_gain_ms: Redirect a group only when the predicted
+            improvement over anycast is at least this much.
+        max_redirected_fraction: Upper bound on the fraction of groups
+            redirected (largest predicted gains win), keeping the DNS
+            control plane small — the scalability argument of §6.
+    """
+
+    predictor: PredictorConfig = PredictorConfig()
+    min_predicted_gain_ms: float = 10.0
+    max_redirected_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_predicted_gain_ms < 0:
+            raise PredictionError("min_predicted_gain_ms must be >= 0")
+        if not 0.0 < self.max_redirected_fraction <= 1.0:
+            raise PredictionError(
+                "max_redirected_fraction must be in (0, 1]"
+            )
+
+
+class HybridRedirector:
+    """Selective DNS redirection on top of anycast."""
+
+    def __init__(self, config: Optional[HybridConfig] = None) -> None:
+        self._config = config or HybridConfig()
+        self._predictor = HistoryBasedPredictor(self._config.predictor)
+
+    @property
+    def config(self) -> HybridConfig:
+        """The hybrid parameters."""
+        return self._config
+
+    @property
+    def predictor(self) -> HistoryBasedPredictor:
+        """The wrapped history-based predictor."""
+        return self._predictor
+
+    def select_redirections(
+        self, aggregates: GroupedDailyAggregates, day: int
+    ) -> Dict[str, Prediction]:
+        """Groups worth redirecting, per the gain threshold and cap.
+
+        Groups whose prediction is anycast, whose anycast baseline was not
+        measurable, or whose predicted gain is below the threshold stay on
+        anycast and are omitted.
+        """
+        cfg = self._config
+        candidates = [
+            prediction
+            for prediction in self._predictor.predict_day(aggregates, day).values()
+            if prediction.target_id != ANYCAST_TARGET
+            and prediction.anycast_metric_ms is not None
+            and prediction.predicted_gain_ms >= cfg.min_predicted_gain_ms
+        ]
+        total_groups = len(aggregates.groups_on(day))
+        if total_groups == 0:
+            return {}
+        cap = max(1, int(cfg.max_redirected_fraction * total_groups))
+        candidates.sort(
+            key=lambda p: (-p.predicted_gain_ms, p.group)
+        )
+        return {p.group: p for p in candidates[:cap]}
+
+    def build_policy(
+        self,
+        ecs_aggregates: Optional[GroupedDailyAggregates] = None,
+        ldns_aggregates: Optional[GroupedDailyAggregates] = None,
+        day: int = 0,
+    ) -> StaticMappingPolicy:
+        """A deployable policy redirecting only the selected groups."""
+        if ecs_aggregates is None and ldns_aggregates is None:
+            raise PredictionError("need ECS or LDNS aggregates (or both)")
+        ecs_mapping: Dict[str, str] = {}
+        ldns_mapping: Dict[str, str] = {}
+        if ecs_aggregates is not None:
+            ecs_mapping = {
+                group: prediction.target_id
+                for group, prediction in self.select_redirections(
+                    ecs_aggregates, day
+                ).items()
+            }
+        if ldns_aggregates is not None:
+            ldns_mapping = {
+                group: prediction.target_id
+                for group, prediction in self.select_redirections(
+                    ldns_aggregates, day
+                ).items()
+            }
+        return StaticMappingPolicy(
+            ecs_mapping=ecs_mapping, ldns_mapping=ldns_mapping
+        )

@@ -1,0 +1,220 @@
+"""End-to-end study orchestration: build, measure, analyze.
+
+:class:`AnycastStudy` stitches the whole reproduction together the way §3
+describes the measurement apparatus: build the environment, run the
+campaign once, then answer each figure from the collected dataset.  All
+figure methods are cached — the expensive parts (scenario build, campaign)
+run at most once per study instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.affinity import (
+    AffinityResult,
+    SwitchDistanceResult,
+    daily_switch_rate,
+    frontend_affinity,
+    switch_distance_cdf,
+)
+from repro.analysis.ldns_proximity import LdnsProximityResult, ldns_proximity
+from repro.analysis.tcp_disruption import format_disruption_table, tcp_disruption
+from repro.analysis.anycast_perf import (
+    AnycastDistanceResult,
+    AnycastPenaltyResult,
+    anycast_distance_cdf,
+    anycast_penalty_ccdf,
+)
+from repro.analysis.poor_paths import (
+    PoorPathDuration,
+    PoorPathPrevalence,
+    poor_path_duration,
+    poor_path_prevalence,
+)
+from repro.analysis.geo_artifacts import (
+    GeoArtifactResult,
+    geolocation_artifacts,
+)
+from repro.analysis.prediction_eval import (
+    PredictionEvaluation,
+    evaluate_prediction,
+)
+from repro.analysis.proximity import (
+    DiminishingReturnsResult,
+    NthClosestDistances,
+    diminishing_returns,
+    nth_closest_distance_cdf,
+)
+from repro.cdn.catalog import CdnCatalogEntry, catalog
+from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
+from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.dataset import StudyDataset
+from repro.simulation.scenario import Scenario, ScenarioConfig
+
+
+class AnycastStudy:
+    """One full reproduction run of the paper's measurement study."""
+
+    def __init__(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        campaign: Optional[CampaignConfig] = None,
+    ) -> None:
+        self._config = config or ScenarioConfig()
+        self._campaign_config = campaign or CampaignConfig()
+        self._scenario: Optional[Scenario] = None
+        self._dataset: Optional[StudyDataset] = None
+
+    # ------------------------------------------------------------------
+    # Expensive, cached stages
+    # ------------------------------------------------------------------
+
+    @property
+    def scenario(self) -> Scenario:
+        """The built environment (constructed on first use)."""
+        if self._scenario is None:
+            self._scenario = Scenario.build(self._config)
+        return self._scenario
+
+    @property
+    def dataset(self) -> StudyDataset:
+        """The campaign output (run on first use)."""
+        if self._dataset is None:
+            runner = CampaignRunner(self.scenario, self._campaign_config)
+            self._dataset = runner.run()
+        return self._dataset
+
+    # ------------------------------------------------------------------
+    # Figures
+    # ------------------------------------------------------------------
+
+    def fig1_diminishing_returns(
+        self, candidate_sizes: Tuple[int, ...] = (1, 3, 5, 7, 9)
+    ) -> DiminishingReturnsResult:
+        """Fig 1: min latency to nearest-N front-ends per /24."""
+        scenario = self.scenario
+        return diminishing_returns(
+            self.dataset,
+            scenario.network.frontends,
+            scenario.geolocation,
+            candidate_sizes,
+        )
+
+    def fig2_client_distance(self) -> NthClosestDistances:
+        """Fig 2: distance from volume-weighted clients to Nth-closest
+        front-end."""
+        scenario = self.scenario
+        return nth_closest_distance_cdf(
+            scenario.clients,
+            scenario.network.frontends,
+            scenario.geolocation,
+        )
+
+    def fig3_anycast_penalty(self) -> AnycastPenaltyResult:
+        """Fig 3: CCDF of anycast minus best measured unicast."""
+        return anycast_penalty_ccdf(self.dataset)
+
+    def fig4_anycast_distance(self, day: int = 0) -> AnycastDistanceResult:
+        """Fig 4: distance to the anycast front-end, one production day."""
+        scenario = self.scenario
+        return anycast_distance_cdf(
+            self.dataset,
+            scenario.network.frontends,
+            scenario.geolocation,
+            day=day,
+        )
+
+    def fig5_poor_path_prevalence(self) -> PoorPathPrevalence:
+        """Fig 5: daily fraction of /24s with a better unicast option."""
+        return poor_path_prevalence(self.dataset)
+
+    def fig6_poor_path_duration(self) -> PoorPathDuration:
+        """Fig 6: persistence of poor paths over the month."""
+        return poor_path_duration(self.dataset)
+
+    def fig7_frontend_affinity(self, num_days: int = 7) -> AffinityResult:
+        """Fig 7: cumulative fraction of clients changing front-ends.
+
+        The window is clamped to the campaign length, so short test
+        studies still produce the figure.
+        """
+        num_days = min(num_days, self.dataset.calendar.num_days)
+        return frontend_affinity(self.dataset, start_day=0, num_days=num_days)
+
+    def fig8_switch_distance(self) -> SwitchDistanceResult:
+        """Fig 8: distance change when the front-end changes."""
+        scenario = self.scenario
+        return switch_distance_cdf(
+            self.dataset,
+            scenario.network.frontends,
+            scenario.geolocation,
+        )
+
+    def fig9_prediction(
+        self, predictor_config: Optional[PredictorConfig] = None
+    ) -> PredictionEvaluation:
+        """Fig 9: improvement from prediction-driven DNS redirection."""
+        predictor = HistoryBasedPredictor(predictor_config)
+        return evaluate_prediction(self.dataset, predictor)
+
+    def ldns_proximity(self) -> LdnsProximityResult:
+        """§3.3's premise: how close are clients to their LDNS?"""
+        scenario = self.scenario
+        return ldns_proximity(scenario.clients, scenario.ldns_directory)
+
+    def daily_switch_rate(self, day: int = 0) -> float:
+        """§5's K-root comparison: single-day front-end switch rate."""
+        return daily_switch_rate(self.dataset, day)
+
+    def footnote1_geo_artifacts(
+        self, day: int = 0, threshold_km: float = 3000.0
+    ) -> GeoArtifactResult:
+        """Footnote 1: geolocation-error share of the distance tail."""
+        scenario = self.scenario
+        return geolocation_artifacts(
+            self.dataset,
+            scenario.network.frontends,
+            scenario.geolocation,
+            day=day,
+            threshold_km=threshold_km,
+        )
+
+    def cdn_size_table(self) -> Tuple[CdnCatalogEntry, ...]:
+        """§4's CDN deployment-size comparison, with this deployment's
+        actual front-end count substituted for Bing's."""
+        return catalog(
+            include_bing=True,
+            bing_locations=len(self.scenario.network.frontends),
+        )
+
+    # ------------------------------------------------------------------
+
+    def full_report(self) -> str:
+        """All figures plus the side analyses — EXPERIMENTS.md's raw
+        material."""
+        sections = [
+            self.fig1_diminishing_returns().format(),
+            self.fig2_client_distance().format(),
+            self.fig3_anycast_penalty().format(),
+            self.fig4_anycast_distance().format(),
+            self.fig5_poor_path_prevalence().format(),
+            self.fig6_poor_path_duration().format(),
+            self.fig7_frontend_affinity().format(),
+            self.fig8_switch_distance().format(),
+            self.fig9_prediction().format(),
+            self.ldns_proximity().format(),
+            self.footnote1_geo_artifacts().format(),
+            format_disruption_table(tcp_disruption(self.dataset)),
+            (
+                "§5 — single-day front-end switch rate: "
+                f"{self.daily_switch_rate(0):.1%} "
+                "(roots were 1.1-4.7% [20, 33])"
+            ),
+        ]
+        table = ["§4 — CDN deployment sizes"]
+        for entry in self.cdn_size_table():
+            marker = " (anycast)" if entry.is_anycast else ""
+            table.append(f"  {entry.name:24s} {entry.locations:5d}{marker}")
+        sections.append("\n".join(table))
+        return "\n\n".join(sections)

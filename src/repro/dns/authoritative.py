@@ -1,0 +1,175 @@
+"""The CDN's authoritative DNS with pluggable redirection policies.
+
+§2: "The CDN makes a performance-based decision about what IP address to
+return based on which LDNS forwarded the request."  Policies here decide a
+*target* — the shared anycast address or a specific front-end's unicast
+address — from the information a real authoritative server has: the LDNS
+that asked, and the ECS client subnet when present.
+
+The server also keeps a query log; §3.2.2's join of client-side HTTP
+results with server-side DNS logs by unique hostname is reproduced in
+:mod:`repro.measurement.backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.errors import ConfigurationError
+from repro.dns.ecs import EcsOption
+
+#: Target id meaning "the shared anycast address".
+ANYCAST_TARGET = "anycast"
+
+#: Default answer TTL in seconds — longer than a beacon run (§3.2.2).
+DEFAULT_TTL_SECONDS = 300.0
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """One query as the authoritative server sees it."""
+
+    hostname: str
+    ldns_id: str
+    ecs: Optional[EcsOption] = None
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """The authoritative answer: a target, a TTL, and an ECS scope.
+
+    ``ecs_scope_len`` follows RFC 7871 semantics: 0 means the answer is
+    valid for any client of the resolver; a positive value means it is
+    valid only for clients within the query's /scope subnet, and the
+    resolver must cache it per-scope.
+    """
+
+    target_id: str
+    ttl_seconds: float
+    ecs_scope_len: int = 0
+
+
+@dataclass(frozen=True)
+class DnsQueryRecord:
+    """Server-side query-log row (pushed to backend storage per §3.2.2)."""
+
+    time: float
+    hostname: str
+    ldns_id: str
+    ecs_key: Optional[str]
+    target_id: str
+
+
+class RedirectionPolicy(Protocol):
+    """Decides the target returned for a query."""
+
+    def decide(self, query: DnsQuery) -> str:
+        """Target id ('anycast' or a front-end id) for this query."""
+        ...
+
+
+class AnycastPolicy:
+    """Always return the anycast address — the production configuration."""
+
+    def decide(self, query: DnsQuery) -> str:
+        """Every query resolves to the shared anycast address."""
+        return ANYCAST_TARGET
+
+
+class StaticMappingPolicy:
+    """Return a precomputed per-group target; anycast when unmapped.
+
+    This is how a predictor's mapping (§6) is deployed: keys are ECS group
+    keys (client /24 strings) and/or LDNS ids.  ECS keys take precedence
+    when the query carries ECS, mirroring an ECS-aware authoritative.
+    """
+
+    def __init__(
+        self,
+        ecs_mapping: Optional[Dict[str, str]] = None,
+        ldns_mapping: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._ecs_mapping = dict(ecs_mapping or {})
+        self._ldns_mapping = dict(ldns_mapping or {})
+
+    def decide(self, query: DnsQuery) -> str:
+        """The mapped target for this query (anycast when unmapped)."""
+        target, _ = self.decide_with_scope(query)
+        return target
+
+    def decide_with_scope(self, query: DnsQuery) -> Tuple[str, bool]:
+        """Target plus whether the decision depended on the ECS subnet.
+
+        When the client subnet mattered (RFC 7871), the answer must carry
+        a non-zero scope so resolvers cache it per-prefix — an
+        ECS-unaware decision is cacheable for all of the LDNS's clients.
+        """
+        if query.ecs is not None:
+            target = self._ecs_mapping.get(query.ecs.group_key)
+            if target is not None:
+                return target, True
+        return self._ldns_mapping.get(query.ldns_id, ANYCAST_TARGET), False
+
+
+class AuthoritativeServer:
+    """Answers queries under a policy, recording a query log."""
+
+    def __init__(
+        self,
+        policy: RedirectionPolicy,
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        keep_log: bool = True,
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise ConfigurationError(f"TTL must be positive, got {ttl_seconds}")
+        self._policy = policy
+        self._ttl_seconds = ttl_seconds
+        self._keep_log = keep_log
+        self._log: List[DnsQueryRecord] = []
+
+    @property
+    def policy(self) -> RedirectionPolicy:
+        """The active redirection policy."""
+        return self._policy
+
+    def resolve(self, query: DnsQuery, now: float = 0.0) -> DnsResponse:
+        """Answer a query and append to the query log.
+
+        Policies exposing ``decide_with_scope`` get RFC 7871 scopes on
+        their answers; other policies answer with scope 0 (valid for all
+        clients of the resolver).
+        """
+        decide_with_scope = getattr(self._policy, "decide_with_scope", None)
+        if decide_with_scope is not None:
+            target, used_ecs = decide_with_scope(query)
+        else:
+            target, used_ecs = self._policy.decide(query), False
+        scope = (
+            query.ecs.source_prefix_length
+            if used_ecs and query.ecs is not None
+            else 0
+        )
+        if self._keep_log:
+            self._log.append(
+                DnsQueryRecord(
+                    time=now,
+                    hostname=query.hostname,
+                    ldns_id=query.ldns_id,
+                    ecs_key=query.ecs.group_key if query.ecs else None,
+                    target_id=target,
+                )
+            )
+        return DnsResponse(
+            target_id=target,
+            ttl_seconds=self._ttl_seconds,
+            ecs_scope_len=scope,
+        )
+
+    def query_log(self) -> Tuple[DnsQueryRecord, ...]:
+        """The query log so far."""
+        return tuple(self._log)
+
+    def clear_log(self) -> None:
+        """Drop the accumulated query log (between campaign days)."""
+        self._log.clear()

@@ -1,0 +1,81 @@
+"""TTL cache, as run by an LDNS resolver.
+
+The beacon methodology (§3.2.2) removes DNS lookup latency from
+measurements by issuing a warm-up request first and setting TTLs "longer
+than the duration of the beacon", so the measured fetch hits the resolver
+cache.  This cache provides exactly the semantics that trick relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class _Entry(Generic[V]):
+    value: V
+    expires_at: float
+
+
+class TtlCache(Generic[V]):
+    """A time-indexed cache with per-entry TTLs.
+
+    Time is explicit (simulated seconds), not wall-clock: callers pass
+    ``now`` so campaigns replay deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _Entry[V]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def put(self, key: str, value: V, now: float, ttl: float) -> None:
+        """Insert/replace an entry valid until ``now + ttl``.
+
+        Raises:
+            ConfigurationError: for a non-positive TTL.
+        """
+        if ttl <= 0:
+            raise ConfigurationError(f"TTL must be positive, got {ttl}")
+        self._entries[key] = _Entry(value=value, expires_at=now + ttl)
+
+    def get(self, key: str, now: float) -> Optional[V]:
+        """The cached value, or ``None`` on a miss or expiry.
+
+        Expired entries are evicted on access.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        if now >= entry.expires_at:
+            del self._entries[key]
+            self._misses += 1
+            return None
+        self._hits += 1
+        return entry.value
+
+    def contains(self, key: str, now: float) -> bool:
+        """Whether a live entry exists (does not count as hit/miss)."""
+        entry = self._entries.get(key)
+        return entry is not None and now < entry.expires_at
+
+    def purge_expired(self, now: float) -> int:
+        """Drop all expired entries; returns how many were dropped."""
+        dead = [k for k, e in self._entries.items() if now >= e.expires_at]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) counters."""
+        return (self._hits, self._misses)

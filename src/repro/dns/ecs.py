@@ -1,0 +1,78 @@
+"""EDNS client-subnet (ECS) support.
+
+ECS [21] lets a resolver forward a portion of the client's IP address to
+the authoritative nameserver, enabling per-prefix rather than per-LDNS
+redirection decisions — the mechanism behind the paper's "EDNS-0"
+prediction lines in Fig 9.  The authoritative side sees a truncated
+client prefix; this module models the truncation and the grouping key it
+induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class EcsOption:
+    """An EDNS client-subnet option on a DNS query.
+
+    Attributes:
+        client_prefix: The (already truncated) client subnet the resolver
+            chose to forward.
+        source_prefix_length: How many bits the resolver forwarded; ECS
+            deployments commonly use 24 for IPv4.
+    """
+
+    client_prefix: IPv4Prefix
+    source_prefix_length: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0 < self.source_prefix_length <= 32:
+            raise ConfigurationError(
+                f"ECS source prefix length {self.source_prefix_length} "
+                "out of range"
+            )
+        if self.client_prefix.length != self.source_prefix_length:
+            raise ConfigurationError(
+                f"ECS prefix {self.client_prefix} does not match source "
+                f"prefix length {self.source_prefix_length}"
+            )
+
+    @classmethod
+    def for_address(
+        cls, address: IPv4Address, source_prefix_length: int = 24
+    ) -> "EcsOption":
+        """Build the option a resolver would attach for a client address."""
+        if not 0 < source_prefix_length <= 32:
+            raise ConfigurationError(
+                f"ECS source prefix length {source_prefix_length} out of range"
+            )
+        mask = (~0 << (32 - source_prefix_length)) & 0xFFFFFFFF
+        network = IPv4Address(address.value & mask)
+        return cls(
+            client_prefix=IPv4Prefix(network, source_prefix_length),
+            source_prefix_length=source_prefix_length,
+        )
+
+    @property
+    def group_key(self) -> str:
+        """The redirection-decision grouping key this option induces."""
+        return str(self.client_prefix)
+
+
+def ecs_key_for_prefix(prefix: IPv4Prefix) -> str:
+    """Grouping key for a client /24 under ECS (identity for /24s).
+
+    Raises:
+        ConfigurationError: if the prefix is more specific than /24 — the
+        paper's analyses never operate below /24 granularity.
+    """
+    if prefix.length > 24:
+        raise ConfigurationError(
+            f"client grouping uses /24 or shorter, got {prefix}"
+        )
+    return str(prefix)

@@ -1,0 +1,213 @@
+"""LDNS resolver population.
+
+§2 of the paper explains why LDNS matters: DNS-based redirection decides at
+the granularity of the *resolver*, not the client.  Its accuracy therefore
+depends on clients being near their LDNS — mostly true for ISP resolvers
+(citing [17]: excluding public-resolver demand, only 11–12% of demand is
+>500 km from its LDNS) and often false for public resolvers serving large,
+geographically disparate client sets.
+
+The directory models three resolver kinds:
+
+* *ISP per-metro* resolvers sit at each PoP metro of an ISP — clients are
+  nearby.
+* *ISP centralized* resolvers: some ISPs run one resolver for their whole
+  footprint — clients in the ISP's other metros are far from it.
+* *Public* resolvers (Google DNS / OpenDNS stand-ins) at a handful of
+  global locations; a small fraction of clients use them (§6 notes public
+  resolvers were a negligible share of LDNS traffic in the experiment).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import GeoPoint
+from repro.geo.metros import MetroDatabase
+from repro.net.topology import AsRole, Topology
+
+
+class LdnsKind(enum.Enum):
+    """What kind of resolver an LDNS is."""
+
+    ISP_METRO = "isp-metro"
+    ISP_CENTRAL = "isp-central"
+    PUBLIC = "public"
+
+
+@dataclass(frozen=True)
+class LdnsServer:
+    """One LDNS resolver.
+
+    Attributes:
+        ldns_id: Stable identifier (the grouping key for §6's LDNS-based
+            prediction).
+        kind: Resolver kind.
+        location: Where the resolver actually is.
+        asn: Owning access ISP's ASN, or ``None`` for public resolvers.
+        metro_code: Hosting metro.
+    """
+
+    ldns_id: str
+    kind: LdnsKind
+    location: GeoPoint
+    asn: Optional[int]
+    metro_code: str
+
+
+@dataclass(frozen=True)
+class LdnsConfig:
+    """Knobs for the resolver population.
+
+    Attributes:
+        centralized_isp_fraction: Fraction of access ISPs that run a single
+            centralized resolver instead of per-metro resolvers.
+        public_usage_fraction: Probability a client uses a public resolver
+            instead of its ISP's.
+        public_metros: Metro codes hosting public-resolver nodes.
+    """
+
+    centralized_isp_fraction: float = 0.30
+    public_usage_fraction: float = 0.02
+    public_metros: Tuple[str, ...] = ("sfo", "was", "ams", "sin", "sao", "syd")
+
+    def __post_init__(self) -> None:
+        for name in ("centralized_isp_fraction", "public_usage_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if not self.public_metros:
+            raise ConfigurationError("need at least one public-resolver metro")
+
+
+class LdnsDirectory:
+    """All resolvers for a topology, plus client→resolver assignment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[LdnsConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        cfg = config or LdnsConfig()
+        self._config = cfg
+        metro_db = topology.metro_db
+        rng = random.Random(seed)
+
+        self._servers: Dict[str, LdnsServer] = {}
+        #: (asn, metro) -> ldns_id for ISP resolvers
+        self._isp_index: Dict[Tuple[int, str], str] = {}
+        self._public_ids: List[str] = []
+
+        for metro_code in cfg.public_metros:
+            metro = metro_db.get(metro_code)
+            ldns_id = f"ldns-public-{metro_code}"
+            self._add(
+                LdnsServer(
+                    ldns_id=ldns_id,
+                    kind=LdnsKind.PUBLIC,
+                    location=metro.location,
+                    asn=None,
+                    metro_code=metro_code,
+                )
+            )
+            self._public_ids.append(ldns_id)
+
+        for as_ in sorted(topology.ases_with_role(AsRole.ACCESS), key=lambda a: a.asn):
+            metros = sorted(as_.pop_metros)
+            centralized = (
+                len(metros) > 1
+                and rng.random() < cfg.centralized_isp_fraction
+            )
+            if centralized:
+                # Cold-potato ISPs anchor their resolver at the same HQ
+                # metro their traffic engineering prefers.
+                home = as_.cold_potato_egress or rng.choice(metros)
+                ldns_id = f"ldns-as{as_.asn}"
+                self._add(
+                    LdnsServer(
+                        ldns_id=ldns_id,
+                        kind=LdnsKind.ISP_CENTRAL,
+                        location=metro_db.get(home).location,
+                        asn=as_.asn,
+                        metro_code=home,
+                    )
+                )
+                for metro_code in metros:
+                    self._isp_index[(as_.asn, metro_code)] = ldns_id
+            else:
+                for metro_code in metros:
+                    ldns_id = f"ldns-as{as_.asn}-{metro_code}"
+                    self._add(
+                        LdnsServer(
+                            ldns_id=ldns_id,
+                            kind=LdnsKind.ISP_METRO,
+                            location=metro_db.get(metro_code).location,
+                            asn=as_.asn,
+                            metro_code=metro_code,
+                        )
+                    )
+                    self._isp_index[(as_.asn, metro_code)] = ldns_id
+
+    def _add(self, server: LdnsServer) -> None:
+        if server.ldns_id in self._servers:
+            raise ConfigurationError(f"duplicate LDNS id {server.ldns_id!r}")
+        self._servers[server.ldns_id] = server
+
+    @property
+    def config(self) -> LdnsConfig:
+        """The configuration used to build the directory."""
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[LdnsServer]:
+        return iter(self._servers.values())
+
+    def __contains__(self, ldns_id: str) -> bool:
+        return ldns_id in self._servers
+
+    def get(self, ldns_id: str) -> LdnsServer:
+        """Resolver by id.
+
+        Raises:
+            ConfigurationError: if unknown.
+        """
+        try:
+            return self._servers[ldns_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown LDNS {ldns_id!r}") from None
+
+    def public_resolvers(self) -> Tuple[LdnsServer, ...]:
+        """All public resolvers."""
+        return tuple(self._servers[i] for i in self._public_ids)
+
+    def isp_resolver_id(self, asn: int, metro_code: str) -> str:
+        """The ISP resolver a client at (asn, metro) would be configured
+        with.
+
+        Raises:
+            ConfigurationError: if the ISP has no resolver at that metro
+                (i.e. the pair was never generated).
+        """
+        try:
+            return self._isp_index[(asn, metro_code)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no ISP resolver for AS{asn} at {metro_code!r}"
+            ) from None
+
+    def assign(self, asn: int, metro_code: str, rng: random.Random) -> str:
+        """Pick the resolver a new client uses.
+
+        With probability ``public_usage_fraction`` the client uses a random
+        public resolver; otherwise its ISP's resolver for its metro.
+        """
+        if rng.random() < self._config.public_usage_fraction:
+            return rng.choice(self._public_ids)
+        return self.isp_resolver_id(asn, metro_code)

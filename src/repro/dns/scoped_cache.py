@@ -1,0 +1,150 @@
+"""ECS-aware resolver caching (RFC 7871 scopes).
+
+§2's ECS discussion assumes the resolver machinery this module provides:
+an answer returned with scope /S is valid only for clients inside the
+query's /S subnet, so the resolver keeps *multiple* cache entries per
+hostname — one per client scope — while scope-0 answers stay shared.
+This is what turns per-LDNS redirection into per-prefix redirection
+without a resolver change beyond ECS support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.dns.authoritative import AuthoritativeServer, DnsQuery, DnsResponse
+from repro.dns.ecs import EcsOption
+from repro.net.ip import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class _ScopedEntry:
+    """One cached answer and the client scope it is valid for."""
+
+    target_id: str
+    #: None = valid for every client (scope 0).
+    scope: Optional[IPv4Prefix]
+    expires_at: float
+
+    def matches(self, client: IPv4Address, now: float) -> bool:
+        if now >= self.expires_at:
+            return False
+        return self.scope is None or self.scope.contains(client)
+
+
+class ScopedDnsCache:
+    """A resolver cache honoring ECS scopes.
+
+    Entries for one hostname coexist: a scope-0 entry answers everyone;
+    scoped entries answer only their subnet.  Scoped entries take
+    precedence (they are more specific), matching resolver behavior.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, List[_ScopedEntry]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(
+        self, hostname: str, client: IPv4Address, now: float
+    ) -> Optional[str]:
+        """The cached target for a client, or ``None`` on a miss."""
+        entries = self._entries.get(hostname)
+        if entries:
+            live = [e for e in entries if now < e.expires_at]
+            if len(live) != len(entries):
+                self._entries[hostname] = live
+            scoped = [
+                e for e in live if e.scope is not None and e.matches(client, now)
+            ]
+            if scoped:
+                self._hits += 1
+                return scoped[0].target_id
+            shared = [e for e in live if e.scope is None]
+            if shared:
+                self._hits += 1
+                return shared[0].target_id
+        self._misses += 1
+        return None
+
+    def put(
+        self,
+        hostname: str,
+        response: DnsResponse,
+        client: IPv4Address,
+        now: float,
+    ) -> None:
+        """Cache an authoritative answer under its ECS scope."""
+        if response.ttl_seconds <= 0:
+            raise ConfigurationError("TTL must be positive")
+        if response.ecs_scope_len == 0:
+            scope: Optional[IPv4Prefix] = None
+        else:
+            mask = (~0 << (32 - response.ecs_scope_len)) & 0xFFFFFFFF
+            scope = IPv4Prefix(
+                IPv4Address(client.value & mask), response.ecs_scope_len
+            )
+        entries = self._entries.setdefault(hostname, [])
+        # Replace an existing entry with the same scope.
+        entries[:] = [e for e in entries if e.scope != scope]
+        entries.append(
+            _ScopedEntry(
+                target_id=response.target_id,
+                scope=scope,
+                expires_at=now + response.ttl_seconds,
+            )
+        )
+
+    def entry_count(self, hostname: str) -> int:
+        """Live + expired entries currently held for a hostname."""
+        return len(self._entries.get(hostname, ()))
+
+    @property
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) counters."""
+        return (self._hits, self._misses)
+
+
+class EcsResolver:
+    """A minimal ECS-forwarding LDNS in front of an authoritative server.
+
+    On a cache miss it forwards the query with the client's /24 attached
+    (the common IPv4 ECS source length) and caches the answer under the
+    returned scope — the full §2 ECS data path.
+    """
+
+    def __init__(
+        self,
+        ldns_id: str,
+        authoritative: AuthoritativeServer,
+        source_prefix_length: int = 24,
+    ) -> None:
+        if not 0 < source_prefix_length <= 32:
+            raise ConfigurationError("bad ECS source prefix length")
+        self._ldns_id = ldns_id
+        self._authoritative = authoritative
+        self._source_prefix_length = source_prefix_length
+        self._cache = ScopedDnsCache()
+
+    @property
+    def cache(self) -> ScopedDnsCache:
+        """The resolver's scoped cache."""
+        return self._cache
+
+    def resolve(
+        self, hostname: str, client: IPv4Address, now: float = 0.0
+    ) -> str:
+        """Answer a client's query, using the scoped cache when possible."""
+        cached = self._cache.get(hostname, client, now)
+        if cached is not None:
+            return cached
+        query = DnsQuery(
+            hostname=hostname,
+            ldns_id=self._ldns_id,
+            ecs=EcsOption.for_address(client, self._source_prefix_length),
+        )
+        response = self._authoritative.resolve(query, now=now)
+        self._cache.put(hostname, response, client, now)
+        return response.target_id

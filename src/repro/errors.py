@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses are grouped by
+subsystem rather than by failure mode; the message carries the specifics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, deployment, or model was configured inconsistently."""
+
+
+class TopologyError(ReproError):
+    """The AS-level topology is malformed (unknown AS, disconnected, ...)."""
+
+
+class RoutingError(ReproError):
+    """Route computation failed (no route, bad announcement, ...)."""
+
+
+class AddressError(ReproError):
+    """An IPv4 address or prefix is malformed or out of allocatable space."""
+
+
+class GeoError(ReproError):
+    """Geographic lookup failed (unknown metro, bad coordinates, ...)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement campaign or log operation was invalid."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked of data that cannot support it."""
+
+
+class PredictionError(ReproError):
+    """The prediction scheme was configured or invoked incorrectly."""

@@ -1,0 +1,33 @@
+"""Geography substrate: coordinates, metros, regions, and geolocation.
+
+The paper's analyses are fundamentally geographic — distances from clients
+to front-ends (Figs 2, 4, 8), region splits (Fig 3), and a geolocation
+database whose errors the paper acknowledges (footnote 1).  This package
+provides those primitives.
+"""
+
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+)
+from repro.geo.geolocation import GeolocationDatabase, GeolocationRecord
+from repro.geo.metros import Metro, MetroDatabase, builtin_metros
+from repro.geo.regions import Region, region_of_point
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "GeolocationDatabase",
+    "GeolocationRecord",
+    "Metro",
+    "MetroDatabase",
+    "Region",
+    "builtin_metros",
+    "destination_point",
+    "haversine_km",
+    "initial_bearing_deg",
+    "region_of_point",
+]

@@ -1,0 +1,103 @@
+"""Geographic coordinates and great-circle math.
+
+All distances in this library are great-circle (haversine) kilometers, the
+same metric the paper uses for client-to-front-end distance (Figs 2, 4, 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+
+#: Mean Earth radius in kilometers (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, order=True)
+class GeoPoint:
+    """A point on the Earth's surface.
+
+    Attributes:
+        lat: Latitude in decimal degrees, in [-90, 90].
+        lon: Longitude in decimal degrees, in [-180, 180].
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise GeoError(f"latitude {self.lat} out of range [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise GeoError(f"longitude {self.lon} out of range [-180, 180]")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometers."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometers.
+
+    Uses the haversine formula, which is numerically stable for small
+    distances (unlike the spherical law of cosines).
+    """
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon - a.lon)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    # Guard against floating-point drift pushing h just above 1.0.
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial bearing (forward azimuth) from ``a`` to ``b`` in degrees.
+
+    Returns a value in [0, 360).  Undefined when the points coincide; by
+    convention we return 0.0 in that case.
+    """
+    if a == b:
+        return 0.0
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlon = math.radians(b.lon - a.lon)
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(lat2) * math.cos(
+        dlon
+    )
+    bearing = math.degrees(math.atan2(x, y)) % 360.0
+    # Floating-point rounding of a tiny negative angle can yield exactly
+    # 360.0; keep the contract of [0, 360).
+    return 0.0 if bearing >= 360.0 else bearing
+
+
+def destination_point(origin: GeoPoint, bearing_deg: float, distance_km: float) -> GeoPoint:
+    """Point reached by travelling ``distance_km`` from ``origin`` at ``bearing_deg``.
+
+    Used by the client-population generator to scatter /24 prefixes around a
+    metro center.
+    """
+    if distance_km < 0:
+        raise GeoError(f"distance must be non-negative, got {distance_km}")
+    angular = distance_km / EARTH_RADIUS_KM
+    theta = math.radians(bearing_deg)
+    lat1 = math.radians(origin.lat)
+    lon1 = math.radians(origin.lon)
+    lat2 = math.asin(
+        math.sin(lat1) * math.cos(angular)
+        + math.cos(lat1) * math.sin(angular) * math.cos(theta)
+    )
+    lon2 = lon1 + math.atan2(
+        math.sin(theta) * math.sin(angular) * math.cos(lat1),
+        math.cos(angular) - math.sin(lat1) * math.sin(lat2),
+    )
+    # Normalize longitude to [-180, 180].
+    lon_deg = (math.degrees(lon2) + 540.0) % 360.0 - 180.0
+    return GeoPoint(lat=math.degrees(lat2), lon=lon_deg)

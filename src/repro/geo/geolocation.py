@@ -1,0 +1,143 @@
+"""IP geolocation database with a configurable error model.
+
+The paper geolocates client /24s and LDNS resolvers to pick candidate
+front-ends (§3.3) and to compute distance distributions (Figs 2, 4, 8).
+Footnote 1 notes that "no geolocation database is perfect" and that a
+fraction of very long client-to-front-end distances may be artifacts of bad
+geolocation.  This module reproduces that property: a configurable fraction
+of records is deliberately displaced by a large distance, so analyses can
+quantify the artifact (see ``benchmarks/bench_fig4_anycast_distance.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import GeoError
+from repro.geo.coords import GeoPoint, destination_point, haversine_km
+
+
+@dataclass(frozen=True)
+class GeolocationRecord:
+    """Geolocation database row for one key (a prefix or resolver id).
+
+    Attributes:
+        key: Opaque lookup key — the library uses /24 prefix strings and
+            LDNS identifiers.
+        true_location: Ground-truth location (known because we generated it).
+        reported_location: What the database *reports* — equals the truth
+            unless the error model displaced this record.
+    """
+
+    key: str
+    true_location: GeoPoint
+    reported_location: GeoPoint
+
+    @property
+    def error_km(self) -> float:
+        """Distance between truth and report; 0 for clean records."""
+        return haversine_km(self.true_location, self.reported_location)
+
+    @property
+    def is_erroneous(self) -> bool:
+        """Whether the error model displaced this record (>50 km off)."""
+        return self.error_km > 50.0
+
+
+class GeolocationDatabase:
+    """Mapping from keys to (possibly erroneous) reported locations.
+
+    Args:
+        error_fraction: Fraction of records displaced by the error model.
+        error_distance_km: Scale of displacement; actual displacement is
+            uniform in [0.5x, 2x] of this value, in a random direction.
+        seed: RNG seed; the same seed reproduces the same error pattern.
+    """
+
+    def __init__(
+        self,
+        error_fraction: float = 0.02,
+        error_distance_km: float = 4000.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= error_fraction <= 1.0:
+            raise GeoError(
+                f"error_fraction must be in [0, 1], got {error_fraction}"
+            )
+        if error_distance_km < 0:
+            raise GeoError(
+                f"error_distance_km must be non-negative, got {error_distance_km}"
+            )
+        self._error_fraction = error_fraction
+        self._error_distance_km = error_distance_km
+        self._rng = random.Random(seed)
+        self._records: Dict[str, GeolocationRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __iter__(self) -> Iterator[GeolocationRecord]:
+        return iter(self._records.values())
+
+    @property
+    def error_fraction(self) -> float:
+        """Configured fraction of displaced records."""
+        return self._error_fraction
+
+    def register(self, key: str, true_location: GeoPoint) -> GeolocationRecord:
+        """Insert a record, applying the error model.
+
+        Registering an existing key is an error: a geolocation database has
+        one row per prefix.
+
+        Returns:
+            The stored record (with its reported location decided).
+        """
+        if key in self._records:
+            raise GeoError(f"key {key!r} already registered")
+        reported = true_location
+        if self._error_fraction > 0 and self._rng.random() < self._error_fraction:
+            bearing = self._rng.uniform(0.0, 360.0)
+            distance = self._error_distance_km * self._rng.uniform(0.5, 2.0)
+            reported = destination_point(true_location, bearing, distance)
+        record = GeolocationRecord(
+            key=key, true_location=true_location, reported_location=reported
+        )
+        self._records[key] = record
+        return record
+
+    def register_all(
+        self, items: Iterable[Tuple[str, GeoPoint]]
+    ) -> Tuple[GeolocationRecord, ...]:
+        """Bulk :meth:`register`; returns the stored records in order."""
+        return tuple(self.register(key, loc) for key, loc in items)
+
+    def lookup(self, key: str) -> GeoPoint:
+        """Reported location for ``key`` (what a real DB would answer).
+
+        Raises:
+            GeoError: if the key was never registered.
+        """
+        return self.record(key).reported_location
+
+    def true_location(self, key: str) -> GeoPoint:
+        """Ground-truth location for ``key`` (simulation-only oracle)."""
+        return self.record(key).true_location
+
+    def record(self, key: str) -> GeolocationRecord:
+        """Full record for ``key``."""
+        try:
+            return self._records[key]
+        except KeyError:
+            raise GeoError(f"key {key!r} not in geolocation database") from None
+
+    def erroneous_keys(self) -> Tuple[str, ...]:
+        """Keys the error model displaced — for artifact analyses."""
+        return tuple(
+            rec.key for rec in self._records.values() if rec.is_erroneous
+        )

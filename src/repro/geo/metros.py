@@ -1,0 +1,268 @@
+"""World metro-area database.
+
+The simulated Internet is anchored on metro areas: front-ends deploy in
+metros, ISPs peer in metros, and client /24s scatter around metros.  The
+built-in table covers ~120 major metros with approximate coordinates and
+metro-area populations (millions), which drive client density.
+
+Coordinates are approximate city centers; populations are rounded — both are
+inputs to a *synthetic* workload, not geographic ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import GeoError
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.regions import Region
+
+
+@dataclass(frozen=True)
+class Metro:
+    """A metropolitan area.
+
+    Attributes:
+        code: Short unique identifier (IATA-style, lowercase).
+        name: Human-readable metro name.
+        country: ISO-3166 alpha-2 country code.
+        region: Continental region.
+        location: Approximate center coordinates.
+        population_m: Metro-area population in millions (client density).
+    """
+
+    code: str
+    name: str
+    country: str
+    region: Region
+    location: GeoPoint
+    population_m: float
+
+    def distance_km(self, other: "Metro") -> float:
+        """Great-circle distance between two metro centers."""
+        return haversine_km(self.location, other.location)
+
+
+def _m(
+    code: str,
+    name: str,
+    country: str,
+    region: Region,
+    lat: float,
+    lon: float,
+    pop: float,
+) -> Metro:
+    return Metro(
+        code=code,
+        name=name,
+        country=country,
+        region=region,
+        location=GeoPoint(lat=lat, lon=lon),
+        population_m=pop,
+    )
+
+
+_NA = Region.NORTH_AMERICA
+_SA = Region.SOUTH_AMERICA
+_EU = Region.EUROPE
+_AF = Region.AFRICA
+_AS = Region.ASIA
+_OC = Region.OCEANIA
+
+#: The built-in world metro table.
+_BUILTIN: Tuple[Metro, ...] = (
+    # --- North America ---
+    _m("nyc", "New York", "US", _NA, 40.71, -74.01, 19.8),
+    _m("lax", "Los Angeles", "US", _NA, 34.05, -118.24, 13.2),
+    _m("chi", "Chicago", "US", _NA, 41.88, -87.63, 9.5),
+    _m("dfw", "Dallas", "US", _NA, 32.78, -96.80, 7.6),
+    _m("hou", "Houston", "US", _NA, 29.76, -95.37, 7.1),
+    _m("was", "Washington DC", "US", _NA, 38.91, -77.04, 6.3),
+    _m("mia", "Miami", "US", _NA, 25.76, -80.19, 6.1),
+    _m("phl", "Philadelphia", "US", _NA, 39.95, -75.17, 6.2),
+    _m("atl", "Atlanta", "US", _NA, 33.75, -84.39, 6.0),
+    _m("bos", "Boston", "US", _NA, 42.36, -71.06, 4.9),
+    _m("phx", "Phoenix", "US", _NA, 33.45, -112.07, 4.8),
+    _m("sfo", "San Francisco", "US", _NA, 37.77, -122.42, 4.7),
+    _m("sea", "Seattle", "US", _NA, 47.61, -122.33, 4.0),
+    _m("den", "Denver", "US", _NA, 39.74, -104.99, 2.9),
+    _m("det", "Detroit", "US", _NA, 42.33, -83.05, 4.3),
+    _m("msp", "Minneapolis", "US", _NA, 44.98, -93.27, 3.6),
+    _m("sdg", "San Diego", "US", _NA, 32.72, -117.16, 3.3),
+    _m("tpa", "Tampa", "US", _NA, 27.95, -82.46, 3.1),
+    _m("stl", "St. Louis", "US", _NA, 38.63, -90.20, 2.8),
+    _m("por", "Portland", "US", _NA, 45.52, -122.68, 2.5),
+    _m("slc", "Salt Lake City", "US", _NA, 40.76, -111.89, 1.2),
+    _m("kan", "Kansas City", "US", _NA, 39.10, -94.58, 2.1),
+    _m("clt", "Charlotte", "US", _NA, 35.23, -80.84, 2.6),
+    _m("nsh", "Nashville", "US", _NA, 36.16, -86.78, 1.9),
+    _m("yto", "Toronto", "CA", _NA, 43.65, -79.38, 6.2),
+    _m("ymq", "Montreal", "CA", _NA, 45.50, -73.57, 4.2),
+    _m("yvr", "Vancouver", "CA", _NA, 49.28, -123.12, 2.6),
+    _m("mex", "Mexico City", "MX", _NA, 19.43, -99.13, 21.8),
+    _m("gdl", "Guadalajara", "MX", _NA, 20.66, -103.35, 5.2),
+    _m("mty", "Monterrey", "MX", _NA, 25.69, -100.32, 4.7),
+    # --- South America ---
+    _m("sao", "Sao Paulo", "BR", _SA, -23.55, -46.63, 22.0),
+    _m("rio", "Rio de Janeiro", "BR", _SA, -22.91, -43.17, 13.5),
+    _m("bsb", "Brasilia", "BR", _SA, -15.79, -47.88, 4.7),
+    _m("bue", "Buenos Aires", "AR", _SA, -34.60, -58.38, 15.2),
+    _m("scl", "Santiago", "CL", _SA, -33.45, -70.67, 6.8),
+    _m("bog", "Bogota", "CO", _SA, 4.71, -74.07, 11.0),
+    _m("lim", "Lima", "PE", _SA, -12.05, -77.04, 10.7),
+    _m("ccs", "Caracas", "VE", _SA, 10.48, -66.90, 2.9),
+    # --- Europe ---
+    _m("lon", "London", "GB", _EU, 51.51, -0.13, 14.3),
+    _m("par", "Paris", "FR", _EU, 48.86, 2.35, 12.9),
+    _m("fra", "Frankfurt", "DE", _EU, 50.11, 8.68, 2.7),
+    _m("ber", "Berlin", "DE", _EU, 52.52, 13.41, 6.1),
+    _m("muc", "Munich", "DE", _EU, 48.14, 11.58, 2.9),
+    _m("ham", "Hamburg", "DE", _EU, 53.55, 9.99, 3.3),
+    _m("ams", "Amsterdam", "NL", _EU, 52.37, 4.90, 2.8),
+    _m("bru", "Brussels", "BE", _EU, 50.85, 4.35, 2.6),
+    _m("mad", "Madrid", "ES", _EU, 40.42, -3.70, 6.8),
+    _m("bcn", "Barcelona", "ES", _EU, 41.39, 2.17, 5.6),
+    _m("rom", "Rome", "IT", _EU, 41.90, 12.50, 4.3),
+    _m("mil", "Milan", "IT", _EU, 45.46, 9.19, 4.3),
+    _m("zrh", "Zurich", "CH", _EU, 47.37, 8.55, 1.4),
+    _m("vie", "Vienna", "AT", _EU, 48.21, 16.37, 2.9),
+    _m("prg", "Prague", "CZ", _EU, 50.08, 14.44, 2.7),
+    _m("waw", "Warsaw", "PL", _EU, 52.23, 21.01, 3.1),
+    _m("bud", "Budapest", "HU", _EU, 47.50, 19.04, 3.0),
+    _m("buh", "Bucharest", "RO", _EU, 44.43, 26.10, 2.3),
+    _m("sof", "Sofia", "BG", _EU, 42.70, 23.32, 1.7),
+    _m("ath", "Athens", "GR", _EU, 37.98, 23.73, 3.6),
+    _m("lis", "Lisbon", "PT", _EU, 38.72, -9.14, 2.9),
+    _m("dub", "Dublin", "IE", _EU, 53.35, -6.26, 2.0),
+    _m("man", "Manchester", "GB", _EU, 53.48, -2.24, 2.8),
+    _m("sto", "Stockholm", "SE", _EU, 59.33, 18.07, 2.4),
+    _m("osl", "Oslo", "NO", _EU, 59.91, 10.75, 1.6),
+    _m("cph", "Copenhagen", "DK", _EU, 55.68, 12.57, 2.1),
+    _m("hel", "Helsinki", "FI", _EU, 60.17, 24.94, 1.5),
+    _m("mow", "Moscow", "RU", _EU, 55.76, 37.62, 17.1),
+    _m("led", "St. Petersburg", "RU", _EU, 59.93, 30.34, 5.4),
+    _m("kbp", "Kyiv", "UA", _EU, 50.45, 30.52, 3.0),
+    _m("ist", "Istanbul", "TR", _EU, 41.01, 28.98, 15.5),
+    # --- Africa ---
+    _m("jnb", "Johannesburg", "ZA", _AF, -26.20, 28.05, 9.6),
+    _m("cpt", "Cape Town", "ZA", _AF, -33.92, 18.42, 4.6),
+    _m("cai", "Cairo", "EG", _AF, 30.04, 31.24, 20.9),
+    _m("los", "Lagos", "NG", _AF, 6.52, 3.38, 14.8),
+    _m("nbo", "Nairobi", "KE", _AF, -1.29, 36.82, 4.7),
+    _m("cas", "Casablanca", "MA", _AF, 33.57, -7.59, 3.7),
+    _m("acc", "Accra", "GH", _AF, 5.60, -0.19, 2.5),
+    # --- Asia / Middle East ---
+    _m("tyo", "Tokyo", "JP", _AS, 35.68, 139.69, 37.4),
+    _m("osa", "Osaka", "JP", _AS, 34.69, 135.50, 19.2),
+    _m("sel", "Seoul", "KR", _AS, 37.57, 126.98, 25.5),
+    _m("bjs", "Beijing", "CN", _AS, 39.90, 116.41, 20.5),
+    _m("sha", "Shanghai", "CN", _AS, 31.23, 121.47, 27.1),
+    _m("can", "Guangzhou", "CN", _AS, 23.13, 113.26, 13.3),
+    _m("szx", "Shenzhen", "CN", _AS, 22.54, 114.06, 12.6),
+    _m("hkg", "Hong Kong", "HK", _AS, 22.32, 114.17, 7.5),
+    _m("tpe", "Taipei", "TW", _AS, 25.03, 121.57, 7.0),
+    _m("sin", "Singapore", "SG", _AS, 1.35, 103.82, 5.9),
+    _m("kul", "Kuala Lumpur", "MY", _AS, 3.14, 101.69, 8.0),
+    _m("bkk", "Bangkok", "TH", _AS, 13.76, 100.50, 10.7),
+    _m("jkt", "Jakarta", "ID", _AS, -6.21, 106.85, 34.5),
+    _m("mnl", "Manila", "PH", _AS, 14.60, 120.98, 13.9),
+    _m("sgn", "Ho Chi Minh City", "VN", _AS, 10.82, 106.63, 9.0),
+    _m("han", "Hanoi", "VN", _AS, 21.03, 105.85, 8.1),
+    _m("del", "Delhi", "IN", _AS, 28.61, 77.21, 31.0),
+    _m("bom", "Mumbai", "IN", _AS, 19.08, 72.88, 20.7),
+    _m("blr", "Bangalore", "IN", _AS, 12.97, 77.59, 12.3),
+    _m("maa", "Chennai", "IN", _AS, 13.08, 80.27, 11.2),
+    _m("hyd", "Hyderabad", "IN", _AS, 17.39, 78.49, 10.0),
+    _m("ccu", "Kolkata", "IN", _AS, 22.57, 88.36, 14.9),
+    _m("khi", "Karachi", "PK", _AS, 24.86, 67.01, 16.1),
+    _m("dac", "Dhaka", "BD", _AS, 23.81, 90.41, 21.7),
+    _m("dxb", "Dubai", "AE", _AS, 25.20, 55.27, 3.5),
+    _m("ruh", "Riyadh", "SA", _AS, 24.71, 46.68, 7.5),
+    _m("tlv", "Tel Aviv", "IL", _AS, 32.09, 34.78, 4.2),
+    _m("doh", "Doha", "QA", _AS, 25.29, 51.53, 2.4),
+    _m("teh", "Tehran", "IR", _AS, 35.69, 51.39, 9.5),
+    # --- Oceania ---
+    _m("syd", "Sydney", "AU", _OC, -33.87, 151.21, 5.3),
+    _m("mel", "Melbourne", "AU", _OC, -37.81, 144.96, 5.1),
+    _m("bne", "Brisbane", "AU", _OC, -27.47, 153.03, 2.6),
+    _m("per", "Perth", "AU", _OC, -31.95, 115.86, 2.1),
+    _m("akl", "Auckland", "NZ", _OC, -36.85, 174.76, 1.7),
+)
+
+
+def builtin_metros() -> Tuple[Metro, ...]:
+    """Return the built-in world metro table (immutable)."""
+    return _BUILTIN
+
+
+class MetroDatabase:
+    """Indexed collection of metros with nearest-neighbour queries.
+
+    The database is immutable after construction.  Lookups by code are O(1);
+    nearest-neighbour queries are linear scans, which is fine at ~120 metros.
+    """
+
+    def __init__(self, metros: Optional[Iterable[Metro]] = None) -> None:
+        rows = tuple(metros) if metros is not None else _BUILTIN
+        if not rows:
+            raise GeoError("metro database cannot be empty")
+        by_code: Dict[str, Metro] = {}
+        for metro in rows:
+            if metro.code in by_code:
+                raise GeoError(f"duplicate metro code {metro.code!r}")
+            by_code[metro.code] = metro
+        self._metros = rows
+        self._by_code = by_code
+
+    def __len__(self) -> int:
+        return len(self._metros)
+
+    def __iter__(self) -> Iterator[Metro]:
+        return iter(self._metros)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._by_code
+
+    @property
+    def codes(self) -> Tuple[str, ...]:
+        """All metro codes, in table order."""
+        return tuple(m.code for m in self._metros)
+
+    def get(self, code: str) -> Metro:
+        """Return the metro with the given code.
+
+        Raises:
+            GeoError: if the code is unknown.
+        """
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise GeoError(f"unknown metro code {code!r}") from None
+
+    def in_region(self, region: Region) -> Tuple[Metro, ...]:
+        """All metros in a continental region, in table order."""
+        return tuple(m for m in self._metros if m.region == region)
+
+    def nearest(self, point: GeoPoint, count: int = 1) -> List[Metro]:
+        """The ``count`` metros nearest to ``point``, closest first."""
+        if count < 1:
+            raise GeoError(f"count must be >= 1, got {count}")
+        ranked = sorted(self._metros, key=lambda m: haversine_km(m.location, point))
+        return ranked[:count]
+
+    def nearest_metro(self, point: GeoPoint) -> Metro:
+        """The single metro nearest to ``point``."""
+        return self.nearest(point, count=1)[0]
+
+    def within_km(self, point: GeoPoint, radius_km: float) -> List[Metro]:
+        """All metros whose center is within ``radius_km`` of ``point``."""
+        if radius_km < 0:
+            raise GeoError(f"radius must be non-negative, got {radius_km}")
+        return [
+            m for m in self._metros if haversine_km(m.location, point) <= radius_km
+        ]
+
+    def total_population_m(self) -> float:
+        """Sum of metro populations (millions) — normalizer for densities."""
+        return sum(m.population_m for m in self._metros)

@@ -1,0 +1,46 @@
+"""Continental regions used to split results (Fig 3: Europe / US / World)."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geo.coords import GeoPoint
+
+
+class Region(enum.Enum):
+    """Coarse continental region of a client or front-end."""
+
+    NORTH_AMERICA = "north-america"
+    SOUTH_AMERICA = "south-america"
+    EUROPE = "europe"
+    AFRICA = "africa"
+    ASIA = "asia"
+    OCEANIA = "oceania"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def region_of_point(point: GeoPoint) -> Region:
+    """Classify a point into a coarse continental region.
+
+    This is a bounding-box classifier: metros in the built-in database carry
+    an authoritative region tag, so this function only needs to be right for
+    points scattered *near* those metros (clients are placed within a couple
+    hundred kilometers of a metro center).
+    """
+    lat, lon = point.lat, point.lon
+    if lon < -30.0:
+        if lat >= 13.0:
+            return Region.NORTH_AMERICA
+        return Region.SOUTH_AMERICA
+    if lon < 65.0:
+        if lat >= 36.0:
+            return Region.EUROPE
+        if lat >= 12.0 and lon >= 34.0:
+            return Region.ASIA  # Middle East, east of the Suez meridian
+        return Region.AFRICA
+    # lon >= 65
+    if lat < -8.0 and lon > 110.0:
+        return Region.OCEANIA
+    return Region.ASIA

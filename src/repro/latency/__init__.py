@@ -1,0 +1,16 @@
+"""Latency substrate: converting geographic paths into measured RTTs."""
+
+from repro.latency.model import LatencyConfig, LatencyModel
+from repro.latency.sampling import (
+    coefficient_of_variation,
+    percentile,
+    percentile_stability_profile,
+)
+
+__all__ = [
+    "LatencyConfig",
+    "LatencyModel",
+    "coefficient_of_variation",
+    "percentile",
+    "percentile_stability_profile",
+]

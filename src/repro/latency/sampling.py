@@ -1,0 +1,87 @@
+"""Percentile utilities and the §6 percentile-stability property.
+
+§6 of the paper justifies predicting on low percentiles: "analysis of
+client data showed that higher percentiles of latency distributions are
+very noisy ... The 25th percentile and median have lower coefficient of
+variation, indicating less variation and more stability."  These helpers
+compute percentiles the way the analysis layer needs them and quantify that
+stability claim against any latency source.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import AnalysisError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default ("linear") method, but works on plain Python
+    sequences so hot analysis loops avoid array conversion overhead for
+    tiny inputs.
+
+    Raises:
+        AnalysisError: on an empty input or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise AnalysisError("cannot take a percentile of no data")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation over mean — §6's stability metric.
+
+    Raises:
+        AnalysisError: with fewer than two samples or a zero mean.
+    """
+    if len(values) < 2:
+        raise AnalysisError("coefficient of variation needs >= 2 samples")
+    mean = statistics.fmean(values)
+    if mean == 0.0:
+        raise AnalysisError("coefficient of variation undefined for zero mean")
+    return statistics.stdev(values) / mean
+
+
+def percentile_stability_profile(
+    sampler: Callable[[random.Random], float],
+    percentiles: Sequence[float] = (25.0, 50.0, 75.0, 95.0),
+    batches: int = 40,
+    batch_size: int = 50,
+    seed: int = 0,
+) -> Dict[float, float]:
+    """Coefficient of variation of each percentile across repeated batches.
+
+    Draws ``batches`` independent batches of ``batch_size`` samples from
+    ``sampler``, computes each requested percentile per batch, and returns
+    the across-batch coefficient of variation per percentile.  Under the
+    paper's premise, the result is increasing in the percentile: low
+    percentiles are stable, high ones noisy.
+    """
+    if batches < 2 or batch_size < 2:
+        raise AnalysisError("need >= 2 batches of >= 2 samples")
+    rng = random.Random(seed)
+    per_percentile: Dict[float, List[float]] = {q: [] for q in percentiles}
+    for _ in range(batches):
+        batch = [sampler(rng) for _ in range(batch_size)]
+        for q in percentiles:
+            per_percentile[q].append(percentile(batch, q))
+    return {
+        q: coefficient_of_variation(values)
+        for q, values in per_percentile.items()
+    }

@@ -1,0 +1,43 @@
+"""Measurement substrate: beacon, logs, aggregation, backend join."""
+
+from repro.measurement.aggregate import (
+    GroupedDailyAggregates,
+    LatencyDigest,
+    RequestDiffLog,
+    RequestDiffRow,
+)
+from repro.measurement.backend import BeaconBackend, join_raw_log
+from repro.measurement.beacon import (
+    BeaconConfig,
+    BeaconFetch,
+    BeaconRunner,
+    BeaconTargetSelector,
+)
+from repro.measurement.probes import Probe, ProbeNetwork
+from repro.measurement.logs import (
+    HttpLogEntry,
+    JoinedMeasurement,
+    PassiveLog,
+    RawMeasurementLog,
+    ServerLogEntry,
+)
+
+__all__ = [
+    "BeaconBackend",
+    "BeaconConfig",
+    "BeaconFetch",
+    "BeaconRunner",
+    "BeaconTargetSelector",
+    "GroupedDailyAggregates",
+    "HttpLogEntry",
+    "JoinedMeasurement",
+    "LatencyDigest",
+    "PassiveLog",
+    "Probe",
+    "ProbeNetwork",
+    "RawMeasurementLog",
+    "RequestDiffLog",
+    "RequestDiffRow",
+    "ServerLogEntry",
+    "join_raw_log",
+]

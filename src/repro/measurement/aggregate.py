@@ -1,0 +1,221 @@
+"""Streaming aggregation of beacon measurements.
+
+A month-long campaign produces millions of joined measurements; holding
+them as objects would dwarf memory.  Analyses only ever need (a) per-day
+per-(group, target) latency distributions and (b) the per-request anycast
+minus best-unicast difference (Fig 3).  These sinks accumulate exactly
+that, with compact ``array`` storage.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError, MeasurementError
+from repro.latency.sampling import percentile
+
+
+class LatencyDigest:
+    """Append-only latency sample accumulator with percentile queries.
+
+    Samples live in a C-double array; the sorted view is computed lazily
+    and invalidated on append.
+    """
+
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self, values: Optional[Sequence[float]] = None) -> None:
+        self._values = array("d", values or ())
+        self._sorted: Optional[List[float]] = None
+
+    def add(self, value: float) -> None:
+        """Append one sample."""
+        self._values.append(value)
+        self._sorted = None
+
+    def merge(self, other: "LatencyDigest") -> None:
+        """Fold another digest's samples into this one."""
+        self._values.extend(other._values)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of the samples.
+
+        Raises:
+            AnalysisError: if empty.
+        """
+        if not self._values:
+            raise AnalysisError("empty digest has no percentiles")
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return percentile(self._sorted, q)
+
+    def median(self) -> float:
+        """Shorthand for the 50th percentile."""
+        return self.percentile(50.0)
+
+    def minimum(self) -> float:
+        """Smallest sample."""
+        if not self._values:
+            raise AnalysisError("empty digest has no minimum")
+        return min(self._values)
+
+    def values(self) -> Tuple[float, ...]:
+        """All samples (copy)."""
+        return tuple(self._values)
+
+
+class GroupedDailyAggregates:
+    """day → group → target → :class:`LatencyDigest`.
+
+    One instance aggregates by ECS group (client /24), another by LDNS id;
+    the structure is identical, only the grouping key differs.  The nested
+    layout keeps per-group queries (``targets_for``) O(targets), which the
+    predictor calls once per group per day.
+    """
+
+    def __init__(self, grouping: str) -> None:
+        if not grouping:
+            raise MeasurementError("grouping label cannot be empty")
+        self._grouping = grouping
+        self._days: Dict[int, Dict[str, Dict[str, LatencyDigest]]] = {}
+
+    @property
+    def grouping(self) -> str:
+        """Label of the grouping dimension ('ecs' or 'ldns')."""
+        return self._grouping
+
+    def observe(self, day: int, group: str, target_id: str, rtt_ms: float) -> None:
+        """Add one measurement."""
+        per_day = self._days.setdefault(day, {})
+        per_group = per_day.get(group)
+        if per_group is None:
+            per_group = {}
+            per_day[group] = per_group
+        digest = per_group.get(target_id)
+        if digest is None:
+            digest = LatencyDigest()
+            per_group[target_id] = digest
+        digest.add(rtt_ms)
+
+    @property
+    def days(self) -> Tuple[int, ...]:
+        """Days with any data, ascending."""
+        return tuple(sorted(self._days))
+
+    def groups_on(self, day: int) -> Tuple[str, ...]:
+        """Distinct group keys observed on a day."""
+        return tuple(sorted(self._days.get(day, {})))
+
+    def digest(self, day: int, group: str, target_id: str) -> Optional[LatencyDigest]:
+        """The digest for one (day, group, target), or ``None``."""
+        return self._days.get(day, {}).get(group, {}).get(target_id)
+
+    def targets_for(self, day: int, group: str) -> Dict[str, LatencyDigest]:
+        """target_id → digest for one group-day."""
+        return dict(self._days.get(day, {}).get(group, {}))
+
+    def iter_day(self, day: int) -> Iterator[Tuple[str, str, LatencyDigest]]:
+        """Iterate (group, target, digest) triples for a day."""
+        for group, per_group in self._days.get(day, {}).items():
+            for target_id, digest in per_group.items():
+                yield group, target_id, digest
+
+
+@dataclass(frozen=True)
+class RequestDiffRow:
+    """One beacon execution summarized for Fig 3."""
+
+    client_index: int
+    region_code: int
+    anycast_rtt_ms: float
+    best_unicast_rtt_ms: float
+
+    @property
+    def diff_ms(self) -> float:
+        """Anycast minus best-of-measured-unicast latency."""
+        return self.anycast_rtt_ms - self.best_unicast_rtt_ms
+
+
+class RequestDiffLog:
+    """Per-request anycast-vs-best-unicast differences, column-packed.
+
+    Region codes index into :attr:`region_names`, assigned on first use.
+    """
+
+    def __init__(self) -> None:
+        self._client_index = array("i")
+        self._region_code = array("b")
+        self._anycast = array("f")
+        self._best_unicast = array("f")
+        self._day = array("i")
+        self._region_names: List[str] = []
+        self._region_codes: Dict[str, int] = {}
+
+    def region_code(self, region_name: str) -> int:
+        """Stable small-int code for a region name."""
+        code = self._region_codes.get(region_name)
+        if code is None:
+            code = len(self._region_names)
+            if code > 127:
+                raise MeasurementError("too many distinct regions")
+            self._region_names.append(region_name)
+            self._region_codes[region_name] = code
+        return code
+
+    @property
+    def region_names(self) -> Tuple[str, ...]:
+        """Known region names, by code."""
+        return tuple(self._region_names)
+
+    def observe(
+        self,
+        day: int,
+        client_index: int,
+        region_name: str,
+        anycast_rtt_ms: float,
+        best_unicast_rtt_ms: float,
+    ) -> None:
+        """Record one beacon execution's summary."""
+        self._day.append(day)
+        self._client_index.append(client_index)
+        self._region_code.append(self.region_code(region_name))
+        self._anycast.append(anycast_rtt_ms)
+        self._best_unicast.append(best_unicast_rtt_ms)
+
+    def __len__(self) -> int:
+        return len(self._day)
+
+    def diffs(self, region_name: Optional[str] = None) -> List[float]:
+        """Anycast minus best-unicast per request, optionally one region."""
+        if region_name is None:
+            return [
+                a - b for a, b in zip(self._anycast, self._best_unicast)
+            ]
+        if region_name not in self._region_codes:
+            return []
+        want = self._region_codes[region_name]
+        return [
+            a - b
+            for a, b, code in zip(
+                self._anycast, self._best_unicast, self._region_code
+            )
+            if code == want
+        ]
+
+    def rows(self) -> Iterator[RequestDiffRow]:
+        """Iterate all rows (mostly for tests; analyses use columns)."""
+        for i in range(len(self._day)):
+            yield RequestDiffRow(
+                client_index=self._client_index[i],
+                region_code=self._region_code[i],
+                anycast_rtt_ms=self._anycast[i],
+                best_unicast_rtt_ms=self._best_unicast[i],
+            )

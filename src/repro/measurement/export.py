@@ -1,0 +1,203 @@
+"""Persisting campaign datasets to disk and loading them back.
+
+A paper-scale campaign takes minutes to run; analyses and ablations over
+it take milliseconds.  These helpers serialize a
+:class:`repro.simulation.dataset.StudyDataset` to a single JSON document
+(latency samples packed as base64 arrays to keep the file compact) so a
+campaign can be run once and analyzed many times — the same split the
+paper's backend storage provided.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from array import array
+from typing import Any, Dict, IO, List, Union
+
+from repro.errors import MeasurementError
+from repro.clients.population import ClientPrefix
+from repro.geo.coords import GeoPoint
+from repro.measurement.aggregate import (
+    GroupedDailyAggregates,
+    LatencyDigest,
+    RequestDiffLog,
+)
+from repro.measurement.logs import PassiveLog
+from repro.net.ip import IPv4Prefix
+from repro.simulation.clock import SimulationCalendar
+from repro.simulation.dataset import StudyDataset
+
+#: Format marker written into every export.
+FORMAT_VERSION = 1
+
+
+def _pack_doubles(values) -> str:
+    return base64.b64encode(array("d", values).tobytes()).decode("ascii")
+
+
+def _unpack_doubles(text: str) -> array:
+    packed = array("d")
+    packed.frombytes(base64.b64decode(text.encode("ascii")))
+    return packed
+
+
+def _aggregates_to_obj(aggregates: GroupedDailyAggregates) -> Dict[str, Any]:
+    days: Dict[str, Any] = {}
+    for day in aggregates.days:
+        rows: List[Any] = []
+        for group, target_id, digest in aggregates.iter_day(day):
+            rows.append([group, target_id, _pack_doubles(digest.values())])
+        days[str(day)] = rows
+    return {"grouping": aggregates.grouping, "days": days}
+
+
+def _aggregates_from_obj(obj: Dict[str, Any]) -> GroupedDailyAggregates:
+    aggregates = GroupedDailyAggregates(obj["grouping"])
+    for day_text, rows in obj["days"].items():
+        day = int(day_text)
+        for group, target_id, packed in rows:
+            digest = aggregates._days.setdefault(day, {}).setdefault(
+                group, {}
+            )
+            digest[target_id] = LatencyDigest(_unpack_doubles(packed))
+    return aggregates
+
+
+def _passive_to_obj(passive: PassiveLog) -> Dict[str, Any]:
+    return {
+        str(day): {
+            client_key: counts for client_key, counts in passive.iter_day(day)
+        }
+        for day in passive.days
+    }
+
+
+def _passive_from_obj(obj: Dict[str, Any]) -> PassiveLog:
+    passive = PassiveLog()
+    for day_text, clients in obj.items():
+        day = int(day_text)
+        for client_key, counts in clients.items():
+            for frontend_id, count in counts.items():
+                passive.record(day, client_key, frontend_id, int(count))
+    return passive
+
+
+def _diffs_to_obj(diffs: RequestDiffLog) -> Dict[str, Any]:
+    return {
+        "region_names": list(diffs.region_names),
+        "day": _pack_doubles(float(x) for x in diffs._day),
+        "client_index": _pack_doubles(float(x) for x in diffs._client_index),
+        "region_code": _pack_doubles(float(x) for x in diffs._region_code),
+        "anycast": _pack_doubles(diffs._anycast),
+        "best_unicast": _pack_doubles(diffs._best_unicast),
+    }
+
+
+def _diffs_from_obj(obj: Dict[str, Any]) -> RequestDiffLog:
+    diffs = RequestDiffLog()
+    for name in obj["region_names"]:
+        diffs.region_code(name)
+    days = _unpack_doubles(obj["day"])
+    clients = _unpack_doubles(obj["client_index"])
+    regions = _unpack_doubles(obj["region_code"])
+    anycast = _unpack_doubles(obj["anycast"])
+    best = _unpack_doubles(obj["best_unicast"])
+    names = obj["region_names"]
+    for day, client, region, a, b in zip(days, clients, regions, anycast, best):
+        diffs.observe(int(day), int(client), names[int(region)], a, b)
+    return diffs
+
+
+def _client_to_obj(client: ClientPrefix) -> Dict[str, Any]:
+    return {
+        "prefix": str(client.prefix),
+        "asn": client.asn,
+        "home_metro": client.home_metro,
+        "lat": client.location.lat,
+        "lon": client.location.lon,
+        "access_delay_ms": client.access_delay_ms,
+        "daily_queries": client.daily_queries,
+        "ldns_id": client.ldns_id,
+    }
+
+
+def _client_from_obj(obj: Dict[str, Any]) -> ClientPrefix:
+    return ClientPrefix(
+        prefix=IPv4Prefix.parse(obj["prefix"]),
+        asn=int(obj["asn"]),
+        home_metro=obj["home_metro"],
+        location=GeoPoint(obj["lat"], obj["lon"]),
+        access_delay_ms=float(obj["access_delay_ms"]),
+        daily_queries=float(obj["daily_queries"]),
+        ldns_id=obj["ldns_id"],
+    )
+
+
+def dataset_to_json(dataset: StudyDataset) -> Dict[str, Any]:
+    """Serialize a dataset to a JSON-compatible document."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "calendar": {
+            "start": dataset.calendar.start.isoformat(),
+            "num_days": dataset.calendar.num_days,
+        },
+        "clients": [_client_to_obj(c) for c in dataset.clients],
+        "ecs_aggregates": _aggregates_to_obj(dataset.ecs_aggregates),
+        "ldns_aggregates": _aggregates_to_obj(dataset.ldns_aggregates),
+        "request_diffs": _diffs_to_obj(dataset.request_diffs),
+        "passive": _passive_to_obj(dataset.passive),
+        "beacon_count": dataset.beacon_count,
+        "measurement_count": dataset.measurement_count,
+    }
+
+
+def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
+    """Rebuild a dataset from :func:`dataset_to_json`'s output.
+
+    Raises:
+        MeasurementError: on an unknown format version.
+    """
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise MeasurementError(
+            f"unsupported dataset format version {version!r}"
+        )
+    import datetime
+
+    calendar = SimulationCalendar(
+        start=datetime.date.fromisoformat(document["calendar"]["start"]),
+        num_days=int(document["calendar"]["num_days"]),
+    )
+    return StudyDataset(
+        calendar=calendar,
+        clients=tuple(
+            _client_from_obj(obj) for obj in document["clients"]
+        ),
+        ecs_aggregates=_aggregates_from_obj(document["ecs_aggregates"]),
+        ldns_aggregates=_aggregates_from_obj(document["ldns_aggregates"]),
+        request_diffs=_diffs_from_obj(document["request_diffs"]),
+        passive=_passive_from_obj(document["passive"]),
+        beacon_count=int(document["beacon_count"]),
+        measurement_count=int(document["measurement_count"]),
+    )
+
+
+def save_dataset(dataset: StudyDataset, path_or_file: Union[str, IO[str]]) -> None:
+    """Write a dataset to a JSON file."""
+    document = dataset_to_json(dataset)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, path_or_file)
+
+
+def load_dataset(path_or_file: Union[str, IO[str]]) -> StudyDataset:
+    """Read a dataset from a JSON file."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = json.load(path_or_file)
+    return dataset_from_json(document)

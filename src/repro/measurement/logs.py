@@ -1,0 +1,172 @@
+"""Measurement record types and in-memory log stores.
+
+Three raw streams exist, mirroring §3.2:
+
+* the **client-side HTTP log** — what the JavaScript beacon reports back
+  after fetching each test URL;
+* the **server-side DNS query log** (:class:`repro.dns.authoritative
+  .DnsQueryRecord`) — which target each unique hostname resolved to;
+* the **server access log** — which front-end actually served each fetch
+  (for the anycast target this is the interesting bit: the client cannot
+  know it).
+
+Joining them by the globally unique measurement id yields
+:class:`JoinedMeasurement`, the row every analysis consumes.  Passive
+(production) traffic is logged separately as per-day per-prefix front-end
+counts, which is all Figs 4, 7 and 8 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class HttpLogEntry:
+    """Client-side beacon report for one test-URL fetch."""
+
+    day: int
+    measurement_id: str
+    client_key: str
+    rtt_ms: float
+    used_resource_timing: bool
+
+
+@dataclass(frozen=True)
+class ServerLogEntry:
+    """Server access-log row: who served a measurement fetch."""
+
+    day: int
+    measurement_id: str
+    serving_frontend_id: str
+
+
+@dataclass(frozen=True)
+class JoinedMeasurement:
+    """One fully joined beacon measurement — the analysis unit.
+
+    Attributes:
+        day: Simulation day index.
+        client_key: The client /24 (string form).
+        ldns_id: Resolver that handled the DNS lookup.
+        target_id: What was measured — ``"anycast"`` or a front-end id.
+        frontend_id: The front-end that actually served the fetch (equals
+            ``target_id`` for unicast targets).
+        rtt_ms: Measured latency.
+    """
+
+    day: int
+    client_key: str
+    ldns_id: str
+    target_id: str
+    frontend_id: str
+    rtt_ms: float
+
+
+class RawMeasurementLog:
+    """Stores the three raw streams for later joining.
+
+    Suitable for tests, examples, and small campaigns; large campaigns use
+    streaming sinks (:mod:`repro.measurement.aggregate`) instead.
+    """
+
+    def __init__(self) -> None:
+        self._http: List[HttpLogEntry] = []
+        self._server: List[ServerLogEntry] = []
+        #: measurement_id -> (ldns_id, target_id)
+        self._dns: Dict[str, Tuple[str, str]] = {}
+
+    def record_dns(self, measurement_id: str, ldns_id: str, target_id: str) -> None:
+        """Record a DNS query-log row for a measurement hostname."""
+        if measurement_id in self._dns:
+            raise MeasurementError(
+                f"duplicate DNS record for measurement {measurement_id!r}"
+            )
+        self._dns[measurement_id] = (ldns_id, target_id)
+
+    def record_http(self, entry: HttpLogEntry) -> None:
+        """Record a client-side beacon report."""
+        self._http.append(entry)
+
+    def record_server(self, entry: ServerLogEntry) -> None:
+        """Record a server access-log row."""
+        self._server.append(entry)
+
+    @property
+    def http_entries(self) -> Tuple[HttpLogEntry, ...]:
+        """All client-side rows."""
+        return tuple(self._http)
+
+    @property
+    def server_entries(self) -> Tuple[ServerLogEntry, ...]:
+        """All server access rows."""
+        return tuple(self._server)
+
+    def dns_record(self, measurement_id: str) -> Tuple[str, str]:
+        """The (ldns_id, target_id) a measurement hostname resolved to."""
+        try:
+            return self._dns[measurement_id]
+        except KeyError:
+            raise MeasurementError(
+                f"no DNS record for measurement {measurement_id!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._http)
+
+
+class PassiveLog:
+    """Per-day, per-prefix counts of which front-end served production
+    traffic — the simulated Bing server logs of §3.2.1."""
+
+    def __init__(self) -> None:
+        #: day -> client_key -> frontend_id -> query count
+        self._days: Dict[int, Dict[str, Dict[str, int]]] = {}
+
+    def record(
+        self, day: int, client_key: str, frontend_id: str, query_count: int
+    ) -> None:
+        """Add served queries to the day's counts."""
+        if query_count < 0:
+            raise MeasurementError("query_count must be non-negative")
+        if query_count == 0:
+            return
+        per_client = self._days.setdefault(day, {})
+        per_fe = per_client.setdefault(client_key, {})
+        per_fe[frontend_id] = per_fe.get(frontend_id, 0) + query_count
+
+    @property
+    def days(self) -> Tuple[int, ...]:
+        """Days with any recorded traffic, ascending."""
+        return tuple(sorted(self._days))
+
+    def frontends_for(self, day: int, client_key: str) -> Dict[str, int]:
+        """Front-end→count map for one /24-day (empty if no traffic)."""
+        return dict(self._days.get(day, {}).get(client_key, {}))
+
+    def clients_on(self, day: int) -> Tuple[str, ...]:
+        """Client keys with traffic on a day."""
+        return tuple(self._days.get(day, {}))
+
+    def primary_frontend(self, day: int, client_key: str) -> Optional[str]:
+        """The front-end serving the most queries for a /24-day."""
+        counts = self._days.get(day, {}).get(client_key)
+        if not counts:
+            return None
+        return max(counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def iter_day(self, day: int) -> Iterator[Tuple[str, Dict[str, int]]]:
+        """Iterate (client_key, {frontend: count}) pairs for a day."""
+        for client_key, counts in self._days.get(day, {}).items():
+            yield client_key, dict(counts)
+
+    def total_queries(self, day: int) -> int:
+        """Total queries recorded on a day."""
+        return sum(
+            count
+            for counts in self._days.get(day, {}).values()
+            for count in counts.values()
+        )

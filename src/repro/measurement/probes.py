@@ -1,0 +1,134 @@
+"""A RIPE-Atlas-like probe network for routing case studies.
+
+§5 of the paper: "we used the RIPE Atlas [2] testbed, a network of over
+8000 probes predominantly hosted in home networks.  We issued traceroutes
+from Atlas probes hosted within the same ISP-metro area pairs where we
+have observed clients with poor performance."
+
+This module provides the same capability over the simulator: a probe
+population hosted inside access ISPs, addressable by (ISP, metro) or by
+metro, issuing traceroutes toward the CDN's anycast or unicast prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.cdn.network import CdnNetwork
+from repro.net.topology import AsRole, Topology
+from repro.net.traceroute import Traceroute, trace_route
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One vantage point: a host inside an access ISP at a metro."""
+
+    probe_id: str
+    asn: int
+    metro_code: str
+
+
+class ProbeNetwork:
+    """Vantage points scattered across the access ISPs of a topology.
+
+    Args:
+        coverage: Probability that a given (access ISP, metro) pair hosts
+            a probe — Atlas covers many but not all eyeball networks.
+        seed: Placement randomness.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        coverage: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ConfigurationError("coverage must be in (0, 1]")
+        self._topology = topology
+        rng = random.Random(seed)
+        self._probes: Dict[str, Probe] = {}
+        self._by_pair: Dict[Tuple[int, str], str] = {}
+        self._by_metro: Dict[str, List[str]] = {}
+        counter = 0
+        for access in sorted(
+            topology.ases_with_role(AsRole.ACCESS), key=lambda a: a.asn
+        ):
+            for metro_code in sorted(access.pop_metros):
+                if rng.random() >= coverage:
+                    continue
+                probe = Probe(
+                    probe_id=f"probe-{counter:05d}",
+                    asn=access.asn,
+                    metro_code=metro_code,
+                )
+                counter += 1
+                self._probes[probe.probe_id] = probe
+                self._by_pair[(access.asn, metro_code)] = probe.probe_id
+                self._by_metro.setdefault(metro_code, []).append(
+                    probe.probe_id
+                )
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __iter__(self) -> Iterator[Probe]:
+        return iter(self._probes.values())
+
+    def get(self, probe_id: str) -> Probe:
+        """Probe by id."""
+        try:
+            return self._probes[probe_id]
+        except KeyError:
+            raise MeasurementError(f"unknown probe {probe_id!r}") from None
+
+    def probe_for(self, asn: int, metro_code: str) -> Optional[Probe]:
+        """The probe hosted at an (ISP, metro) pair, if any — the lookup
+        the §5 workflow starts from."""
+        probe_id = self._by_pair.get((asn, metro_code))
+        return self._probes[probe_id] if probe_id else None
+
+    def probes_in(self, metro_code: str) -> Tuple[Probe, ...]:
+        """All probes in a metro, across ISPs."""
+        return tuple(
+            self._probes[pid] for pid in self._by_metro.get(metro_code, ())
+        )
+
+    def traceroute_anycast(
+        self, probe: Probe, network: CdnNetwork
+    ) -> Traceroute:
+        """Traceroute from a probe toward the CDN's anycast prefix."""
+        return trace_route(
+            self._topology, network.anycast_rib, probe.asn, probe.metro_code
+        )
+
+    def traceroute_unicast(
+        self, probe: Probe, network: CdnNetwork, frontend_id: str
+    ) -> Traceroute:
+        """Traceroute from a probe toward one front-end's unicast prefix."""
+        return trace_route(
+            self._topology,
+            network.unicast_rib(frontend_id),
+            probe.asn,
+            probe.metro_code,
+        )
+
+    def investigate(
+        self, network: CdnNetwork, asn: int, metro_code: str
+    ) -> Optional[Tuple[Traceroute, Traceroute]]:
+        """§5's two-traceroute diagnosis for one (ISP, metro) complaint.
+
+        Returns the anycast traceroute and the traceroute to the probe's
+        nearest live front-end, or ``None`` when no probe covers the pair.
+        """
+        probe = self.probe_for(asn, metro_code)
+        if probe is None:
+            return None
+        anycast = self.traceroute_anycast(probe, network)
+        location = self._topology.metro_db.get(metro_code).location
+        nearest = network.nearest_frontends(location, 1)[0]
+        unicast = self.traceroute_unicast(probe, network, nearest.frontend_id)
+        return anycast, unicast

@@ -1,0 +1,67 @@
+"""Network substrate: IP addressing, AS topology, BGP, anycast, traceroute.
+
+This package is the stand-in for the real Internet the paper measured over.
+It models the AS-level structures that produce the paper's observations:
+Gao–Rexford route propagation, hot- vs cold-potato egress selection, anycast
+announcements from many PoPs, and the unicast per-front-end announcements of
+§3.1's routing configuration.
+"""
+
+from repro.net.anycast import AnycastResolver, AnycastRoute, resolve_route
+from repro.net.bgp import (
+    Announcement,
+    BgpRib,
+    RouteComputation,
+    RouteEntry,
+    relationship_preference,
+)
+from repro.net.ip import IPv4Address, IPv4Prefix, PrefixAllocator, slash24_of
+from repro.net.topology import (
+    AsRole,
+    AutonomousSystem,
+    BaseInternet,
+    EgressPolicy,
+    Link,
+    LinkKind,
+    Neighbor,
+    PointOfPresence,
+    Relationship,
+    Topology,
+    TopologyBuilder,
+    TopologyConfig,
+    generate_topology,
+    populate_base_internet,
+)
+from repro.net.traceroute import Traceroute, TracerouteHop, trace_route
+
+__all__ = [
+    "Announcement",
+    "AnycastResolver",
+    "AnycastRoute",
+    "AsRole",
+    "AutonomousSystem",
+    "BaseInternet",
+    "BgpRib",
+    "EgressPolicy",
+    "IPv4Address",
+    "IPv4Prefix",
+    "Link",
+    "LinkKind",
+    "Neighbor",
+    "PointOfPresence",
+    "PrefixAllocator",
+    "Relationship",
+    "RouteComputation",
+    "RouteEntry",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyConfig",
+    "Traceroute",
+    "TracerouteHop",
+    "generate_topology",
+    "populate_base_internet",
+    "relationship_preference",
+    "resolve_route",
+    "slash24_of",
+    "trace_route",
+]

@@ -1,0 +1,185 @@
+"""Data-plane resolution: where does a client's traffic actually go?
+
+BGP (:mod:`repro.net.bgp`) decides each AS's next hop; this module walks the
+data plane hop by hop, applying each AS's hot-/cold-potato egress policy to
+pick the interconnect metro crossed at every AS boundary.  For an anycast
+announcement the walk ends at the *ingress metro* — the peering point where
+traffic enters the CDN's network — which §3.1 of the paper says determines
+the serving front-end ("anycast traffic ingressing at a particular peering
+point will also go to the closest front-end").
+
+The two pathologies of §5 fall out of this walk:
+
+* A cold-potato ISP carries traffic to its designated egress before handing
+  off (the Moscow→Stockholm / Denver→Phoenix case studies).
+* BGP's AS-level choice may commit to a border router (interconnect) whose
+  internal continuation is long, because path selection never sees metros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.net.bgp import BgpRib
+from repro.net.topology import Topology
+
+#: Safety bound on data-plane walk length; real AS paths are far shorter.
+_MAX_HOPS = 32
+
+
+@dataclass(frozen=True)
+class AnycastRoute:
+    """A resolved data-plane path from a client's AS to an origin AS.
+
+    Attributes:
+        client_asn: AS the walk started in.
+        client_metro: Metro (PoP of the client AS) where traffic originated.
+        hops: Sequence of ``(asn, metro)`` pairs: the first element is the
+            client's (asn, metro); each subsequent element is the AS traffic
+            entered and the interconnect metro it entered at.  The last
+            element is the origin AS and its ingress metro.
+        as_path: ASNs traversed in order (client first, origin last).
+    """
+
+    client_asn: int
+    client_metro: str
+    hops: Tuple[Tuple[int, str], ...]
+
+    @property
+    def origin_asn(self) -> int:
+        """The destination (origin) AS."""
+        return self.hops[-1][0]
+
+    @property
+    def ingress_metro(self) -> str:
+        """Metro where traffic enters the origin AS."""
+        return self.hops[-1][1]
+
+    @property
+    def as_path(self) -> Tuple[int, ...]:
+        """ASNs traversed, client first."""
+        return tuple(asn for asn, _ in self.hops)
+
+    @property
+    def metro_path(self) -> Tuple[str, ...]:
+        """Metros traversed, starting at the client's metro."""
+        return tuple(metro for _, metro in self.hops)
+
+
+def resolve_route(
+    topology: Topology,
+    rib: BgpRib,
+    client_asn: int,
+    client_metro: str,
+    first_hop_egress_rank: int = 0,
+) -> AnycastRoute:
+    """Walk the data plane from ``(client_asn, client_metro)`` to the origin.
+
+    The walk is hop-by-hop: every AS forwards along *its own* best route —
+    exactly how BGP forwarding composes — and hands traffic off at the
+    interconnect its egress policy selects.
+
+    Args:
+        first_hop_egress_rank: Egress preference rank applied at the
+            *client's* AS only.  Rank 0 is the steady state; higher ranks
+            model transient intradomain shifts, the mechanism behind
+            front-end switches in :mod:`repro.simulation.churn`.
+
+    Raises:
+        RoutingError: if the client AS has no route, the metro is not one of
+            its PoPs, or the walk exceeds the hop safety bound.
+    """
+    client_as = topology.get(client_asn)
+    if client_metro not in client_as.pop_metros:
+        raise RoutingError(
+            f"AS{client_asn} has no PoP at metro {client_metro!r}"
+        )
+    entry = rib.get(client_asn)
+    hops = [(client_asn, client_metro)]
+    current_metro = client_metro
+    current = entry
+    while not current.is_origin:
+        if len(hops) > _MAX_HOPS:
+            raise RoutingError(
+                f"data-plane walk from AS{client_asn} exceeded {_MAX_HOPS} hops"
+                " — routing tables are inconsistent"
+            )
+        rank = first_hop_egress_rank if current.asn == client_asn else 0
+        handoff = topology.egress_metro(
+            current.asn, current_metro, current.handoff_metros, rank=rank
+        )
+        next_asn = current.next_hop
+        assert next_asn is not None  # non-origin entries always have one
+        hops.append((next_asn, handoff))
+        current_metro = handoff
+        current = rib.get(next_asn)
+    return AnycastRoute(
+        client_asn=client_asn, client_metro=client_metro, hops=tuple(hops)
+    )
+
+
+class AnycastResolver:
+    """Cached data-plane resolution against one RIB.
+
+    A measurement campaign resolves the same (AS, metro) pairs millions of
+    times; the cache makes that cheap while keeping :func:`resolve_route`
+    pure and testable.
+    """
+
+    def __init__(self, topology: Topology, rib: BgpRib) -> None:
+        self._topology = topology
+        self._rib = rib
+        self._cache: Dict[Tuple[int, str], AnycastRoute] = {}
+
+    @property
+    def rib(self) -> BgpRib:
+        """The RIB being resolved against."""
+        return self._rib
+
+    def resolve(
+        self, client_asn: int, client_metro: str, egress_rank: int = 0
+    ) -> AnycastRoute:
+        """Resolved route for the pair, computed once and cached.
+
+        ``egress_rank`` selects an alternate first-hop egress (see
+        :func:`resolve_route`); each rank is cached independently.
+        """
+        key = (client_asn, client_metro, egress_rank)
+        route = self._cache.get(key)
+        if route is None:
+            route = resolve_route(
+                self._topology,
+                self._rib,
+                client_asn,
+                client_metro,
+                first_hop_egress_rank=egress_rank,
+            )
+            self._cache[key] = route
+        return route
+
+    def ingress_metro(
+        self, client_asn: int, client_metro: str, egress_rank: int = 0
+    ) -> str:
+        """Metro where this client's traffic enters the origin AS."""
+        return self.resolve(client_asn, client_metro, egress_rank).ingress_metro
+
+    def variant_count(self, client_asn: int, client_metro: str) -> int:
+        """Number of distinct first-hop egress choices at the client's AS.
+
+        This bounds how many alternate routes churn can flip between; a
+        count of 1 means the client's anycast path is structurally stable.
+        """
+        entry = self._rib.get(client_asn)
+        if entry.is_origin:
+            return 1
+        return len(
+            self._topology.ranked_egress_metros(
+                client_asn, client_metro, entry.handoff_metros
+            )
+        )
+
+    def has_route(self, client_asn: int) -> bool:
+        """Whether the client's AS can reach the announcement at all."""
+        return self._rib.has_route(client_asn)

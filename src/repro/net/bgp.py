@@ -1,0 +1,288 @@
+"""BGP route computation with Gao–Rexford policies.
+
+This module computes, for every AS, the best route to an announced prefix.
+It models what the paper depends on (§2, §5):
+
+* **Export rules** (valley-free): routes learned from a customer are
+  exported to everyone; routes learned from a peer or provider are exported
+  only to customers.
+* **Selection**: prefer customer-learned over peer-learned over
+  provider-learned routes (local preference), then shortest AS path, then
+  lowest next-hop ASN (a deterministic stand-in for router-id tie-breaking).
+* **Origin metro restriction**: an announcement can be restricted to a
+  subset of the origin's PoPs — this is how §3.1's unicast configuration
+  ("only the routers at the closest peering point announce the prefix") is
+  expressed, and how anycast announces everywhere.
+
+The computation is control-plane only; the data-plane walk (which
+interconnect metro traffic actually crosses, per hot-/cold-potato policy)
+is in :mod:`repro.net.anycast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import Relationship, Topology
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A prefix announced by an origin AS from (a subset of) its PoPs.
+
+    Attributes:
+        prefix: The announced prefix.
+        origin_asn: The originating AS.
+        origin_metros: Metros at which the origin's routers announce to
+            neighbors; ``None`` means every PoP of the origin (anycast).
+    """
+
+    prefix: IPv4Prefix
+    origin_asn: int
+    origin_metros: Optional[FrozenSet[str]] = None
+
+    def announced_metros(self, topology: Topology) -> FrozenSet[str]:
+        """Resolve the effective announcement metros against the topology."""
+        origin = topology.get(self.origin_asn)
+        if self.origin_metros is None:
+            return origin.pop_metros
+        unknown = self.origin_metros - origin.pop_metros
+        if unknown:
+            raise RoutingError(
+                f"announcement of {self.prefix} names metros "
+                f"{sorted(unknown)} where AS{self.origin_asn} has no PoP"
+            )
+        if not self.origin_metros:
+            raise RoutingError(
+                f"announcement of {self.prefix} has an empty metro set"
+            )
+        return self.origin_metros
+
+
+#: Local-preference order: lower is more preferred.
+_RELATIONSHIP_PREFERENCE = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+def relationship_preference(relationship: Relationship) -> int:
+    """Gao–Rexford local preference rank (lower is better)."""
+    return _RELATIONSHIP_PREFERENCE[relationship]
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One AS's best route to an announced prefix.
+
+    Attributes:
+        asn: The AS holding this route.
+        prefix: The destination prefix.
+        as_path: AS path from this AS to the origin, inclusive on both ends
+            (so ``as_path[0] == asn`` and ``as_path[-1]`` is the origin).
+        learned_from: Relationship of the neighbor the route was learned
+            from, or ``None`` at the origin itself.
+        handoff_metros: Interconnect metros where this AS can hand traffic
+            to the next hop for this route (empty at the origin).
+    """
+
+    asn: int
+    prefix: IPv4Prefix
+    as_path: Tuple[int, ...]
+    learned_from: Optional[Relationship]
+    handoff_metros: FrozenSet[str]
+
+    @property
+    def next_hop(self) -> Optional[int]:
+        """The next-hop ASN, or ``None`` at the origin."""
+        return self.as_path[1] if len(self.as_path) > 1 else None
+
+    @property
+    def is_origin(self) -> bool:
+        """Whether this entry belongs to the originating AS."""
+        return len(self.as_path) == 1
+
+    def preference_key(self) -> Tuple[int, int, int]:
+        """Sort key implementing BGP selection (lower wins)."""
+        rank = (
+            -1
+            if self.learned_from is None
+            else relationship_preference(self.learned_from)
+        )
+        next_hop = self.next_hop if self.next_hop is not None else -1
+        return (rank, len(self.as_path), next_hop)
+
+
+class BgpRib(object):
+    """Best routes to one announcement, indexed by ASN."""
+
+    def __init__(self, announcement: Announcement, routes: Dict[int, RouteEntry]) -> None:
+        self._announcement = announcement
+        self._routes = dict(routes)
+
+    @property
+    def announcement(self) -> Announcement:
+        """The announcement these routes answer."""
+        return self._announcement
+
+    @property
+    def prefix(self) -> IPv4Prefix:
+        """The announced prefix."""
+        return self._announcement.prefix
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._routes
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(self._routes.values())
+
+    def get(self, asn: int) -> RouteEntry:
+        """Best route at ``asn``.
+
+        Raises:
+            RoutingError: if the AS has no route to the prefix.
+        """
+        try:
+            return self._routes[asn]
+        except KeyError:
+            raise RoutingError(
+                f"AS{asn} has no route to {self.prefix}"
+            ) from None
+
+    def has_route(self, asn: int) -> bool:
+        """Whether the AS has any route to the prefix."""
+        return asn in self._routes
+
+    def as_path(self, asn: int) -> Tuple[int, ...]:
+        """AS path from ``asn`` to the origin."""
+        return self.get(asn).as_path
+
+
+class RouteComputation:
+    """Computes :class:`BgpRib` tables over a fixed topology.
+
+    The solver runs the classic three-phase valley-free propagation:
+
+    1. *Customer routes* flow upward (customer → provider) from the origin.
+    2. *Peer routes* cross one peering link from any AS whose best route is
+       exportable to peers (its own prefix, or customer-learned).
+    3. *Provider routes* flow downward (provider → customer) from any AS
+       with a route.
+
+    Within a phase, candidate routes replace existing ones only when they
+    win the selection comparison, so the fixed point is the per-AS best
+    route under Gao–Rexford preferences.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """The topology routes are computed over."""
+        return self._topology
+
+    def compute(self, announcement: Announcement) -> BgpRib:
+        """Compute every AS's best route to ``announcement``."""
+        topology = self._topology
+        origin_asn = announcement.origin_asn
+        origin_metros = announcement.announced_metros(topology)
+
+        routes: Dict[int, RouteEntry] = {
+            origin_asn: RouteEntry(
+                asn=origin_asn,
+                prefix=announcement.prefix,
+                as_path=(origin_asn,),
+                learned_from=None,
+                handoff_metros=frozenset(),
+            )
+        }
+
+        def candidate_from(
+            exporter: RouteEntry, importer_asn: int, relationship: Relationship
+        ) -> Optional[RouteEntry]:
+            """Build the route ``importer_asn`` would learn from ``exporter``."""
+            if importer_asn in exporter.as_path:
+                return None  # AS-path loop prevention
+            neighbor = topology.neighbor(importer_asn, exporter.asn)
+            metros = neighbor.metros
+            if exporter.is_origin:
+                metros = metros & origin_metros
+                if not metros:
+                    return None  # origin does not announce at any shared metro
+            return RouteEntry(
+                asn=importer_asn,
+                prefix=announcement.prefix,
+                as_path=(importer_asn,) + exporter.as_path,
+                learned_from=relationship,
+                handoff_metros=metros,
+            )
+
+        def try_install(candidate: Optional[RouteEntry]) -> bool:
+            if candidate is None:
+                return False
+            current = routes.get(candidate.asn)
+            if current is None or candidate.preference_key() < current.preference_key():
+                routes[candidate.asn] = candidate
+                return True
+            return False
+
+        # Phase 1: customer routes propagate upward (to providers).
+        changed = True
+        while changed:
+            changed = False
+            for entry in list(routes.values()):
+                exportable = entry.learned_from is None or (
+                    entry.learned_from is Relationship.CUSTOMER
+                )
+                if not exportable:
+                    continue
+                for neighbor in topology.neighbors(entry.asn):
+                    if neighbor.relationship is not Relationship.PROVIDER:
+                        continue
+                    # From the provider's perspective, entry.asn is a customer.
+                    if try_install(
+                        candidate_from(entry, neighbor.asn, Relationship.CUSTOMER)
+                    ):
+                        changed = True
+
+        # Phase 2: one hop across peering links.  Collect candidates against
+        # the phase-1 fixed point so iteration order cannot matter.
+        peer_candidates: List[RouteEntry] = []
+        for entry in routes.values():
+            exportable = entry.learned_from is None or (
+                entry.learned_from is Relationship.CUSTOMER
+            )
+            if not exportable:
+                continue
+            for neighbor in topology.neighbors(entry.asn):
+                if neighbor.relationship is not Relationship.PEER:
+                    continue
+                candidate = candidate_from(entry, neighbor.asn, Relationship.PEER)
+                if candidate is not None:
+                    peer_candidates.append(candidate)
+        for candidate in peer_candidates:
+            try_install(candidate)
+
+        # Phase 3: routes propagate downward (to customers).
+        changed = True
+        while changed:
+            changed = False
+            for entry in list(routes.values()):
+                for neighbor in topology.neighbors(entry.asn):
+                    if neighbor.relationship is not Relationship.CUSTOMER:
+                        continue
+                    # From the customer's perspective, entry.asn is a provider.
+                    if try_install(
+                        candidate_from(entry, neighbor.asn, Relationship.PROVIDER)
+                    ):
+                        changed = True
+
+        return BgpRib(announcement, routes)

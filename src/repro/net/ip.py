@@ -1,0 +1,195 @@
+"""IPv4 addresses and prefixes.
+
+The paper aggregates clients into /24 prefixes "because they tend to be
+localized" (§3.2.2, citing [27]) and assigns each front-end a unique unicast
+/24 (§3.1).  This module implements the address arithmetic those analyses
+need, without depending on the standard library's ``ipaddress`` module so
+the allocator semantics stay explicit and the types stay lightweight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import AddressError
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+def _parse_dotted_quad(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"malformed IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_dotted_quad(value: int) -> str:
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address, stored as a 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX_IPV4:
+            raise AddressError(f"IPv4 address value {self.value} out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation (strict: no leading zeros)."""
+        return cls(_parse_dotted_quad(text))
+
+    def __str__(self) -> str:
+        return _format_dotted_quad(self.value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Prefix:
+    """An IPv4 prefix (network address + mask length).
+
+    The network address must have all host bits zero; constructing a prefix
+    with host bits set is an error rather than a silent truncation, because
+    every such case in this library indicates a logic bug.
+    """
+
+    network: IPv4Address
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"prefix length {self.length} out of range")
+        if self.network.value & self.host_mask():
+            raise AddressError(
+                f"prefix {self.network}/{self.length} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        if "/" not in text:
+            raise AddressError(f"malformed prefix {text!r} (missing '/')")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"malformed prefix length in {text!r}")
+        return cls(IPv4Address.parse(addr_text), int(len_text))
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def net_mask(self) -> int:
+        """Network mask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (~0 << (32 - self.length)) & _MAX_IPV4
+
+    def host_mask(self) -> int:
+        """Host mask (complement of the network mask)."""
+        return ~self.net_mask() & _MAX_IPV4
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def contains(self, address: IPv4Address) -> bool:
+        """Whether ``address`` falls inside this prefix."""
+        return (address.value & self.net_mask()) == self.network.value
+
+    def contains_prefix(self, other: "IPv4Prefix") -> bool:
+        """Whether ``other`` is equal to or more specific than this prefix."""
+        return other.length >= self.length and self.contains(other.network)
+
+    def first_address(self) -> IPv4Address:
+        """Lowest address in the prefix (the network address)."""
+        return self.network
+
+    def address_at(self, offset: int) -> IPv4Address:
+        """Address at ``offset`` within the prefix.
+
+        Raises:
+            AddressError: if the offset is outside the prefix.
+        """
+        if not 0 <= offset < self.num_addresses:
+            raise AddressError(
+                f"offset {offset} outside prefix {self} "
+                f"({self.num_addresses} addresses)"
+            )
+        return IPv4Address(self.network.value + offset)
+
+    def slash24s(self) -> Iterator["IPv4Prefix"]:
+        """Iterate the /24 subnets of this prefix (must be /24 or shorter)."""
+        if self.length > 24:
+            raise AddressError(f"cannot split {self} into /24s")
+        step = 1 << 8
+        for base in range(self.network.value, self.network.value + self.num_addresses, step):
+            yield IPv4Prefix(IPv4Address(base), 24)
+
+
+def slash24_of(address: IPv4Address) -> IPv4Prefix:
+    """The /24 prefix containing ``address`` — the paper's client grouping."""
+    return IPv4Prefix(IPv4Address(address.value & 0xFFFFFF00), 24)
+
+
+class PrefixAllocator:
+    """Sequential allocator of non-overlapping prefixes from a supernet.
+
+    Used to hand out client /24s, front-end unicast /24s, and the anycast
+    prefix from disjoint address pools so logs are unambiguous.
+    """
+
+    def __init__(self, pool: IPv4Prefix) -> None:
+        self._pool = pool
+        self._cursor = pool.network.value
+        self._end = pool.network.value + pool.num_addresses
+
+    @property
+    def pool(self) -> IPv4Prefix:
+        """The supernet being allocated from."""
+        return self._pool
+
+    @property
+    def remaining_addresses(self) -> int:
+        """Unallocated address count left in the pool."""
+        return self._end - self._cursor
+
+    def allocate(self, length: int) -> IPv4Prefix:
+        """Allocate the next aligned prefix of the given length.
+
+        Raises:
+            AddressError: if the pool is exhausted or the request is larger
+                than the pool.
+        """
+        if length < self._pool.length:
+            raise AddressError(
+                f"cannot allocate /{length} from pool {self._pool}"
+            )
+        size = 1 << (32 - length)
+        # Align the cursor up to the requested prefix size.
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        if aligned + size > self._end:
+            raise AddressError(
+                f"pool {self._pool} exhausted allocating /{length}"
+            )
+        self._cursor = aligned + size
+        return IPv4Prefix(IPv4Address(aligned), length)
+
+    def allocate_slash24(self) -> IPv4Prefix:
+        """Convenience: allocate one /24."""
+        return self.allocate(24)

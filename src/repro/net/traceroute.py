@@ -1,0 +1,125 @@
+"""Traceroute synthesis for routing case studies.
+
+The paper's authors used RIPE Atlas probes to issue traceroutes from
+ISP–metro pairs with poor anycast performance (§5) and read the AS/metro
+hand-off sequence off the output.  This module produces the equivalent
+artifact from the simulated data plane: an ordered list of hops annotated
+with AS, metro, coordinates, and cumulative geographic distance, so the
+"Moscow client handed off in Stockholm" style of diagnosis works the same
+way against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.net.anycast import resolve_route
+from repro.net.bgp import BgpRib
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One hop of a synthesized traceroute."""
+
+    index: int
+    asn: int
+    as_name: str
+    metro_code: str
+    metro_name: str
+    location: GeoPoint
+    #: Great-circle distance from the previous hop's metro (km).
+    leg_km: float
+    #: Cumulative distance from the source (km).
+    cumulative_km: float
+
+
+@dataclass(frozen=True)
+class Traceroute:
+    """A synthesized traceroute from an (AS, metro) vantage to an origin AS."""
+
+    source_asn: int
+    source_metro: str
+    hops: Tuple[TracerouteHop, ...]
+
+    @property
+    def destination_asn(self) -> int:
+        """The origin AS the trace terminated in."""
+        return self.hops[-1].asn
+
+    @property
+    def total_km(self) -> float:
+        """Total geographic path length."""
+        return self.hops[-1].cumulative_km
+
+    @property
+    def direct_km(self) -> float:
+        """Great-circle distance from source metro to final metro."""
+        return haversine_km(self.hops[0].location, self.hops[-1].location)
+
+    @property
+    def stretch(self) -> float:
+        """Path length divided by direct distance (1.0 = geodesic).
+
+        Returns 1.0 when source and destination metros coincide.
+        """
+        direct = self.direct_km
+        if direct == 0.0:
+            return 1.0
+        return self.total_km / direct
+
+    def format(self) -> str:
+        """Human-readable rendering, one hop per line."""
+        lines = [
+            f"traceroute from AS{self.source_asn} ({self.source_metro}) "
+            f"to AS{self.destination_asn}:"
+        ]
+        for hop in self.hops:
+            lines.append(
+                f"  {hop.index:2d}  AS{hop.asn:<6d} {hop.as_name:<24s} "
+                f"{hop.metro_name:<18s} +{hop.leg_km:7.0f} km "
+                f"(total {hop.cumulative_km:7.0f} km)"
+            )
+        return "\n".join(lines)
+
+
+def trace_route(
+    topology: Topology, rib: BgpRib, source_asn: int, source_metro: str
+) -> Traceroute:
+    """Synthesize a traceroute from a vantage point toward an announcement.
+
+    Raises:
+        RoutingError: if the vantage has no route (propagated from the
+            data-plane walk).
+    """
+    route = resolve_route(topology, rib, source_asn, source_metro)
+    metro_db = topology.metro_db
+    hops = []
+    previous_location = None
+    cumulative = 0.0
+    for index, (asn, metro_code) in enumerate(route.hops):
+        metro = metro_db.get(metro_code)
+        leg = (
+            0.0
+            if previous_location is None
+            else haversine_km(previous_location, metro.location)
+        )
+        cumulative += leg
+        hops.append(
+            TracerouteHop(
+                index=index,
+                asn=asn,
+                as_name=topology.get(asn).name,
+                metro_code=metro_code,
+                metro_name=metro.name,
+                location=metro.location,
+                leg_km=leg,
+                cumulative_km=cumulative,
+            )
+        )
+        previous_location = metro.location
+    return Traceroute(
+        source_asn=source_asn, source_metro=source_metro, hops=tuple(hops)
+    )

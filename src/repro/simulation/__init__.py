@@ -1,0 +1,31 @@
+"""Simulation layer: calendar, dynamics, scenario wiring, campaigns."""
+
+from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.churn import ChurnConfig, DayRoutePlan, RouteChurnModel
+from repro.simulation.clock import SECONDS_PER_DAY, SimulationCalendar
+from repro.simulation.dataset import StudyDataset
+from repro.simulation.episodes import EpisodeConfig, PoorPathEpisodeModel
+from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.simulation.validate import (
+    ValidationIssue,
+    ValidationReport,
+    validate_scenario,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignRunner",
+    "ChurnConfig",
+    "DayRoutePlan",
+    "EpisodeConfig",
+    "PoorPathEpisodeModel",
+    "RouteChurnModel",
+    "SECONDS_PER_DAY",
+    "Scenario",
+    "ScenarioConfig",
+    "SimulationCalendar",
+    "StudyDataset",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_scenario",
+]

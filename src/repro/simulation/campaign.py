@@ -1,0 +1,310 @@
+"""The measurement campaign: a month of beacons and production traffic.
+
+This is the simulated counterpart of §3.2's data collection.  For every
+day and client /24:
+
+* production queries are served over the client's current anycast route
+  (churn state) and logged passively (front-end counts — §3.2.1);
+* a volume-proportional number of beacon sessions run, each measuring the
+  anycast target plus three unicast front-ends (§3.2.2–3.3); the three
+  log streams flow through :class:`repro.measurement.backend.BeaconBackend`
+  whose joined rows feed the ECS- and LDNS-grouped aggregates;
+* per-session, the anycast minus best-unicast difference is recorded for
+  Fig 3.
+
+Latencies come from cached per-path baselines plus per-measurement jitter
+and any active poor-path episode inflation on the anycast route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.dns.authoritative import ANYCAST_TARGET
+from repro.geo.regions import region_of_point
+from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
+from repro.measurement.backend import BeaconBackend
+from repro.measurement.beacon import BeaconConfig, BeaconRunner, BeaconTargetSelector
+from repro.measurement.logs import HttpLogEntry, JoinedMeasurement, PassiveLog
+from repro.rand import derive_rng
+from repro.simulation.dataset import StudyDataset
+from repro.simulation.episodes import EpisodeScope
+from repro.simulation.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-level knobs.
+
+    Attributes:
+        beacon: Beacon methodology parameters.
+        progress_callback: Optional per-day hook ``f(day, num_days)`` for
+            long runs (the library never prints on its own).
+    """
+
+    beacon: BeaconConfig = BeaconConfig()
+    progress_callback: Optional[Callable[[int, int], None]] = None
+
+
+class _PathCache:
+    """Per-client cached (frontend_id, baseline_rtt_ms) lookups.
+
+    Baselines include the path's *persistent quality offset* (see
+    :meth:`repro.latency.model.LatencyModel.sample_static_offset_ms`),
+    drawn from a seed-derived RNG so it is stable for the whole study.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        self._scenario = scenario
+        self._anycast: Dict[Tuple[str, int], Tuple[str, float]] = {}
+        self._unicast: Dict[Tuple[str, str], float] = {}
+
+    def _static_offset(self, client_key: str, path_key: str, anycast: bool) -> float:
+        scenario = self._scenario
+        rng = derive_rng(
+            scenario.config.seed, "path-quality", client_key, path_key
+        )
+        return scenario.latency_model.sample_static_offset_ms(
+            rng, anycast=anycast
+        )
+
+    def anycast(self, client_key: str, rank: int) -> Tuple[str, float]:
+        """Serving front-end and baseline RTT over the anycast route."""
+        cached = self._anycast.get((client_key, rank))
+        if cached is None:
+            scenario = self._scenario
+            client = scenario.client_by_key(client_key)
+            path = scenario.network.anycast_path(
+                client.asn, client.home_metro, client.location, rank
+            )
+            baseline = scenario.latency_model.baseline_rtt_ms(
+                path.path_km,
+                path.backbone_km,
+                path.as_hops,
+                client.access_delay_ms,
+            )
+            # The anycast path's quality is a property of the client's
+            # steady route, keyed by the ingress so a route change also
+            # changes path quality.
+            baseline += self._static_offset(
+                client_key, f"anycast-{path.ingress_metro}", anycast=True
+            )
+            cached = (path.frontend.frontend_id, baseline)
+            self._anycast[(client_key, rank)] = cached
+        return cached
+
+    def unicast(self, client_key: str, frontend_id: str) -> float:
+        """Baseline RTT to one front-end's unicast prefix."""
+        baseline = self._unicast.get((client_key, frontend_id))
+        if baseline is None:
+            scenario = self._scenario
+            client = scenario.client_by_key(client_key)
+            path = scenario.network.unicast_path(
+                frontend_id, client.asn, client.home_metro, client.location
+            )
+            baseline = scenario.latency_model.baseline_rtt_ms(
+                path.path_km,
+                path.backbone_km,
+                path.as_hops,
+                client.access_delay_ms,
+            )
+            baseline += self._static_offset(
+                client_key, frontend_id, anycast=False
+            )
+            self._unicast[(client_key, frontend_id)] = baseline
+        return baseline
+
+
+class CampaignRunner:
+    """Runs a scenario's full measurement campaign into a dataset."""
+
+    def __init__(
+        self, scenario: Scenario, config: Optional[CampaignConfig] = None
+    ) -> None:
+        self._scenario = scenario
+        self._config = config or CampaignConfig()
+
+    def run(self) -> StudyDataset:
+        """Execute every day of the calendar and return the dataset."""
+        scenario = self._scenario
+        cfg = self._config
+        calendar = scenario.calendar
+
+        selector = BeaconTargetSelector(
+            scenario.network.frontends, scenario.geolocation, cfg.beacon
+        )
+        runner = BeaconRunner(selector, cfg.beacon)
+        paths = _PathCache(scenario)
+        churn = scenario.new_churn_model()
+        episodes = scenario.new_episode_model()
+        workload = scenario.workload_model
+        latency = scenario.latency_model
+
+        ecs_aggregates = GroupedDailyAggregates("ecs")
+        ldns_aggregates = GroupedDailyAggregates("ldns")
+        request_diffs = RequestDiffLog()
+        passive = PassiveLog()
+
+        def on_joined(row: JoinedMeasurement) -> None:
+            ecs_aggregates.observe(row.day, row.client_key, row.target_id, row.rtt_ms)
+            ldns_aggregates.observe(row.day, row.ldns_id, row.target_id, row.rtt_ms)
+
+        backend = BeaconBackend([on_joined])
+
+        rng = derive_rng(scenario.config.seed, "campaign")
+        resource_timing = {
+            client.key: rng.random() < cfg.beacon.resource_timing_support
+            for client in scenario.clients
+        }
+        # Fig 3 splits out the United States specifically, not all of
+        # North America; other clients are labeled by continental region.
+        metro_db = scenario.metro_db
+        regions = {}
+        for client in scenario.clients:
+            if metro_db.get(client.home_metro).country == "US":
+                regions[client.key] = "united-states"
+            else:
+                regions[client.key] = str(region_of_point(client.location))
+
+        scenario_seed = scenario.config.seed
+
+        beacon_count = 0
+        for day in calendar.days():
+            plans = churn.plans_for_day(day)
+            inflations = episodes.inflations_for_day(day)
+            is_weekend = calendar.is_weekend(day)
+            day_start = calendar.seconds_at(day)
+
+            # Per-(client, path) congestion elevation for this day, drawn
+            # lazily from a derived RNG so it is stable within the day.
+            daily_offsets: Dict[Tuple[str, str], float] = {}
+
+            def path_offset(client_key: str, target_key: str) -> float:
+                cache_key = (client_key, target_key)
+                offset = daily_offsets.get(cache_key)
+                if offset is None:
+                    offset_rng = derive_rng(
+                        scenario_seed, "daily-variation", day,
+                        client_key, target_key,
+                    )
+                    offset = latency.sample_daily_variation_ms(
+                        offset_rng, anycast=target_key == ANYCAST_TARGET
+                    )
+                    daily_offsets[cache_key] = offset
+                return offset
+
+            for client in scenario.clients:
+                key = client.key
+                plan = plans[key]
+                effect = inflations.get(key)
+                anycast_inflation = 0.0
+                degraded_frontend: Optional[str] = None
+                unicast_inflation = 0.0
+                if effect is not None:
+                    if effect.scope is EpisodeScope.ANYCAST:
+                        anycast_inflation = effect.inflation_ms
+                    else:
+                        candidates = selector.candidates(client.ldns_id)
+                        degraded_frontend = candidates[
+                            int(effect.selector * len(candidates))
+                        ]
+                        unicast_inflation = effect.inflation_ms
+
+                queries = workload.daily_queries(client, is_weekend, rng)
+                if queries <= 0:
+                    continue
+
+                # Passive production traffic: split across the day's routes.
+                for rank, fraction in zip(plan.ranks, plan.fractions):
+                    frontend_id, _ = paths.anycast(key, rank)
+                    count = int(round(queries * fraction))
+                    passive.record(day, key, frontend_id, count)
+
+                beacons = workload.daily_beacons(queries, rng)
+                client_index = scenario.client_index(key)
+                region = regions[key]
+                rt_supported = resource_timing[key]
+
+                for _ in range(beacons):
+                    session_rank = plan.sample_rank(rng)
+
+                    def serve(target_id: str) -> Tuple[str, float]:
+                        if target_id == ANYCAST_TARGET:
+                            frontend_id, baseline = paths.anycast(
+                                key, session_rank
+                            )
+                            extra = anycast_inflation
+                        else:
+                            frontend_id = target_id
+                            baseline = paths.unicast(key, target_id)
+                            extra = (
+                                unicast_inflation
+                                if target_id == degraded_frontend
+                                else 0.0
+                            )
+                        extra += path_offset(key, target_id)
+                        rtt = (
+                            baseline
+                            + latency.sample_jitter_ms(rng)
+                            + extra
+                        )
+                        return frontend_id, rtt
+
+                    fetches = runner.run_beacon(
+                        ldns_id=client.ldns_id,
+                        resource_timing_supported=rt_supported,
+                        serve=serve,
+                        rng=rng,
+                        now=day_start,
+                    )
+                    beacon_count += 1
+
+                    anycast_rtt: Optional[float] = None
+                    best_unicast: Optional[float] = None
+                    for fetch in fetches:
+                        backend.on_dns(
+                            fetch.measurement_id, client.ldns_id, fetch.target_id
+                        )
+                        backend.on_server(
+                            fetch.measurement_id, fetch.serving_frontend_id
+                        )
+                        backend.on_http(
+                            HttpLogEntry(
+                                day=day,
+                                measurement_id=fetch.measurement_id,
+                                client_key=key,
+                                rtt_ms=fetch.rtt_ms,
+                                used_resource_timing=fetch.used_resource_timing,
+                            )
+                        )
+                        if fetch.target_id == ANYCAST_TARGET:
+                            anycast_rtt = fetch.rtt_ms
+                        elif best_unicast is None or fetch.rtt_ms < best_unicast:
+                            best_unicast = fetch.rtt_ms
+
+                    if anycast_rtt is not None and best_unicast is not None:
+                        request_diffs.observe(
+                            day, client_index, region, anycast_rtt, best_unicast
+                        )
+
+            runner.purge_caches(calendar.seconds_at(day) + 86_400.0)
+            if cfg.progress_callback is not None:
+                cfg.progress_callback(day, calendar.num_days)
+
+        if backend.pending_count:
+            raise ConfigurationError(
+                f"{backend.pending_count} measurements never joined — "
+                "campaign bookkeeping bug"
+            )
+        return StudyDataset(
+            calendar=calendar,
+            clients=scenario.clients,
+            ecs_aggregates=ecs_aggregates,
+            ldns_aggregates=ldns_aggregates,
+            request_diffs=request_diffs,
+            passive=passive,
+            beacon_count=beacon_count,
+            measurement_count=backend.joined_count,
+        )

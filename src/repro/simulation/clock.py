@@ -1,0 +1,80 @@
+"""Simulated calendar.
+
+The paper's datasets span March–April 2015; the daily analyses (Figs 5–7)
+depend on real weekday/weekend structure ("very little churn ... during
+the weekend"), so days map onto actual calendar dates.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Seconds per simulated day.
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class SimulationCalendar:
+    """A run of consecutive days starting at a calendar date.
+
+    The default matches the paper's main analysis window: April 2015
+    (April 1 was a Wednesday, which is also where Fig 7's week starts).
+    """
+
+    start: datetime.date = datetime.date(2015, 4, 1)
+    num_days: int = 28
+
+    def __post_init__(self) -> None:
+        if self.num_days < 1:
+            raise ConfigurationError("num_days must be >= 1")
+
+    def __len__(self) -> int:
+        return self.num_days
+
+    def _check(self, day: int) -> None:
+        if not 0 <= day < self.num_days:
+            raise ConfigurationError(
+                f"day {day} outside calendar of {self.num_days} days"
+            )
+
+    def date_of(self, day: int) -> datetime.date:
+        """Calendar date of a day index."""
+        self._check(day)
+        return self.start + datetime.timedelta(days=day)
+
+    def weekday(self, day: int) -> int:
+        """Weekday of a day index (0 = Monday ... 6 = Sunday)."""
+        return self.date_of(day).weekday()
+
+    def is_weekend(self, day: int) -> bool:
+        """Whether a day is Saturday or Sunday."""
+        return self.weekday(day) >= 5
+
+    def day_name(self, day: int) -> str:
+        """Short weekday name, e.g. 'Wed'."""
+        return self.date_of(day).strftime("%a")
+
+    def label(self, day: int) -> str:
+        """Human-readable label, e.g. '2015-04-01 (Wed)'."""
+        date = self.date_of(day)
+        return f"{date.isoformat()} ({date.strftime('%a')})"
+
+    def seconds_at(self, day: int, fraction: float = 0.0) -> float:
+        """Simulated seconds since the calendar start.
+
+        Args:
+            fraction: Position within the day, in [0, 1).
+        """
+        self._check(day)
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(
+                f"day fraction must be in [0, 1), got {fraction}"
+            )
+        return (day + fraction) * SECONDS_PER_DAY
+
+    def days(self) -> range:
+        """All day indices."""
+        return range(self.num_days)

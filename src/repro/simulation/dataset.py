@@ -1,0 +1,59 @@
+"""The study dataset: everything a month of measurement produced.
+
+Analyses (and the predictor) consume this container rather than raw logs,
+mirroring how the paper's backend storage fed its analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.clients.population import ClientPrefix
+from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
+from repro.measurement.logs import PassiveLog
+from repro.simulation.clock import SimulationCalendar
+
+
+@dataclass
+class StudyDataset:
+    """Aggregated outputs of a measurement campaign.
+
+    Attributes:
+        calendar: The days the campaign covered.
+        clients: The client population measured.
+        ecs_aggregates: day → (client /24, target) → latency digest.
+        ldns_aggregates: day → (LDNS id, target) → latency digest.
+        request_diffs: Per-beacon anycast − best-unicast rows (Fig 3).
+        passive: Production-traffic front-end counts (Figs 4, 7, 8).
+        beacon_count: Total beacon executions.
+        measurement_count: Total joined measurements.
+    """
+
+    calendar: SimulationCalendar
+    clients: Tuple[ClientPrefix, ...]
+    ecs_aggregates: GroupedDailyAggregates
+    ldns_aggregates: GroupedDailyAggregates
+    request_diffs: RequestDiffLog
+    passive: PassiveLog
+    beacon_count: int = 0
+    measurement_count: int = 0
+    _index: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index:
+            self._index = {
+                client.key: i for i, client in enumerate(self.clients)
+            }
+
+    def client_by_key(self, client_key: str) -> ClientPrefix:
+        """Client record for a /24 key."""
+        return self.clients[self._index[client_key]]
+
+    def client_by_index(self, index: int) -> ClientPrefix:
+        """Client record by packed index (as used in request_diffs)."""
+        return self.clients[index]
+
+    def volume_weight(self, client_key: str) -> float:
+        """Query-volume weight of a /24 (its mean daily queries)."""
+        return self.client_by_key(client_key).daily_queries

@@ -1,0 +1,179 @@
+"""Poor-path episodes: transient anycast latency inflation.
+
+Figs 5 and 6 show that beyond the structurally bad routes, poor anycast
+performance comes and goes: ~19% of /24s see *some* unicast improvement on
+an average day, but ~60% of ever-poor prefixes are poor on only one day of
+the month.  The transient component is modeled as episodes of congestion or
+misrouting on a client's anycast path: an episode starts with a small daily
+probability, lasts a geometric number of days (heavy one-day mass), and
+inflates anycast RTTs by a lognormal amount while active.
+
+Most episodes affect the anycast path — the unicast beacons to specific
+front-ends take different routes, which is exactly why the paper's
+methodology can see the problem.  A configurable minority instead hits one
+specific unicast path, which is what makes yesterday's prediction
+occasionally *worse* than anycast today (the left tail of Fig 9).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.clients.population import ClientPrefix
+from repro.rand import derive_rng
+from repro.simulation.clock import SimulationCalendar
+
+
+class EpisodeScope(enum.Enum):
+    """Which path an episode degrades."""
+
+    ANYCAST = "anycast"
+    UNICAST = "unicast"
+
+
+@dataclass(frozen=True)
+class EpisodeEffect:
+    """An active episode's effect for one client-day.
+
+    Attributes:
+        inflation_ms: Added latency while the episode is active.
+        scope: Anycast path, or one specific unicast path.
+        selector: Uniform [0, 1) value identifying *which* unicast path is
+            affected — the campaign maps it onto the client's candidate
+            front-ends, keeping the affected path stable across the
+            episode's days without this module knowing about front-ends.
+    """
+
+    inflation_ms: float
+    scope: EpisodeScope
+    selector: float
+
+    def __post_init__(self) -> None:
+        if self.inflation_ms < 0:
+            raise ConfigurationError("inflation_ms must be non-negative")
+        if not 0.0 <= self.selector < 1.0:
+            raise ConfigurationError("selector must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class EpisodeConfig:
+    """Episode process parameters.
+
+    Attributes:
+        daily_start_probability: Chance an idle client starts an episode
+            on a given day.
+        continue_probability: Chance an active episode survives into the
+            next day (geometric duration; mean = 1/(1-p) days).
+        inflation_median_ms: Median added latency while active.
+        inflation_sigma: Lognormal shape of the inflation draw.
+        susceptible_fraction: Fraction of clients that can have episodes
+            at all (paths through congested or fragile segments).
+        unicast_scope_fraction: Fraction of episodes that degrade one
+            specific unicast path instead of the anycast path.
+    """
+
+    daily_start_probability: float = 0.02
+    continue_probability: float = 0.25
+    inflation_median_ms: float = 35.0
+    inflation_sigma: float = 0.9
+    susceptible_fraction: float = 0.7
+    unicast_scope_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        for name in (
+            "daily_start_probability",
+            "continue_probability",
+            "susceptible_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {value}")
+        if not 0.0 <= self.unicast_scope_fraction <= 1.0:
+            raise ConfigurationError(
+                "unicast_scope_fraction must be in [0, 1]"
+            )
+        if self.inflation_median_ms <= 0:
+            raise ConfigurationError("inflation_median_ms must be positive")
+        if self.inflation_sigma < 0:
+            raise ConfigurationError("inflation_sigma must be non-negative")
+
+
+class PoorPathEpisodeModel:
+    """Evolves per-client episodes day by day.
+
+    Like :class:`repro.simulation.churn.RouteChurnModel`, days advance in
+    order; the model tracks the active inflation per client.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence[ClientPrefix],
+        calendar: SimulationCalendar,
+        config: Optional[EpisodeConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self._config = config or EpisodeConfig()
+        self._calendar = calendar
+        self._rng = derive_rng(seed, "episodes")
+        cfg = self._config
+        self._susceptible: Dict[str, bool] = {
+            client.key: self._rng.random() < cfg.susceptible_fraction
+            for client in clients
+        }
+        #: client_key -> active effect (absent = idle)
+        self._active: Dict[str, EpisodeEffect] = {}
+        self._next_day = 0
+
+    @property
+    def config(self) -> EpisodeConfig:
+        """The episode parameters."""
+        return self._config
+
+    def is_susceptible(self, client_key: str) -> bool:
+        """Whether a client can ever have episodes."""
+        return self._susceptible[client_key]
+
+    def inflations_for_day(self, day: int) -> Dict[str, EpisodeEffect]:
+        """Evolve into ``day`` and return the active episode effects.
+
+        Clients absent from the result have no active episode.  Must be
+        called with consecutive day indices starting at 0.  An episode's
+        effect (inflation, scope, selector) is constant for its lifetime.
+        """
+        if day != self._next_day:
+            raise ConfigurationError(
+                f"episodes must advance day by day (expected "
+                f"{self._next_day}, got {day})"
+            )
+        self._next_day += 1
+        cfg = self._config
+        rng = self._rng
+        mu = math.log(cfg.inflation_median_ms)
+
+        # Existing episodes either continue (same effect) or end.
+        surviving: Dict[str, EpisodeEffect] = {
+            key: effect
+            for key, effect in self._active.items()
+            if rng.random() < cfg.continue_probability
+        }
+        # Idle susceptible clients may start a new episode.
+        for client_key, susceptible in self._susceptible.items():
+            if not susceptible or client_key in surviving:
+                continue
+            if rng.random() < cfg.daily_start_probability:
+                scope = (
+                    EpisodeScope.UNICAST
+                    if rng.random() < cfg.unicast_scope_fraction
+                    else EpisodeScope.ANYCAST
+                )
+                surviving[client_key] = EpisodeEffect(
+                    inflation_ms=rng.lognormvariate(mu, cfg.inflation_sigma),
+                    scope=scope,
+                    selector=rng.random(),
+                )
+        self._active = surviving
+        return dict(surviving)

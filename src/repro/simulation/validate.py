@@ -1,0 +1,162 @@
+"""Scenario validation: catch broken custom configurations early.
+
+The default configuration is known-good; users sweeping their own
+topologies, deployments, or resolver setups can violate invariants the
+campaign assumes (an access ISP with no route, a client whose LDNS was
+never registered for geolocation, a front-end no one can reach).  This
+module checks a built scenario and reports everything wrong at once,
+instead of failing mid-campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import RoutingError
+from repro.measurement.beacon import BeaconConfig
+from repro.simulation.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a scenario.
+
+    Attributes:
+        severity: "error" (the campaign would fail or be meaningless) or
+            "warning" (legal but probably not what the user wanted).
+        subsystem: Where the problem lives.
+        message: What is wrong.
+    """
+
+    severity: str
+    subsystem: str
+    message: str
+
+    def format(self) -> str:
+        """One-line rendering of the issue."""
+        return f"[{self.severity}] {self.subsystem}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All issues found by :func:`validate_scenario`."""
+
+    issues: Tuple[ValidationIssue, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issues were found."""
+        return not any(issue.severity == "error" for issue in self.issues)
+
+    @property
+    def errors(self) -> Tuple[ValidationIssue, ...]:
+        """Issues that would break or invalidate a campaign."""
+        return tuple(i for i in self.issues if i.severity == "error")
+
+    @property
+    def warnings(self) -> Tuple[ValidationIssue, ...]:
+        """Suspicious-but-legal configuration choices."""
+        return tuple(i for i in self.issues if i.severity == "warning")
+
+    def format(self) -> str:
+        """Multi-line rendering of every issue found."""
+        if not self.issues:
+            return "scenario validation: ok"
+        lines = [
+            f"scenario validation: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        ]
+        lines.extend(issue.format() for issue in self.issues)
+        return "\n".join(lines)
+
+
+def validate_scenario(scenario: Scenario, sample_limit: int = 200) -> ValidationReport:
+    """Check a built scenario's campaign-readiness.
+
+    Args:
+        sample_limit: How many clients to spot-check for data-plane
+            resolvability (all are checked for static properties).
+    """
+    issues: List[ValidationIssue] = []
+
+    def error(subsystem: str, message: str) -> None:
+        issues.append(ValidationIssue("error", subsystem, message))
+
+    def warning(subsystem: str, message: str) -> None:
+        issues.append(ValidationIssue("warning", subsystem, message))
+
+    network = scenario.network
+    geolocation = scenario.geolocation
+    directory = scenario.ldns_directory
+
+    # Deployment sanity.
+    beacon_defaults = BeaconConfig()
+    if len(network.frontends) < beacon_defaults.candidate_count:
+        warning(
+            "deployment",
+            f"only {len(network.frontends)} front-ends for a "
+            f"{beacon_defaults.candidate_count}-candidate beacon; the "
+            "selector will use them all",
+        )
+
+    # Client static properties.
+    for client in scenario.clients:
+        if client.key not in geolocation:
+            error("geolocation", f"client {client.key} never registered")
+        if client.ldns_id not in directory:
+            error("ldns", f"client {client.key} uses unknown {client.ldns_id}")
+        elif client.ldns_id not in geolocation:
+            error(
+                "geolocation",
+                f"resolver {client.ldns_id} never registered",
+            )
+        if client.daily_queries <= 0:
+            warning(
+                "population",
+                f"client {client.key} has non-positive query volume",
+            )
+
+    # Data-plane spot checks.
+    seen_pairs = set()
+    checked = 0
+    for client in scenario.clients:
+        pair = (client.asn, client.home_metro)
+        if pair in seen_pairs or checked >= sample_limit:
+            continue
+        seen_pairs.add(pair)
+        checked += 1
+        if not network.has_anycast_route(client.asn):
+            error("routing", f"AS{client.asn} has no anycast route")
+            continue
+        try:
+            network.anycast_path(client.asn, client.home_metro)
+        except RoutingError as exc:
+            error("routing", f"anycast walk failed for {pair}: {exc}")
+        nearest = network.nearest_frontends(client.location, 1)[0]
+        try:
+            network.unicast_path(
+                nearest.frontend_id, client.asn, client.home_metro
+            )
+        except RoutingError as exc:
+            error(
+                "routing",
+                f"unicast walk to {nearest.frontend_id} failed for "
+                f"{pair}: {exc}",
+            )
+
+    # Calendar vs analysis expectations.
+    if scenario.calendar.num_days < 2:
+        warning(
+            "calendar",
+            "fewer than 2 days: prediction evaluation (Fig 9) needs "
+            "consecutive day pairs",
+        )
+    if scenario.calendar.num_days < 7:
+        warning(
+            "calendar",
+            "fewer than 7 days: the Fig 7 weekly-affinity window will be "
+            "clamped",
+        )
+
+    return ValidationReport(issues=tuple(issues))

@@ -1,0 +1,225 @@
+"""Exact-value tests for the figure analyses, on hand-built datasets."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.affinity import frontend_affinity, switch_distance_cdf
+from repro.analysis.anycast_perf import anycast_distance_cdf
+from repro.analysis.poor_paths import (
+    daily_improvements,
+    poor_path_duration,
+    poor_path_prevalence,
+)
+from repro.cdn.frontend import FrontEnd
+from repro.geo.coords import GeoPoint
+from repro.geo.geolocation import GeolocationDatabase
+from repro.geo.metros import MetroDatabase
+from repro.net.ip import IPv4Prefix, PrefixAllocator
+
+from tests.helpers import make_client, make_dataset
+
+METROS = MetroDatabase()
+
+
+def make_frontends(codes):
+    allocator = PrefixAllocator(IPv4Prefix.parse("198.18.0.0/16"))
+    return tuple(
+        FrontEnd(f"fe-{c}", METROS.get(c), allocator.allocate_slash24())
+        for c in codes
+    )
+
+
+class TestPoorPaths:
+    def build(self):
+        clients = [make_client(1), make_client(2)]
+        k1, k2 = clients[0].key, clients[1].key
+        samples = [
+            # Day 0: client 1 poor by 20ms, client 2 fine.
+            (0, k1, "anycast", [50.0] * 10),
+            (0, k1, "fe-a", [30.0] * 10),
+            (0, k2, "anycast", [20.0] * 10),
+            (0, k2, "fe-a", [25.0] * 10),
+            # Day 1: client 1 recovers; client 2 has too few samples.
+            (1, k1, "anycast", [30.0] * 10),
+            (1, k1, "fe-a", [30.0] * 10),
+            (1, k2, "anycast", [20.0] * 3),
+            (1, k2, "fe-a", [10.0] * 3),
+            # Day 2: client 1 poor by 5ms again.
+            (2, k1, "anycast", [35.0] * 10),
+            (2, k1, "fe-a", [30.0] * 10),
+        ]
+        return make_dataset(clients, num_days=3, ecs_samples=samples)
+
+    def test_daily_improvements_respects_min_samples(self):
+        dataset = self.build()
+        improvements = daily_improvements(dataset, min_samples=10)
+        assert set(improvements[0]) == {
+            dataset.clients[0].key, dataset.clients[1].key
+        }
+        assert set(improvements[1]) == {dataset.clients[0].key}
+        imp = improvements[0][dataset.clients[0].key]
+        assert imp.improvement_ms == pytest.approx(20.0)
+
+    def test_prevalence_fractions(self):
+        dataset = self.build()
+        result = poor_path_prevalence(
+            dataset, thresholds=(1.0, 10.0), min_samples=10
+        )
+        assert result.daily_fractions[0][1.0] == pytest.approx(0.5)
+        assert result.daily_fractions[0][10.0] == pytest.approx(0.5)
+        assert result.daily_fractions[1][1.0] == pytest.approx(0.0)
+        assert result.daily_fractions[2][1.0] == pytest.approx(1.0)
+        assert result.daily_fractions[2][10.0] == pytest.approx(0.0)
+        assert result.mean_fraction(1.0) == pytest.approx(0.5)
+        assert "Fig 5" in result.format()
+
+    def test_duration(self):
+        dataset = self.build()
+        result = poor_path_duration(dataset, threshold_ms=1.0, min_samples=10)
+        # Only client 1 was ever poor: on days 0 and 2 (not consecutive).
+        assert result.ever_poor_count == 1
+        assert result.fraction_single_day == 0.0
+        assert result.days_poor.ys[result.days_poor.xs.index(2.0)] == 1.0
+        assert (
+            result.max_consecutive.ys[result.max_consecutive.xs.index(1.0)]
+            == 1.0
+        )
+
+    def test_no_poor_paths_raises(self):
+        clients = [make_client(1)]
+        dataset = make_dataset(
+            clients,
+            ecs_samples=[
+                (0, clients[0].key, "anycast", [10.0] * 10),
+                (0, clients[0].key, "fe-a", [20.0] * 10),
+            ],
+        )
+        with pytest.raises(AnalysisError):
+            poor_path_duration(dataset, threshold_ms=1.0, min_samples=10)
+
+    def test_min_samples_validation(self):
+        with pytest.raises(AnalysisError):
+            daily_improvements(self.build(), min_samples=0)
+
+
+class TestAffinity:
+    def build(self):
+        clients = [make_client(i) for i in range(1, 4)]
+        k1, k2, k3 = (c.key for c in clients)
+        passive = []
+        for day in range(3):
+            passive.append((day, k1, "fe-a", 10))           # never switches
+            passive.append((day, k3, "fe-a", 8))
+        passive.append((0, k2, "fe-a", 10))
+        passive.append((1, k2, "fe-b", 10))                  # day-1 switch
+        passive.append((2, k2, "fe-b", 10))
+        passive.append((2, k3, "fe-b", 2))                   # intra-day switch
+        return make_dataset(clients, num_days=3, passive_counts=passive)
+
+    def test_cumulative_switch_fractions(self):
+        dataset = self.build()
+        result = frontend_affinity(dataset, start_day=0, num_days=3)
+        assert result.client_count == 3
+        assert result.cumulative[0][1] == pytest.approx(0.0)
+        assert result.cumulative[1][1] == pytest.approx(1 / 3)
+        assert result.cumulative[2][1] == pytest.approx(2 / 3)
+        assert result.first_day_fraction == 0.0
+        assert result.week_fraction == pytest.approx(2 / 3)
+        assert result.daily_increment(2) == pytest.approx(1 / 3)
+
+    def test_requires_daily_presence(self):
+        clients = [make_client(1)]
+        dataset = make_dataset(
+            clients,
+            num_days=2,
+            passive_counts=[(0, clients[0].key, "fe-a", 5)],
+        )
+        with pytest.raises(AnalysisError, match="every day"):
+            frontend_affinity(dataset, start_day=0, num_days=2)
+
+    def test_window_bounds(self):
+        dataset = self.build()
+        with pytest.raises(AnalysisError):
+            frontend_affinity(dataset, start_day=0, num_days=9)
+
+    def test_switch_distances(self):
+        nyc = METROS.get("nyc").location
+        clients = [make_client(1, location=nyc)]
+        key = clients[0].key
+        dataset = make_dataset(
+            clients,
+            num_days=2,
+            passive_counts=[
+                (0, key, "fe-nyc", 10),
+                (1, key, "fe-was", 10),
+            ],
+        )
+        geo = GeolocationDatabase(error_fraction=0.0)
+        geo.register(key, nyc)
+        frontends = make_frontends(["nyc", "was"])
+        result = switch_distance_cdf(dataset, frontends, geo)
+        assert result.switch_count == 1
+        # |d(nyc, was-FE) - d(nyc, nyc-FE)| = distance NYC->DC ~ 330 km.
+        assert result.median_km == pytest.approx(330, abs=30)
+        assert result.fraction_within_2000km == 1.0
+
+    def test_no_switches_raises(self):
+        clients = [make_client(1)]
+        dataset = make_dataset(
+            clients,
+            num_days=2,
+            passive_counts=[
+                (0, clients[0].key, "fe-nyc", 5),
+                (1, clients[0].key, "fe-nyc", 5),
+            ],
+        )
+        geo = GeolocationDatabase(error_fraction=0.0)
+        geo.register(clients[0].key, GeoPoint(0, 0))
+        with pytest.raises(AnalysisError, match="no front-end switches"):
+            switch_distance_cdf(dataset, make_frontends(["nyc"]), geo)
+
+
+class TestAnycastDistance:
+    def test_distances_and_weighting(self):
+        nyc = METROS.get("nyc").location
+        # Client 1 sits in NYC, served by NYC (optimal).
+        # Client 2 sits in NYC, served by LA (distant), higher volume.
+        clients = [
+            make_client(1, location=nyc, daily_queries=10),
+            make_client(2, location=nyc, daily_queries=90),
+        ]
+        k1, k2 = clients[0].key, clients[1].key
+        dataset = make_dataset(
+            clients,
+            num_days=1,
+            passive_counts=[(0, k1, "fe-nyc", 10), (0, k2, "fe-lax", 90)],
+        )
+        geo = GeolocationDatabase(error_fraction=0.0)
+        geo.register(k1, nyc)
+        geo.register(k2, nyc)
+        frontends = make_frontends(["nyc", "lax"])
+        result = anycast_distance_cdf(dataset, frontends, geo, day=0)
+        assert result.fraction_at_nearest == pytest.approx(0.5)
+        # Weighted by query volume, the distant client dominates.
+        assert result.fraction_at_nearest_weighted == pytest.approx(0.1)
+        assert result.fraction_within_2000km == pytest.approx(0.5)
+        assert "Fig 4" in result.format()
+
+    def test_unknown_frontend_rejected(self):
+        clients = [make_client(1)]
+        dataset = make_dataset(
+            clients,
+            num_days=1,
+            passive_counts=[(0, clients[0].key, "fe-mystery", 5)],
+        )
+        geo = GeolocationDatabase(error_fraction=0.0)
+        geo.register(clients[0].key, GeoPoint(0, 0))
+        with pytest.raises(AnalysisError, match="unknown"):
+            anycast_distance_cdf(dataset, make_frontends(["nyc"]), geo, day=0)
+
+    def test_empty_day_rejected(self):
+        clients = [make_client(1)]
+        dataset = make_dataset(clients, num_days=2)
+        geo = GeolocationDatabase(error_fraction=0.0)
+        with pytest.raises(AnalysisError, match="no passive traffic"):
+            anycast_distance_cdf(dataset, make_frontends(["nyc"]), geo, day=1)

@@ -1,0 +1,116 @@
+"""Tests for the footnote-1 geolocation-artifact analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.geo_artifacts import geolocation_artifacts
+from repro.cdn.frontend import FrontEnd
+from repro.geo.coords import GeoPoint, destination_point
+from repro.geo.geolocation import GeolocationDatabase, GeolocationRecord
+from repro.geo.metros import MetroDatabase
+from repro.net.ip import IPv4Prefix, PrefixAllocator
+
+from tests.helpers import make_client, make_dataset
+
+METROS = MetroDatabase()
+
+
+def make_frontends(codes):
+    allocator = PrefixAllocator(IPv4Prefix.parse("198.18.0.0/16"))
+    return tuple(
+        FrontEnd(f"fe-{c}", METROS.get(c), allocator.allocate_slash24())
+        for c in codes
+    )
+
+
+class _OracleGeo(GeolocationDatabase):
+    """Geolocation DB whose reported positions we set explicitly."""
+
+    def register_pair(self, key, true_location, reported_location):
+        record = GeolocationRecord(
+            key=key,
+            true_location=true_location,
+            reported_location=reported_location,
+        )
+        self._records[key] = record  # test-only backdoor
+        return record
+
+
+def build_world():
+    nyc = METROS.get("nyc").location
+    far_away = destination_point(nyc, 90.0, 6000.0)
+    clients = [make_client(1, location=nyc), make_client(2, location=far_away)]
+    k_artifact, k_real = clients[0].key, clients[1].key
+    dataset = make_dataset(
+        clients,
+        num_days=1,
+        passive_counts=[
+            (0, k_artifact, "fe-nyc", 10),
+            (0, k_real, "fe-nyc", 10),
+        ],
+    )
+    geo = _OracleGeo(error_fraction=0.0)
+    # Client 1: actually in NYC but *reported* 6000 km away -> artifact.
+    geo.register_pair(k_artifact, nyc, far_away)
+    # Client 2: genuinely 6000 km away, reported accurately.
+    geo.register_pair(k_real, far_away, far_away)
+    return dataset, geo
+
+
+def test_artifact_split():
+    dataset, geo = build_world()
+    result = geolocation_artifacts(
+        dataset, make_frontends(["nyc"]), geo, day=0, threshold_km=3000.0
+    )
+    assert result.client_count == 2
+    assert result.far_reported == 2      # both *look* far
+    assert result.far_true == 1          # only one really is
+    assert result.artifact_count == 1
+    assert result.masked_count == 0
+    assert result.artifact_fraction == pytest.approx(0.5)
+    assert "Footnote 1" in result.format()
+
+
+def test_masked_direction():
+    nyc = METROS.get("nyc").location
+    far_away = destination_point(nyc, 90.0, 6000.0)
+    client = make_client(1, location=far_away)
+    dataset = make_dataset(
+        [client],
+        num_days=1,
+        passive_counts=[(0, client.key, "fe-nyc", 5)],
+    )
+    geo = _OracleGeo(error_fraction=0.0)
+    # Truly far, but the database thinks it is in NYC.
+    geo.register_pair(client.key, far_away, nyc)
+    result = geolocation_artifacts(
+        dataset, make_frontends(["nyc"]), geo, day=0, threshold_km=3000.0
+    )
+    assert result.masked_count == 1
+    assert result.far_reported == 0
+    assert result.artifact_fraction == 0.0
+
+
+def test_validation():
+    dataset, geo = build_world()
+    frontends = make_frontends(["nyc"])
+    with pytest.raises(AnalysisError):
+        geolocation_artifacts(dataset, frontends, geo, threshold_km=0.0)
+    with pytest.raises(AnalysisError, match="no passive traffic"):
+        geolocation_artifacts(
+            make_dataset([make_client(1)], num_days=1), frontends, geo
+        )
+
+
+def test_study_integration(small_scenario, small_dataset):
+    from repro.analysis.geo_artifacts import geolocation_artifacts
+
+    result = geolocation_artifacts(
+        small_dataset,
+        small_scenario.network.frontends,
+        small_scenario.geolocation,
+        day=0,
+    )
+    assert result.client_count > 0
+    # Artifacts cannot outnumber the reported-far population.
+    assert result.artifact_count <= result.far_reported

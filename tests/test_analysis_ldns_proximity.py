@@ -1,0 +1,69 @@
+"""Tests for the §3.3 LDNS-proximity and §5 switch-rate side analyses."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.affinity import daily_switch_rate
+from repro.analysis.ldns_proximity import ldns_proximity
+from repro.dns.ldns import LdnsConfig, LdnsDirectory
+from repro.geo.metros import MetroDatabase
+from repro.net.topology import generate_topology
+
+from tests.helpers import make_client, make_dataset
+
+
+class TestLdnsProximity:
+    def test_paper_band_on_generated_population(self, small_scenario):
+        result = ldns_proximity(
+            small_scenario.clients, small_scenario.ldns_directory
+        )
+        # [17]: ~11-12% of non-public demand is >500 km from its LDNS.
+        assert 0.0 <= result.far_demand_fraction <= 0.35
+        assert result.median_km < 500.0
+        assert 0.0 <= result.public_demand_fraction <= 0.15
+        assert "paper cites 11-12%" in result.format()
+
+    def test_validation(self, small_scenario):
+        with pytest.raises(AnalysisError):
+            ldns_proximity([], small_scenario.ldns_directory)
+        with pytest.raises(AnalysisError):
+            ldns_proximity(
+                small_scenario.clients,
+                small_scenario.ldns_directory,
+                far_threshold_km=0.0,
+            )
+
+    def test_all_public_rejected(self):
+        topology = generate_topology(MetroDatabase(), seed=2)
+        directory = LdnsDirectory(
+            topology, LdnsConfig(public_usage_fraction=1.0), seed=2
+        )
+        client = make_client(1, ldns_id="ldns-public-sfo")
+        with pytest.raises(AnalysisError, match="public"):
+            ldns_proximity([client], directory)
+
+
+class TestDailySwitchRate:
+    def test_counts_multi_frontend_clients(self):
+        clients = [make_client(1), make_client(2)]
+        k1, k2 = clients[0].key, clients[1].key
+        dataset = make_dataset(
+            clients,
+            num_days=1,
+            passive_counts=[
+                (0, k1, "fe-a", 5),
+                (0, k1, "fe-b", 3),
+                (0, k2, "fe-a", 9),
+            ],
+        )
+        assert daily_switch_rate(dataset, 0) == pytest.approx(0.5)
+
+    def test_empty_day_rejected(self):
+        dataset = make_dataset([make_client(1)], num_days=1)
+        with pytest.raises(AnalysisError):
+            daily_switch_rate(dataset, 0)
+
+    def test_campaign_rate_in_paper_neighborhood(self, small_dataset):
+        rate = daily_switch_rate(small_dataset, 0)
+        # §5: "slightly higher" than the roots' 1.1-4.7%.
+        assert 0.0 <= rate <= 0.20

@@ -1,0 +1,66 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.stats import CdfSeries
+
+
+def series(label="cdf", xs=(0.0, 10.0, 20.0), ys=(0.0, 0.5, 1.0)):
+    return CdfSeries(label=label, xs=xs, ys=ys)
+
+
+def test_basic_render():
+    text = ascii_chart([series()], title="demo", x_label="ms")
+    assert "demo" in text
+    assert "legend" in text
+    assert "*=cdf" in text
+    assert "ms" in text
+    # Plot rows plus axis plus legend.
+    assert text.count("\n") >= 10
+
+
+def test_multiple_series_distinct_markers():
+    text = ascii_chart([series("a"), series("b", ys=(0.0, 0.2, 0.4))])
+    assert "*=a" in text
+    assert "o=b" in text
+
+
+def test_log_x():
+    text = ascii_chart(
+        [series(xs=(64.0, 512.0, 8192.0))], log_x=True, x_label="km"
+    )
+    assert "(log)" in text
+
+
+def test_log_x_requires_positive():
+    with pytest.raises(AnalysisError):
+        ascii_chart([series(xs=(0.0, 1.0, 2.0))], log_x=True)
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        ascii_chart([])
+    with pytest.raises(AnalysisError):
+        ascii_chart([series()], width=4)
+    with pytest.raises(AnalysisError):
+        ascii_chart([series(label=str(i)) for i in range(9)])
+
+
+def test_flat_series_renders():
+    text = ascii_chart([series(xs=(5.0, 5.0, 5.0))])
+    assert "legend" in text
+
+
+def test_y_values_clamped():
+    text = ascii_chart([series(ys=(-0.5, 0.5, 1.5))])
+    assert "legend" in text
+
+
+def test_monotone_cdf_marks_top_right():
+    text = ascii_chart([series()], width=20, height=8)
+    rows = [line for line in text.splitlines() if "|" in line]
+    # The last x lands at y=1.0: the top plot row carries a marker at the
+    # right edge.
+    assert "*" in rows[0]

@@ -1,0 +1,168 @@
+"""Tests for Figs 1–3 analyses: proximity and per-request penalty."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.anycast_perf import (
+    EUROPE,
+    UNITED_STATES,
+    WORLD,
+    anycast_penalty_ccdf,
+)
+from repro.analysis.proximity import (
+    diminishing_returns,
+    nth_closest_distance_cdf,
+)
+from repro.cdn.frontend import FrontEnd
+from repro.geo.geolocation import GeolocationDatabase
+from repro.geo.metros import MetroDatabase
+from repro.net.ip import IPv4Prefix, PrefixAllocator
+
+from tests.helpers import make_client, make_dataset
+
+METROS = MetroDatabase()
+
+
+def make_frontends(codes):
+    allocator = PrefixAllocator(IPv4Prefix.parse("198.18.0.0/16"))
+    return tuple(
+        FrontEnd(f"fe-{c}", METROS.get(c), allocator.allocate_slash24())
+        for c in codes
+    )
+
+
+class TestNthClosest:
+    def test_medians_ordered(self):
+        nyc = METROS.get("nyc").location
+        clients = [make_client(1, location=nyc, daily_queries=5.0)]
+        frontends = make_frontends(["nyc", "phl", "bos", "chi", "lax"])
+        result = nth_closest_distance_cdf(clients, frontends, max_n=4)
+        assert list(result.medians_km) == sorted(result.medians_km)
+        assert result.medians_km[0] == pytest.approx(0.0, abs=1.0)
+        # 2nd closest to NYC among these is Philadelphia (~130 km).
+        assert result.medians_km[1] == pytest.approx(130, abs=15)
+
+    def test_weighting_changes_result(self):
+        nyc = METROS.get("nyc").location
+        lax = METROS.get("lax").location
+        clients = [
+            make_client(1, location=nyc, daily_queries=1.0),
+            make_client(2, location=lax, daily_queries=99.0),
+        ]
+        frontends = make_frontends(["nyc", "chi"])
+        weighted = nth_closest_distance_cdf(clients, frontends, max_n=1)
+        unweighted = nth_closest_distance_cdf(
+            clients, frontends, max_n=1, weighted=False
+        )
+        # The heavy LA client is far from both front-ends, dragging the
+        # weighted median up.
+        assert weighted.medians_km[0] > unweighted.medians_km[0]
+
+    def test_geolocation_used_when_given(self):
+        nyc = METROS.get("nyc").location
+        lon = METROS.get("lon").location
+        client = make_client(1, location=nyc)
+        geo = GeolocationDatabase(error_fraction=0.0)
+        geo.register(client.key, lon)  # database believes London
+        frontends = make_frontends(["nyc", "lon"])
+        result = nth_closest_distance_cdf([client], frontends, geo, max_n=1)
+        assert result.medians_km[0] == pytest.approx(0.0, abs=1.0)
+
+    def test_validation(self):
+        clients = [make_client(1)]
+        frontends = make_frontends(["nyc"])
+        with pytest.raises(AnalysisError):
+            nth_closest_distance_cdf(clients, frontends, max_n=0)
+        with pytest.raises(AnalysisError):
+            nth_closest_distance_cdf(clients, frontends, max_n=5)
+
+    def test_format(self):
+        clients = [make_client(1, location=METROS.get("nyc").location)]
+        result = nth_closest_distance_cdf(
+            clients, make_frontends(["nyc", "chi"]), max_n=2
+        )
+        assert "Fig 2" in result.format()
+
+
+class TestDiminishingReturns:
+    def build(self):
+        """A London client whose nearest candidate is slow and whose
+        3rd-nearest is fast — so growing the candidate set helps."""
+        lon = METROS.get("lon").location
+        client = make_client(1, location=lon, ldns_id="ldns-lon")
+        key = client.key
+        ecs = [
+            (0, key, "fe-lon", [40.0] * 5),
+            (0, key, "fe-par", [35.0] * 5),
+            (1, key, "fe-ams", [12.0] * 5),
+        ]
+        dataset = make_dataset([client], num_days=2, ecs_samples=ecs)
+        geo = GeolocationDatabase(error_fraction=0.0)
+        geo.register("ldns-lon", lon)
+        frontends = make_frontends(["lon", "par", "ams", "fra", "mad"])
+        return dataset, frontends, geo
+
+    def test_min_latency_shrinks_with_candidates(self):
+        dataset, frontends, geo = self.build()
+        result = diminishing_returns(
+            dataset, frontends, geo, candidate_sizes=(1, 3, 5)
+        )
+        assert result.medians_ms[1] == 40.0
+        assert result.medians_ms[3] == 12.0   # Amsterdam becomes visible
+        assert result.medians_ms[5] == 12.0   # no further gain
+        assert result.gain_ms(1, 3) == pytest.approx(28.0)
+        assert result.gain_ms(3, 5) == 0.0
+        assert "Fig 1" in result.format()
+
+    def test_anycast_measurements_ignored(self):
+        dataset, frontends, geo = self.build()
+        dataset.ecs_aggregates.observe(0, dataset.clients[0].key, "anycast", 1.0)
+        result = diminishing_returns(
+            dataset, frontends, geo, candidate_sizes=(1,)
+        )
+        assert result.medians_ms[1] == 40.0
+
+    def test_validation(self):
+        dataset, frontends, geo = self.build()
+        with pytest.raises(AnalysisError):
+            diminishing_returns(dataset, frontends, geo, candidate_sizes=())
+
+
+class TestAnycastPenalty:
+    def build(self):
+        clients = [make_client(1)]
+        dataset = make_dataset(clients, num_days=1)
+        diffs = dataset.request_diffs
+        # Europe: 2 requests, one 30 ms worse, one equal.
+        diffs.observe(0, 0, EUROPE, 50.0, 20.0)
+        diffs.observe(0, 0, EUROPE, 20.0, 20.0)
+        # US: one request 5 ms worse.
+        diffs.observe(0, 0, UNITED_STATES, 25.0, 20.0)
+        return dataset
+
+    def test_fractions(self):
+        result = anycast_penalty_ccdf(self.build())
+        europe = result.fraction_slower[EUROPE]
+        assert europe[25.0] == pytest.approx(0.5)
+        assert europe[100.0] == 0.0
+        world = result.fraction_slower[WORLD]
+        assert world[1.0] == pytest.approx(2 / 3)
+        assert result.request_count == 3
+
+    def test_series_labels(self):
+        result = anycast_penalty_ccdf(self.build())
+        labels = {s.label for s in result.series}
+        assert {EUROPE, WORLD, UNITED_STATES} <= labels
+        assert "Fig 3" in result.format()
+
+    def test_empty_rejected(self):
+        dataset = make_dataset([make_client(1)], num_days=1)
+        with pytest.raises(AnalysisError, match="no beacon requests"):
+            anycast_penalty_ccdf(dataset)
+
+    def test_missing_region_skipped(self):
+        dataset = make_dataset([make_client(1)], num_days=1)
+        dataset.request_diffs.observe(0, 0, EUROPE, 30.0, 20.0)
+        result = anycast_penalty_ccdf(dataset)
+        assert UNITED_STATES not in result.fraction_slower
+        assert EUROPE in result.fraction_slower

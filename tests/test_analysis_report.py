@@ -1,0 +1,65 @@
+"""Tests for the paper-vs-measured comparison report."""
+
+import pytest
+
+from repro.analysis.report import (
+    ComparisonRow,
+    build_comparison,
+    format_markdown,
+)
+from repro.clients.population import ClientPopulationConfig
+from repro.core.study import AnycastStudy
+from repro.simulation.clock import SimulationCalendar
+from repro.simulation.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def rows():
+    study = AnycastStudy(
+        ScenarioConfig(
+            seed=99,
+            population=ClientPopulationConfig(prefix_count=120),
+            calendar=SimulationCalendar(num_days=3),
+        )
+    )
+    return build_comparison(study)
+
+
+def test_every_experiment_covered(rows):
+    experiments = {row.experiment for row in rows}
+    expected = {
+        "Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
+        "Fig 8", "Fig 9", "§4 table", "Footnote 1",
+    }
+    assert expected <= experiments
+
+
+def test_rows_have_values(rows):
+    for row in rows:
+        assert row.paper_value
+        assert row.measured_value
+        assert row.verdict in ("reproduced", "deviates", "—")
+
+
+def test_informational_rows_have_dash_verdict(rows):
+    footnote = [row for row in rows if row.experiment == "Footnote 1"]
+    assert footnote and footnote[0].verdict == "—"
+
+
+def test_markdown_rendering(rows):
+    text = format_markdown(rows, dataset_summary="summary line")
+    assert text.startswith("| Experiment |")
+    assert "summary line" in text
+    assert text.count("\n") >= len(rows)
+    # Every row rendered.
+    for row in rows:
+        assert row.paper_value in text
+
+
+def test_comparison_row_verdicts():
+    ok = ComparisonRow("F", "m", "p", "v", True)
+    bad = ComparisonRow("F", "m", "p", "v", False)
+    info = ComparisonRow("F", "m", "p", "v", None)
+    assert ok.verdict == "reproduced"
+    assert bad.verdict == "deviates"
+    assert info.verdict == "—"

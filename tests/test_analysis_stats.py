@@ -1,0 +1,107 @@
+"""Tests for distribution utilities (repro.analysis.stats)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.analysis.stats import (
+    CdfSeries,
+    WeightedDistribution,
+    linear_grid,
+    log2_grid,
+)
+
+
+class TestWeightedDistribution:
+    def test_unweighted_fractions(self):
+        dist = WeightedDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.fraction_at_or_below(2.0) == 0.5
+        assert dist.fraction_at_or_below(0.5) == 0.0
+        assert dist.fraction_at_or_below(4.0) == 1.0
+        assert dist.fraction_above(3.0) == pytest.approx(0.25)
+
+    def test_weights_shift_the_distribution(self):
+        dist = WeightedDistribution([1.0, 10.0], weights=[3.0, 1.0])
+        assert dist.fraction_at_or_below(1.0) == pytest.approx(0.75)
+        assert dist.median() == 1.0
+
+    def test_quantiles(self):
+        dist = WeightedDistribution([10.0, 20.0, 30.0, 40.0])
+        assert dist.quantile(0.0) == 10.0
+        assert dist.quantile(1.0) == 40.0
+        assert dist.quantile(0.5) in (20.0, 30.0)
+
+    def test_total_weight(self):
+        dist = WeightedDistribution([1.0, 2.0], weights=[0.5, 1.5])
+        assert dist.total_weight == 2.0
+        assert len(dist) == 2
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            WeightedDistribution([])
+        with pytest.raises(AnalysisError):
+            WeightedDistribution([1.0], weights=[1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            WeightedDistribution([1.0], weights=[-1.0])
+        with pytest.raises(AnalysisError):
+            WeightedDistribution([1.0, 2.0], weights=[0.0, 0.0])
+        with pytest.raises(AnalysisError):
+            WeightedDistribution([1.0]).quantile(1.5)
+
+    def test_series_generation(self):
+        dist = WeightedDistribution([5.0, 15.0])
+        cdf = dist.cdf_series("label", [0.0, 10.0, 20.0])
+        assert cdf.ys == (0.0, 0.5, 1.0)
+        ccdf = dist.ccdf_series("label", [0.0, 10.0, 20.0])
+        assert ccdf.ys == (1.0, 0.5, 0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=60)
+    def test_cdf_monotone_property(self, values):
+        dist = WeightedDistribution(values)
+        grid = sorted({min(values) - 1, *values, max(values) + 1})
+        fractions = [dist.fraction_at_or_below(x) for x in grid]
+        assert fractions == sorted(fractions)
+        assert fractions[0] <= fractions[-1] == 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1, max_size=30,
+        ),
+        st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=60)
+    def test_quantile_within_range(self, values, q):
+        dist = WeightedDistribution(values)
+        assert min(values) <= dist.quantile(q) <= max(values)
+
+
+class TestGrids:
+    def test_log2_grid(self):
+        assert log2_grid(64, 512) == (64.0, 128.0, 256.0, 512.0)
+        with pytest.raises(AnalysisError):
+            log2_grid(0, 10)
+        with pytest.raises(AnalysisError):
+            log2_grid(100, 10)
+
+    def test_linear_grid(self):
+        assert linear_grid(0, 10, 5) == (0.0, 5.0, 10.0)
+        with pytest.raises(AnalysisError):
+            linear_grid(0, 10, 0)
+
+    def test_cdf_series_validation(self):
+        with pytest.raises(AnalysisError):
+            CdfSeries("x", (1.0,), (0.5, 0.6))
+
+    def test_format_rows(self):
+        series = CdfSeries("demo", (1.0, 2.0), (0.25, 0.75))
+        text = series.format_rows()
+        assert "demo" in text
+        assert "0.2500" in text

@@ -1,0 +1,67 @@
+"""Tests for the §2 TCP-disruption analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.tcp_disruption import (
+    format_disruption_table,
+    tcp_disruption,
+)
+from repro.simulation.clock import SECONDS_PER_DAY
+
+from tests.helpers import make_client, make_dataset
+
+
+def build_dataset():
+    clients = [make_client(1), make_client(2)]
+    k1, k2 = clients[0].key, clients[1].key
+    return make_dataset(
+        clients,
+        num_days=1,
+        passive_counts=[
+            (0, k1, "fe-a", 5),
+            (0, k1, "fe-b", 5),  # k1 switched
+            (0, k2, "fe-a", 9),  # k2 did not
+        ],
+    )
+
+
+def test_switching_fraction_and_scaling():
+    results = tcp_disruption(build_dataset(), flow_durations_s=(10.0, 100.0))
+    assert results[0].switching_client_fraction == pytest.approx(0.5)
+    expected_short = 0.5 * 10.0 / SECONDS_PER_DAY
+    assert results[0].broken_flow_fraction == pytest.approx(expected_short)
+    # Ten times longer flows -> ten times more breakage.
+    assert results[1].broken_flow_fraction == pytest.approx(
+        expected_short * 10.0
+    )
+
+
+def test_breakage_capped_at_certainty():
+    results = tcp_disruption(
+        build_dataset(), flow_durations_s=(10 * SECONDS_PER_DAY,)
+    )
+    assert results[0].broken_flow_fraction == pytest.approx(0.5)
+
+
+def test_short_web_flows_are_a_non_issue(small_dataset):
+    """§2's claim on real campaign data: sub-second web flows break at a
+    per-million rate, not a percent rate."""
+    results = tcp_disruption(small_dataset, flow_durations_s=(0.5,))
+    assert results[0].broken_per_million < 1000.0
+
+
+def test_table_rendering():
+    text = format_disruption_table(tcp_disruption(build_dataset()))
+    assert "broken flows per million" in text
+    assert "§2" in text
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        tcp_disruption(build_dataset(), flow_durations_s=())
+    with pytest.raises(AnalysisError):
+        tcp_disruption(build_dataset(), flow_durations_s=(0.0,))
+    empty = make_dataset([make_client(1)], num_days=1)
+    with pytest.raises(AnalysisError):
+        tcp_disruption(empty)

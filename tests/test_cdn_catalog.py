@@ -1,0 +1,57 @@
+"""Tests for the §4 CDN size catalog."""
+
+from repro.cdn.catalog import anycast_cdns, catalog, non_outliers
+
+
+def test_explicit_counts_from_paper():
+    by_name = {e.name: e for e in catalog(include_bing=False)}
+    assert by_name["CDNetworks"].locations == 161
+    assert by_name["SkyparkCDN"].locations == 119
+    assert by_name["Level3"].locations == 62
+    assert by_name["CloudFlare"].locations == 43
+    assert by_name["CacheFly"].locations == 41
+    assert by_name["Amazon CloudFront"].locations == 37
+    assert by_name["EdgeCast"].locations == 31
+    assert by_name["CDNify"].locations == 17
+
+
+def test_outliers_flagged():
+    outliers = {e.name for e in catalog(include_bing=False) if e.is_outlier}
+    assert outliers == {"Google", "Akamai", "ChinaNetCenter", "ChinaCache"}
+
+
+def test_anycast_cdns_match_section2():
+    # §2 names Cloudflare, CacheFly, EdgeCast, and Microsoft as anycast CDNs.
+    names = {e.name for e in anycast_cdns(include_bing=True)}
+    assert {"CloudFlare", "CacheFly", "EdgeCast"} <= names
+    assert any("Bing" in n for n in names)
+
+
+def test_non_outlier_range_matches_paper():
+    rows = non_outliers(include_bing=False)
+    counts = [e.locations for e in rows]
+    # §4: the remaining CDNs run between 17 (CDNify) and 161 (CDNetworks).
+    assert min(counts) == 17
+    assert max(counts) == 161
+
+
+def test_bing_entry_uses_given_count():
+    rows = catalog(include_bing=True, bing_locations=64)
+    bing = next(e for e in rows if "Bing" in e.name)
+    assert bing.locations == 64
+    assert bing.is_anycast
+
+
+def test_sorted_descending():
+    rows = catalog()
+    counts = [e.locations for e in rows]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_bing_is_level3_scale():
+    """The measured CDN should rank near Level3/MaxCDN among non-outliers."""
+    rows = [e for e in non_outliers(include_bing=True, bing_locations=64)]
+    names_sorted = [e.name for e in rows]
+    bing_index = next(i for i, n in enumerate(names_sorted) if "Bing" in n)
+    level3_index = names_sorted.index("Level3")
+    assert abs(bing_index - level3_index) <= 2

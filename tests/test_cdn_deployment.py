@@ -1,0 +1,166 @@
+"""Tests for CDN deployment and attachment (repro.cdn.deployment)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cdn.deployment import (
+    DEFAULT_FRONTEND_METROS,
+    CdnDeployment,
+    DeploymentConfig,
+    attach_cdn,
+)
+from repro.cdn.frontend import FrontEnd
+from repro.geo.metros import MetroDatabase
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import (
+    AsRole,
+    LinkKind,
+    Relationship,
+    TopologyBuilder,
+    populate_base_internet,
+)
+
+
+class TestDefaults:
+    def test_default_metros_exist(self):
+        db = MetroDatabase()
+        for code in DEFAULT_FRONTEND_METROS:
+            assert code in db
+
+    def test_default_scale_is_dozens(self):
+        # §4: the measured CDN sits at the Level3/MaxCDN scale.
+        assert 50 <= len(DEFAULT_FRONTEND_METROS) <= 80
+
+    def test_default_metros_unique(self):
+        assert len(set(DEFAULT_FRONTEND_METROS)) == len(DEFAULT_FRONTEND_METROS)
+
+    def test_default_skews_na_eu(self):
+        db = MetroDatabase()
+        regions = [db.get(c).region.value for c in DEFAULT_FRONTEND_METROS]
+        na_eu = sum(1 for r in regions if r in ("north-america", "europe"))
+        assert na_eu / len(regions) > 0.6
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transit_peering_probability": -0.1},
+            {"access_peering_probability": 1.1},
+            {"interconnect_density": 2.0},
+            {"peering_only_metro_count": -1},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeploymentConfig(**kwargs)
+
+    def test_duplicate_frontend_metros_rejected(self, metro_db):
+        builder = TopologyBuilder(metro_db)
+        populate_base_internet(builder, seed=1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            attach_cdn(builder, DeploymentConfig(frontend_metros=("nyc", "nyc")))
+
+    def test_unknown_frontend_metro_rejected(self, metro_db):
+        builder = TopologyBuilder(metro_db)
+        populate_base_internet(builder, seed=1)
+        with pytest.raises(ConfigurationError, match="unknown"):
+            attach_cdn(builder, DeploymentConfig(frontend_metros=("atlantis",)))
+
+    def test_attach_requires_base_internet(self, metro_db):
+        with pytest.raises(ConfigurationError, match="tier-1"):
+            attach_cdn(TopologyBuilder(metro_db))
+
+
+class TestAttachment:
+    def test_deployment_shape(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        assert len(deployment.frontends) == len(DEFAULT_FRONTEND_METROS)
+        assert deployment.asn in topology
+        assert topology.get(deployment.asn).role is AsRole.CDN
+
+    def test_cdn_pops_cover_frontends_and_peering_only(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        cdn_as = topology.get(deployment.asn)
+        assert cdn_as.pop_metros == deployment.pop_metros
+        assert deployment.frontend_metros <= deployment.pop_metros
+        assert deployment.peering_only_metros.isdisjoint(
+            deployment.frontend_metros
+        )
+
+    def test_unicast_prefixes_disjoint(self, cdn_world):
+        _, deployment, _ = cdn_world
+        prefixes = [fe.unicast_prefix for fe in deployment.frontends]
+        assert len(set(prefixes)) == len(prefixes)
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.contains_prefix(b)
+
+    def test_anycast_prefix_outside_unicast_pool(self, cdn_world):
+        _, deployment, _ = cdn_world
+        pool = IPv4Prefix.parse(DeploymentConfig().unicast_pool)
+        assert not pool.contains_prefix(deployment.anycast_prefix)
+
+    def test_backstop_transit_relationship(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        providers = [
+            n
+            for n in topology.neighbors(deployment.asn)
+            if n.relationship is Relationship.PROVIDER
+        ]
+        assert len(providers) == 1
+        backstop = topology.get(providers[0].asn)
+        assert backstop.role is AsRole.TIER1
+        # The backstop interconnects at every CDN PoP.
+        assert providers[0].metros == deployment.pop_metros
+
+    def test_peers_with_every_tier1_sharing_a_metro(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        cdn_neighbors = {n.asn for n in topology.neighbors(deployment.asn)}
+        for tier1 in topology.ases_with_role(AsRole.TIER1):
+            if tier1.pop_metros & deployment.pop_metros:
+                assert tier1.asn in cdn_neighbors
+
+    def test_peering_only_metros_near_frontends(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        db = topology.metro_db
+        frontend_locs = [
+            db.get(c).location for c in deployment.frontend_metros
+        ]
+        for code in deployment.peering_only_metros:
+            loc = db.get(code).location
+            nearest = min(loc.distance_km(f) for f in frontend_locs)
+            assert nearest < 1500.0, code
+
+    def test_frontend_lookup_helpers(self, cdn_world):
+        _, deployment, _ = cdn_world
+        fe = deployment.frontends[0]
+        assert deployment.frontend_by_id(fe.frontend_id) is fe
+        assert deployment.frontend_at_metro(fe.metro_code) is fe
+        assert deployment.has_frontend_at(fe.metro_code)
+        with pytest.raises(ConfigurationError):
+            deployment.frontend_by_id("fe-nope")
+        with pytest.raises(ConfigurationError):
+            deployment.frontend_at_metro("atlantis")
+
+    def test_deployment_requires_frontends(self):
+        with pytest.raises(ConfigurationError):
+            CdnDeployment(
+                asn=1,
+                frontends=(),
+                anycast_prefix=IPv4Prefix.parse("192.0.2.0/24"),
+                peering_only_metros=frozenset(),
+            )
+
+    def test_deterministic_attachment(self, metro_db):
+        def build(seed):
+            builder = TopologyBuilder(metro_db)
+            populate_base_internet(builder, seed=3)
+            deployment = attach_cdn(builder, seed=seed)
+            topo = builder.build()
+            return deployment, len(topo.links)
+
+        d1, l1 = build(5)
+        d2, l2 = build(5)
+        assert d1.peering_only_metros == d2.peering_only_metros
+        assert l1 == l2

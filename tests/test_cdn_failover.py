@@ -1,0 +1,154 @@
+"""Tests for front-end withdrawal and cascade analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cdn.failover import WithdrawalSimulator, frontend_loads
+from repro.cdn.network import CdnNetwork
+
+
+@pytest.fixture(scope="module")
+def world(cdn_world):
+    return cdn_world
+
+
+@pytest.fixture(scope="module")
+def sim(small_scenario):
+    return WithdrawalSimulator(
+        small_scenario.topology,
+        small_scenario.deployment,
+        small_scenario.clients,
+        headroom=1.5,
+    )
+
+
+class TestWithdrawnNetwork:
+    def test_withdrawn_frontend_not_live(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        victim = deployment.frontends[0].frontend_id
+        network = CdnNetwork(topology, deployment, frozenset({victim}))
+        assert victim in network.withdrawn_frontends
+        assert victim not in {fe.frontend_id for fe in network.frontends}
+
+    def test_no_traffic_served_by_withdrawn(self, small_scenario):
+        deployment = small_scenario.deployment
+        victim = deployment.frontends[0].frontend_id
+        network = CdnNetwork(
+            small_scenario.topology, deployment, frozenset({victim})
+        )
+        for client in small_scenario.clients[:60]:
+            path = network.anycast_path(client.asn, client.home_metro)
+            assert path.frontend.frontend_id != victim
+
+    def test_withdrawn_unicast_unreachable(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        victim = deployment.frontends[0].frontend_id
+        network = CdnNetwork(topology, deployment, frozenset({victim}))
+        with pytest.raises(ConfigurationError):
+            network.unicast_rib(victim)
+
+    def test_unknown_withdrawal_rejected(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CdnNetwork(topology, deployment, frozenset({"fe-nope"}))
+
+    def test_cannot_withdraw_everything(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        everything = frozenset(fe.frontend_id for fe in deployment.frontends)
+        with pytest.raises(ConfigurationError, match="every front-end"):
+            CdnNetwork(topology, deployment, everything)
+
+
+class TestLoads:
+    def test_total_load_conserved(self, sim, small_scenario):
+        total = sum(c.daily_queries for c in small_scenario.clients)
+        assert sum(sim.baseline_loads.values()) == pytest.approx(total)
+
+    def test_withdrawal_redistributes_load(self, sim, small_scenario):
+        baseline = sim.baseline_loads
+        victim = max(baseline, key=baseline.get)
+        after = sim.loads_after_withdrawal([victim])
+        assert victim not in after
+        total = sum(c.daily_queries for c in small_scenario.clients)
+        assert sum(after.values()) == pytest.approx(total)
+
+    def test_frontend_loads_covers_all_live(self, small_scenario):
+        loads = frontend_loads(
+            small_scenario.network, small_scenario.clients
+        )
+        assert set(loads) == {
+            fe.frontend_id for fe in small_scenario.network.frontends
+        }
+
+    def test_capacities_exceed_baseline(self, sim):
+        for frontend_id, load in sim.baseline_loads.items():
+            assert sim.capacities[frontend_id] >= load
+
+    def test_explicit_capacities_validated(self, small_scenario):
+        with pytest.raises(ConfigurationError, match="missing"):
+            WithdrawalSimulator(
+                small_scenario.topology,
+                small_scenario.deployment,
+                small_scenario.clients,
+                capacities={"fe-lon": 100.0},
+            )
+
+
+class TestCascade:
+    def test_cascade_terminates(self, sim):
+        baseline = sim.baseline_loads
+        victim = max(baseline, key=baseline.get)
+        result = sim.cascade([victim], max_rounds=6)
+        assert result.steps
+        assert victim in result.final_withdrawn
+        assert result.cascade_length <= 6
+        assert "Withdrawal cascade" in result.format()
+
+    def test_tiny_headroom_forces_cascade(self, small_scenario):
+        tight = WithdrawalSimulator(
+            small_scenario.topology,
+            small_scenario.deployment,
+            small_scenario.clients,
+            headroom=1.0001,
+        )
+        baseline = tight.baseline_loads
+        victim = max(baseline, key=baseline.get)
+        result = tight.cascade([victim], max_rounds=4)
+        # Withdrawing the biggest front-end with zero slack must overload
+        # at least one survivor.
+        assert result.cascade_length >= 1
+        assert len(result.final_withdrawn) > 1
+
+    def test_generous_headroom_is_stable(self, small_scenario):
+        loose = WithdrawalSimulator(
+            small_scenario.topology,
+            small_scenario.deployment,
+            small_scenario.clients,
+            headroom=50.0,
+        )
+        baseline = loose.baseline_loads
+        victim = min(
+            (k for k, v in baseline.items() if v > 0), key=baseline.get
+        )
+        result = loose.cascade([victim])
+        assert result.stable
+        assert result.final_withdrawn == frozenset({victim})
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            sim.cascade([])
+        with pytest.raises(ConfigurationError):
+            sim.cascade(["fe-lon"], max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            WithdrawalSimulator(
+                None, None, [], headroom=1.5  # type: ignore[arg-type]
+            )
+
+    def test_headroom_validated(self, small_scenario):
+        with pytest.raises(ConfigurationError, match="headroom"):
+            WithdrawalSimulator(
+                small_scenario.topology,
+                small_scenario.deployment,
+                small_scenario.clients,
+                headroom=1.0,
+            )

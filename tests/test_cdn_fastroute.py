@@ -1,0 +1,146 @@
+"""Tests for FastRoute-style layered load shedding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cdn.failover import frontend_loads
+from repro.cdn.fastroute import (
+    FastRouteBalancer,
+    LayeredAnycastNetwork,
+    default_layers,
+)
+
+
+@pytest.fixture(scope="module")
+def layered(small_scenario):
+    layers = default_layers(small_scenario.deployment)
+    network = LayeredAnycastNetwork(
+        small_scenario.topology, small_scenario.deployment, layers
+    )
+    return network, layers
+
+
+class TestLayers:
+    def test_default_layers_nest(self, small_scenario):
+        layer0, layer1, layer2 = default_layers(small_scenario.deployment)
+        assert layer2 < layer1 < layer0
+        assert len(layer0) == len(small_scenario.deployment.frontends)
+        assert len(layer1) == 12
+        assert len(layer2) == 4
+
+    def test_default_layers_validation(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            default_layers(small_scenario.deployment, hub_count=2, core_count=4)
+
+    def test_layer0_matches_production_routing(self, small_scenario, layered):
+        network, _ = layered
+        production = small_scenario.network
+        for client in small_scenario.clients[:40]:
+            expected = production.anycast_path(
+                client.asn, client.home_metro
+            ).frontend.frontend_id
+            assert (
+                network.serving_frontend(0, client.asn, client.home_metro)
+                == expected
+            )
+
+    def test_higher_layers_serve_from_their_ring(self, small_scenario, layered):
+        network, layers = layered
+        for client in small_scenario.clients[:40]:
+            for index in (1, 2):
+                frontend_id = network.serving_frontend(
+                    index, client.asn, client.home_metro
+                )
+                assert frontend_id in layers[index]
+
+    def test_layer_validation(self, small_scenario):
+        deployment = small_scenario.deployment
+        all_ids = frozenset(fe.frontend_id for fe in deployment.frontends)
+        some = frozenset(list(all_ids)[:3])
+        with pytest.raises(ConfigurationError, match="layer 0"):
+            LayeredAnycastNetwork(
+                small_scenario.topology, deployment, [some]
+            )
+        other = frozenset(list(all_ids)[3:6])
+        with pytest.raises(ConfigurationError, match="nest"):
+            LayeredAnycastNetwork(
+                small_scenario.topology, deployment, [all_ids, some, other]
+            )
+
+    def test_unknown_layer_index(self, layered):
+        network, _ = layered
+        with pytest.raises(ConfigurationError):
+            network.serving_frontend(9, 10000, "nyc")
+
+
+class TestBalancer:
+    def make_balancer(self, small_scenario, layered, capacity_factor):
+        network, _ = layered
+        baseline = frontend_loads(
+            small_scenario.network, small_scenario.clients
+        )
+        positive = sorted(v for v in baseline.values() if v > 0)
+        median = positive[len(positive) // 2]
+        capacities = {
+            fe.frontend_id: capacity_factor * max(baseline.get(fe.frontend_id, 0.0), median)
+            for fe in small_scenario.deployment.frontends
+        }
+        return (
+            FastRouteBalancer(network, small_scenario.clients, capacities),
+            baseline,
+            capacities,
+        )
+
+    def test_no_shedding_when_capacity_ample(self, small_scenario, layered):
+        balancer, _, _ = self.make_balancer(small_scenario, layered, 100.0)
+        result = balancer.balance()
+        assert result.converged
+        assert result.decisions == ()
+
+    def test_shedding_relieves_hot_frontends(self, small_scenario, layered):
+        balancer, baseline, capacities = self.make_balancer(
+            small_scenario, layered, 0.8
+        )
+        result = balancer.balance()
+        assert result.decisions  # someone had to shed
+        # Every front-end that was over its 0.8x capacity either sheds or
+        # got relieved below capacity.
+        hot = {
+            frontend_id
+            for frontend_id, load in baseline.items()
+            if load > capacities[frontend_id]
+        }
+        assert hot
+        for frontend_id in hot:
+            relieved = result.loads.get(frontend_id, 0.0) <= (
+                capacities[frontend_id] + 1e-9
+            )
+            sheds = result.shed_fraction(frontend_id, 0) > 0 or (
+                result.shed_fraction(frontend_id, 1) > 0
+            )
+            assert relieved or sheds
+
+    def test_load_conserved(self, small_scenario, layered):
+        balancer, _, _ = self.make_balancer(small_scenario, layered, 0.8)
+        result = balancer.balance()
+        total = sum(c.daily_queries for c in small_scenario.clients)
+        assert sum(result.loads.values()) == pytest.approx(total, rel=1e-9)
+
+    def test_format(self, small_scenario, layered):
+        balancer, _, _ = self.make_balancer(small_scenario, layered, 0.8)
+        text = balancer.balance().format()
+        assert "FastRoute shedding" in text
+
+    def test_validation(self, small_scenario, layered):
+        network, _ = layered
+        with pytest.raises(ConfigurationError, match="clients"):
+            FastRouteBalancer(network, [], {})
+        with pytest.raises(ConfigurationError, match="step"):
+            FastRouteBalancer(
+                network, small_scenario.clients, {}, step=0.0
+            )
+        with pytest.raises(ConfigurationError, match="capacities"):
+            FastRouteBalancer(network, small_scenario.clients, {"fe-x": 1.0})
+        balancer, _, _ = self.make_balancer(small_scenario, layered, 1.0)
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            balancer.balance(max_rounds=0)

@@ -1,0 +1,153 @@
+"""Tests for the CDN control/data plane (repro.cdn.network, backbone,
+frontend helpers)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cdn.backbone import CdnBackbone
+from repro.cdn.frontend import nearest_frontends
+from repro.geo.coords import haversine_km
+from repro.net.topology import AsRole
+
+
+class TestBackbone:
+    def test_frontend_metro_serves_itself(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        backbone = CdnBackbone(deployment, topology.metro_db)
+        for fe in deployment.frontends:
+            route = backbone.route(fe.metro_code)
+            assert route.frontend.frontend_id == fe.frontend_id
+            assert route.backbone_km == 0.0
+
+    def test_peering_only_goes_to_nearest_frontend(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        backbone = CdnBackbone(deployment, topology.metro_db)
+        db = topology.metro_db
+        for code in deployment.peering_only_metros:
+            route = backbone.route(code)
+            location = db.get(code).location
+            best = min(
+                haversine_km(location, fe.location)
+                for fe in deployment.frontends
+            )
+            assert route.backbone_km == pytest.approx(best)
+
+    def test_non_pop_metro_rejected(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        backbone = CdnBackbone(deployment, topology.metro_db)
+        outside = next(
+            m.code for m in topology.metro_db
+            if m.code not in deployment.pop_metros
+        )
+        with pytest.raises(ConfigurationError, match="not a CDN peering"):
+            backbone.route(outside)
+
+    def test_ingress_metros_sorted(self, cdn_world):
+        topology, deployment, _ = cdn_world
+        backbone = CdnBackbone(deployment, topology.metro_db)
+        metros = backbone.ingress_metros()
+        assert list(metros) == sorted(metros)
+        assert set(metros) == set(deployment.pop_metros)
+
+
+class TestNearestFrontends:
+    def test_ordering_and_count(self, cdn_world):
+        topology, deployment, network = cdn_world
+        point = topology.metro_db.get("lon").location
+        nearest = network.nearest_frontends(point, 5)
+        assert len(nearest) == 5
+        distances = [fe.distance_km(point) for fe in nearest]
+        assert distances == sorted(distances)
+        assert nearest[0].metro_code == "lon"
+
+    def test_deterministic_tie_break(self, cdn_world):
+        _, deployment, _ = cdn_world
+        point = deployment.frontends[0].location
+        a = nearest_frontends(deployment.frontends, point, 10)
+        b = nearest_frontends(deployment.frontends, point, 10)
+        assert [fe.frontend_id for fe in a] == [fe.frontend_id for fe in b]
+
+
+class TestDataPlane:
+    def test_every_access_as_has_anycast_route(self, cdn_world):
+        topology, _, network = cdn_world
+        for access in topology.ases_with_role(AsRole.ACCESS):
+            assert network.has_anycast_route(access.asn)
+
+    def test_anycast_path_ends_at_a_frontend(self, cdn_world):
+        topology, deployment, network = cdn_world
+        frontend_ids = {fe.frontend_id for fe in deployment.frontends}
+        for access in topology.ases_with_role(AsRole.ACCESS)[:25]:
+            metro = sorted(access.pop_metros)[0]
+            path = network.anycast_path(access.asn, metro)
+            assert path.frontend.frontend_id in frontend_ids
+            assert path.ingress_metro in deployment.pop_metros
+            assert path.as_hops == len(path.route.hops)
+
+    def test_unicast_ingress_is_frontend_metro(self, cdn_world):
+        topology, deployment, network = cdn_world
+        fe = deployment.frontends[0]
+        access = topology.ases_with_role(AsRole.ACCESS)[0]
+        metro = sorted(access.pop_metros)[0]
+        path = network.unicast_path(fe.frontend_id, access.asn, metro)
+        assert path.ingress_metro == fe.metro_code
+        assert path.backbone_km == 0.0
+        assert path.frontend.frontend_id == fe.frontend_id
+
+    def test_unknown_frontend_rejected(self, cdn_world):
+        topology, _, network = cdn_world
+        access = topology.ases_with_role(AsRole.ACCESS)[0]
+        with pytest.raises(ConfigurationError, match="unknown front-end"):
+            network.unicast_path("fe-nope", access.asn, sorted(access.pop_metros)[0])
+
+    def test_client_location_extends_path(self, cdn_world):
+        topology, _, network = cdn_world
+        access = topology.ases_with_role(AsRole.ACCESS)[0]
+        metro = sorted(access.pop_metros)[0]
+        metro_loc = topology.metro_db.get(metro).location
+        without = network.anycast_path(access.asn, metro)
+        with_loc = network.anycast_path(access.asn, metro, metro_loc)
+        # Starting exactly at the metro center adds (approximately) nothing.
+        assert with_loc.path_km == pytest.approx(without.path_km, abs=1e-6)
+
+    def test_variant_ranks_yield_distinct_frontends(self, cdn_world):
+        topology, _, network = cdn_world
+        found_multi = False
+        for access in topology.ases_with_role(AsRole.ACCESS):
+            for metro in sorted(access.pop_metros):
+                ranks = network.anycast_variant_ranks(access.asn, metro)
+                assert ranks[0] == 0
+                frontends = [
+                    network.anycast_path(access.asn, metro, egress_rank=r)
+                    .frontend.frontend_id
+                    for r in ranks
+                ]
+                assert len(set(frontends)) == len(frontends)
+                if len(ranks) > 1:
+                    found_multi = True
+        assert found_multi  # some clients must have alternates
+
+    def test_variant_ingresses_align_with_ranks(self, cdn_world):
+        topology, _, network = cdn_world
+        access = topology.ases_with_role(AsRole.ACCESS)[0]
+        metro = sorted(access.pop_metros)[0]
+        ranks = network.anycast_variant_ranks(access.asn, metro)
+        ingresses = network.anycast_variant_ingresses(access.asn, metro)
+        assert len(ranks) == len(ingresses)
+
+    def test_anycast_rib_accessible(self, cdn_world):
+        _, deployment, network = cdn_world
+        assert network.anycast_rib.prefix == deployment.anycast_prefix
+        fe = deployment.frontends[0]
+        assert network.unicast_rib(fe.frontend_id).prefix == fe.unicast_prefix
+        with pytest.raises(ConfigurationError):
+            network.unicast_rib("fe-nope")
+
+    def test_unicast_universally_reachable(self, cdn_world):
+        """§3.1's single-point announcements must still reach every access
+        AS (via the backstop transit)."""
+        topology, deployment, network = cdn_world
+        fe = deployment.frontends[0]
+        rib = network.unicast_rib(fe.frontend_id)
+        for access in topology.ases_with_role(AsRole.ACCESS):
+            assert rib.has_route(access.asn)

@@ -1,0 +1,149 @@
+"""Tests for client population and workload models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.clients.population import (
+    ClientPopulationConfig,
+    generate_population,
+)
+from repro.clients.workload import WorkloadConfig, WorkloadModel
+from repro.dns.ldns import LdnsDirectory
+from repro.geo.coords import haversine_km
+from repro.geo.geolocation import GeolocationDatabase
+from repro.geo.metros import MetroDatabase
+from repro.net.topology import generate_topology
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = generate_topology(MetroDatabase(), seed=31)
+    ldns = LdnsDirectory(topo, seed=31)
+    return topo, ldns
+
+
+def make_population(world, **kwargs):
+    topo, ldns = world
+    geo = GeolocationDatabase(error_fraction=0.0, seed=1)
+    config = ClientPopulationConfig(prefix_count=300, **kwargs)
+    return generate_population(topo, ldns, geo, config, seed=5), geo, topo
+
+
+class TestPopulation:
+    def test_count_and_uniqueness(self, world):
+        clients, _, _ = make_population(world)
+        assert len(clients) == 300
+        assert len({c.key for c in clients}) == 300
+
+    def test_registered_in_geolocation(self, world):
+        clients, geo, _ = make_population(world)
+        for client in clients[:50]:
+            assert geo.true_location(client.key) == client.location
+
+    def test_home_metro_is_isp_pop(self, world):
+        clients, _, topo = make_population(world)
+        for client in clients:
+            assert client.home_metro in topo.get(client.asn).pop_metros
+
+    def test_location_near_home_metro(self, world):
+        clients, _, topo = make_population(world)
+        config = ClientPopulationConfig()
+        for client in clients:
+            center = topo.metro_db.get(client.home_metro).location
+            assert haversine_km(client.location, center) <= (
+                config.scatter_km_max + 1.0
+            )
+
+    def test_positive_volume_and_delay(self, world):
+        clients, _, _ = make_population(world)
+        assert all(c.daily_queries > 0 for c in clients)
+        assert all(c.access_delay_ms > 0 for c in clients)
+
+    def test_volume_is_heavily_skewed(self, world):
+        clients, _, _ = make_population(world)
+        volumes = sorted(c.daily_queries for c in clients)
+        top_decile_share = sum(volumes[-30:]) / sum(volumes)
+        assert top_decile_share > 0.4  # lognormal skew
+
+    def test_ldns_assigned_from_directory(self, world):
+        topo, ldns = world
+        clients, _, _ = make_population(world)
+        for client in clients:
+            assert client.ldns_id in ldns
+
+    def test_deterministic(self, world):
+        a, _, _ = make_population(world)
+        b, _, _ = make_population(world)
+        assert [c.key for c in a] == [c.key for c in b]
+        assert [c.daily_queries for c in a] == [c.daily_queries for c in b]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prefix_count": 0},
+            {"scatter_km_mean": -1.0},
+            {"scatter_km_mean": 100.0, "scatter_km_max": 50.0},
+            {"volume_median_queries": 0.0},
+            {"volume_sigma": -1.0},
+            {"access_delay_median_ms": 0.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClientPopulationConfig(**kwargs)
+
+
+class TestWorkload:
+    @pytest.fixture()
+    def model(self):
+        return WorkloadModel()
+
+    @pytest.fixture()
+    def client(self, world):
+        clients, _, _ = make_population(world)
+        return clients[0]
+
+    def test_queries_non_negative(self, model, client):
+        rng = random.Random(0)
+        assert all(
+            model.daily_queries(client, False, rng) >= 0 for _ in range(100)
+        )
+
+    def test_weekend_volume_lower_on_average(self, model, client):
+        rng = random.Random(1)
+        weekday = sum(model.daily_queries(client, False, rng) for _ in range(400))
+        weekend = sum(model.daily_queries(client, True, rng) for _ in range(400))
+        assert weekend < weekday
+
+    def test_beacons_bounded_by_queries_and_cap(self, model):
+        rng = random.Random(2)
+        config = model.config
+        for queries in (0, 1, 5, 100, 10_000):
+            beacons = model.daily_beacons(queries, rng)
+            assert 0 <= beacons <= min(queries, config.max_beacons_per_day)
+
+    def test_beacon_fraction_roughly_respected(self, model):
+        rng = random.Random(3)
+        total = sum(model.daily_beacons(100, rng) for _ in range(300))
+        expected = 300 * 100 * model.config.beacon_fraction
+        assert 0.8 * expected <= total <= 1.2 * expected
+
+    def test_zero_queries_zero_beacons(self, model):
+        assert model.daily_beacons(0, random.Random(0)) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beacon_fraction": 0.0},
+            {"beacon_fraction": 1.5},
+            {"weekend_volume_factor": 0.0},
+            {"max_beacons_per_day": 0},
+            {"min_beacons_per_day": -1},
+            {"min_beacons_per_day": 10, "max_beacons_per_day": 5},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(**kwargs)

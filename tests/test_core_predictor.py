@@ -1,0 +1,160 @@
+"""Tests for the §6 history-based predictor and the hybrid scheme."""
+
+import pytest
+
+from repro.errors import PredictionError
+from repro.core.hybrid import HybridConfig, HybridRedirector
+from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
+from repro.dns.authoritative import ANYCAST_TARGET, DnsQuery
+from repro.dns.ecs import EcsOption
+from repro.measurement.aggregate import GroupedDailyAggregates
+from repro.net.ip import IPv4Address
+
+
+def aggregates_with(day, group, target_rtts, count=25):
+    """Aggregates where each target has `count` identical samples."""
+    agg = GroupedDailyAggregates("ecs")
+    for target, rtt in target_rtts.items():
+        for _ in range(count):
+            agg.observe(day, group, target, rtt)
+    return agg
+
+
+class TestPredictorConfig:
+    def test_defaults_follow_section6(self):
+        config = PredictorConfig()
+        assert config.metric_percentile == 25.0
+        assert config.min_samples == 20
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"metric_percentile": -1}, {"metric_percentile": 101},
+                   {"min_samples": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PredictionError):
+            PredictorConfig(**kwargs)
+
+
+class TestPrediction:
+    def test_picks_fastest_qualified_target(self):
+        agg = aggregates_with(
+            0, "g", {"anycast": 50.0, "fe-a": 30.0, "fe-b": 40.0}
+        )
+        prediction = HistoryBasedPredictor().predict_group(agg, 0, "g")
+        assert prediction is not None
+        assert prediction.target_id == "fe-a"
+        assert prediction.metric_ms == 30.0
+        assert prediction.anycast_metric_ms == 50.0
+        assert prediction.predicted_gain_ms == pytest.approx(20.0)
+
+    def test_anycast_wins_ties(self):
+        agg = aggregates_with(0, "g", {"anycast": 30.0, "fe-a": 30.0})
+        prediction = HistoryBasedPredictor().predict_group(agg, 0, "g")
+        assert prediction.target_id == ANYCAST_TARGET
+        assert prediction.predicted_gain_ms == 0.0
+
+    def test_min_samples_cut(self):
+        agg = GroupedDailyAggregates("ecs")
+        for _ in range(25):
+            agg.observe(0, "g", "anycast", 50.0)
+        for _ in range(10):  # under the 20-sample cut
+            agg.observe(0, "g", "fe-a", 10.0)
+        prediction = HistoryBasedPredictor().predict_group(agg, 0, "g")
+        assert prediction.target_id == ANYCAST_TARGET
+
+    def test_no_qualified_targets(self):
+        agg = GroupedDailyAggregates("ecs")
+        agg.observe(0, "g", "anycast", 50.0)
+        assert HistoryBasedPredictor().predict_group(agg, 0, "g") is None
+
+    def test_metric_percentile_matters(self):
+        agg = GroupedDailyAggregates("ecs")
+        # fe-a: excellent 25th percentile, terrible tail.
+        for rtt in [10.0] * 10 + [200.0] * 10:
+            agg.observe(0, "g", "fe-a", rtt)
+        for rtt in [30.0] * 20:
+            agg.observe(0, "g", "anycast", rtt)
+        p25 = HistoryBasedPredictor(PredictorConfig(metric_percentile=25.0))
+        p75 = HistoryBasedPredictor(PredictorConfig(metric_percentile=75.0))
+        assert p25.predict_group(agg, 0, "g").target_id == "fe-a"
+        assert p75.predict_group(agg, 0, "g").target_id == ANYCAST_TARGET
+
+    def test_predict_day_and_mapping(self):
+        agg = aggregates_with(0, "g1", {"anycast": 50.0, "fe-a": 30.0})
+        for _ in range(25):
+            agg.observe(0, "g2", "anycast", 20.0)
+        predictor = HistoryBasedPredictor()
+        predictions = predictor.predict_day(agg, 0)
+        assert set(predictions) == {"g1", "g2"}
+        mapping = predictor.mapping_for_day(agg, 0)
+        assert mapping == {"g1": "fe-a"}  # anycast entries dropped
+        full = predictor.mapping_for_day(agg, 0, only_redirections=False)
+        assert full == {"g1": "fe-a", "g2": ANYCAST_TARGET}
+
+    def test_build_policy(self):
+        ecs = aggregates_with(0, "10.0.1.0/24", {"anycast": 50.0, "fe-a": 30.0})
+        ldns = GroupedDailyAggregates("ldns")
+        for _ in range(25):
+            ldns.observe(0, "ldns-1", "anycast", 60.0)
+            ldns.observe(0, "ldns-1", "fe-b", 20.0)
+        policy = HistoryBasedPredictor().build_policy(ecs, ldns, day=0)
+        option = EcsOption.for_address(IPv4Address.parse("10.0.1.5"))
+        assert policy.decide(DnsQuery("h", "ldns-9", ecs=option)) == "fe-a"
+        assert policy.decide(DnsQuery("h", "ldns-1")) == "fe-b"
+        assert policy.decide(DnsQuery("h", "ldns-9")) == ANYCAST_TARGET
+
+    def test_build_policy_requires_aggregates(self):
+        with pytest.raises(PredictionError):
+            HistoryBasedPredictor().build_policy()
+
+
+class TestHybrid:
+    def test_gain_threshold(self):
+        agg = GroupedDailyAggregates("ecs")
+        for group, anycast, unicast in [
+            ("big-gain", 80.0, 30.0),    # 50 ms gain
+            ("small-gain", 35.0, 30.0),  # 5 ms gain
+        ]:
+            for _ in range(25):
+                agg.observe(0, group, "anycast", anycast)
+                agg.observe(0, group, "fe-a", unicast)
+        hybrid = HybridRedirector(HybridConfig(min_predicted_gain_ms=10.0))
+        selected = hybrid.select_redirections(agg, 0)
+        assert set(selected) == {"big-gain"}
+
+    def test_cap_keeps_largest_gains(self):
+        agg = GroupedDailyAggregates("ecs")
+        for index in range(10):
+            group = f"g{index}"
+            for _ in range(25):
+                agg.observe(0, group, "anycast", 50.0 + index * 10)
+                agg.observe(0, group, "fe-a", 20.0)
+        hybrid = HybridRedirector(
+            HybridConfig(min_predicted_gain_ms=1.0, max_redirected_fraction=0.2)
+        )
+        selected = hybrid.select_redirections(agg, 0)
+        assert len(selected) == 2
+        assert set(selected) == {"g9", "g8"}  # biggest gains win
+
+    def test_policy_round_trip(self):
+        agg = GroupedDailyAggregates("ecs")
+        for _ in range(25):
+            agg.observe(0, "10.0.0.0/24", "anycast", 90.0)
+            agg.observe(0, "10.0.0.0/24", "fe-a", 20.0)
+        policy = HybridRedirector().build_policy(ecs_aggregates=agg, day=0)
+        option = EcsOption.for_address(IPv4Address.parse("10.0.0.1"))
+        assert policy.decide(DnsQuery("h", "l", ecs=option)) == "fe-a"
+
+    def test_needs_aggregates(self):
+        with pytest.raises(PredictionError):
+            HybridRedirector().build_policy()
+
+    def test_config_validation(self):
+        with pytest.raises(PredictionError):
+            HybridConfig(min_predicted_gain_ms=-1.0)
+        with pytest.raises(PredictionError):
+            HybridConfig(max_redirected_fraction=0.0)
+
+    def test_empty_day(self):
+        hybrid = HybridRedirector()
+        assert hybrid.select_redirections(GroupedDailyAggregates("ecs"), 0) == {}

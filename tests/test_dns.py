@@ -1,0 +1,212 @@
+"""Tests for the DNS substrate: LDNS, cache, ECS, authoritative."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dns.authoritative import (
+    ANYCAST_TARGET,
+    AnycastPolicy,
+    AuthoritativeServer,
+    DnsQuery,
+    StaticMappingPolicy,
+)
+from repro.dns.cache import TtlCache
+from repro.dns.ecs import EcsOption, ecs_key_for_prefix
+from repro.dns.ldns import LdnsConfig, LdnsDirectory, LdnsKind
+from repro.geo.coords import haversine_km
+from repro.net.ip import IPv4Address, IPv4Prefix
+from repro.net.topology import AsRole, generate_topology
+from repro.geo.metros import MetroDatabase
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_topology(MetroDatabase(), seed=21)
+
+
+class TestLdnsDirectory:
+    @pytest.fixture(scope="class")
+    def directory(self, request):
+        topo = generate_topology(MetroDatabase(), seed=21)
+        return LdnsDirectory(topo, LdnsConfig(), seed=4), topo
+
+    def test_public_resolvers_exist(self, directory):
+        d, _ = directory
+        public = d.public_resolvers()
+        assert len(public) == len(LdnsConfig().public_metros)
+        assert all(s.kind is LdnsKind.PUBLIC for s in public)
+        assert all(s.asn is None for s in public)
+
+    def test_every_access_isp_metro_has_a_resolver(self, directory):
+        d, topo = directory
+        for access in topo.ases_with_role(AsRole.ACCESS):
+            for metro in access.pop_metros:
+                ldns_id = d.isp_resolver_id(access.asn, metro)
+                assert ldns_id in d
+
+    def test_centralized_isps_share_one_resolver(self, directory):
+        d, topo = directory
+        central_found = False
+        for access in topo.ases_with_role(AsRole.ACCESS):
+            ids = {
+                d.isp_resolver_id(access.asn, metro)
+                for metro in access.pop_metros
+            }
+            if len(access.pop_metros) > 1 and len(ids) == 1:
+                server = d.get(next(iter(ids)))
+                assert server.kind is LdnsKind.ISP_CENTRAL
+                central_found = True
+        assert central_found
+
+    def test_isp_metro_resolver_is_local(self, directory):
+        d, topo = directory
+        db = topo.metro_db
+        for server in d:
+            if server.kind is LdnsKind.ISP_METRO:
+                assert haversine_km(
+                    server.location, db.get(server.metro_code).location
+                ) == pytest.approx(0.0)
+
+    def test_assign_public_fraction(self, directory):
+        d, topo = directory
+        access = topo.ases_with_role(AsRole.ACCESS)[0]
+        metro = sorted(access.pop_metros)[0]
+        rng = random.Random(0)
+        assigned = [d.assign(access.asn, metro, rng) for _ in range(2000)]
+        public = sum(1 for a in assigned if a.startswith("ldns-public"))
+        expected = LdnsConfig().public_usage_fraction * 2000
+        assert expected * 0.3 <= public <= expected * 2.5
+
+    def test_unknown_lookups(self, directory):
+        d, _ = directory
+        with pytest.raises(ConfigurationError):
+            d.get("nope")
+        with pytest.raises(ConfigurationError):
+            d.isp_resolver_id(999999, "nyc")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LdnsConfig(centralized_isp_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            LdnsConfig(public_metros=())
+
+
+class TestTtlCache:
+    def test_put_get_expiry(self):
+        cache = TtlCache()
+        cache.put("k", "v", now=0.0, ttl=10.0)
+        assert cache.get("k", now=5.0) == "v"
+        assert cache.get("k", now=10.0) is None  # expired exactly at TTL
+        assert cache.get("k", now=11.0) is None  # evicted
+
+    def test_ttl_validation(self):
+        with pytest.raises(ConfigurationError):
+            TtlCache().put("k", "v", now=0.0, ttl=0.0)
+
+    def test_stats(self):
+        cache = TtlCache()
+        cache.put("k", "v", now=0.0, ttl=10.0)
+        cache.get("k", 1.0)
+        cache.get("missing", 1.0)
+        assert cache.stats == (1, 1)
+
+    def test_contains_does_not_count(self):
+        cache = TtlCache()
+        cache.put("k", "v", now=0.0, ttl=10.0)
+        assert cache.contains("k", 1.0)
+        assert not cache.contains("k", 11.0)
+        assert cache.stats == (0, 0)
+
+    def test_purge_expired(self):
+        cache = TtlCache()
+        cache.put("a", 1, now=0.0, ttl=5.0)
+        cache.put("b", 2, now=0.0, ttl=50.0)
+        assert cache.purge_expired(now=10.0) == 1
+        assert len(cache) == 1
+
+    def test_replace(self):
+        cache = TtlCache()
+        cache.put("k", "old", now=0.0, ttl=10.0)
+        cache.put("k", "new", now=1.0, ttl=10.0)
+        assert cache.get("k", 2.0) == "new"
+
+
+class TestEcs:
+    def test_for_address_truncates(self):
+        option = EcsOption.for_address(IPv4Address.parse("10.1.2.77"))
+        assert option.group_key == "10.1.2.0/24"
+
+    def test_for_address_other_lengths(self):
+        option = EcsOption.for_address(
+            IPv4Address.parse("10.1.2.77"), source_prefix_length=16
+        )
+        assert option.group_key == "10.1.0.0/16"
+
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EcsOption(
+                client_prefix=IPv4Prefix.parse("10.0.0.0/16"),
+                source_prefix_length=24,
+            )
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EcsOption.for_address(IPv4Address.parse("1.2.3.4"), 0)
+
+    def test_key_for_prefix(self):
+        assert ecs_key_for_prefix(IPv4Prefix.parse("10.0.1.0/24")) == "10.0.1.0/24"
+        with pytest.raises(ConfigurationError):
+            ecs_key_for_prefix(IPv4Prefix.parse("10.0.1.0/25"))
+
+
+class TestAuthoritative:
+    def test_anycast_policy(self):
+        server = AuthoritativeServer(AnycastPolicy())
+        response = server.resolve(DnsQuery("h1", "ldns-1"))
+        assert response.target_id == ANYCAST_TARGET
+        assert response.ttl_seconds > 0
+
+    def test_static_mapping_ldns(self):
+        policy = StaticMappingPolicy(ldns_mapping={"ldns-1": "fe-lon"})
+        server = AuthoritativeServer(policy)
+        assert server.resolve(DnsQuery("h", "ldns-1")).target_id == "fe-lon"
+        assert server.resolve(DnsQuery("h2", "ldns-2")).target_id == ANYCAST_TARGET
+
+    def test_static_mapping_ecs_precedence(self):
+        policy = StaticMappingPolicy(
+            ecs_mapping={"10.0.0.0/24": "fe-nyc"},
+            ldns_mapping={"ldns-1": "fe-lon"},
+        )
+        ecs = EcsOption.for_address(IPv4Address.parse("10.0.0.9"))
+        query = DnsQuery("h", "ldns-1", ecs=ecs)
+        assert AuthoritativeServer(policy).resolve(query).target_id == "fe-nyc"
+
+    def test_ecs_miss_falls_back_to_ldns(self):
+        policy = StaticMappingPolicy(
+            ecs_mapping={"10.9.9.0/24": "fe-nyc"},
+            ldns_mapping={"ldns-1": "fe-lon"},
+        )
+        ecs = EcsOption.for_address(IPv4Address.parse("10.0.0.9"))
+        query = DnsQuery("h", "ldns-1", ecs=ecs)
+        assert AuthoritativeServer(policy).resolve(query).target_id == "fe-lon"
+
+    def test_query_log(self):
+        server = AuthoritativeServer(AnycastPolicy())
+        server.resolve(DnsQuery("h1", "ldns-1"), now=3.0)
+        log = server.query_log()
+        assert len(log) == 1
+        assert log[0].hostname == "h1"
+        assert log[0].time == 3.0
+        server.clear_log()
+        assert server.query_log() == ()
+
+    def test_log_can_be_disabled(self):
+        server = AuthoritativeServer(AnycastPolicy(), keep_log=False)
+        server.resolve(DnsQuery("h1", "ldns-1"))
+        assert server.query_log() == ()
+
+    def test_bad_ttl(self):
+        with pytest.raises(ConfigurationError):
+            AuthoritativeServer(AnycastPolicy(), ttl_seconds=0)

@@ -1,0 +1,58 @@
+"""Documentation hygiene: every module and public symbol is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                if not (
+                    inspect.isfunction(member) or isinstance(member, property)
+                ):
+                    continue
+                doc = (
+                    member.fget.__doc__
+                    if isinstance(member, property) and member.fget
+                    else getattr(member, "__doc__", None)
+                )
+                if not (doc and doc.strip()):
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+def test_package_exports_resolve():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.{name}"

@@ -1,0 +1,60 @@
+"""Tests for the error hierarchy and deterministic RNG derivation."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    AnalysisError,
+    ConfigurationError,
+    GeoError,
+    MeasurementError,
+    PredictionError,
+    ReproError,
+    RoutingError,
+    TopologyError,
+)
+from repro.rand import derive_rng, derive_seed
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        AddressError,
+        AnalysisError,
+        ConfigurationError,
+        GeoError,
+        MeasurementError,
+        PredictionError,
+        RoutingError,
+        TopologyError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+
+def test_derive_seed_sensitive_to_every_part():
+    base = derive_seed(1, "a", 2)
+    assert derive_seed(2, "a", 2) != base
+    assert derive_seed(1, "b", 2) != base
+    assert derive_seed(1, "a", 3) != base
+
+
+def test_derive_seed_tag_boundaries_matter():
+    assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+
+def test_derive_rng_streams_independent():
+    a = derive_rng(5, "x")
+    b = derive_rng(5, "y")
+    assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+def test_derive_rng_reproducible():
+    assert derive_rng(5, "x").random() == derive_rng(5, "x").random()

@@ -1,0 +1,161 @@
+"""Tests for great-circle math (repro.geo.coords)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+)
+
+NYC = GeoPoint(40.71, -74.01)
+LONDON = GeoPoint(51.51, -0.13)
+SYDNEY = GeoPoint(-33.87, 151.21)
+TOKYO = GeoPoint(35.68, 139.69)
+
+latitudes = st.floats(min_value=-89.0, max_value=89.0)
+longitudes = st.floats(min_value=-179.9, max_value=179.9)
+points = st.builds(GeoPoint, lat=latitudes, lon=longitudes)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        point = GeoPoint(10.5, -20.25)
+        assert point.lat == 10.5
+        assert point.lon == -20.25
+
+    def test_poles_and_antimeridian_are_valid(self):
+        GeoPoint(90.0, 0.0)
+        GeoPoint(-90.0, 0.0)
+        GeoPoint(0.0, 180.0)
+        GeoPoint(0.0, -180.0)
+
+    @pytest.mark.parametrize("lat", [-90.01, 91.0, 1000.0])
+    def test_latitude_out_of_range(self, lat):
+        with pytest.raises(GeoError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.01, 181.0, 720.0])
+    def test_longitude_out_of_range(self, lon):
+        with pytest.raises(GeoError):
+            GeoPoint(0.0, lon)
+
+    def test_distance_method_matches_function(self):
+        assert NYC.distance_km(LONDON) == haversine_km(NYC, LONDON)
+
+    def test_points_are_hashable_and_ordered(self):
+        assert len({NYC, LONDON, NYC}) == 2
+        assert GeoPoint(0, 0) < GeoPoint(1, 0)
+
+
+class TestHaversine:
+    def test_nyc_to_london(self):
+        # Known great-circle distance ~5570 km.
+        assert haversine_km(NYC, LONDON) == pytest.approx(5570, abs=30)
+
+    def test_sydney_to_tokyo(self):
+        assert haversine_km(SYDNEY, TOKYO) == pytest.approx(7820, abs=60)
+
+    def test_zero_distance(self):
+        assert haversine_km(NYC, NYC) == 0.0
+
+    def test_symmetry_known_pair(self):
+        assert haversine_km(NYC, SYDNEY) == pytest.approx(
+            haversine_km(SYDNEY, NYC)
+        )
+
+    def test_antipodal_near_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(
+            math.pi * EARTH_RADIUS_KM, rel=1e-9
+        )
+
+    def test_one_degree_longitude_at_equator(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 1.0)
+        assert haversine_km(a, b) == pytest.approx(111.19, abs=0.1)
+
+    @given(points, points)
+    @settings(max_examples=60)
+    def test_symmetric(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(points, points)
+    @settings(max_examples=60)
+    def test_bounded_by_half_circumference(self, a, b):
+        assert 0.0 <= haversine_km(a, b) <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(points, points, points)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_km(a, c) <= (
+            haversine_km(a, b) + haversine_km(b, c) + 1e-6
+        )
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(
+            GeoPoint(0, 0), GeoPoint(10, 0)
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(
+            GeoPoint(0, 0), GeoPoint(0, 10)
+        ) == pytest.approx(90.0, abs=1e-9)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(
+            GeoPoint(10, 0), GeoPoint(0, 0)
+        ) == pytest.approx(180.0, abs=1e-9)
+
+    def test_coincident_points_convention(self):
+        assert initial_bearing_deg(NYC, NYC) == 0.0
+
+    @given(points, points)
+    @settings(max_examples=60)
+    def test_range(self, a, b):
+        bearing = initial_bearing_deg(a, b)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestDestinationPoint:
+    def test_zero_distance_is_identity(self):
+        result = destination_point(NYC, 123.0, 0.0)
+        assert result.lat == pytest.approx(NYC.lat)
+        assert result.lon == pytest.approx(NYC.lon)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(GeoError):
+            destination_point(NYC, 0.0, -1.0)
+
+    def test_northward_displacement(self):
+        result = destination_point(GeoPoint(0, 0), 0.0, 111.19)
+        assert result.lat == pytest.approx(1.0, abs=0.01)
+        assert result.lon == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        points,
+        st.floats(min_value=0.0, max_value=360.0),
+        st.floats(min_value=0.0, max_value=5000.0),
+    )
+    @settings(max_examples=80)
+    def test_round_trip_distance(self, origin, bearing, distance):
+        destination = destination_point(origin, bearing, distance)
+        assert haversine_km(origin, destination) == pytest.approx(
+            distance, abs=max(1e-6, distance * 1e-9) + 1e-6
+        )
+
+    def test_longitude_normalized(self):
+        # Travel east across the antimeridian.
+        origin = GeoPoint(0.0, 179.5)
+        result = destination_point(origin, 90.0, 200.0)
+        assert -180.0 <= result.lon <= 180.0

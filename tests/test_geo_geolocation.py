@@ -1,0 +1,93 @@
+"""Tests for the geolocation database and its error model."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coords import GeoPoint
+from repro.geo.geolocation import GeolocationDatabase
+
+
+def test_register_and_lookup_clean():
+    db = GeolocationDatabase(error_fraction=0.0)
+    point = GeoPoint(10.0, 20.0)
+    record = db.register("k1", point)
+    assert db.lookup("k1") == point
+    assert db.true_location("k1") == point
+    assert record.error_km == 0.0
+    assert not record.is_erroneous
+
+
+def test_duplicate_key_rejected():
+    db = GeolocationDatabase()
+    db.register("k1", GeoPoint(0, 0))
+    with pytest.raises(GeoError, match="already registered"):
+        db.register("k1", GeoPoint(1, 1))
+
+
+def test_unknown_key():
+    with pytest.raises(GeoError, match="not in geolocation"):
+        GeolocationDatabase().lookup("missing")
+
+
+def test_register_all():
+    db = GeolocationDatabase(error_fraction=0.0)
+    records = db.register_all(
+        [("a", GeoPoint(0, 0)), ("b", GeoPoint(1, 1))]
+    )
+    assert [r.key for r in records] == ["a", "b"]
+    assert len(db) == 2
+    assert "a" in db and "c" not in db
+
+
+def test_error_fraction_statistics():
+    db = GeolocationDatabase(error_fraction=0.2, seed=3)
+    for i in range(1000):
+        db.register(f"k{i}", GeoPoint(0.0, 0.0))
+    erroneous = db.erroneous_keys()
+    assert 130 <= len(erroneous) <= 270  # ~200 expected
+
+
+def test_error_displacement_scale():
+    db = GeolocationDatabase(
+        error_fraction=1.0, error_distance_km=4000.0, seed=1
+    )
+    db.register("k", GeoPoint(0.0, 0.0))
+    record = db.record("k")
+    assert record.is_erroneous
+    # Displacement is uniform in [0.5x, 2x] of the configured scale.
+    assert 2000.0 - 1 <= record.error_km <= 8000.0 + 1
+
+
+def test_zero_error_fraction_never_displaces():
+    db = GeolocationDatabase(error_fraction=0.0, seed=9)
+    for i in range(200):
+        db.register(f"k{i}", GeoPoint(5.0, 5.0))
+    assert db.erroneous_keys() == ()
+
+
+def test_seed_determinism():
+    def build(seed):
+        db = GeolocationDatabase(error_fraction=0.5, seed=seed)
+        for i in range(50):
+            db.register(f"k{i}", GeoPoint(0.0, 0.0))
+        return [str(db.lookup(f"k{i}")) for i in range(50)]
+
+    assert build(11) == build(11)
+    assert build(11) != build(12)
+
+
+def test_iteration_yields_records():
+    db = GeolocationDatabase(error_fraction=0.0)
+    db.register("a", GeoPoint(0, 0))
+    assert [r.key for r in db] == ["a"]
+
+
+@pytest.mark.parametrize("fraction", [-0.1, 1.5])
+def test_bad_error_fraction(fraction):
+    with pytest.raises(GeoError):
+        GeolocationDatabase(error_fraction=fraction)
+
+
+def test_bad_error_distance():
+    with pytest.raises(GeoError):
+        GeolocationDatabase(error_distance_km=-5.0)

@@ -1,0 +1,105 @@
+"""Tests for the metro database (repro.geo.metros)."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.geo.metros import Metro, MetroDatabase, builtin_metros
+from repro.geo.regions import Region
+
+
+class TestBuiltinTable:
+    def test_has_many_metros(self):
+        assert len(builtin_metros()) >= 100
+
+    def test_codes_unique(self):
+        codes = [m.code for m in builtin_metros()]
+        assert len(codes) == len(set(codes))
+
+    def test_every_region_represented(self):
+        regions = {m.region for m in builtin_metros()}
+        assert regions == set(Region)
+
+    def test_populations_positive(self):
+        assert all(m.population_m > 0 for m in builtin_metros())
+
+    @pytest.mark.parametrize(
+        "code,country", [("nyc", "US"), ("lon", "GB"), ("tyo", "JP"), ("sao", "BR")]
+    )
+    def test_known_entries(self, code, country):
+        db = MetroDatabase()
+        assert db.get(code).country == country
+
+    def test_metro_distance_method(self):
+        db = MetroDatabase()
+        nyc, lon = db.get("nyc"), db.get("lon")
+        assert nyc.distance_km(lon) == pytest.approx(5570, abs=30)
+
+
+class TestMetroDatabase:
+    def test_default_uses_builtin(self):
+        assert len(MetroDatabase()) == len(builtin_metros())
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeoError):
+            MetroDatabase([])
+
+    def test_duplicate_code_rejected(self):
+        metro = builtin_metros()[0]
+        with pytest.raises(GeoError, match="duplicate"):
+            MetroDatabase([metro, metro])
+
+    def test_get_unknown(self):
+        with pytest.raises(GeoError, match="unknown metro"):
+            MetroDatabase().get("zzz")
+
+    def test_contains(self):
+        db = MetroDatabase()
+        assert "nyc" in db
+        assert "zzz" not in db
+
+    def test_codes_order_matches_iteration(self):
+        db = MetroDatabase()
+        assert list(db.codes) == [m.code for m in db]
+
+    def test_in_region(self):
+        db = MetroDatabase()
+        europe = db.in_region(Region.EUROPE)
+        assert all(m.region == Region.EUROPE for m in europe)
+        assert any(m.code == "lon" for m in europe)
+
+    def test_nearest_single(self):
+        db = MetroDatabase()
+        # A point in Manhattan should resolve to NYC.
+        assert db.nearest_metro(GeoPoint(40.78, -73.97)).code == "nyc"
+
+    def test_nearest_ordering(self):
+        db = MetroDatabase()
+        point = db.get("lon").location
+        nearest = db.nearest(point, count=5)
+        distances = [haversine_km(m.location, point) for m in nearest]
+        assert distances == sorted(distances)
+        assert nearest[0].code == "lon"
+
+    def test_nearest_count_validation(self):
+        with pytest.raises(GeoError):
+            MetroDatabase().nearest(GeoPoint(0, 0), count=0)
+
+    def test_within_km(self):
+        db = MetroDatabase()
+        point = db.get("nyc").location
+        nearby = db.within_km(point, 160.0)
+        codes = {m.code for m in nearby}
+        assert "nyc" in codes
+        assert "phl" in codes  # Philadelphia ~130 km from NYC
+        assert "lax" not in codes
+
+    def test_within_km_negative_radius(self):
+        with pytest.raises(GeoError):
+            MetroDatabase().within_km(GeoPoint(0, 0), -1.0)
+
+    def test_total_population(self):
+        db = MetroDatabase()
+        assert db.total_population_m() == pytest.approx(
+            sum(m.population_m for m in db)
+        )

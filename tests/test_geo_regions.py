@@ -1,0 +1,47 @@
+"""Tests for the continental-region classifier."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.geo.metros import MetroDatabase
+from repro.geo.regions import Region, region_of_point
+
+
+@pytest.mark.parametrize(
+    "code,expected",
+    [
+        ("nyc", Region.NORTH_AMERICA),
+        ("mex", Region.NORTH_AMERICA),
+        ("sao", Region.SOUTH_AMERICA),
+        ("bue", Region.SOUTH_AMERICA),
+        ("lon", Region.EUROPE),
+        ("mow", Region.EUROPE),
+        ("ist", Region.EUROPE),
+        ("jnb", Region.AFRICA),
+        ("cai", Region.AFRICA),
+        ("tyo", Region.ASIA),
+        ("sin", Region.ASIA),
+        ("dxb", Region.ASIA),
+        ("del", Region.ASIA),
+        ("syd", Region.OCEANIA),
+        ("akl", Region.OCEANIA),
+    ],
+)
+def test_known_metros_classify_to_their_region(code, expected):
+    metro = MetroDatabase().get(code)
+    assert metro.region == expected
+    assert region_of_point(metro.location) == expected
+
+
+def test_classifier_agrees_with_metro_tags_mostly():
+    """The bounding-box classifier should agree with the authoritative tag
+    for the overwhelming majority of the builtin metros."""
+    db = MetroDatabase()
+    disagreements = [
+        m.code for m in db if region_of_point(m.location) != m.region
+    ]
+    assert len(disagreements) <= max(2, len(db) // 20), disagreements
+
+
+def test_region_str():
+    assert str(Region.EUROPE) == "europe"

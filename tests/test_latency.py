@@ -1,0 +1,244 @@
+"""Tests for the latency model and percentile utilities."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.latency.model import LatencyConfig, LatencyModel
+from repro.latency.sampling import (
+    coefficient_of_variation,
+    percentile,
+    percentile_stability_profile,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fiber_km_per_ms": 0.0},
+            {"path_stretch": 0.9},
+            {"backbone_stretch": 0.5},
+            {"per_hop_ms": -1.0},
+            {"jitter_sigma": -0.1},
+            {"spike_probability": 1.0},
+            {"daily_variation_probability": -0.1},
+            {"anycast_daily_variation_probability": 1.0},
+            {"daily_variation_sigma": -1.0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(**kwargs)
+
+
+class TestBaseline:
+    @pytest.fixture()
+    def model(self):
+        return LatencyModel(
+            LatencyConfig(
+                jitter_median_ms=0.0,
+                spike_probability=0.0,
+                daily_variation_probability=0.0,
+                anycast_daily_variation_probability=0.0,
+            )
+        )
+
+    def test_monotone_in_distance(self, model):
+        short = model.baseline_rtt_ms(100, 0, 2, 5.0)
+        long = model.baseline_rtt_ms(1000, 0, 2, 5.0)
+        assert long > short
+
+    def test_propagation_math(self, model):
+        cfg = model.config
+        rtt = model.baseline_rtt_ms(1000.0, 0.0, 1, 0.0)
+        expected = 2 * 1000.0 * cfg.path_stretch / cfg.fiber_km_per_ms
+        expected += cfg.per_hop_ms
+        assert rtt == pytest.approx(expected)
+
+    def test_backbone_uses_its_own_stretch(self, model):
+        cfg = model.config
+        with_backbone = model.baseline_rtt_ms(0.0, 500.0, 1, 0.0)
+        expected = 2 * 500.0 * cfg.backbone_stretch / cfg.fiber_km_per_ms
+        expected += cfg.per_hop_ms
+        assert with_backbone == pytest.approx(expected)
+
+    def test_floor_applies(self, model):
+        assert model.baseline_rtt_ms(0.0, 0.0, 1, 0.0) == model.config.min_rtt_ms
+
+    def test_access_delay_added(self, model):
+        base = model.baseline_rtt_ms(1000, 0, 2, 0.0)
+        assert model.baseline_rtt_ms(1000, 0, 2, 7.5) == pytest.approx(base + 7.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"path_km": -1.0, "backbone_km": 0, "as_hops": 1, "access_delay_ms": 0},
+            {"path_km": 0, "backbone_km": -1.0, "as_hops": 1, "access_delay_ms": 0},
+            {"path_km": 0, "backbone_km": 0, "as_hops": 0, "access_delay_ms": 0},
+            {"path_km": 0, "backbone_km": 0, "as_hops": 1, "access_delay_ms": -1},
+        ],
+    )
+    def test_input_validation(self, model, kwargs):
+        with pytest.raises(ConfigurationError):
+            model.baseline_rtt_ms(**kwargs)
+
+
+class TestSampling:
+    def test_jitter_non_negative(self):
+        model = LatencyModel()
+        rng = random.Random(1)
+        assert all(model.sample_jitter_ms(rng) >= 0 for _ in range(500))
+
+    def test_sample_rtt_at_least_baseline(self):
+        model = LatencyModel()
+        rng = random.Random(2)
+        baseline = model.baseline_rtt_ms(500, 0, 2, 5.0)
+        for _ in range(100):
+            assert model.sample_rtt_ms(500, 0, 2, 5.0, rng) >= baseline
+
+    def test_inflation_added(self):
+        model = LatencyModel(LatencyConfig(jitter_median_ms=0.0, spike_probability=0.0))
+        rng = random.Random(3)
+        plain = model.sample_rtt_ms(500, 0, 2, 5.0, rng)
+        inflated = model.sample_rtt_ms(500, 0, 2, 5.0, rng, inflation_ms=40.0)
+        assert inflated == pytest.approx(plain + 40.0)
+
+    def test_negative_inflation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().sample_rtt_ms(1, 0, 1, 0, random.Random(0), -1.0)
+
+    def test_spikes_fatten_the_tail(self):
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        spiky = LatencyModel(LatencyConfig(spike_probability=0.3))
+        calm = LatencyModel(LatencyConfig(spike_probability=0.0))
+        spiky_draws = sorted(spiky.sample_jitter_ms(rng_a) for _ in range(2000))
+        calm_draws = sorted(calm.sample_jitter_ms(rng_b) for _ in range(2000))
+        assert np.percentile(spiky_draws, 95) > np.percentile(calm_draws, 95) + 10
+
+    def test_daily_variation_probability_split(self):
+        model = LatencyModel(
+            LatencyConfig(
+                daily_variation_probability=0.5,
+                anycast_daily_variation_probability=0.0,
+            )
+        )
+        rng = random.Random(7)
+        unicast_hits = sum(
+            1 for _ in range(1000) if model.sample_daily_variation_ms(rng) > 0
+        )
+        anycast_hits = sum(
+            1
+            for _ in range(1000)
+            if model.sample_daily_variation_ms(rng, anycast=True) > 0
+        )
+        assert 400 <= unicast_hits <= 600
+        assert anycast_hits == 0
+
+    def test_determinism_with_seed(self):
+        model = LatencyModel()
+        a = [model.sample_jitter_ms(random.Random(9)) for _ in range(5)]
+        b = [model.sample_jitter_ms(random.Random(9)) for _ in range(5)]
+        assert a == b
+
+    def test_static_offset_probability_split(self):
+        model = LatencyModel(
+            LatencyConfig(
+                static_offset_probability=0.5,
+                anycast_static_offset_probability=0.0,
+            )
+        )
+        rng = random.Random(11)
+        unicast_hits = sum(
+            1 for _ in range(1000) if model.sample_static_offset_ms(rng) > 0
+        )
+        anycast_hits = sum(
+            1
+            for _ in range(1000)
+            if model.sample_static_offset_ms(rng, anycast=True) > 0
+        )
+        assert 400 <= unicast_hits <= 600
+        assert anycast_hits == 0
+
+    def test_static_offset_positive_when_present(self):
+        model = LatencyModel(LatencyConfig(static_offset_probability=0.9))
+        rng = random.Random(12)
+        draws = [model.sample_static_offset_ms(rng) for _ in range(200)]
+        assert all(d >= 0 for d in draws)
+        assert any(d > 0 for d in draws)
+
+    def test_static_offset_config_validated(self):
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(static_offset_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(static_offset_median_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyConfig(static_offset_sigma=-0.5)
+
+
+class TestSection6Property:
+    def test_percentile_stability_increases_with_percentile(self):
+        """§6's premise: low percentiles of a latency distribution are
+        stable, high ones noisy.  The model must reproduce it."""
+        model = LatencyModel()
+        rng_template = random.Random(0)
+
+        def sampler(rng):
+            return 20.0 + model.sample_jitter_ms(rng)
+
+        profile = percentile_stability_profile(
+            sampler, percentiles=(25.0, 50.0, 95.0), batches=40, batch_size=50
+        )
+        assert profile[25.0] < profile[95.0]
+        assert profile[50.0] < profile[95.0]
+
+    def test_profile_validation(self):
+        with pytest.raises(AnalysisError):
+            percentile_stability_profile(lambda rng: 1.0, batches=1)
+
+
+class TestPercentileHelpers:
+    def test_matches_numpy(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            assert percentile(values, q) == pytest.approx(
+                np.percentile(values, q)
+            )
+
+    def test_single_value(self):
+        assert percentile([4.2], 75) == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            percentile([1.0], 101)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=60,
+        ),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60)
+    def test_percentile_matches_numpy_property(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-9, abs=1e-9
+        )
+
+    def test_cov(self):
+        assert coefficient_of_variation([1.0, 1.0, 1.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) > 0
+
+    def test_cov_validation(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([1.0])
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([-1.0, 1.0])

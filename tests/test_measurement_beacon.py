@@ -1,0 +1,209 @@
+"""Tests for the beacon methodology (selector, runner, backend join)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.cdn.frontend import FrontEnd
+from repro.dns.authoritative import ANYCAST_TARGET
+from repro.geo.geolocation import GeolocationDatabase
+from repro.geo.metros import MetroDatabase
+from repro.measurement.backend import BeaconBackend, join_raw_log
+from repro.measurement.beacon import (
+    BeaconConfig,
+    BeaconRunner,
+    BeaconTargetSelector,
+)
+from repro.measurement.logs import (
+    HttpLogEntry,
+    RawMeasurementLog,
+    ServerLogEntry,
+)
+from repro.net.ip import IPv4Prefix, PrefixAllocator
+
+
+@pytest.fixture(scope="module")
+def frontends():
+    db = MetroDatabase()
+    allocator = PrefixAllocator(IPv4Prefix.parse("198.18.0.0/16"))
+    codes = ["lon", "par", "fra", "ams", "mad", "rom", "waw", "sto",
+             "nyc", "chi", "lax", "tyo"]
+    return tuple(
+        FrontEnd(f"fe-{c}", db.get(c), allocator.allocate_slash24())
+        for c in codes
+    )
+
+
+@pytest.fixture(scope="module")
+def geo():
+    db = GeolocationDatabase(error_fraction=0.0)
+    metro_db = MetroDatabase()
+    db.register("ldns-lon", metro_db.get("lon").location)
+    db.register("ldns-nyc", metro_db.get("nyc").location)
+    return db
+
+
+class TestSelector:
+    def test_candidates_sorted_by_distance(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        candidates = selector.candidates("ldns-lon")
+        assert candidates[0] == "fe-lon"
+        assert len(candidates) == BeaconConfig().candidate_count
+        # Paris/Amsterdam should come before Tokyo for a London LDNS.
+        assert candidates.index("fe-par") < len(candidates)
+        assert "fe-tyo" not in candidates[:5]
+
+    def test_closest(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        assert selector.closest("ldns-nyc") == "fe-nyc"
+
+    def test_select_targets_structure(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        rng = random.Random(0)
+        targets = selector.select_targets("ldns-lon", rng)
+        assert targets[0] == ANYCAST_TARGET
+        assert targets[1] == "fe-lon"
+        assert len(targets) == 2 + BeaconConfig().random_picks
+        assert len(set(targets)) == len(targets)  # picks are distinct
+        candidates = selector.candidates("ldns-lon")
+        assert set(targets[2:]) <= set(candidates[1:])
+
+    def test_random_picks_biased_to_closer(self, frontends, geo):
+        """§3.3: the 3rd-closest front-end is returned with higher
+        probability than the 4th-closest."""
+        selector = BeaconTargetSelector(frontends, geo)
+        candidates = selector.candidates("ldns-lon")
+        rng = random.Random(1)
+        counts = Counter()
+        for _ in range(4000):
+            for target in selector.select_targets("ldns-lon", rng)[2:]:
+                counts[target] += 1
+        third, seventh = candidates[2], candidates[7]
+        assert counts[third] > counts[seventh] * 1.3
+
+    def test_candidate_cache_is_stable(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        assert selector.candidates("ldns-lon") is selector.candidates("ldns-lon")
+
+    def test_needs_frontends(self, geo):
+        with pytest.raises(ConfigurationError):
+            BeaconTargetSelector((), geo)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"candidate_count": 1},
+            {"random_picks": 10, "candidate_count": 10},
+            {"resource_timing_support": 1.5},
+            {"distance_weight_power": -1.0},
+            {"dns_ttl_seconds": 0.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BeaconConfig(**kwargs)
+
+
+class TestRunner:
+    def serve(self, target_id):
+        if target_id == ANYCAST_TARGET:
+            return "fe-lon", 20.4
+        return target_id, 25.6
+
+    def test_one_fetch_per_target(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        runner = BeaconRunner(selector)
+        fetches = runner.run_beacon(
+            "ldns-lon", True, self.serve, random.Random(0)
+        )
+        assert len(fetches) == 4
+        assert fetches[0].target_id == ANYCAST_TARGET
+        assert fetches[0].serving_frontend_id == "fe-lon"
+        assert all(f.dns_cache_hit for f in fetches)
+
+    def test_measurement_ids_unique(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        runner = BeaconRunner(selector)
+        ids = set()
+        for _ in range(10):
+            for fetch in runner.run_beacon(
+                "ldns-lon", True, self.serve, random.Random(0)
+            ):
+                ids.add(fetch.measurement_id)
+        assert len(ids) == 40
+
+    def test_rtt_rounded_to_integer_ms(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        runner = BeaconRunner(selector)
+        fetches = runner.run_beacon(
+            "ldns-lon", True, self.serve, random.Random(0)
+        )
+        assert all(f.rtt_ms == round(f.rtt_ms) for f in fetches)
+        assert fetches[0].rtt_ms == 20.0
+
+    def test_primitive_timing_adds_overhead(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        runner = BeaconRunner(selector)
+        with_rt = runner.run_beacon("ldns-lon", True, self.serve, random.Random(5))
+        without_rt = runner.run_beacon("ldns-lon", False, self.serve, random.Random(5))
+        assert sum(f.rtt_ms for f in without_rt) > sum(f.rtt_ms for f in with_rt)
+        assert all(not f.used_resource_timing for f in without_rt)
+
+    def test_cache_purge(self, frontends, geo):
+        selector = BeaconTargetSelector(frontends, geo)
+        runner = BeaconRunner(selector)
+        runner.run_beacon("ldns-lon", True, self.serve, random.Random(0), now=0.0)
+        # Purging far in the future clears entries without error.
+        runner.purge_caches(now=1e9)
+
+
+class TestBackendJoin:
+    def test_incremental_join_any_order(self):
+        joined = []
+        backend = BeaconBackend([joined.append])
+        http = HttpLogEntry(0, "m1", "10.0.0.0/24", 33.0, True)
+        backend.on_http(http)
+        assert backend.pending_count == 1
+        backend.on_server("m1", "fe-lon")
+        backend.on_dns("m1", "ldns-1", ANYCAST_TARGET)
+        assert backend.pending_count == 0
+        assert backend.joined_count == 1
+        row = joined[0]
+        assert row.frontend_id == "fe-lon"
+        assert row.target_id == ANYCAST_TARGET
+        assert row.rtt_ms == 33.0
+
+    def test_multiple_observers(self):
+        a, b = [], []
+        backend = BeaconBackend([a.append])
+        backend.add_observer(b.append)
+        backend.on_dns("m1", "l", "t")
+        backend.on_server("m1", "f")
+        backend.on_http(HttpLogEntry(0, "m1", "p", 1.0, True))
+        assert len(a) == len(b) == 1
+
+    def test_join_raw_log(self):
+        log = RawMeasurementLog()
+        log.record_dns("m1", "ldns-1", "fe-par")
+        log.record_http(HttpLogEntry(2, "m1", "10.0.0.0/24", 12.0, True))
+        log.record_server(ServerLogEntry(2, "m1", "fe-par"))
+        joined = join_raw_log(log)
+        assert len(joined) == 1
+        assert joined[0].day == 2
+        assert joined[0].ldns_id == "ldns-1"
+
+    def test_join_raw_log_missing_server_row(self):
+        log = RawMeasurementLog()
+        log.record_dns("m1", "ldns-1", "fe-par")
+        log.record_http(HttpLogEntry(2, "m1", "10.0.0.0/24", 12.0, True))
+        with pytest.raises(MeasurementError, match="server log"):
+            join_raw_log(log)
+
+    def test_join_raw_log_missing_dns_row(self):
+        log = RawMeasurementLog()
+        log.record_http(HttpLogEntry(2, "m1", "10.0.0.0/24", 12.0, True))
+        log.record_server(ServerLogEntry(2, "m1", "fe-par"))
+        with pytest.raises(MeasurementError, match="no DNS record"):
+            join_raw_log(log)

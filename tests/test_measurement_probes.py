@@ -1,0 +1,84 @@
+"""Tests for the Atlas-like probe network."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.measurement.probes import ProbeNetwork
+from repro.net.topology import AsRole
+
+
+@pytest.fixture(scope="module")
+def probes(cdn_world):
+    topology, _, _ = cdn_world
+    return ProbeNetwork(topology, coverage=1.0, seed=1)
+
+
+def test_full_coverage_places_probe_per_pair(cdn_world, probes):
+    topology, _, _ = cdn_world
+    pairs = sum(
+        len(a.pop_metros) for a in topology.ases_with_role(AsRole.ACCESS)
+    )
+    assert len(probes) == pairs
+
+
+def test_partial_coverage_places_fewer(cdn_world):
+    topology, _, _ = cdn_world
+    sparse = ProbeNetwork(topology, coverage=0.3, seed=1)
+    full = ProbeNetwork(topology, coverage=1.0, seed=1)
+    assert 0 < len(sparse) < len(full)
+
+
+def test_lookup_by_pair_and_metro(cdn_world, probes):
+    topology, _, _ = cdn_world
+    access = topology.ases_with_role(AsRole.ACCESS)[0]
+    metro = sorted(access.pop_metros)[0]
+    probe = probes.probe_for(access.asn, metro)
+    assert probe is not None
+    assert probe.asn == access.asn
+    assert probe in probes.probes_in(metro)
+    assert probes.get(probe.probe_id) is probe
+
+
+def test_unknown_probe(probes):
+    with pytest.raises(MeasurementError):
+        probes.get("probe-99999")
+
+
+def test_missing_pair_returns_none(probes):
+    assert probes.probe_for(424242, "nyc") is None
+
+
+def test_traceroutes_reach_the_cdn(cdn_world, probes):
+    topology, deployment, network = cdn_world
+    access = topology.ases_with_role(AsRole.ACCESS)[0]
+    metro = sorted(access.pop_metros)[0]
+    probe = probes.probe_for(access.asn, metro)
+    trace = probes.traceroute_anycast(probe, network)
+    assert trace.destination_asn == deployment.asn
+    fe = deployment.frontends[0]
+    unicast = probes.traceroute_unicast(probe, network, fe.frontend_id)
+    assert unicast.hops[-1].metro_code == fe.metro_code
+
+
+def test_investigate_returns_both_traces(cdn_world, probes):
+    topology, deployment, network = cdn_world
+    access = topology.ases_with_role(AsRole.ACCESS)[0]
+    metro = sorted(access.pop_metros)[0]
+    result = probes.investigate(network, access.asn, metro)
+    assert result is not None
+    anycast_trace, unicast_trace = result
+    assert anycast_trace.source_metro == metro
+    assert unicast_trace.source_metro == metro
+
+
+def test_investigate_without_probe(cdn_world, probes):
+    _, _, network = cdn_world
+    assert probes.investigate(network, 424242, "nyc") is None
+
+
+def test_coverage_validated(cdn_world):
+    topology, _, _ = cdn_world
+    with pytest.raises(ConfigurationError):
+        ProbeNetwork(topology, coverage=0.0)
+    with pytest.raises(ConfigurationError):
+        ProbeNetwork(topology, coverage=1.5)

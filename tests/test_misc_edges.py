@@ -1,0 +1,80 @@
+"""Edge-case tests across modules that the mainline suites don't reach."""
+
+import pytest
+
+from repro.errors import MeasurementError, PredictionError
+from repro.cdn.network import ServedPath
+from repro.core.hybrid import HybridRedirector
+from repro.core.predictor import HistoryBasedPredictor
+from repro.dns.authoritative import ANYCAST_TARGET
+from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
+from repro.net.anycast import AnycastRoute
+
+
+class TestServedPath:
+    def test_total_km(self, cdn_world):
+        topology, _, network = cdn_world
+        from repro.net.topology import AsRole
+
+        access = topology.ases_with_role(AsRole.ACCESS)[0]
+        metro = sorted(access.pop_metros)[0]
+        path = network.anycast_path(access.asn, metro)
+        assert path.total_km == pytest.approx(
+            path.path_km + path.backbone_km
+        )
+
+
+class TestAnycastRouteAccessors:
+    def test_paths_and_metros(self):
+        route = AnycastRoute(
+            client_asn=100,
+            client_metro="nyc",
+            hops=((100, "nyc"), (10, "chi"), (1, "sea")),
+        )
+        assert route.as_path == (100, 10, 1)
+        assert route.metro_path == ("nyc", "chi", "sea")
+        assert route.origin_asn == 1
+        assert route.ingress_metro == "sea"
+
+
+class TestRequestDiffLogLimits:
+    def test_region_code_limit(self):
+        log = RequestDiffLog()
+        for index in range(128):
+            log.region_code(f"region-{index}")
+        with pytest.raises(MeasurementError, match="too many"):
+            log.region_code("one-more")
+
+
+class TestPredictorWithoutAnycastBaseline:
+    def aggregates(self):
+        agg = GroupedDailyAggregates("ecs")
+        for _ in range(25):
+            agg.observe(0, "g", "fe-a", 30.0)
+        # anycast measured, but under the sample cut
+        for _ in range(3):
+            agg.observe(0, "g", ANYCAST_TARGET, 50.0)
+        return agg
+
+    def test_prediction_without_anycast_metric(self):
+        prediction = HistoryBasedPredictor().predict_group(
+            self.aggregates(), 0, "g"
+        )
+        assert prediction is not None
+        assert prediction.target_id == "fe-a"
+        assert prediction.anycast_metric_ms is None
+        assert prediction.predicted_gain_ms == 0.0
+
+    def test_hybrid_skips_unbaselined_groups(self):
+        # Without an anycast baseline the gain is unknowable; the hybrid
+        # conservatively keeps the group on anycast.
+        selected = HybridRedirector().select_redirections(
+            self.aggregates(), 0
+        )
+        assert selected == {}
+
+
+class TestStudyArgumentsValidation:
+    def test_hybrid_build_policy_requires_some_aggregates(self):
+        with pytest.raises(PredictionError):
+            HybridRedirector().build_policy()

@@ -1,0 +1,153 @@
+"""Tests for data-plane resolution (repro.net.anycast)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geo.metros import MetroDatabase
+from repro.net.anycast import AnycastResolver, resolve_route
+from repro.net.bgp import Announcement, RouteComputation
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import (
+    AsRole,
+    AutonomousSystem,
+    EgressPolicy,
+    LinkKind,
+    TopologyBuilder,
+)
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+def build_scene(isp_cold_egress=None):
+    """Client ISP (AS 100) spans nyc/chi/lax; origin (AS 1) is present at
+    the same metros and peers everywhere."""
+    builder = TopologyBuilder(MetroDatabase())
+    builder.add_as(
+        AutonomousSystem(
+            asn=1, name="origin", role=AsRole.CDN,
+            pop_metros=frozenset({"nyc", "chi", "lax"}),
+        )
+    )
+    builder.add_as(
+        AutonomousSystem(
+            asn=100, name="isp", role=AsRole.ACCESS,
+            pop_metros=frozenset({"nyc", "chi", "lax"}),
+            egress_policy=(
+                EgressPolicy.COLD_POTATO if isp_cold_egress else EgressPolicy.HOT_POTATO
+            ),
+            cold_potato_egress=isp_cold_egress,
+        )
+    )
+    builder.connect(100, 1, LinkKind.PEERING)
+    topo = builder.build()
+    rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+    return topo, rib
+
+
+class TestResolveRoute:
+    def test_hot_potato_ingresses_at_client_metro(self):
+        topo, rib = build_scene()
+        route = resolve_route(topo, rib, 100, "chi")
+        assert route.ingress_metro == "chi"
+        assert route.as_path == (100, 1)
+        assert route.metro_path == ("chi", "chi")
+
+    def test_cold_potato_ingresses_at_designated_metro(self):
+        topo, rib = build_scene(isp_cold_egress="lax")
+        route = resolve_route(topo, rib, 100, "nyc")
+        assert route.ingress_metro == "lax"
+
+    def test_non_pop_metro_rejected(self):
+        topo, rib = build_scene()
+        with pytest.raises(RoutingError, match="no PoP"):
+            resolve_route(topo, rib, 100, "lon")
+
+    def test_no_route_rejected(self):
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(
+            AutonomousSystem(
+                asn=1, name="o", role=AsRole.CDN, pop_metros=frozenset({"nyc"})
+            )
+        )
+        builder.add_as(
+            AutonomousSystem(
+                asn=2, name="island", role=AsRole.ACCESS,
+                pop_metros=frozenset({"lon"}),
+            )
+        )
+        topo = builder.build()
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        with pytest.raises(RoutingError, match="no route"):
+            resolve_route(topo, rib, 2, "lon")
+
+    def test_egress_rank_selects_alternate(self):
+        topo, rib = build_scene()
+        base = resolve_route(topo, rib, 100, "nyc", first_hop_egress_rank=0)
+        alternate = resolve_route(topo, rib, 100, "nyc", first_hop_egress_rank=1)
+        assert base.ingress_metro == "nyc"
+        assert alternate.ingress_metro != "nyc"
+
+    def test_multi_hop_walk(self):
+        """Client -> transit -> origin, with the transit handing off
+        hot-potato nearest its entry point."""
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(
+            AutonomousSystem(
+                asn=1, name="o", role=AsRole.CDN,
+                pop_metros=frozenset({"sea", "mia"}),
+            )
+        )
+        builder.add_as(
+            AutonomousSystem(
+                asn=10, name="transit", role=AsRole.TRANSIT,
+                pop_metros=frozenset({"nyc", "sea", "mia"}),
+            )
+        )
+        builder.add_as(
+            AutonomousSystem(
+                asn=100, name="isp", role=AsRole.ACCESS,
+                pop_metros=frozenset({"nyc"}),
+            )
+        )
+        builder.connect(100, 10, LinkKind.CUSTOMER_PROVIDER)
+        builder.connect(10, 1, LinkKind.PEERING)
+        topo = builder.build()
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        route = resolve_route(topo, rib, 100, "nyc")
+        # Transit enters at nyc, hands off at its nearest interconnect
+        # with the origin: Miami is closer to NYC than Seattle.
+        assert route.as_path == (100, 10, 1)
+        assert route.ingress_metro == "mia"
+
+
+class TestAnycastResolver:
+    def test_caching_returns_same_object(self):
+        topo, rib = build_scene()
+        resolver = AnycastResolver(topo, rib)
+        first = resolver.resolve(100, "nyc")
+        second = resolver.resolve(100, "nyc")
+        assert first is second
+
+    def test_rank_cached_separately(self):
+        topo, rib = build_scene()
+        resolver = AnycastResolver(topo, rib)
+        assert resolver.ingress_metro(100, "nyc", 0) == "nyc"
+        assert resolver.ingress_metro(100, "nyc", 1) != "nyc"
+
+    def test_variant_count(self):
+        topo, rib = build_scene()
+        resolver = AnycastResolver(topo, rib)
+        assert resolver.variant_count(100, "nyc") == 3
+
+    def test_has_route(self):
+        topo, rib = build_scene()
+        resolver = AnycastResolver(topo, rib)
+        assert resolver.has_route(100)
+        assert not resolver.has_route(999)
+
+    def test_route_properties(self):
+        topo, rib = build_scene()
+        route = AnycastResolver(topo, rib).resolve(100, "lax")
+        assert route.origin_asn == 1
+        assert route.client_asn == 100
+        assert route.client_metro == "lax"

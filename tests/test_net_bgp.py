@@ -1,0 +1,284 @@
+"""Tests for Gao–Rexford route computation (repro.net.bgp).
+
+The hand-built topologies here exercise every selection and export rule on
+graphs small enough to verify by inspection.
+"""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geo.metros import MetroDatabase
+from repro.net.bgp import Announcement, RouteComputation, relationship_preference
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import (
+    AsRole,
+    AutonomousSystem,
+    LinkKind,
+    Relationship,
+    TopologyBuilder,
+    generate_topology,
+)
+
+PREFIX = IPv4Prefix.parse("203.0.113.0/24")
+
+
+def make_as(asn, metros, role=AsRole.ACCESS):
+    return AutonomousSystem(
+        asn=asn, name=f"AS{asn}", role=role, pop_metros=frozenset(metros)
+    )
+
+
+def build(links, ases):
+    """links: list of (a, b, kind). ases: dict asn -> metro list."""
+    builder = TopologyBuilder(MetroDatabase())
+    for asn, metros in ases.items():
+        builder.add_as(make_as(asn, metros))
+    for a, b, kind in links:
+        builder.connect(a, b, kind)
+    return builder.build()
+
+
+C2P = LinkKind.CUSTOMER_PROVIDER
+PEER = LinkKind.PEERING
+
+
+class TestSelectionRules:
+    def test_customer_preferred_over_peer(self):
+        # 3 can reach origin 1 via customer 2 (longer) or via peer 1 directly.
+        topo = build(
+            links=[
+                (1, 3, PEER),        # 1 and 3 peer
+                (2, 3, C2P),         # 2 is customer of 3
+                (1, 2, C2P),         # 1 is customer of 2
+            ],
+            ases={1: ["nyc"], 2: ["nyc"], 3: ["nyc"]},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        # AS3 hears (3,2,1) via customer 2 and (3,1) via peer 1.
+        # Customer route wins despite being longer.
+        entry = rib.get(3)
+        assert entry.learned_from is Relationship.CUSTOMER
+        assert entry.as_path == (3, 2, 1)
+
+    def test_peer_preferred_over_provider(self):
+        # 4 reaches origin 1 either via peer 2 or via its provider 3.
+        topo = build(
+            links=[
+                (1, 2, C2P),   # 1 customer of 2
+                (1, 3, C2P),   # 1 customer of 3
+                (2, 4, PEER),
+                (4, 3, C2P),   # 4 customer of 3
+            ],
+            ases={1: ["nyc"], 2: ["nyc"], 3: ["nyc"], 4: ["nyc"]},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        entry = rib.get(4)
+        assert entry.learned_from is Relationship.PEER
+        assert entry.as_path == (4, 2, 1)
+
+    def test_shorter_path_wins_within_class(self):
+        # Two customer chains to the origin of different lengths.
+        topo = build(
+            links=[
+                (1, 2, C2P),
+                (2, 4, C2P),
+                (1, 3, C2P),
+                (3, 5, C2P),
+                (5, 4, C2P),
+            ],
+            ases={n: ["nyc"] for n in (1, 2, 3, 4, 5)},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        assert rib.get(4).as_path == (4, 2, 1)
+
+    def test_tie_break_lowest_next_hop(self):
+        topo = build(
+            links=[
+                (1, 2, C2P),
+                (1, 3, C2P),
+                (2, 4, C2P),
+                (3, 4, C2P),
+            ],
+            ases={n: ["nyc"] for n in (1, 2, 3, 4)},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        assert rib.get(4).next_hop == 2
+
+
+class TestExportRules:
+    def test_peer_route_not_exported_to_peer(self):
+        # 2 learns route from peer 1; 2 must NOT export it to peer 3.
+        topo = build(
+            links=[
+                (1, 2, PEER),
+                (2, 3, PEER),
+            ],
+            ases={1: ["nyc"], 2: ["nyc"], 3: ["nyc"]},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        assert rib.has_route(2)
+        assert not rib.has_route(3)
+
+    def test_provider_route_not_exported_upward(self):
+        # 2 learns from its provider 1... i.e. origin is 2's provider; 2's
+        # other provider 3 must not learn the route through 2.
+        topo = build(
+            links=[
+                (2, 1, C2P),  # 2 customer of origin 1
+                (2, 3, C2P),  # 2 customer of 3
+            ],
+            ases={1: ["nyc"], 2: ["nyc"], 3: ["nyc"]},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        assert rib.get(2).learned_from is Relationship.PROVIDER
+        assert not rib.has_route(3)
+
+    def test_peer_route_exported_to_customers(self):
+        topo = build(
+            links=[
+                (1, 2, PEER),
+                (3, 2, C2P),  # 3 customer of 2
+            ],
+            ases={1: ["nyc"], 2: ["nyc"], 3: ["nyc"]},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        assert rib.get(3).as_path == (3, 2, 1)
+        assert rib.get(3).learned_from is Relationship.PROVIDER
+
+    def test_customer_route_exported_everywhere(self):
+        # origin 1 is customer of 2; 2 exports to peer 3 and provider 4.
+        topo = build(
+            links=[
+                (1, 2, C2P),
+                (2, 3, PEER),
+                (2, 4, C2P),
+            ],
+            ases={n: ["nyc"] for n in (1, 2, 3, 4)},
+        )
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        assert rib.get(3).as_path == (3, 2, 1)
+        assert rib.get(4).as_path == (4, 2, 1)
+
+
+class TestOriginMetroRestriction:
+    def test_neighbor_without_shared_announce_metro_hears_nothing_direct(self):
+        # Origin 1 has PoPs in nyc+lon, announces only at lon; neighbor 2
+        # interconnects only at nyc -> no direct route.
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(make_as(1, ["nyc", "lon"]))
+        builder.add_as(make_as(2, ["nyc"]))
+        builder.connect(1, 2, PEER, ["nyc"])
+        topo = builder.build()
+        rib = RouteComputation(topo).compute(
+            Announcement(PREFIX, 1, frozenset({"lon"}))
+        )
+        assert not rib.has_route(2)
+
+    def test_handoff_metros_restricted_at_origin(self):
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(make_as(1, ["nyc", "lon"]))
+        builder.add_as(make_as(2, ["nyc", "lon"]))
+        builder.connect(1, 2, PEER, ["nyc", "lon"])
+        topo = builder.build()
+        rib = RouteComputation(topo).compute(
+            Announcement(PREFIX, 1, frozenset({"lon"}))
+        )
+        assert rib.get(2).handoff_metros == frozenset({"lon"})
+
+    def test_unknown_announce_metro_rejected(self):
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(make_as(1, ["nyc"]))
+        topo = builder.build()
+        with pytest.raises(RoutingError, match="no PoP"):
+            RouteComputation(topo).compute(
+                Announcement(PREFIX, 1, frozenset({"lon"}))
+            )
+
+    def test_empty_announce_metros_rejected(self):
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(make_as(1, ["nyc"]))
+        topo = builder.build()
+        with pytest.raises(RoutingError, match="empty"):
+            RouteComputation(topo).compute(
+                Announcement(PREFIX, 1, frozenset())
+            )
+
+
+class TestRibBasics:
+    def test_origin_entry(self):
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(make_as(1, ["nyc"]))
+        topo = builder.build()
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        entry = rib.get(1)
+        assert entry.is_origin
+        assert entry.next_hop is None
+        assert entry.as_path == (1,)
+
+    def test_missing_route_raises(self):
+        builder = TopologyBuilder(MetroDatabase())
+        builder.add_as(make_as(1, ["nyc"]))
+        builder.add_as(make_as(2, ["lon"]))
+        topo = builder.build()
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+        with pytest.raises(RoutingError, match="no route"):
+            rib.get(2)
+
+    def test_preference_order(self):
+        assert relationship_preference(Relationship.CUSTOMER) < (
+            relationship_preference(Relationship.PEER)
+        ) < relationship_preference(Relationship.PROVIDER)
+
+
+class TestGeneratedTopologyInvariants:
+    @pytest.fixture(scope="class")
+    def topo_and_rib(self):
+        topo = generate_topology(MetroDatabase(), seed=13)
+        tier1 = topo.ases_with_role(AsRole.TIER1)[0]
+        rib = RouteComputation(topo).compute(Announcement(PREFIX, tier1.asn))
+        return topo, rib
+
+    def test_universal_reachability_from_tier1(self, topo_and_rib):
+        topo, rib = topo_and_rib
+        assert len(rib) == len(topo)
+
+    def test_paths_are_loop_free(self, topo_and_rib):
+        _, rib = topo_and_rib
+        for entry in rib:
+            assert len(set(entry.as_path)) == len(entry.as_path)
+
+    def test_next_hop_is_a_neighbor_with_valid_handoff(self, topo_and_rib):
+        topo, rib = topo_and_rib
+        for entry in rib:
+            if entry.is_origin:
+                continue
+            neighbor = topo.neighbor(entry.asn, entry.next_hop)
+            assert entry.handoff_metros
+            assert entry.handoff_metros <= neighbor.metros
+
+    def test_paths_are_valley_free(self, topo_and_rib):
+        """Along every path (origin -> ...), relationships go
+        customer->provider* [peer?] provider->customer* when read from the
+        traffic direction; equivalently, once a path goes 'down' it never
+        goes 'up' again."""
+        topo, rib = topo_and_rib
+        for entry in rib:
+            path = entry.as_path
+            # Walk from the client toward the origin; classify each hop.
+            phases = []
+            for here, there in zip(path, path[1:]):
+                rel = topo.neighbor(here, there).relationship
+                phases.append(rel)
+            # Traffic direction == path direction.  Valid shape:
+            # PROVIDER* (up), then at most one PEER, then CUSTOMER* (down).
+            state = "up"
+            for rel in phases:
+                if state == "up":
+                    if rel is Relationship.PROVIDER:
+                        continue
+                    state = "peer" if rel is Relationship.PEER else "down"
+                elif state == "peer":
+                    assert rel is Relationship.CUSTOMER, path
+                    state = "down"
+                else:
+                    assert rel is Relationship.CUSTOMER, path

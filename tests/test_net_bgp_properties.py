@@ -1,0 +1,95 @@
+"""Property-based BGP tests over randomly generated topologies.
+
+Hypothesis drives the topology-generator knobs; for every resulting
+Internet and a random announcement we assert the global invariants that
+must hold for *any* valley-free route computation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geo.metros import MetroDatabase
+from repro.net.anycast import resolve_route
+from repro.net.bgp import Announcement, RouteComputation
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import (
+    AsRole,
+    Relationship,
+    TopologyConfig,
+    generate_topology,
+)
+
+PREFIX = IPv4Prefix.parse("203.0.113.0/24")
+
+configs = st.builds(
+    TopologyConfig,
+    tier1_count=st.integers(min_value=2, max_value=6),
+    tier1_presence=st.floats(min_value=0.3, max_value=0.9),
+    transit_per_region=st.integers(min_value=1, max_value=3),
+    transit_presence=st.floats(min_value=0.4, max_value=0.95),
+    access_per_country=st.integers(min_value=1, max_value=2),
+    cold_potato_fraction=st.floats(min_value=0.0, max_value=0.4),
+    transit_cold_potato_fraction=st.floats(min_value=0.0, max_value=0.4),
+    multihoming_probability=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@st.composite
+def topology_and_rib(draw):
+    config = draw(configs)
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    topology = generate_topology(MetroDatabase(), config, seed=seed)
+    tier1s = topology.ases_with_role(AsRole.TIER1)
+    origin = tier1s[draw(st.integers(min_value=0, max_value=len(tier1s) - 1))]
+    rib = RouteComputation(topology).compute(Announcement(PREFIX, origin.asn))
+    return topology, rib, origin
+
+
+@given(topology_and_rib())
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_generated_internet_routing_invariants(world):
+    topology, rib, origin = world
+
+    # 1. A tier-1 origin is universally reachable.
+    assert len(rib) == len(topology)
+
+    for entry in rib:
+        path = entry.as_path
+        # 2. Loop-free paths ending at the origin.
+        assert len(set(path)) == len(path)
+        assert path[-1] == origin.asn
+        # 3. Adjacent path elements are topology neighbors, and the
+        #    hand-off metros are legal for the first hop.
+        for here, there in zip(path, path[1:]):
+            assert topology.are_adjacent(here, there)
+        if not entry.is_origin:
+            assert entry.handoff_metros <= topology.neighbor(
+                entry.asn, entry.next_hop
+            ).metros
+        # 4. Valley-freedom: once the path stops climbing via providers it
+        #    never climbs again, and at most one peer link is crossed.
+        state = "up"
+        peers_crossed = 0
+        for here, there in zip(path, path[1:]):
+            rel = topology.neighbor(here, there).relationship
+            if rel is Relationship.PEER:
+                peers_crossed += 1
+            if state == "up":
+                if rel is Relationship.PROVIDER:
+                    continue
+                state = "down"
+            else:
+                assert rel is Relationship.CUSTOMER
+        assert peers_crossed <= 1
+
+    # 5. The data plane terminates at the origin from every access AS PoP.
+    for access in topology.ases_with_role(AsRole.ACCESS)[:10]:
+        metro = sorted(access.pop_metros)[0]
+        route = resolve_route(topology, rib, access.asn, metro)
+        assert route.origin_asn == origin.asn
+        assert route.ingress_metro in origin.pop_metros

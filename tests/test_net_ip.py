@@ -1,0 +1,155 @@
+"""Tests for IPv4 addressing (repro.net.ip)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net.ip import IPv4Address, IPv4Prefix, PrefixAllocator, slash24_of
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+
+
+class TestIPv4Address:
+    def test_parse_and_format(self):
+        addr = IPv4Address.parse("192.168.1.200")
+        assert str(addr) == "192.168.1.200"
+        assert addr.value == (192 << 24) | (168 << 16) | (1 << 8) | 200
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "01.2.3.4", "-1.2.3.4"],
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(text)
+
+    def test_value_range_enforced(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    def test_addition(self):
+        assert str(IPv4Address.parse("10.0.0.0") + 256) == "10.0.1.0"
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    @given(addresses)
+    @settings(max_examples=100)
+    def test_round_trip(self, addr):
+        assert IPv4Address.parse(str(addr)) == addr
+
+
+class TestIPv4Prefix:
+    def test_parse(self):
+        prefix = IPv4Prefix.parse("10.1.2.0/24")
+        assert str(prefix) == "10.1.2.0/24"
+        assert prefix.length == 24
+        assert prefix.num_addresses == 256
+
+    @pytest.mark.parametrize("text", ["10.0.0.0", "10.0.0.0/", "10.0.0.0/ab", "10.0.0.0/33"])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse(text)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError, match="host bits"):
+            IPv4Prefix.parse("10.0.0.1/24")
+
+    def test_contains_address(self):
+        prefix = IPv4Prefix.parse("10.1.2.0/24")
+        assert prefix.contains(IPv4Address.parse("10.1.2.255"))
+        assert not prefix.contains(IPv4Address.parse("10.1.3.0"))
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_zero_length_prefix_contains_everything(self):
+        everything = IPv4Prefix.parse("0.0.0.0/0")
+        assert everything.contains(IPv4Address.parse("255.255.255.255"))
+        assert everything.num_addresses == 1 << 32
+
+    def test_address_at(self):
+        prefix = IPv4Prefix.parse("10.1.2.0/24")
+        assert str(prefix.address_at(0)) == "10.1.2.0"
+        assert str(prefix.address_at(255)) == "10.1.2.255"
+        with pytest.raises(AddressError):
+            prefix.address_at(256)
+        with pytest.raises(AddressError):
+            prefix.address_at(-1)
+
+    def test_first_address(self):
+        prefix = IPv4Prefix.parse("10.1.2.0/24")
+        assert prefix.first_address() == prefix.network
+
+    def test_slash24s(self):
+        prefix = IPv4Prefix.parse("10.0.0.0/22")
+        subnets = list(prefix.slash24s())
+        assert [str(s) for s in subnets] == [
+            "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24",
+        ]
+
+    def test_slash24s_rejects_longer(self):
+        with pytest.raises(AddressError):
+            list(IPv4Prefix.parse("10.0.0.0/25").slash24s())
+
+    def test_slash24_of(self):
+        assert str(slash24_of(IPv4Address.parse("10.1.2.77"))) == "10.1.2.0/24"
+
+    @given(addresses)
+    @settings(max_examples=100)
+    def test_slash24_of_contains_address(self, addr):
+        assert slash24_of(addr).contains(addr)
+
+
+class TestPrefixAllocator:
+    def test_sequential_disjoint(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        a = allocator.allocate_slash24()
+        b = allocator.allocate_slash24()
+        assert a != b
+        assert not a.contains_prefix(b)
+        assert str(a) == "10.0.0.0/24"
+        assert str(b) == "10.0.1.0/24"
+
+    def test_alignment_after_mixed_sizes(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        allocator.allocate(26)  # consumes part of the first /24
+        aligned = allocator.allocate(24)
+        assert aligned.network.value % 256 == 0
+
+    def test_exhaustion(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/23"))
+        allocator.allocate_slash24()
+        allocator.allocate_slash24()
+        with pytest.raises(AddressError, match="exhausted"):
+            allocator.allocate_slash24()
+
+    def test_cannot_allocate_larger_than_pool(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        with pytest.raises(AddressError):
+            allocator.allocate(8)
+
+    def test_remaining_addresses(self):
+        allocator = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/23"))
+        assert allocator.remaining_addresses == 512
+        allocator.allocate_slash24()
+        assert allocator.remaining_addresses == 256
+
+    @given(st.lists(st.integers(min_value=20, max_value=30), min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_allocations_never_overlap(self, lengths):
+        allocator = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/12"))
+        allocated = []
+        for length in lengths:
+            allocated.append(allocator.allocate(length))
+        for i, a in enumerate(allocated):
+            for b in allocated[i + 1:]:
+                assert not a.contains_prefix(b)
+                assert not b.contains_prefix(a)

@@ -1,0 +1,283 @@
+"""Tests for the AS-level topology (repro.net.topology)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geo.metros import MetroDatabase
+from repro.net.topology import (
+    AsRole,
+    AutonomousSystem,
+    EgressPolicy,
+    Link,
+    LinkKind,
+    Relationship,
+    TopologyBuilder,
+    TopologyConfig,
+    generate_topology,
+    populate_base_internet,
+)
+
+
+@pytest.fixture()
+def db():
+    return MetroDatabase()
+
+
+def make_as(asn, metros, role=AsRole.ACCESS, cold=None):
+    return AutonomousSystem(
+        asn=asn,
+        name=f"AS{asn}",
+        role=role,
+        pop_metros=frozenset(metros),
+        egress_policy=EgressPolicy.COLD_POTATO if cold else EgressPolicy.HOT_POTATO,
+        cold_potato_egress=cold,
+    )
+
+
+class TestAutonomousSystem:
+    def test_requires_pops(self):
+        with pytest.raises(TopologyError, match="no PoPs"):
+            make_as(1, [])
+
+    def test_cold_potato_requires_egress(self):
+        with pytest.raises(TopologyError, match="no designated egress"):
+            AutonomousSystem(
+                asn=1, name="x", role=AsRole.ACCESS,
+                pop_metros=frozenset({"nyc"}),
+                egress_policy=EgressPolicy.COLD_POTATO,
+            )
+
+    def test_cold_potato_egress_must_be_pop(self):
+        with pytest.raises(TopologyError, match="not one of its PoPs"):
+            make_as(1, ["nyc"], cold="lon")
+
+    def test_hot_potato_must_not_have_egress(self):
+        with pytest.raises(TopologyError, match="hot-potato"):
+            AutonomousSystem(
+                asn=1, name="x", role=AsRole.ACCESS,
+                pop_metros=frozenset({"nyc"}),
+                egress_policy=EgressPolicy.HOT_POTATO,
+                cold_potato_egress="nyc",
+            )
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError, match="self-link"):
+            Link(a=1, b=1, kind=LinkKind.PEERING, metros=frozenset({"nyc"}))
+
+    def test_needs_metros(self):
+        with pytest.raises(TopologyError, match="no interconnection"):
+            Link(a=1, b=2, kind=LinkKind.PEERING, metros=frozenset())
+
+
+class TestBuilder:
+    def test_duplicate_asn(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc"]))
+        with pytest.raises(TopologyError, match="duplicate ASN"):
+            builder.add_as(make_as(1, ["lon"]))
+
+    def test_unknown_metro(self, db):
+        builder = TopologyBuilder(db)
+        with pytest.raises(TopologyError, match="unknown metro"):
+            builder.add_as(make_as(1, ["atlantis"]))
+
+    def test_connect_defaults_to_shared_metros(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc", "lon"]))
+        builder.add_as(make_as(2, ["lon", "par"]))
+        link = builder.connect(1, 2, LinkKind.PEERING)
+        assert link.metros == frozenset({"lon"})
+
+    def test_connect_rejects_non_pop_interconnect(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc"]))
+        builder.add_as(make_as(2, ["nyc", "lon"]))
+        with pytest.raises(TopologyError, match="no PoP"):
+            builder.connect(1, 2, LinkKind.PEERING, ["lon"])
+
+    def test_duplicate_link_rejected(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc"]))
+        builder.add_as(make_as(2, ["nyc"]))
+        builder.connect(1, 2, LinkKind.PEERING)
+        with pytest.raises(TopologyError, match="duplicate link"):
+            builder.connect(2, 1, LinkKind.PEERING)
+
+    def test_has_and_get(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc"]))
+        assert builder.has_as(1)
+        assert not builder.has_as(2)
+        with pytest.raises(TopologyError):
+            builder.get_as(2)
+
+
+class TestTopologyAccessors:
+    @pytest.fixture()
+    def topo(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc", "chi"]))
+        builder.add_as(make_as(2, ["nyc", "chi", "lon"], role=AsRole.TRANSIT))
+        builder.add_as(make_as(3, ["lon"], role=AsRole.TIER1))
+        builder.connect(1, 2, LinkKind.CUSTOMER_PROVIDER)  # 1 customer of 2
+        builder.connect(2, 3, LinkKind.PEERING)
+        return builder.build()
+
+    def test_roles(self, topo):
+        assert [a.asn for a in topo.ases_with_role(AsRole.ACCESS)] == [1]
+        assert [a.asn for a in topo.ases_with_role(AsRole.TIER1)] == [3]
+
+    def test_neighbor_relationships(self, topo):
+        assert topo.neighbor(1, 2).relationship is Relationship.PROVIDER
+        assert topo.neighbor(2, 1).relationship is Relationship.CUSTOMER
+        assert topo.neighbor(2, 3).relationship is Relationship.PEER
+
+    def test_neighbors_sorted(self, topo):
+        assert [n.asn for n in topo.neighbors(2)] == [1, 3]
+
+    def test_non_adjacent(self, topo):
+        with pytest.raises(TopologyError, match="not adjacent"):
+            topo.neighbor(1, 3)
+        assert not topo.are_adjacent(1, 3)
+        assert topo.are_adjacent(1, 2)
+
+    def test_unknown_asn(self, topo):
+        with pytest.raises(TopologyError, match="unknown AS"):
+            topo.get(99)
+
+    def test_len_and_iter(self, topo):
+        assert len(topo) == 3
+        assert {a.asn for a in topo} == {1, 2, 3}
+
+
+class TestEgressSelection:
+    @pytest.fixture()
+    def topo(self, db):
+        builder = TopologyBuilder(db)
+        builder.add_as(make_as(1, ["nyc", "chi", "lax", "sea"]))
+        builder.add_as(make_as(2, ["nyc", "chi", "lax", "sea"], cold="lax"))
+        return builder.build()
+
+    def test_hot_potato_picks_nearest_to_entry(self, topo):
+        chosen = topo.egress_metro(1, "nyc", ["chi", "lax", "sea"])
+        assert chosen == "chi"
+
+    def test_cold_potato_picks_nearest_to_designated(self, topo):
+        chosen = topo.egress_metro(2, "nyc", ["chi", "sea"])
+        # lax is the anchor; sea is closer to LA than Chicago is.
+        assert chosen == "sea"
+
+    def test_ranked_order(self, topo):
+        ranked = topo.ranked_egress_metros(1, "nyc", ["chi", "lax", "sea"])
+        # From NYC: Chicago ~1150 km, Seattle ~3870 km, LA ~3940 km.
+        assert ranked == ("chi", "sea", "lax")
+
+    def test_rank_clamped(self, topo):
+        assert topo.egress_metro(1, "nyc", ["chi"], rank=5) == "chi"
+
+    def test_negative_rank_rejected(self, topo):
+        with pytest.raises(TopologyError):
+            topo.egress_metro(1, "nyc", ["chi"], rank=-1)
+
+    def test_no_candidates(self, topo):
+        with pytest.raises(TopologyError, match="no candidate"):
+            topo.egress_metro(1, "nyc", [])
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tier1_count": 0},
+            {"tier1_presence": 0.0},
+            {"tier1_presence": 1.5},
+            {"cold_potato_fraction": -0.1},
+            {"transit_cold_potato_fraction": 2.0},
+            {"transit_remote_pop_count": -1},
+            {"multihoming_probability": 1.5},
+            {"transit_per_region": 0},
+            {"access_per_country": 0},
+            {"access_max_metros": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TopologyConfig(**kwargs)
+
+
+class TestGeneratedInternet:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return generate_topology(MetroDatabase(), seed=5)
+
+    def test_role_counts(self, topo):
+        config = TopologyConfig()
+        assert len(topo.ases_with_role(AsRole.TIER1)) == config.tier1_count
+        assert len(topo.ases_with_role(AsRole.TRANSIT)) > 0
+        assert len(topo.ases_with_role(AsRole.ACCESS)) > 50
+
+    def test_tier1_union_covers_all_metros(self, topo):
+        covered = set()
+        for tier1 in topo.ases_with_role(AsRole.TIER1):
+            covered |= tier1.pop_metros
+        assert covered == set(topo.metro_db.codes)
+
+    def test_backstop_tier1_covers_everything(self, topo):
+        assert any(
+            t.pop_metros == frozenset(topo.metro_db.codes)
+            for t in topo.ases_with_role(AsRole.TIER1)
+        )
+
+    def test_every_access_has_a_provider(self, topo):
+        for access in topo.ases_with_role(AsRole.ACCESS):
+            relationships = [
+                n.relationship for n in topo.neighbors(access.asn)
+            ]
+            assert Relationship.PROVIDER in relationships
+
+    def test_no_access_to_access_links(self, topo):
+        for access in topo.ases_with_role(AsRole.ACCESS):
+            for neighbor in topo.neighbors(access.asn):
+                assert topo.get(neighbor.asn).role != AsRole.ACCESS
+
+    def test_transits_buy_from_tier1(self, topo):
+        for transit in topo.ases_with_role(AsRole.TRANSIT):
+            providers = [
+                n.asn
+                for n in topo.neighbors(transit.asn)
+                if n.relationship is Relationship.PROVIDER
+            ]
+            assert providers
+            assert all(
+                topo.get(asn).role is AsRole.TIER1 for asn in providers
+            )
+
+    def test_deterministic_for_seed(self):
+        db = MetroDatabase()
+        a = generate_topology(db, seed=9)
+        b = generate_topology(db, seed=9)
+        assert {x.asn for x in a} == {x.asn for x in b}
+        assert {x.asn: x.pop_metros for x in a} == {
+            x.asn: x.pop_metros for x in b
+        }
+
+    def test_different_seeds_differ(self):
+        db = MetroDatabase()
+        a = generate_topology(db, seed=1)
+        b = generate_topology(db, seed=2)
+        assert {x.asn: x.pop_metros for x in a} != {
+            x.asn: x.pop_metros for x in b
+        }
+
+    def test_populate_returns_handles(self):
+        db = MetroDatabase()
+        builder = TopologyBuilder(db)
+        base = populate_base_internet(builder, seed=3)
+        assert len(base.tier1_asns) == TopologyConfig().tier1_count
+        assert base.transit_asns
+        assert base.access_asns
+        topo = builder.build()
+        for asn in base.access_asns:
+            assert topo.get(asn).role is AsRole.ACCESS

@@ -1,0 +1,82 @@
+"""Tests for traceroute synthesis (repro.net.traceroute)."""
+
+import pytest
+
+from repro.geo.metros import MetroDatabase
+from repro.net.bgp import Announcement, RouteComputation
+from repro.net.ip import IPv4Prefix
+from repro.net.topology import (
+    AsRole,
+    AutonomousSystem,
+    EgressPolicy,
+    LinkKind,
+    TopologyBuilder,
+)
+from repro.net.traceroute import trace_route
+
+PREFIX = IPv4Prefix.parse("192.0.2.0/24")
+
+
+@pytest.fixture()
+def moscow_stockholm():
+    """The paper's §5 case study: an ISP carries a Moscow client's traffic
+    to Stockholm before handing it to the CDN."""
+    builder = TopologyBuilder(MetroDatabase())
+    builder.add_as(
+        AutonomousSystem(
+            asn=1, name="cdn", role=AsRole.CDN,
+            pop_metros=frozenset({"sto", "mow"}),
+        )
+    )
+    builder.add_as(
+        AutonomousSystem(
+            asn=100, name="ru-isp", role=AsRole.ACCESS,
+            pop_metros=frozenset({"mow", "sto"}),
+            egress_policy=EgressPolicy.COLD_POTATO,
+            cold_potato_egress="sto",
+        )
+    )
+    builder.connect(100, 1, LinkKind.PEERING)
+    topo = builder.build()
+    rib = RouteComputation(topo).compute(Announcement(PREFIX, 1))
+    return topo, rib
+
+
+def test_trace_reproduces_moscow_stockholm(moscow_stockholm):
+    topo, rib = moscow_stockholm
+    trace = trace_route(topo, rib, 100, "mow")
+    assert [h.metro_code for h in trace.hops] == ["mow", "sto"]
+    assert trace.destination_asn == 1
+    # Moscow–Stockholm is roughly 1200 km.
+    assert trace.total_km == pytest.approx(1230, abs=80)
+
+
+def test_cumulative_distances_monotone(moscow_stockholm):
+    topo, rib = moscow_stockholm
+    trace = trace_route(topo, rib, 100, "mow")
+    cumulative = [h.cumulative_km for h in trace.hops]
+    assert cumulative == sorted(cumulative)
+    assert trace.hops[0].leg_km == 0.0
+
+
+def test_stretch_is_one_for_direct_path(moscow_stockholm):
+    topo, rib = moscow_stockholm
+    trace = trace_route(topo, rib, 100, "mow")
+    assert trace.stretch == pytest.approx(1.0)
+
+
+def test_stretch_one_for_zero_distance(moscow_stockholm):
+    topo, rib = moscow_stockholm
+    # A client already in Stockholm ingresses locally: direct == 0.
+    trace = trace_route(topo, rib, 100, "sto")
+    assert trace.direct_km == 0.0
+    assert trace.stretch == 1.0
+
+
+def test_format_contains_hops(moscow_stockholm):
+    topo, rib = moscow_stockholm
+    text = trace_route(topo, rib, 100, "mow").format()
+    assert "Moscow" in text
+    assert "Stockholm" in text
+    assert "AS100" in text
+    assert text.count("\n") == 2  # header + 2 hops

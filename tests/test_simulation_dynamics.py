@@ -1,0 +1,215 @@
+"""Tests for the simulated calendar, churn, and episode processes."""
+
+import datetime
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.churn import ChurnConfig, DayRoutePlan, RouteChurnModel
+from repro.simulation.clock import SECONDS_PER_DAY, SimulationCalendar
+from repro.simulation.episodes import (
+    EpisodeConfig,
+    EpisodeScope,
+    PoorPathEpisodeModel,
+)
+
+
+class TestCalendar:
+    def test_april_2015_starts_wednesday(self):
+        calendar = SimulationCalendar()
+        assert calendar.start == datetime.date(2015, 4, 1)
+        assert calendar.day_name(0) == "Wed"
+        assert not calendar.is_weekend(0)
+
+    def test_weekend_detection(self):
+        calendar = SimulationCalendar()
+        # April 4-5, 2015 were Saturday and Sunday.
+        assert calendar.is_weekend(3)
+        assert calendar.is_weekend(4)
+        assert not calendar.is_weekend(5)
+
+    def test_date_arithmetic(self):
+        calendar = SimulationCalendar()
+        assert calendar.date_of(27) == datetime.date(2015, 4, 28)
+
+    def test_bounds_enforced(self):
+        calendar = SimulationCalendar(num_days=5)
+        with pytest.raises(ConfigurationError):
+            calendar.date_of(5)
+        with pytest.raises(ConfigurationError):
+            calendar.date_of(-1)
+
+    def test_seconds_at(self):
+        calendar = SimulationCalendar()
+        assert calendar.seconds_at(0) == 0.0
+        assert calendar.seconds_at(1) == SECONDS_PER_DAY
+        assert calendar.seconds_at(1, 0.5) == 1.5 * SECONDS_PER_DAY
+        with pytest.raises(ConfigurationError):
+            calendar.seconds_at(0, 1.0)
+
+    def test_label_and_len(self):
+        calendar = SimulationCalendar(num_days=3)
+        assert len(calendar) == 3
+        assert calendar.label(0) == "2015-04-01 (Wed)"
+        assert list(calendar.days()) == [0, 1, 2]
+
+    def test_needs_at_least_one_day(self):
+        with pytest.raises(ConfigurationError):
+            SimulationCalendar(num_days=0)
+
+
+class TestDayRoutePlan:
+    def test_invariants(self):
+        with pytest.raises(ConfigurationError):
+            DayRoutePlan(ranks=(0, 1), fractions=(0.5,))
+        with pytest.raises(ConfigurationError):
+            DayRoutePlan(ranks=(0, 1), fractions=(0.5, 0.4))
+        with pytest.raises(ConfigurationError):
+            DayRoutePlan(ranks=(), fractions=())
+
+    def test_single_rank(self):
+        plan = DayRoutePlan(ranks=(2,), fractions=(1.0,))
+        assert not plan.switched
+        assert plan.final_rank == 2
+        assert plan.sample_rank(random.Random(0)) == 2
+
+    def test_switch_day_sampling(self):
+        plan = DayRoutePlan(ranks=(0, 1), fractions=(0.5, 0.5))
+        assert plan.switched
+        rng = random.Random(1)
+        samples = {plan.sample_rank(rng) for _ in range(100)}
+        assert samples == {0, 1}
+
+
+class TestChurn:
+    def test_day_order_enforced(self, small_scenario):
+        churn = small_scenario.new_churn_model()
+        churn.plans_for_day(0)
+        with pytest.raises(ConfigurationError, match="day by day"):
+            churn.plans_for_day(2)
+
+    def test_every_client_gets_a_plan(self, small_scenario):
+        churn = small_scenario.new_churn_model()
+        plans = churn.plans_for_day(0)
+        assert set(plans) == {c.key for c in small_scenario.clients}
+
+    def test_single_variant_clients_never_switch(self, small_scenario):
+        churn = small_scenario.new_churn_model()
+        frozen = [
+            c.key for c in small_scenario.clients
+            if len(churn.variants(c.key)) == 1
+        ]
+        assert frozen  # some clients must be structurally stable
+        for day in range(small_scenario.calendar.num_days):
+            plans = churn.plans_for_day(day)
+            for key in frozen:
+                assert not plans[key].switched
+
+    def test_weekday_switches_exceed_weekend(self, small_scenario):
+        """Run one synthetic week (Wed..Tue) and compare switch counts."""
+        calendar = SimulationCalendar(num_days=7)
+        churn = RouteChurnModel(
+            small_scenario.clients,
+            small_scenario.network,
+            calendar,
+            ChurnConfig(),
+            seed=3,
+        )
+        weekday_switches = 0
+        weekend_switches = 0
+        for day in range(7):
+            plans = churn.plans_for_day(day)
+            switched = sum(1 for p in plans.values() if p.switched)
+            if calendar.is_weekend(day):
+                weekend_switches += switched
+            else:
+                weekday_switches += switched
+        # 5 weekdays at ~38% of unstable vs 2 weekend days at ~2%.
+        assert weekday_switches > weekend_switches * 3
+
+    def test_unstable_fraction_diagnostic(self, small_scenario):
+        churn = small_scenario.new_churn_model()
+        assert 0.0 <= churn.unstable_fraction_overall() <= 1.0
+
+    def test_switch_changes_rank(self, small_scenario):
+        churn = small_scenario.new_churn_model()
+        for day in range(small_scenario.calendar.num_days):
+            for plan in churn.plans_for_day(day).values():
+                if plan.switched:
+                    assert plan.ranks[0] != plan.ranks[1]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(unstable_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(max_rank=0)
+
+
+class TestEpisodes:
+    def test_day_order_enforced(self, small_scenario):
+        episodes = small_scenario.new_episode_model()
+        episodes.inflations_for_day(0)
+        with pytest.raises(ConfigurationError, match="day by day"):
+            episodes.inflations_for_day(5)
+
+    def test_effect_constant_while_active(self, small_scenario):
+        # High continue probability: clients present on both days almost
+        # always carried the same episode (an end-then-restart on the same
+        # day is possible but needs two rare events in a row).
+        config = EpisodeConfig(
+            daily_start_probability=0.3, continue_probability=0.97
+        )
+        episodes = PoorPathEpisodeModel(
+            small_scenario.clients, small_scenario.calendar, config, seed=2
+        )
+        day0 = episodes.inflations_for_day(0)
+        day1 = episodes.inflations_for_day(1)
+        carried = set(day0) & set(day1)
+        assert carried  # with p_continue=0.97 many survive
+        unchanged = sum(1 for key in carried if day0[key] == day1[key])
+        assert unchanged / len(carried) > 0.9
+
+    def test_only_susceptible_clients_start_episodes(self, small_scenario):
+        episodes = PoorPathEpisodeModel(
+            small_scenario.clients,
+            small_scenario.calendar,
+            EpisodeConfig(daily_start_probability=0.8),
+            seed=4,
+        )
+        active = episodes.inflations_for_day(0)
+        assert active
+        for key in active:
+            assert episodes.is_susceptible(key)
+
+    def test_scopes_mixed(self, small_scenario):
+        episodes = PoorPathEpisodeModel(
+            small_scenario.clients,
+            small_scenario.calendar,
+            EpisodeConfig(
+                daily_start_probability=0.8, unicast_scope_fraction=0.5
+            ),
+            seed=5,
+        )
+        active = episodes.inflations_for_day(0)
+        scopes = {effect.scope for effect in active.values()}
+        assert scopes == {EpisodeScope.ANYCAST, EpisodeScope.UNICAST}
+
+    def test_inflations_positive(self, small_scenario):
+        episodes = PoorPathEpisodeModel(
+            small_scenario.clients,
+            small_scenario.calendar,
+            EpisodeConfig(daily_start_probability=0.5),
+            seed=6,
+        )
+        for effect in episodes.inflations_for_day(0).values():
+            assert effect.inflation_ms > 0
+            assert 0.0 <= effect.selector < 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpisodeConfig(daily_start_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            EpisodeConfig(inflation_median_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            EpisodeConfig(unicast_scope_fraction=-0.5)

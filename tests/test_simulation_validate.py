@@ -1,0 +1,64 @@
+"""Tests for scenario validation and config presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.simulation.validate import (
+    ValidationIssue,
+    validate_scenario,
+)
+
+
+class TestPresets:
+    def test_paper_scale(self):
+        config = ScenarioConfig.paper_scale()
+        assert config.population.prefix_count == 1500
+        assert config.calendar.num_days == 28
+
+    def test_laptop_scale(self):
+        config = ScenarioConfig.laptop_scale(seed=7)
+        assert config.seed == 7
+        assert config.population.prefix_count == 400
+
+    def test_smoke_scale_builds_and_validates(self):
+        scenario = Scenario.build(ScenarioConfig.smoke_scale())
+        report = validate_scenario(scenario)
+        assert report.ok, report.format()
+
+
+class TestValidation:
+    def test_default_scenario_is_clean(self, small_scenario):
+        report = validate_scenario(small_scenario)
+        assert report.ok, report.format()
+        assert report.errors == ()
+
+    def test_short_calendar_warns(self):
+        config = dataclasses.replace(
+            ScenarioConfig.smoke_scale(),
+        )
+        scenario = Scenario.build(config)
+        report = validate_scenario(scenario)
+        assert any(
+            "clamped" in issue.message for issue in report.warnings
+        )
+
+    def test_broken_geolocation_detected(self, small_scenario_config):
+        scenario = Scenario.build(small_scenario_config)
+        # Sabotage: drop a client's geolocation record.
+        victim = scenario.clients[0]
+        del scenario.geolocation._records[victim.key]  # test-only backdoor
+        report = validate_scenario(scenario)
+        assert not report.ok
+        assert any(
+            victim.key in issue.message for issue in report.errors
+        )
+
+    def test_issue_formatting(self):
+        issue = ValidationIssue("error", "routing", "boom")
+        assert issue.format() == "[error] routing: boom"
+
+    def test_report_formatting(self, small_scenario):
+        text = validate_scenario(small_scenario).format()
+        assert "scenario validation" in text

@@ -1,0 +1,46 @@
+"""Calibration harness: run a mid-sized study and print paper-vs-measured."""
+import sys, time
+from repro import AnycastStudy, ScenarioConfig
+from repro.clients.population import ClientPopulationConfig
+from repro.simulation.clock import SimulationCalendar
+
+prefixes = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+days = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+seed = int(sys.argv[3]) if len(sys.argv) > 3 else 2015
+
+cfg = ScenarioConfig(
+    seed=seed,
+    population=ClientPopulationConfig(prefix_count=prefixes),
+    calendar=SimulationCalendar(num_days=days),
+)
+study = AnycastStudy(cfg)
+t0 = time.time(); ds = study.dataset
+print('campaign %.1fs meas=%d beacons=%d' % (time.time()-t0, ds.measurement_count, ds.beacon_count))
+f3 = study.fig3_anycast_penalty()
+for r, d in f3.fraction_slower.items():
+    print('fig3 %-14s' % r, {int(k): round(v, 3) for k, v in sorted(d.items())},
+          '| paper(world): >=25: ~0.20, >=100: ~0.09')
+f4 = study.fig4_anycast_distance()
+print('fig4 nearest=%.2f/%.2fw (paper .55, weighted better) within2000=%.2f/%.2fw (paper .82/.87) p75past=%.0f (~400) p90past=%.0f (~1375)'
+      % (f4.fraction_at_nearest, f4.fraction_at_nearest_weighted,
+         f4.fraction_within_2000km, f4.fraction_within_2000km_weighted,
+         f4.past_closest_p75_km, f4.past_closest_p90_km))
+f5 = study.fig5_poor_path_prevalence()
+print('fig5 any=%.3f(.19) >10=%.3f(.12) >25=%.3f >50=%.3f(.04) >100=%.3f'
+      % tuple(f5.mean_fraction(t) for t in (1.0, 10, 25, 50, 100)))
+f6 = study.fig6_poor_path_duration()
+print('fig6 1day=%.2f(.60) 5+days=%.2f(.10) 5+consec=%.2f(.05) n=%d'
+      % (f6.fraction_single_day, f6.fraction_five_plus_days,
+         f6.fraction_five_plus_consecutive, f6.ever_poor_count))
+f7 = study.fig7_frontend_affinity()
+print('fig7 day1=%.3f(.07) week=%.3f(.21) increments:' % (f7.first_day_fraction, f7.week_fraction),
+      [round(f7.daily_increment(i), 3) for i in range(min(7, days))])
+f8 = study.fig8_switch_distance()
+print('fig8 median=%.0f(483) within2000=%.2f(.83) n=%d' % (f8.median_km, f8.fraction_within_2000km, f8.switch_count))
+f9 = study.fig9_prediction()
+for s in f9.summaries:
+    print('fig9', s.format(), '| paper ECS: imp .30 worse .10; LDNS: imp .27 worse .17')
+f1 = study.fig1_diminishing_returns()
+print('fig1 medians:', {k: round(v, 1) for k, v in sorted(f1.medians_ms.items())}, '(flat after N=5)')
+f2 = study.fig2_client_distance()
+print('fig2 medians:', [round(m) for m in f2.medians_km], '(paper 280/700/~1000/1300)')

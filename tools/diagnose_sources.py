@@ -1,0 +1,45 @@
+"""Decompose structural anycast penalty by cause."""
+import numpy as np
+from collections import Counter
+from repro.simulation import Scenario, ScenarioConfig
+from repro.clients.population import ClientPopulationConfig
+from repro.measurement.beacon import BeaconTargetSelector
+from repro.net.topology import EgressPolicy
+
+cfg = ScenarioConfig(population=ClientPopulationConfig(prefix_count=600))
+s = Scenario.build(cfg)
+sel = BeaconTargetSelector(s.network.frontends, s.geolocation)
+lat = s.latency_model
+topo = s.topology
+rows = []
+for c in s.clients:
+    p = s.network.anycast_path(c.asn, c.home_metro, c.location)
+    base_any = lat.baseline_rtt_ms(p.path_km, p.backbone_km, p.as_hops, c.access_delay_ms)
+    best, best_fe = None, None
+    for fe in sel.candidates(c.ldns_id):
+        up = s.network.unicast_path(fe, c.asn, c.home_metro, c.location)
+        b = lat.baseline_rtt_ms(up.path_km, up.backbone_km, up.as_hops, c.access_delay_ms)
+        if best is None or b < best: best, best_fe = b, fe
+    d = base_any - best
+    as_ = topo.get(c.asn)
+    cold_acc = as_.egress_policy is EgressPolicy.COLD_POTATO
+    cold_transit = any(topo.get(a).egress_policy is EgressPolicy.COLD_POTATO for a in p.route.as_path[1:-1])
+    peer_direct = len(p.route.as_path) == 2
+    rows.append((d, cold_acc, cold_transit, peer_direct, p.backbone_km > 0, p.as_hops, p.frontend.frontend_id == best_fe))
+d = np.array([r[0] for r in rows])
+def frac(mask, thr):
+    m = np.array(mask); 
+    return (d[m]>=thr).mean() if m.any() else 0, m.mean()
+for name, mask in [
+    ("cold_access", [r[1] for r in rows]),
+    ("cold_transit_on_path", [r[2] for r in rows]),
+    ("direct_peer", [r[3] for r in rows]),
+    ("via_transit(no cold)", [not r[3] and not r[2] and not r[1] for r in rows]),
+    ("backbone_leg", [r[4] for r in rows]),
+    ("same_fe_as_best", [r[6] for r in rows]),
+]:
+    f1, share = frac(mask, 1); f10, _ = frac(mask, 10)
+    print("%-22s share=%.2f  >=1ms %.2f  >=10ms %.2f" % (name, share, f1, f10))
+same = np.array([r[6] for r in rows])
+print("overall >=1 %.2f; among same-FE pairs: >=1 %.2f (diff should be ~hops only)" % ((d>=1).mean(), (d[same]>=1).mean()))
+hops = np.array([r[5] for r in rows]); print("hops dist:", Counter(hops.tolist()))

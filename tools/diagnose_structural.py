@@ -1,0 +1,28 @@
+"""Diagnostic: structural (noise-free) anycast penalty per client."""
+import sys
+import numpy as np
+from repro.simulation import Scenario, ScenarioConfig
+from repro.clients.population import ClientPopulationConfig
+from repro.measurement.beacon import BeaconTargetSelector
+
+cfg = ScenarioConfig(population=ClientPopulationConfig(prefix_count=int(sys.argv[1]) if len(sys.argv)>1 else 500))
+s = Scenario.build(cfg)
+sel = BeaconTargetSelector(s.network.frontends, s.geolocation)
+lat = s.latency_model
+diffs = []
+variants = []
+for c in s.clients:
+    p = s.network.anycast_path(c.asn, c.home_metro, c.location)
+    base_any = lat.baseline_rtt_ms(p.path_km, p.backbone_km, p.as_hops, c.access_delay_ms)
+    best = None
+    for fe in sel.candidates(c.ldns_id):
+        up = s.network.unicast_path(fe, c.asn, c.home_metro, c.location)
+        b = lat.baseline_rtt_ms(up.path_km, up.backbone_km, up.as_hops, c.access_delay_ms)
+        best = b if best is None or b < best else best
+    diffs.append(base_any - best)
+    variants.append(len(s.network.anycast_variant_ranks(c.asn, c.home_metro)))
+d = np.array(diffs)
+v = np.array(variants)
+print('structural diff: >=1ms %.3f >=10 %.3f >=25 %.3f >=50 %.3f >=100 %.3f' % tuple((d>=t).mean() for t in (1,10,25,50,100)))
+print('diff percentiles p50=%.1f p80=%.1f p90=%.1f p95=%.1f p99=%.1f' % tuple(np.percentile(d,[50,80,90,95,99])))
+print('variant counts: 1:%d 2:%d 3+:%d  (eligible frac %.2f)' % ((v==1).sum(), (v==2).sum(), (v>=3).sum(), (v>1).mean()))
