@@ -2,11 +2,15 @@
 
 These are classic microbenchmarks (not figure reproductions): how fast the
 BGP solver converges, how fast the data plane resolves, and how fast a
-full campaign day runs.  They guard against performance regressions in
-the hot paths every figure depends on.
+full campaign day runs — serial and sharded across worker processes.
+They guard against performance regressions in the hot paths every figure
+depends on.
 """
 
-import random
+import multiprocessing
+import time
+
+from conftest import write_report
 
 from repro.cdn.deployment import DeploymentConfig, attach_cdn
 from repro.cdn.network import CdnNetwork
@@ -16,7 +20,11 @@ from repro.net.bgp import Announcement, RouteComputation
 from repro.net.topology import AsRole, TopologyBuilder, populate_base_internet
 from repro.simulation.campaign import CampaignRunner
 from repro.simulation.clock import SimulationCalendar
+from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
+
+#: Worker count for the parallel campaign cases.
+PARALLEL_WORKERS = 4
 
 
 def build_world(seed=11):
@@ -74,3 +82,75 @@ def test_single_campaign_day(benchmark):
 
     measurements = benchmark.pedantic(run_day, rounds=3, iterations=1)
     assert measurements > 0
+
+
+def test_single_campaign_day_parallel(benchmark):
+    """The same day sharded across worker processes.
+
+    Each worker rebuilds the scenario, so the win over serial only shows
+    at populations large enough to amortize startup — and needs as many
+    free cores as workers.  The digest assertion is the real guarantee:
+    the parallel path produces a bit-identical dataset.
+    """
+    config = ScenarioConfig(
+        seed=3,
+        population=ClientPopulationConfig(prefix_count=150),
+        calendar=SimulationCalendar(num_days=1),
+    )
+    scenario = Scenario.build(config)
+    serial_digest = CampaignRunner(scenario).run().digest()
+
+    def run_day():
+        return ParallelCampaignRunner(
+            scenario, workers=PARALLEL_WORKERS
+        ).run()
+
+    dataset = benchmark.pedantic(run_day, rounds=3, iterations=1)
+    assert dataset.measurement_count > 0
+    assert dataset.digest() == serial_digest
+
+
+def test_campaign_serial_vs_parallel_report():
+    """Record serial vs sharded wall-clock for one campaign day.
+
+    Writes the numbers (plus the host's core count, which bounds the
+    achievable speedup) to ``benchmarks/out/pipeline_performance.txt``.
+    Uses a larger population than the timed microbenchmarks so worker
+    startup is better amortized.
+    """
+    config = ScenarioConfig(
+        seed=3,
+        population=ClientPopulationConfig(prefix_count=600),
+        calendar=SimulationCalendar(num_days=1),
+    )
+    scenario = Scenario.build(config)
+
+    start = time.perf_counter()
+    serial_runner = CampaignRunner(scenario)
+    serial = serial_runner.run()
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_runner = ParallelCampaignRunner(
+        scenario, workers=PARALLEL_WORKERS
+    )
+    parallel = parallel_runner.run()
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel.digest() == serial.digest()
+    lines = [
+        "pipeline performance: one campaign day, 600 client /24s",
+        f"host cores: {multiprocessing.cpu_count()}",
+        (
+            f"serial:   {serial_seconds:7.2f}s  "
+            f"({serial_runner.stats.beacons_per_second:8,.0f} beacons/s)"
+        ),
+        (
+            f"parallel: {parallel_seconds:7.2f}s  "
+            f"({parallel_runner.stats.beacons_per_second:8,.0f} beacons/s, "
+            f"workers={PARALLEL_WORKERS})"
+        ),
+        f"speedup:  {serial_seconds / parallel_seconds:7.2f}x",
+        "datasets: identical (same StudyDataset.digest())",
+    ]
+    write_report("pipeline_performance", "\n".join(lines))

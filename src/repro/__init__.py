@@ -36,8 +36,13 @@ from repro.errors import (
     RoutingError,
     TopologyError,
 )
-from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CampaignStats,
+)
 from repro.simulation.dataset import StudyDataset
+from repro.simulation.parallel import ParallelCampaignRunner, run_campaign
 from repro.simulation.scenario import Scenario, ScenarioConfig
 
 __version__ = "1.0.0"
@@ -48,16 +53,19 @@ __all__ = [
     "AnycastStudy",
     "CampaignConfig",
     "CampaignRunner",
+    "CampaignStats",
     "ConfigurationError",
     "GeoError",
     "HistoryBasedPredictor",
     "HybridConfig",
     "HybridRedirector",
     "MeasurementError",
+    "ParallelCampaignRunner",
     "Prediction",
     "PredictionError",
     "PredictorConfig",
     "ReproError",
+    "run_campaign",
     "RoutingError",
     "Scenario",
     "ScenarioConfig",

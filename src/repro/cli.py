@@ -34,6 +34,7 @@ def _study_config(args: argparse.Namespace) -> ScenarioConfig:
         seed=args.seed,
         population=ClientPopulationConfig(prefix_count=args.prefixes),
         calendar=SimulationCalendar(num_days=args.days),
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -48,6 +49,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=2015, help="scenario seed (default 2015)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "worker processes for the campaign (default 1; results are "
+            "bit-identical for any value)"
+        ),
     )
 
 
@@ -73,6 +81,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"campaign complete: {dataset.beacon_count:,} beacons, "
         f"{dataset.measurement_count:,} measurements -> {args.dataset}"
     )
+    print(study.campaign_stats.format())
     return 0
 
 

@@ -48,8 +48,9 @@ from repro.analysis.proximity import (
 )
 from repro.cdn.catalog import CdnCatalogEntry, catalog
 from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
-from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.campaign import CampaignConfig, CampaignStats
 from repro.simulation.dataset import StudyDataset
+from repro.simulation.parallel import run_campaign
 from repro.simulation.scenario import Scenario, ScenarioConfig
 
 
@@ -65,6 +66,7 @@ class AnycastStudy:
         self._campaign_config = campaign or CampaignConfig()
         self._scenario: Optional[Scenario] = None
         self._dataset: Optional[StudyDataset] = None
+        self._campaign_stats: Optional[CampaignStats] = None
 
     # ------------------------------------------------------------------
     # Expensive, cached stages
@@ -79,11 +81,24 @@ class AnycastStudy:
 
     @property
     def dataset(self) -> StudyDataset:
-        """The campaign output (run on first use)."""
+        """The campaign output (run on first use).
+
+        Honors the configured worker count (``CampaignConfig.workers``,
+        falling back to ``ScenarioConfig.workers``) — sharded parallel
+        runs produce bit-identical datasets.
+        """
         if self._dataset is None:
-            runner = CampaignRunner(self.scenario, self._campaign_config)
-            self._dataset = runner.run()
+            self._dataset, self._campaign_stats = run_campaign(
+                self.scenario, self._campaign_config
+            )
         return self._dataset
+
+    @property
+    def campaign_stats(self) -> CampaignStats:
+        """Instrumentation from the campaign (runs it on first use)."""
+        self.dataset
+        assert self._campaign_stats is not None
+        return self._campaign_stats
 
     # ------------------------------------------------------------------
     # Figures

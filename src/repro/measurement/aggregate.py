@@ -128,6 +128,33 @@ class GroupedDailyAggregates:
             for target_id, digest in per_group.items():
                 yield group, target_id, digest
 
+    def merge(self, other: "GroupedDailyAggregates") -> "GroupedDailyAggregates":
+        """Fold another instance's samples into this one (in place).
+
+        Used to combine per-shard partial aggregates from a parallel
+        campaign; digests are copied, never aliased, so the source stays
+        independently usable.
+
+        Raises:
+            MeasurementError: if the grouping dimensions differ.
+        """
+        if other._grouping != self._grouping:
+            raise MeasurementError(
+                f"cannot merge {other._grouping!r} aggregates into "
+                f"{self._grouping!r} aggregates"
+            )
+        for day, per_day in other._days.items():
+            mine_day = self._days.setdefault(day, {})
+            for group, per_group in per_day.items():
+                mine_group = mine_day.setdefault(group, {})
+                for target_id, digest in per_group.items():
+                    mine = mine_group.get(target_id)
+                    if mine is None:
+                        mine_group[target_id] = LatencyDigest(digest.values())
+                    else:
+                        mine.merge(digest)
+        return self
+
 
 @dataclass(frozen=True)
 class RequestDiffRow:
@@ -137,6 +164,7 @@ class RequestDiffRow:
     region_code: int
     anycast_rtt_ms: float
     best_unicast_rtt_ms: float
+    day: int = 0
 
     @property
     def diff_ms(self) -> float:
@@ -218,4 +246,24 @@ class RequestDiffLog:
                 region_code=self._region_code[i],
                 anycast_rtt_ms=self._anycast[i],
                 best_unicast_rtt_ms=self._best_unicast[i],
+                day=self._day[i],
             )
+
+    def merge(self, other: "RequestDiffLog") -> "RequestDiffLog":
+        """Append another log's rows to this one (in place).
+
+        Region codes are remapped through region *names*, so logs whose
+        regions were first observed in different orders (as happens with
+        per-shard logs) merge correctly.
+        """
+        code_map = [
+            self.region_code(name) for name in other._region_names
+        ]
+        self._day.extend(other._day)
+        self._client_index.extend(other._client_index)
+        self._region_code.extend(
+            code_map[code] for code in other._region_code
+        )
+        self._anycast.extend(other._anycast)
+        self._best_unicast.extend(other._best_unicast)
+        return self

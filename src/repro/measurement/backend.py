@@ -91,6 +91,29 @@ class BeaconBackend:
         partial.http = entry
         self._maybe_emit(entry.measurement_id, partial)
 
+    def merge(self, other: "BeaconBackend") -> "BeaconBackend":
+        """Fold another backend's join state into this one (in place).
+
+        Joined-row counts add up; still-pending partials carry over so a
+        merged backend reports the combined outstanding joins.  Observers
+        are *not* merged — rows already emitted on ``other`` stay emitted
+        there.
+
+        Raises:
+            MeasurementError: if both backends hold a partial for the
+                same measurement id (shards must use disjoint id spaces
+                if their partials are ever merged).
+        """
+        overlap = self._partials.keys() & other._partials.keys()
+        if overlap:
+            raise MeasurementError(
+                f"cannot merge backends with overlapping pending "
+                f"measurements (e.g. {sorted(overlap)[0]!r})"
+            )
+        self._partials.update(other._partials)
+        self._joined_count += other._joined_count
+        return self
+
     def _maybe_emit(self, measurement_id: str, partial: _Partial) -> None:
         if not partial.complete():
             return

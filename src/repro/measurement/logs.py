@@ -170,3 +170,15 @@ class PassiveLog:
             for counts in self._days.get(day, {}).values()
             for count in counts.values()
         )
+
+    def merge(self, other: "PassiveLog") -> "PassiveLog":
+        """Fold another log's counts into this one (in place).
+
+        Counts for the same (day, client, front-end) cell add up, so
+        per-shard partial logs combine into exactly the unsharded log.
+        """
+        for day, per_client in other._days.items():
+            for client_key, counts in per_client.items():
+                for frontend_id, count in counts.items():
+                    self.record(day, client_key, frontend_id, count)
+        return self

@@ -1,10 +1,21 @@
 """Simulation layer: calendar, dynamics, scenario wiring, campaigns."""
 
-from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CampaignStats,
+    PathCacheStats,
+    largest_remainder_apportion,
+)
 from repro.simulation.churn import ChurnConfig, DayRoutePlan, RouteChurnModel
 from repro.simulation.clock import SECONDS_PER_DAY, SimulationCalendar
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.episodes import EpisodeConfig, PoorPathEpisodeModel
+from repro.simulation.parallel import (
+    ParallelCampaignRunner,
+    run_campaign,
+    shard_bounds,
+)
 from repro.simulation.scenario import Scenario, ScenarioConfig
 from repro.simulation.validate import (
     ValidationIssue,
@@ -15,9 +26,12 @@ from repro.simulation.validate import (
 __all__ = [
     "CampaignConfig",
     "CampaignRunner",
+    "CampaignStats",
     "ChurnConfig",
     "DayRoutePlan",
     "EpisodeConfig",
+    "ParallelCampaignRunner",
+    "PathCacheStats",
     "PoorPathEpisodeModel",
     "RouteChurnModel",
     "SECONDS_PER_DAY",
@@ -27,5 +41,8 @@ __all__ = [
     "StudyDataset",
     "ValidationIssue",
     "ValidationReport",
+    "largest_remainder_apportion",
+    "run_campaign",
+    "shard_bounds",
     "validate_scenario",
 ]

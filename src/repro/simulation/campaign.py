@@ -14,12 +14,22 @@ day and client /24:
 
 Latencies come from cached per-path baselines plus per-measurement jitter
 and any active poor-path episode inflation on the anycast route.
+
+**Determinism and sharding.**  Every random draw that shapes a client's
+measurements comes from an RNG derived from ``(seed, "campaign", day,
+client_key)`` (or an even finer path), never from a stream shared across
+clients.  A client's measurements are therefore bit-identical no matter
+the iteration order, shard assignment, or worker count — which is what
+lets :class:`repro.simulation.parallel.ParallelCampaignRunner` split the
+population into contiguous shards, run them in separate processes, and
+merge the partial datasets into the exact dataset a serial run produces.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.dns.authoritative import ANYCAST_TARGET
@@ -41,11 +51,156 @@ class CampaignConfig:
     Attributes:
         beacon: Beacon methodology parameters.
         progress_callback: Optional per-day hook ``f(day, num_days)`` for
-            long runs (the library never prints on its own).
+            long runs (the library never prints on its own).  Ignored by
+            sharded parallel runs.
+        workers: Worker-process count for the campaign, or ``None`` to
+            inherit :attr:`repro.simulation.scenario.ScenarioConfig.workers`.
     """
 
     beacon: BeaconConfig = BeaconConfig()
     progress_callback: Optional[Callable[[int, int], None]] = None
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+
+def largest_remainder_apportion(
+    total: int, fractions: Sequence[float]
+) -> List[int]:
+    """Split ``total`` into integer parts proportional to ``fractions``.
+
+    Uses largest-remainder (Hamilton) apportionment: each part gets the
+    floor of its exact share, and leftover units go to the parts with the
+    largest fractional remainders (ties to the earliest index, keeping the
+    result deterministic).  The parts always sum exactly to ``total`` —
+    unlike independent rounding, which can over- or under-count.
+
+    Raises:
+        ConfigurationError: if ``total`` is negative or ``fractions`` is
+            empty.
+    """
+    if total < 0:
+        raise ConfigurationError("total must be non-negative")
+    if not fractions:
+        raise ConfigurationError("fractions cannot be empty")
+    shares = [total * fraction for fraction in fractions]
+    counts = [int(share) for share in shares]
+    leftover = total - sum(counts)
+    if leftover > 0:
+        by_remainder = sorted(
+            range(len(shares)),
+            key=lambda i: (counts[i] - shares[i], i),
+        )
+        for i in by_remainder[:leftover]:
+            counts[i] += 1
+    return counts
+
+
+@dataclass
+class PathCacheStats:
+    """Hit/miss counters for one campaign's :class:`_PathCache`."""
+
+    anycast_hits: int = 0
+    anycast_misses: int = 0
+    unicast_hits: int = 0
+    unicast_misses: int = 0
+
+    @property
+    def anycast_hit_rate(self) -> float:
+        """Anycast-path cache hit rate (0 when never queried)."""
+        total = self.anycast_hits + self.anycast_misses
+        return self.anycast_hits / total if total else 0.0
+
+    @property
+    def unicast_hit_rate(self) -> float:
+        """Unicast-path cache hit rate (0 when never queried)."""
+        total = self.unicast_hits + self.unicast_misses
+        return self.unicast_hits / total if total else 0.0
+
+    def merge(self, other: "PathCacheStats") -> "PathCacheStats":
+        """Fold another cache's counters into this one (in place)."""
+        self.anycast_hits += other.anycast_hits
+        self.anycast_misses += other.anycast_misses
+        self.unicast_hits += other.unicast_hits
+        self.unicast_misses += other.unicast_misses
+        return self
+
+
+@dataclass
+class CampaignStats:
+    """Instrumentation emitted by a campaign run.
+
+    Attributes:
+        wall_seconds: Total wall-clock time of the run.
+        beacon_count: Beacon sessions executed.
+        measurement_count: Joined measurements produced.
+        day_seconds: Wall-clock time per simulated day.  For sharded runs
+            these are summed across shards, so they read as CPU-seconds.
+        path_cache: Per-:class:`_PathCache` hit/miss counters.
+        workers: Worker processes the campaign ran with.
+    """
+
+    wall_seconds: float = 0.0
+    beacon_count: int = 0
+    measurement_count: int = 0
+    day_seconds: List[float] = field(default_factory=list)
+    path_cache: PathCacheStats = field(default_factory=PathCacheStats)
+    workers: int = 1
+
+    @property
+    def beacons_per_second(self) -> float:
+        """Beacon throughput over the whole run."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.beacon_count / self.wall_seconds
+
+    def merge(self, other: "CampaignStats") -> "CampaignStats":
+        """Fold another (shard's) stats into this one (in place).
+
+        Wall time takes the max — concurrent shards overlap — while the
+        per-day times add up as total effort spent on each day.
+        """
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        self.beacon_count += other.beacon_count
+        self.measurement_count += other.measurement_count
+        if len(other.day_seconds) > len(self.day_seconds):
+            self.day_seconds.extend(
+                [0.0] * (len(other.day_seconds) - len(self.day_seconds))
+            )
+        for day, seconds in enumerate(other.day_seconds):
+            self.day_seconds[day] += seconds
+        self.path_cache.merge(other.path_cache)
+        return self
+
+    def format(self) -> str:
+        """A short human-readable summary for the CLI."""
+        lines = [
+            (
+                f"campaign stats: {self.beacon_count:,} beacons in "
+                f"{self.wall_seconds:.2f}s "
+                f"({self.beacons_per_second:,.0f} beacons/s, "
+                f"workers={self.workers})"
+            ),
+            (
+                "path cache: anycast "
+                f"{self.path_cache.anycast_hit_rate:.1%} hit "
+                f"({self.path_cache.anycast_hits:,}/"
+                f"{self.path_cache.anycast_hits + self.path_cache.anycast_misses:,}), "
+                "unicast "
+                f"{self.path_cache.unicast_hit_rate:.1%} hit "
+                f"({self.path_cache.unicast_hits:,}/"
+                f"{self.path_cache.unicast_hits + self.path_cache.unicast_misses:,})"
+            ),
+        ]
+        if self.day_seconds:
+            slowest = max(self.day_seconds)
+            lines.append(
+                f"per-day: mean {sum(self.day_seconds) / len(self.day_seconds):.2f}s, "
+                f"max {slowest:.2f}s over {len(self.day_seconds)} days"
+            )
+        return "\n".join(lines)
 
 
 class _PathCache:
@@ -60,6 +215,7 @@ class _PathCache:
         self._scenario = scenario
         self._anycast: Dict[Tuple[str, int], Tuple[str, float]] = {}
         self._unicast: Dict[Tuple[str, str], float] = {}
+        self.stats = PathCacheStats()
 
     def _static_offset(self, client_key: str, path_key: str, anycast: bool) -> float:
         scenario = self._scenario
@@ -74,6 +230,7 @@ class _PathCache:
         """Serving front-end and baseline RTT over the anycast route."""
         cached = self._anycast.get((client_key, rank))
         if cached is None:
+            self.stats.anycast_misses += 1
             scenario = self._scenario
             client = scenario.client_by_key(client_key)
             path = scenario.network.anycast_path(
@@ -93,12 +250,15 @@ class _PathCache:
             )
             cached = (path.frontend.frontend_id, baseline)
             self._anycast[(client_key, rank)] = cached
+        else:
+            self.stats.anycast_hits += 1
         return cached
 
     def unicast(self, client_key: str, frontend_id: str) -> float:
         """Baseline RTT to one front-end's unicast prefix."""
         baseline = self._unicast.get((client_key, frontend_id))
         if baseline is None:
+            self.stats.unicast_misses += 1
             scenario = self._scenario
             client = scenario.client_by_key(client_key)
             path = scenario.network.unicast_path(
@@ -114,20 +274,49 @@ class _PathCache:
                 client_key, frontend_id, anycast=False
             )
             self._unicast[(client_key, frontend_id)] = baseline
+        else:
+            self.stats.unicast_hits += 1
         return baseline
 
 
 class CampaignRunner:
-    """Runs a scenario's full measurement campaign into a dataset."""
+    """Runs a scenario's measurement campaign into a dataset.
+
+    Args:
+        scenario: The built study environment.
+        config: Campaign knobs.
+        client_slice: Optional half-open ``(start, stop)`` index range
+            into ``scenario.clients`` — only those clients are measured.
+            The churn and episode processes still evolve over the whole
+            population (they are global, sequential processes), so a
+            sliced run observes exactly what a full run observes for the
+            same clients.  Used by the sharded parallel executor.
+
+    After :meth:`run` returns, :attr:`stats` holds the run's
+    :class:`CampaignStats`.
+    """
 
     def __init__(
-        self, scenario: Scenario, config: Optional[CampaignConfig] = None
+        self,
+        scenario: Scenario,
+        config: Optional[CampaignConfig] = None,
+        client_slice: Optional[Tuple[int, int]] = None,
     ) -> None:
         self._scenario = scenario
         self._config = config or CampaignConfig()
+        if client_slice is not None:
+            start, stop = client_slice
+            if not 0 <= start <= stop <= len(scenario.clients):
+                raise ConfigurationError(
+                    f"client_slice {client_slice!r} outside population of "
+                    f"{len(scenario.clients)} clients"
+                )
+        self._client_slice = client_slice
+        self.stats: Optional[CampaignStats] = None
 
     def run(self) -> StudyDataset:
         """Execute every day of the calendar and return the dataset."""
+        run_start = time.perf_counter()
         scenario = self._scenario
         cfg = self._config
         calendar = scenario.calendar
@@ -137,10 +326,24 @@ class CampaignRunner:
         )
         runner = BeaconRunner(selector, cfg.beacon)
         paths = _PathCache(scenario)
-        churn = scenario.new_churn_model()
-        episodes = scenario.new_episode_model()
         workload = scenario.workload_model
         latency = scenario.latency_model
+
+        # Churn and episodes are global day-ordered processes; computing
+        # every day's plans up front keeps the day loop pure per-client
+        # work and gives sharded runs identical global dynamics.
+        churn = scenario.new_churn_model()
+        episodes = scenario.new_episode_model()
+        day_plans = [churn.plans_for_day(day) for day in calendar.days()]
+        day_inflations = [
+            episodes.inflations_for_day(day) for day in calendar.days()
+        ]
+
+        if self._client_slice is None:
+            clients = scenario.clients
+        else:
+            start, stop = self._client_slice
+            clients = scenario.clients[start:stop]
 
         ecs_aggregates = GroupedDailyAggregates("ecs")
         ldns_aggregates = GroupedDailyAggregates("ldns")
@@ -153,50 +356,41 @@ class CampaignRunner:
 
         backend = BeaconBackend([on_joined])
 
-        rng = derive_rng(scenario.config.seed, "campaign")
-        resource_timing = {
-            client.key: rng.random() < cfg.beacon.resource_timing_support
-            for client in scenario.clients
-        }
-        # Fig 3 splits out the United States specifically, not all of
-        # North America; other clients are labeled by continental region.
-        metro_db = scenario.metro_db
-        regions = {}
-        for client in scenario.clients:
-            if metro_db.get(client.home_metro).country == "US":
-                regions[client.key] = "united-states"
-            else:
-                regions[client.key] = str(region_of_point(client.location))
-
         scenario_seed = scenario.config.seed
 
+        # Per-client invariants, hoisted out of the day loop: Resource
+        # Timing support (a property of the client's browser, drawn from
+        # a per-client derived RNG so it is shard-independent) and the
+        # Fig 3 region label — the paper splits out the United States
+        # specifically, not all of North America.
+        metro_db = scenario.metro_db
+        resource_timing: Dict[str, bool] = {}
+        regions: Dict[str, str] = {}
+        for client in clients:
+            key = client.key
+            resource_timing[key] = (
+                derive_rng(scenario_seed, "resource-timing", key).random()
+                < cfg.beacon.resource_timing_support
+            )
+            if metro_db.get(client.home_metro).country == "US":
+                regions[key] = "united-states"
+            else:
+                regions[key] = str(region_of_point(client.location))
+
         beacon_count = 0
+        day_seconds: List[float] = []
         for day in calendar.days():
-            plans = churn.plans_for_day(day)
-            inflations = episodes.inflations_for_day(day)
+            day_start_time = time.perf_counter()
+            plans = day_plans[day]
+            inflations = day_inflations[day]
             is_weekend = calendar.is_weekend(day)
             day_start = calendar.seconds_at(day)
 
-            # Per-(client, path) congestion elevation for this day, drawn
-            # lazily from a derived RNG so it is stable within the day.
-            daily_offsets: Dict[Tuple[str, str], float] = {}
-
-            def path_offset(client_key: str, target_key: str) -> float:
-                cache_key = (client_key, target_key)
-                offset = daily_offsets.get(cache_key)
-                if offset is None:
-                    offset_rng = derive_rng(
-                        scenario_seed, "daily-variation", day,
-                        client_key, target_key,
-                    )
-                    offset = latency.sample_daily_variation_ms(
-                        offset_rng, anycast=target_key == ANYCAST_TARGET
-                    )
-                    daily_offsets[cache_key] = offset
-                return offset
-
-            for client in scenario.clients:
+            for client in clients:
                 key = client.key
+                # Everything this client does today draws from its own
+                # derived stream — independent of every other client.
+                rng = derive_rng(scenario_seed, "campaign", day, key)
                 plan = plans[key]
                 effect = inflations.get(key)
                 anycast_inflation = 0.0
@@ -216,41 +410,70 @@ class CampaignRunner:
                 if queries <= 0:
                     continue
 
-                # Passive production traffic: split across the day's routes.
-                for rank, fraction in zip(plan.ranks, plan.fractions):
-                    frontend_id, _ = paths.anycast(key, rank)
-                    count = int(round(queries * fraction))
+                # Passive production traffic: split across the day's
+                # routes with largest-remainder apportionment, so the
+                # recorded counts sum exactly to the day's query volume.
+                rank_frontends = tuple(
+                    paths.anycast(key, rank)[0] for rank in plan.ranks
+                )
+                for frontend_id, count in zip(
+                    rank_frontends,
+                    largest_remainder_apportion(queries, plan.fractions),
+                ):
                     passive.record(day, key, frontend_id, count)
 
                 beacons = workload.daily_beacons(queries, rng)
+                if beacons <= 0:
+                    continue
                 client_index = scenario.client_index(key)
                 region = regions[key]
                 rt_supported = resource_timing[key]
 
-                for _ in range(beacons):
-                    session_rank = plan.sample_rank(rng)
+                # Per-(client, day) invariants hoisted out of the beacon
+                # loop: the daily congestion offsets (stable within the
+                # day, drawn from derived RNGs) and one serve closure
+                # reading the session rank from a cell.
+                anycast_offset = latency.sample_daily_variation_ms(
+                    derive_rng(
+                        scenario_seed, "daily-variation", day, key,
+                        ANYCAST_TARGET,
+                    ),
+                    anycast=True,
+                )
+                unicast_offsets: Dict[str, float] = {}
+                session_rank_cell = [plan.ranks[0]]
 
-                    def serve(target_id: str) -> Tuple[str, float]:
-                        if target_id == ANYCAST_TARGET:
-                            frontend_id, baseline = paths.anycast(
-                                key, session_rank
-                            )
-                            extra = anycast_inflation
-                        else:
-                            frontend_id = target_id
-                            baseline = paths.unicast(key, target_id)
-                            extra = (
-                                unicast_inflation
-                                if target_id == degraded_frontend
-                                else 0.0
-                            )
-                        extra += path_offset(key, target_id)
-                        rtt = (
-                            baseline
-                            + latency.sample_jitter_ms(rng)
-                            + extra
+                def serve(target_id: str) -> Tuple[str, float]:
+                    if target_id == ANYCAST_TARGET:
+                        frontend_id, baseline = paths.anycast(
+                            key, session_rank_cell[0]
                         )
-                        return frontend_id, rtt
+                        extra = anycast_inflation + anycast_offset
+                    else:
+                        frontend_id = target_id
+                        baseline = paths.unicast(key, target_id)
+                        offset = unicast_offsets.get(target_id)
+                        if offset is None:
+                            offset = latency.sample_daily_variation_ms(
+                                derive_rng(
+                                    scenario_seed, "daily-variation", day,
+                                    key, target_id,
+                                ),
+                                anycast=False,
+                            )
+                            unicast_offsets[target_id] = offset
+                        extra = offset
+                        if target_id == degraded_frontend:
+                            extra += unicast_inflation
+                    rtt = (
+                        baseline
+                        + latency.sample_jitter_ms(rng)
+                        + extra
+                    )
+                    return frontend_id, rtt
+
+                for _ in range(beacons):
+                    session_rank_cell[0] = plan.sample_rank(rng)
 
                     fetches = runner.run_beacon(
                         ldns_id=client.ldns_id,
@@ -290,6 +513,7 @@ class CampaignRunner:
                         )
 
             runner.purge_caches(calendar.seconds_at(day) + 86_400.0)
+            day_seconds.append(time.perf_counter() - day_start_time)
             if cfg.progress_callback is not None:
                 cfg.progress_callback(day, calendar.num_days)
 
@@ -298,6 +522,14 @@ class CampaignRunner:
                 f"{backend.pending_count} measurements never joined — "
                 "campaign bookkeeping bug"
             )
+        self.stats = CampaignStats(
+            wall_seconds=time.perf_counter() - run_start,
+            beacon_count=beacon_count,
+            measurement_count=backend.joined_count,
+            day_seconds=day_seconds,
+            path_cache=paths.stats,
+            workers=1,
+        )
         return StudyDataset(
             calendar=calendar,
             clients=scenario.clients,

@@ -2,13 +2,22 @@
 
 Analyses (and the predictor) consume this container rather than raw logs,
 mirroring how the paper's backend storage fed its analyses.
+
+Datasets over the same calendar and client population are *mergeable*
+(:meth:`StudyDataset.merge`, or the ``+`` operator): a sharded parallel
+campaign produces one partial dataset per client shard and folds them
+into the full dataset.  :meth:`StudyDataset.digest` gives a canonical,
+order-insensitive fingerprint, so serial, parallel, and re-ordered runs
+of the same scenario can be checked for bit-identical results.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.errors import MeasurementError
 from repro.clients.population import ClientPrefix
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
 from repro.measurement.logs import PassiveLog
@@ -57,3 +66,113 @@ class StudyDataset:
     def volume_weight(self, client_key: str) -> float:
         """Query-volume weight of a /24 (its mean daily queries)."""
         return self.client_by_key(client_key).daily_queries
+
+    # ------------------------------------------------------------------
+    # Merging and fingerprinting
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "StudyDataset") -> "StudyDataset":
+        """Fold another dataset's measurements into this one (in place).
+
+        Both datasets must cover the same calendar and client population
+        (shards of one campaign do); only the *measurements* may differ.
+
+        Raises:
+            MeasurementError: on mismatched calendars or populations.
+        """
+        if (
+            self.calendar.start != other.calendar.start
+            or self.calendar.num_days != other.calendar.num_days
+        ):
+            raise MeasurementError(
+                "cannot merge datasets over different calendars"
+            )
+        if len(self.clients) != len(other.clients) or any(
+            a.key != b.key for a, b in zip(self.clients, other.clients)
+        ):
+            raise MeasurementError(
+                "cannot merge datasets over different client populations"
+            )
+        self.ecs_aggregates.merge(other.ecs_aggregates)
+        self.ldns_aggregates.merge(other.ldns_aggregates)
+        self.request_diffs.merge(other.request_diffs)
+        self.passive.merge(other.passive)
+        self.beacon_count += other.beacon_count
+        self.measurement_count += other.measurement_count
+        return self
+
+    def __add__(self, other: "StudyDataset") -> "StudyDataset":
+        """A new dataset holding both operands' measurements."""
+        result = StudyDataset(
+            calendar=self.calendar,
+            clients=self.clients,
+            ecs_aggregates=GroupedDailyAggregates(
+                self.ecs_aggregates.grouping
+            ),
+            ldns_aggregates=GroupedDailyAggregates(
+                self.ldns_aggregates.grouping
+            ),
+            request_diffs=RequestDiffLog(),
+            passive=PassiveLog(),
+        )
+        result.merge(self)
+        result.merge(other)
+        return result
+
+    def digest(self) -> str:
+        """Canonical SHA-256 fingerprint of the dataset's contents.
+
+        The traversal is fully sorted and the within-digest sample order
+        is canonicalized, so two datasets holding the same *multiset* of
+        measurements — e.g. a serial run and a merged sharded run, whose
+        shared-LDNS digests interleave samples differently — produce the
+        same hex digest.  Floats hash by exact ``repr``; no tolerance.
+        """
+        h = hashlib.sha256()
+
+        def put(*parts: object) -> None:
+            for part in parts:
+                h.update(str(part).encode("utf-8"))
+                h.update(b"\x1f")
+
+        put("calendar", self.calendar.start.isoformat(), self.calendar.num_days)
+        put("clients", len(self.clients))
+        for client in self.clients:
+            put(client.key)
+        for aggregates in (self.ecs_aggregates, self.ldns_aggregates):
+            put("aggregates", aggregates.grouping)
+            for day in aggregates.days:
+                for group in aggregates.groups_on(day):
+                    for target_id, digest in sorted(
+                        aggregates.targets_for(day, group).items()
+                    ):
+                        put(day, group, target_id)
+                        for value in sorted(digest.values()):
+                            put(repr(value))
+        put("request_diffs", len(self.request_diffs))
+        names = self.request_diffs.region_names
+        for row in sorted(
+            self.request_diffs.rows(),
+            key=lambda r: (
+                r.day,
+                r.client_index,
+                r.anycast_rtt_ms,
+                r.best_unicast_rtt_ms,
+            ),
+        ):
+            put(
+                row.day,
+                row.client_index,
+                names[row.region_code],
+                repr(row.anycast_rtt_ms),
+                repr(row.best_unicast_rtt_ms),
+            )
+        put("passive")
+        for day in self.passive.days:
+            for client_key in sorted(self.passive.clients_on(day)):
+                for frontend_id, count in sorted(
+                    self.passive.frontends_for(day, client_key).items()
+                ):
+                    put(day, client_key, frontend_id, count)
+        put("counts", self.beacon_count, self.measurement_count)
+        return h.hexdigest()

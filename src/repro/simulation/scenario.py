@@ -53,12 +53,18 @@ class ScenarioConfig:
     episodes: EpisodeConfig = field(default_factory=EpisodeConfig)
     calendar: SimulationCalendar = field(default_factory=SimulationCalendar)
     geolocation_error_fraction: float = 0.02
+    #: Default worker-process count for campaigns over this scenario.
+    #: Results are bit-identical for any value; >1 shards the client
+    #: population across processes (see repro.simulation.parallel).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.geolocation_error_fraction <= 1.0:
             raise ConfigurationError(
                 "geolocation_error_fraction must be in [0, 1]"
             )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
 
     @classmethod
     def paper_scale(cls, seed: int = 2015) -> "ScenarioConfig":

@@ -5,7 +5,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.clients.population import ClientPopulationConfig
 from repro.dns.authoritative import ANYCAST_TARGET
-from repro.simulation.campaign import CampaignRunner
+from repro.rand import derive_rng
+from repro.simulation.campaign import (
+    CampaignRunner,
+    largest_remainder_apportion,
+)
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.scenario import Scenario, ScenarioConfig
 
@@ -94,6 +98,38 @@ class TestCampaign:
         assert a.measurement_count == b.measurement_count
         assert a.request_diffs.diffs()[:100] == b.request_diffs.diffs()[:100]
 
+    def test_same_seed_same_digest(self, small_scenario_config, small_dataset):
+        rerun = CampaignRunner(Scenario.build(small_scenario_config)).run()
+        assert rerun.digest() == small_dataset.digest()
+
+    def test_different_seed_different_digest(self, small_scenario_config,
+                                             small_dataset):
+        import dataclasses
+
+        other = dataclasses.replace(small_scenario_config, seed=43)
+        rerun = CampaignRunner(Scenario.build(other)).run()
+        assert rerun.digest() != small_dataset.digest()
+
+    def test_passive_counts_sum_to_query_volume(self, small_dataset,
+                                                small_scenario):
+        """Largest-remainder apportionment: the passive log's per-day
+        counts for a client sum exactly to that day's drawn query volume
+        (independent rounding could drift by a query per route)."""
+        scenario = small_scenario
+        seed = scenario.config.seed
+        workload = scenario.workload_model
+        for day in range(scenario.calendar.num_days):
+            is_weekend = scenario.calendar.is_weekend(day)
+            for client in scenario.clients[:40]:
+                rng = derive_rng(seed, "campaign", day, client.key)
+                queries = workload.daily_queries(client, is_weekend, rng)
+                recorded = sum(
+                    small_dataset.passive.frontends_for(
+                        day, client.key
+                    ).values()
+                )
+                assert recorded == max(queries, 0)
+
     def test_dataset_lookups(self, small_dataset):
         client = small_dataset.clients[0]
         assert small_dataset.client_by_key(client.key) is client
@@ -115,3 +151,30 @@ class TestCampaign:
         )
         runner.run()
         assert seen == [(0, 2), (1, 2)]
+
+
+class TestLargestRemainderApportion:
+    def test_sums_exactly(self):
+        for total in (0, 1, 5, 17, 1000):
+            for fractions in ((1.0,), (0.5, 0.5), (0.2, 0.3, 0.5),
+                              (1 / 3, 1 / 3, 1 / 3)):
+                counts = largest_remainder_apportion(total, fractions)
+                assert sum(counts) == total
+                assert all(count >= 0 for count in counts)
+
+    def test_largest_remainder_wins(self):
+        assert largest_remainder_apportion(10, (1 / 3, 2 / 3)) == [3, 7]
+
+    def test_independent_rounding_would_drift(self):
+        # round(2.5) == 2 under banker's rounding, so the old per-rank
+        # int(round(...)) recorded 4 of these 5 queries.
+        assert sum(largest_remainder_apportion(5, (0.5, 0.5))) == 5
+
+    def test_ties_break_to_earliest_index(self):
+        assert largest_remainder_apportion(5, (0.5, 0.5)) == [3, 2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            largest_remainder_apportion(-1, (1.0,))
+        with pytest.raises(ConfigurationError):
+            largest_remainder_apportion(3, ())
