@@ -2,13 +2,15 @@
 
 These are classic microbenchmarks (not figure reproductions): how fast the
 BGP solver converges, how fast the data plane resolves, and how fast a
-full campaign day runs — serial and sharded across worker processes.
-They guard against performance regressions in the hot paths every figure
-depends on.
+full campaign runs — serial and sharded across worker processes, with
+both measurement engines.  They guard against performance regressions in
+the hot paths every figure depends on.
 """
 
-import multiprocessing
+import os
 import time
+
+import pytest
 
 from conftest import write_report
 
@@ -18,13 +20,16 @@ from repro.clients.population import ClientPopulationConfig
 from repro.geo.metros import MetroDatabase
 from repro.net.bgp import Announcement, RouteComputation
 from repro.net.topology import AsRole, TopologyBuilder, populate_base_internet
-from repro.simulation.campaign import CampaignRunner
+from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
 
-#: Worker count for the parallel campaign cases.
-PARALLEL_WORKERS = 4
+#: Worker count for the parallel campaign cases, sized to the host — a
+#: worker per core.  Parallel cases skip on single-core hosts, where
+#: sharding can only lose (process startup plus scenario rebuild on the
+#: same core that runs the work).
+PARALLEL_WORKERS = os.cpu_count() or 1
 
 
 def build_world(seed=11):
@@ -68,17 +73,33 @@ def test_data_plane_resolution(benchmark):
     benchmark(resolve_all)
 
 
-def test_single_campaign_day(benchmark):
-    """End-to-end cost of one measured day at a small population."""
+def _campaign_scenario():
     config = ScenarioConfig(
         seed=3,
         population=ClientPopulationConfig(prefix_count=150),
         calendar=SimulationCalendar(num_days=1),
     )
-    scenario = Scenario.build(config)
+    return Scenario.build(config)
+
+
+def test_single_campaign_day(benchmark):
+    """End-to-end cost of one measured day at a small population."""
+    scenario = _campaign_scenario()
 
     def run_day():
         return CampaignRunner(scenario).run().measurement_count
+
+    measurements = benchmark.pedantic(run_day, rounds=3, iterations=1)
+    assert measurements > 0
+
+
+def test_single_campaign_day_vectorized(benchmark):
+    """The same day through the vectorized measurement engine."""
+    scenario = _campaign_scenario()
+    config = CampaignConfig(engine="vectorized")
+
+    def run_day():
+        return CampaignRunner(scenario, config).run().measurement_count
 
     measurements = benchmark.pedantic(run_day, rounds=3, iterations=1)
     assert measurements > 0
@@ -92,12 +113,9 @@ def test_single_campaign_day_parallel(benchmark):
     free cores as workers.  The digest assertion is the real guarantee:
     the parallel path produces a bit-identical dataset.
     """
-    config = ScenarioConfig(
-        seed=3,
-        population=ClientPopulationConfig(prefix_count=150),
-        calendar=SimulationCalendar(num_days=1),
-    )
-    scenario = Scenario.build(config)
+    if PARALLEL_WORKERS < 2:
+        pytest.skip("host has fewer than 2 cores; sharding cannot win")
+    scenario = _campaign_scenario()
     serial_digest = CampaignRunner(scenario).run().digest()
 
     def run_day():
@@ -110,47 +128,86 @@ def test_single_campaign_day_parallel(benchmark):
     assert dataset.digest() == serial_digest
 
 
-def test_campaign_serial_vs_parallel_report():
-    """Record serial vs sharded wall-clock for one campaign day.
+def _timed_run(scenario, engine, workers=1):
+    """Run one campaign; return (dataset, stats, wall seconds)."""
+    config = CampaignConfig(engine=engine)
+    start = time.perf_counter()
+    if workers == 1:
+        runner = CampaignRunner(scenario, config)
+    else:
+        runner = ParallelCampaignRunner(scenario, config, workers=workers)
+    dataset = runner.run()
+    return dataset, runner.stats, time.perf_counter() - start
+
+
+def test_campaign_engines_report():
+    """Record engine and sharding wall-clock for a multi-day campaign.
 
     Writes the numbers (plus the host's core count, which bounds the
-    achievable speedup) to ``benchmarks/out/pipeline_performance.txt``.
-    Uses a larger population than the timed microbenchmarks so worker
-    startup is better amortized.
+    achievable sharding speedup) to
+    ``benchmarks/out/pipeline_performance.txt``.  A multi-day run is the
+    representative regime — the paper's campaign spans a month — and it
+    amortizes the one-time path-cache warm-up that dominates day 1 for
+    both engines.  The parallel timing rows are skipped (with a note) on
+    single-core hosts, where sharding can only lose; the vectorized
+    serial-vs-sharded digest check still runs, because it is a
+    correctness property, not a timing.
     """
     config = ScenarioConfig(
         seed=3,
         population=ClientPopulationConfig(prefix_count=600),
-        calendar=SimulationCalendar(num_days=1),
+        calendar=SimulationCalendar(num_days=3),
     )
     scenario = Scenario.build(config)
+    cores = os.cpu_count() or 1
 
-    start = time.perf_counter()
-    serial_runner = CampaignRunner(scenario)
-    serial = serial_runner.run()
-    serial_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    parallel_runner = ParallelCampaignRunner(
-        scenario, workers=PARALLEL_WORKERS
+    reference, ref_stats, ref_seconds = _timed_run(scenario, "reference")
+    vectorized, vec_stats, vec_seconds = _timed_run(scenario, "vectorized")
+    speedup = ref_stats.beacons_per_second and (
+        vec_stats.beacons_per_second / ref_stats.beacons_per_second
     )
-    parallel = parallel_runner.run()
-    parallel_seconds = time.perf_counter() - start
 
-    assert parallel.digest() == serial.digest()
     lines = [
-        "pipeline performance: one campaign day, 600 client /24s",
-        f"host cores: {multiprocessing.cpu_count()}",
+        "pipeline performance: 3-day campaign, 600 client /24s",
+        f"host cores: {cores}",
         (
-            f"serial:   {serial_seconds:7.2f}s  "
-            f"({serial_runner.stats.beacons_per_second:8,.0f} beacons/s)"
+            f"engine=reference  serial: {ref_seconds:7.2f}s  "
+            f"({ref_stats.beacons_per_second:8,.0f} beacons/s)"
         ),
         (
-            f"parallel: {parallel_seconds:7.2f}s  "
-            f"({parallel_runner.stats.beacons_per_second:8,.0f} beacons/s, "
-            f"workers={PARALLEL_WORKERS})"
+            f"engine=vectorized serial: {vec_seconds:7.2f}s  "
+            f"({vec_stats.beacons_per_second:8,.0f} beacons/s)"
         ),
-        f"speedup:  {serial_seconds / parallel_seconds:7.2f}x",
-        "datasets: identical (same StudyDataset.digest())",
+        f"vectorized speedup over reference: {speedup:.2f}x (target >= 5x)",
     ]
+
+    if cores >= 2:
+        for engine in ("reference", "vectorized"):
+            dataset, stats, seconds = _timed_run(
+                scenario, engine, workers=PARALLEL_WORKERS
+            )
+            serial = reference if engine == "reference" else vectorized
+            assert dataset.digest() == serial.digest()
+            lines.append(
+                f"engine={engine:10s} parallel: {seconds:7.2f}s  "
+                f"({stats.beacons_per_second:8,.0f} beacons/s, "
+                f"workers={PARALLEL_WORKERS})"
+            )
+    else:
+        lines.append(
+            "parallel timing: skipped (single-core host; sharding adds "
+            "process startup without adding compute)"
+        )
+        sharded, _, _ = _timed_run(scenario, "vectorized", workers=2)
+        assert sharded.digest() == vectorized.digest()
+        lines.append(
+            "vectorized serial vs workers=2: identical "
+            "(same StudyDataset.digest())"
+        )
+
+    # Regression guard, looser than the recorded headline number so a
+    # noisy host does not flake the suite.
+    assert speedup >= 3.0, (
+        f"vectorized engine only {speedup:.2f}x over reference"
+    )
     write_report("pipeline_performance", "\n".join(lines))

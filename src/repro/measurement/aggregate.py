@@ -9,9 +9,12 @@ that, with compact ``array`` storage.
 
 from __future__ import annotations
 
+import math
 from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import AnalysisError, MeasurementError
 from repro.latency.sampling import percentile
@@ -21,24 +24,51 @@ class LatencyDigest:
     """Append-only latency sample accumulator with percentile queries.
 
     Samples live in a C-double array; the sorted view is computed lazily
-    and invalidated on append.
+    and invalidated on append, so an analysis pass issuing consecutive
+    percentile queries sorts at most once.  Large digests sort into a
+    numpy array (one ``np.sort`` over the buffer, O(1) interpolated
+    quantile lookups); small ones stay on plain Python lists, which are
+    cheaper below the array-conversion overhead.
     """
 
-    __slots__ = ("_values", "_sorted")
+    __slots__ = ("_values", "_sorted", "_sorted_array")
+
+    #: Sample count at which percentile queries switch from a sorted
+    #: Python list to a sorted numpy array.
+    _NUMPY_SORT_THRESHOLD = 64
 
     def __init__(self, values: Optional[Sequence[float]] = None) -> None:
         self._values = array("d", values or ())
         self._sorted: Optional[List[float]] = None
+        self._sorted_array: Optional[np.ndarray] = None
 
     def add(self, value: float) -> None:
         """Append one sample."""
         self._values.append(value)
-        self._sorted = None
+        self._invalidate()
+
+    def extend(self, values: Union[np.ndarray, Sequence[float]]) -> None:
+        """Append a batch of samples (the vectorized engine's bulk path).
+
+        Accepts any float sequence; numpy arrays append through the
+        buffer protocol without a per-element Python loop.
+        """
+        if isinstance(values, np.ndarray):
+            self._values.frombytes(
+                np.ascontiguousarray(values, dtype=np.float64).tobytes()
+            )
+        else:
+            self._values.extend(values)
+        self._invalidate()
 
     def merge(self, other: "LatencyDigest") -> None:
         """Fold another digest's samples into this one."""
         self._values.extend(other._values)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
         self._sorted = None
+        self._sorted_array = None
 
     @property
     def count(self) -> int:
@@ -46,16 +76,34 @@ class LatencyDigest:
         return len(self._values)
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile of the samples.
+        """The q-th percentile of the samples (linear interpolation).
 
         Raises:
-            AnalysisError: if empty.
+            AnalysisError: if empty, or ``q`` outside [0, 100].
         """
         if not self._values:
             raise AnalysisError("empty digest has no percentiles")
-        if self._sorted is None:
-            self._sorted = sorted(self._values)
-        return percentile(self._sorted, q)
+        if len(self._values) < self._NUMPY_SORT_THRESHOLD:
+            if self._sorted is None:
+                self._sorted = sorted(self._values)
+            return percentile(self._sorted, q)
+        if not 0.0 <= q <= 100.0:
+            raise AnalysisError(f"percentile must be in [0, 100], got {q}")
+        if self._sorted_array is None:
+            # np.frombuffer views the array's buffer; np.sort copies, so
+            # the cached result is safe against later appends (which
+            # invalidate it anyway).
+            self._sorted_array = np.sort(
+                np.frombuffer(self._values, dtype=np.float64)
+            )
+        ordered = self._sorted_array
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return float(ordered[low])
+        fraction = rank - low
+        return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
 
     def median(self) -> float:
         """Shorthand for the 50th percentile."""
@@ -104,6 +152,31 @@ class GroupedDailyAggregates:
             digest = LatencyDigest()
             per_group[target_id] = digest
         digest.add(rtt_ms)
+
+    def observe_many(
+        self,
+        day: int,
+        group: str,
+        target_id: str,
+        rtts_ms: Union[np.ndarray, Sequence[float]],
+    ) -> None:
+        """Add a batch of measurements for one (day, group, target).
+
+        The bulk counterpart of :meth:`observe` — one dictionary walk and
+        one :meth:`LatencyDigest.extend` per batch instead of per sample.
+        """
+        if len(rtts_ms) == 0:
+            return
+        per_day = self._days.setdefault(day, {})
+        per_group = per_day.get(group)
+        if per_group is None:
+            per_group = {}
+            per_day[group] = per_group
+        digest = per_group.get(target_id)
+        if digest is None:
+            digest = LatencyDigest()
+            per_group[target_id] = digest
+        digest.extend(rtts_ms)
 
     @property
     def days(self) -> Tuple[int, ...]:
@@ -217,6 +290,41 @@ class RequestDiffLog:
         self._region_code.append(self.region_code(region_name))
         self._anycast.append(anycast_rtt_ms)
         self._best_unicast.append(best_unicast_rtt_ms)
+
+    def observe_many(
+        self,
+        day: int,
+        client_index: int,
+        region_name: str,
+        anycast_rtts_ms: Union[np.ndarray, Sequence[float]],
+        best_unicast_rtts_ms: Union[np.ndarray, Sequence[float]],
+    ) -> None:
+        """Record one client-day's beacon summaries in bulk.
+
+        Both value sequences must have equal length; the day, client, and
+        region are shared by every row (which is exactly the shape one
+        vectorized (client, day) block produces).
+        """
+        n = len(anycast_rtts_ms)
+        if len(best_unicast_rtts_ms) != n:
+            raise MeasurementError(
+                "anycast and best-unicast batches must have equal length"
+            )
+        if n == 0:
+            return
+        code = self.region_code(region_name)
+        self._day.extend([day] * n)
+        self._client_index.extend([client_index] * n)
+        self._region_code.extend([code] * n)
+        # float32 storage, same cast the scalar append performs.
+        self._anycast.frombytes(
+            np.ascontiguousarray(anycast_rtts_ms, dtype=np.float32).tobytes()
+        )
+        self._best_unicast.frombytes(
+            np.ascontiguousarray(
+                best_unicast_rtts_ms, dtype=np.float32
+            ).tobytes()
+        )
 
     def __len__(self) -> int:
         return len(self._day)

@@ -23,6 +23,23 @@ the iteration order, shard assignment, or worker count — which is what
 lets :class:`repro.simulation.parallel.ParallelCampaignRunner` split the
 population into contiguous shards, run them in separate processes, and
 merge the partial datasets into the exact dataset a serial run produces.
+
+**Engines.**  Two measurement engines share this campaign skeleton (day
+loop, churn/episode plans, passive traffic, query/beacon volumes — all
+identical between them):
+
+* ``"reference"`` — the scalar oracle: every beacon fetch runs through
+  :class:`repro.measurement.beacon.BeaconRunner` and draws one sample at
+  a time from the per-(client, day) ``random.Random`` stream;
+* ``"vectorized"`` — :class:`_VectorizedBeaconEngine`: each (client,
+  day) block of beacons is synthesized as numpy arrays from a
+  ``numpy.random.Generator`` derived from the same seed chain, and
+  flows into the sinks through bulk APIs.
+
+Each engine honors the determinism contract above *within itself*
+(serial ≡ sharded ≡ parallel for a fixed engine); the two engines'
+datasets agree statistically but not bit-for-bit, since they consume
+different random streams.
 """
 
 from __future__ import annotations
@@ -31,14 +48,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.dns.authoritative import ANYCAST_TARGET
 from repro.geo.regions import region_of_point
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
-from repro.measurement.backend import BeaconBackend
+from repro.measurement.backend import BeaconBackend, JoinedBatch, JoinedSegment
 from repro.measurement.beacon import BeaconConfig, BeaconRunner, BeaconTargetSelector
 from repro.measurement.logs import HttpLogEntry, JoinedMeasurement, PassiveLog
-from repro.rand import derive_rng
+from repro.clients.population import ClientPrefix
+from repro.rand import derive_rng, derive_seed
+from repro.simulation.churn import DayRoutePlan
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.episodes import EpisodeScope
 from repro.simulation.scenario import Scenario
@@ -55,15 +76,28 @@ class CampaignConfig:
             sharded parallel runs.
         workers: Worker-process count for the campaign, or ``None`` to
             inherit :attr:`repro.simulation.scenario.ScenarioConfig.workers`.
+        engine: Measurement engine — ``"reference"`` (scalar oracle) or
+            ``"vectorized"`` (numpy-batched, several times faster), or
+            ``None`` to inherit
+            :attr:`repro.simulation.scenario.ScenarioConfig.engine`.
+            Either engine is deterministic per seed and bit-identical
+            across worker counts; the two engines' datasets agree
+            statistically, not bit-for-bit.
     """
 
     beacon: BeaconConfig = BeaconConfig()
     progress_callback: Optional[Callable[[int, int], None]] = None
     workers: Optional[int] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.engine not in (None, "reference", "vectorized"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected 'reference' or "
+                "'vectorized'"
+            )
 
 
 def largest_remainder_apportion(
@@ -140,6 +174,7 @@ class CampaignStats:
             these are summed across shards, so they read as CPU-seconds.
         path_cache: Per-:class:`_PathCache` hit/miss counters.
         workers: Worker processes the campaign ran with.
+        engine: Measurement engine the campaign ran with.
     """
 
     wall_seconds: float = 0.0
@@ -148,6 +183,7 @@ class CampaignStats:
     day_seconds: List[float] = field(default_factory=list)
     path_cache: PathCacheStats = field(default_factory=PathCacheStats)
     workers: int = 1
+    engine: str = "reference"
 
     @property
     def beacons_per_second(self) -> float:
@@ -181,7 +217,7 @@ class CampaignStats:
                 f"campaign stats: {self.beacon_count:,} beacons in "
                 f"{self.wall_seconds:.2f}s "
                 f"({self.beacons_per_second:,.0f} beacons/s, "
-                f"workers={self.workers})"
+                f"workers={self.workers}, engine={self.engine})"
             ),
             (
                 "path cache: anycast "
@@ -279,6 +315,197 @@ class _PathCache:
         return baseline
 
 
+class _VectorizedBeaconEngine:
+    """Batched beacon synthesis: one numpy block per (client, day).
+
+    The scalar reference engine walks every beacon fetch through Python —
+    target selection, jitter draw, sink append — one call at a time.
+    This engine synthesizes a whole (client, day) block of ``B`` beacons
+    × ``T`` targets as arrays:
+
+    * session-rank switches, random-pick indices, daily congestion
+      offsets, jitter bodies, spike masks, spike magnitudes, and
+      primitive-timing overheads are batched draws from one
+      ``numpy.random.Generator`` seeded by
+      ``derive_seed(seed, "campaign-vec", day, client)``;
+    * per-target fixed components (cached path baseline + persistent
+      offset + daily congestion offset + episode inflation) assemble into
+      a ``(B, T)`` base matrix that the jitter adds onto;
+    * results flow into the sinks through the bulk APIs
+      (:meth:`BeaconBackend.on_joined_batch`,
+      :meth:`RequestDiffLog.observe_many`) — no per-sample Python calls.
+
+    Because every draw derives from ``(seed, day, client)``, the engine
+    is deterministic per seed and bit-identical across serial, sharded,
+    and re-ordered runs — the same contract the reference engine has,
+    just over a different stream, so digests differ between engines while
+    the distributions match (pinned by the equivalence tests).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        selector: BeaconTargetSelector,
+        paths: "_PathCache",
+        beacon_config: BeaconConfig,
+        backend: BeaconBackend,
+        request_diffs: RequestDiffLog,
+    ) -> None:
+        self._scenario = scenario
+        self._selector = selector
+        self._paths = paths
+        self._beacon_config = beacon_config
+        self._backend = backend
+        self._request_diffs = request_diffs
+        self._latency = scenario.latency_model
+        self._seed = scenario.config.seed
+
+    def _unicast_fixed_ms(
+        self,
+        client_key: str,
+        target_id: str,
+        daily_offset_ms: float,
+        degraded_frontend: Optional[str],
+        unicast_inflation: float,
+    ) -> float:
+        """Baseline + daily offset (+ episode inflation) for one target."""
+        fixed = self._paths.unicast(client_key, target_id) + daily_offset_ms
+        if target_id == degraded_frontend:
+            fixed += unicast_inflation
+        return fixed
+
+    def run_client_day(
+        self,
+        day: int,
+        client: ClientPrefix,
+        client_index: int,
+        region: str,
+        resource_timing_supported: bool,
+        plan: DayRoutePlan,
+        beacons: int,
+        anycast_extra_ms: float,
+        degraded_frontend: Optional[str],
+        unicast_inflation_ms: float,
+    ) -> None:
+        """Synthesize and sink one client-day's ``beacons`` sessions."""
+        key = client.key
+        ldns_id = client.ldns_id
+        gen = np.random.default_rng(
+            derive_seed(self._seed, "campaign-vec", day, key)
+        )
+
+        # Anycast fixed component per possible session rank (1 or 2).
+        rank_frontends: List[str] = []
+        rank_fixed: List[float] = []
+        for rank in plan.ranks:
+            frontend_id, baseline = self._paths.anycast(key, rank)
+            rank_frontends.append(frontend_id)
+            rank_fixed.append(baseline + anycast_extra_ms)
+        if len(plan.ranks) > 1:
+            on_first_rank = gen.random(beacons) < plan.fractions[0]
+            anycast_fixed = np.where(
+                on_first_rank, rank_fixed[0], rank_fixed[1]
+            )
+        else:
+            on_first_rank = None
+            anycast_fixed = np.full(beacons, rank_fixed[0])
+
+        closest = self._selector.closest(ldns_id)
+        pick_indices = self._selector.sample_pick_indices(
+            ldns_id, gen, beacons
+        )
+        picks = pick_indices.shape[1]
+        targets = 2 + picks
+        pool = self._selector.pick_pool(ldns_id)
+        if picks:
+            picked_pool_indices = np.unique(pick_indices)
+        else:
+            picked_pool_indices = np.empty(0, dtype=np.intp)
+
+        # One daily congestion draw per unicast path the day's beacons
+        # touch: the closest target first, then the picked pool targets
+        # in index order.
+        daily_offsets = self._latency.sample_daily_variation_batch_ms(
+            gen, 1 + len(picked_pool_indices), anycast=False
+        )
+
+        jitter = self._latency.sample_jitter_batch_ms(
+            gen, (beacons, targets)
+        )
+        if not resource_timing_supported:
+            cfg = self._beacon_config
+            overhead = gen.normal(
+                cfg.primitive_overhead_mean_ms,
+                cfg.primitive_overhead_sigma_ms,
+                (beacons, targets),
+            )
+            jitter = jitter + np.maximum(overhead, 0.0)
+
+        fixed = np.empty((beacons, targets))
+        fixed[:, 0] = anycast_fixed
+        fixed[:, 1] = self._unicast_fixed_ms(
+            key, closest, daily_offsets[0], degraded_frontend,
+            unicast_inflation_ms,
+        )
+        if picks:
+            pool_fixed = np.zeros(len(pool))
+            for position, pool_index in enumerate(picked_pool_indices):
+                pool_fixed[pool_index] = self._unicast_fixed_ms(
+                    key,
+                    pool[pool_index],
+                    daily_offsets[1 + position],
+                    degraded_frontend,
+                    unicast_inflation_ms,
+                )
+            fixed[:, 2:] = pool_fixed[pick_indices]
+
+        # Browser timing APIs report integer milliseconds (same rounding
+        # the reference engine applies per fetch).
+        rtts = np.rint(fixed + jitter)
+
+        best_unicast = rtts[:, 1:].min(axis=1)
+        self._request_diffs.observe_many(
+            day, client_index, region, rtts[:, 0], best_unicast
+        )
+
+        segments: List[JoinedSegment] = []
+        if on_first_rank is None:
+            segments.append(
+                JoinedSegment(ANYCAST_TARGET, rank_frontends[0], rtts[:, 0])
+            )
+        else:
+            for rank_position, mask in ((0, on_first_rank), (1, ~on_first_rank)):
+                values = rtts[mask, 0]
+                if values.size:
+                    segments.append(
+                        JoinedSegment(
+                            ANYCAST_TARGET,
+                            rank_frontends[rank_position],
+                            values,
+                        )
+                    )
+        segments.append(JoinedSegment(closest, closest, rtts[:, 1]))
+        if picks:
+            pick_rtts = rtts[:, 2:]
+            for pool_index in picked_pool_indices:
+                target_id = pool[pool_index]
+                segments.append(
+                    JoinedSegment(
+                        target_id,
+                        target_id,
+                        pick_rtts[pick_indices == pool_index],
+                    )
+                )
+        self._backend.on_joined_batch(
+            JoinedBatch(
+                day=day,
+                client_key=key,
+                ldns_id=ldns_id,
+                segments=tuple(segments),
+            )
+        )
+
+
 class CampaignRunner:
     """Runs a scenario's measurement campaign into a dataset.
 
@@ -350,11 +577,34 @@ class CampaignRunner:
         request_diffs = RequestDiffLog()
         passive = PassiveLog()
 
-        def on_joined(row: JoinedMeasurement) -> None:
-            ecs_aggregates.observe(row.day, row.client_key, row.target_id, row.rtt_ms)
-            ldns_aggregates.observe(row.day, row.ldns_id, row.target_id, row.rtt_ms)
+        engine = cfg.engine or scenario.config.engine
+        vectorized: Optional[_VectorizedBeaconEngine] = None
+        if engine == "vectorized":
+            def on_joined_batch(batch: JoinedBatch) -> None:
+                for segment in batch.segments:
+                    ecs_aggregates.observe_many(
+                        batch.day, batch.client_key,
+                        segment.target_id, segment.rtts_ms,
+                    )
+                    ldns_aggregates.observe_many(
+                        batch.day, batch.ldns_id,
+                        segment.target_id, segment.rtts_ms,
+                    )
 
-        backend = BeaconBackend([on_joined])
+            backend = BeaconBackend(batch_observers=(on_joined_batch,))
+            vectorized = _VectorizedBeaconEngine(
+                scenario, selector, paths, cfg.beacon, backend, request_diffs
+            )
+        else:
+            def on_joined(row: JoinedMeasurement) -> None:
+                ecs_aggregates.observe(
+                    row.day, row.client_key, row.target_id, row.rtt_ms
+                )
+                ldns_aggregates.observe(
+                    row.day, row.ldns_id, row.target_id, row.rtt_ms
+                )
+
+            backend = BeaconBackend([on_joined])
 
         scenario_seed = scenario.config.seed
 
@@ -440,6 +690,23 @@ class CampaignRunner:
                     ),
                     anycast=True,
                 )
+
+                if vectorized is not None:
+                    vectorized.run_client_day(
+                        day=day,
+                        client=client,
+                        client_index=client_index,
+                        region=region,
+                        resource_timing_supported=rt_supported,
+                        plan=plan,
+                        beacons=beacons,
+                        anycast_extra_ms=anycast_inflation + anycast_offset,
+                        degraded_frontend=degraded_frontend,
+                        unicast_inflation_ms=unicast_inflation,
+                    )
+                    beacon_count += beacons
+                    continue
+
                 unicast_offsets: Dict[str, float] = {}
                 session_rank_cell = [plan.ranks[0]]
 
@@ -529,6 +796,7 @@ class CampaignRunner:
             day_seconds=day_seconds,
             path_cache=paths.stats,
             workers=1,
+            engine=engine,
         )
         return StudyDataset(
             calendar=calendar,

@@ -57,6 +57,13 @@ class ScenarioConfig:
     #: Results are bit-identical for any value; >1 shards the client
     #: population across processes (see repro.simulation.parallel).
     workers: int = 1
+    #: Default measurement engine for campaigns over this scenario:
+    #: ``"reference"`` (scalar, one draw per sample — the oracle) or
+    #: ``"vectorized"`` (numpy-batched per (client, day) block, several
+    #: times faster).  Both are deterministic per seed and bit-identical
+    #: across worker counts; digests differ *across* engines (they
+    #: consume randomness differently) but match *within* one.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.geolocation_error_fraction <= 1.0:
@@ -65,6 +72,11 @@ class ScenarioConfig:
             )
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.engine not in ("reference", "vectorized"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected 'reference' or "
+                "'vectorized'"
+            )
 
     @classmethod
     def paper_scale(cls, seed: int = 2015) -> "ScenarioConfig":

@@ -1,0 +1,91 @@
+"""CI performance smoke test for the measurement engines.
+
+Runs one small campaign through both engines on the same host and fails
+(exit code 1) if the vectorized engine's serial beacon throughput is not
+at least ``--min-speedup`` times the reference engine's.  The threshold
+is deliberately lower than the benchmark's recorded headline number
+(``benchmarks/out/pipeline_performance.txt``) so shared CI runners don't
+flake, while still catching any change that de-vectorizes the hot path.
+
+Also asserts the vectorized engine's correctness contract: a serial run
+and a 2-worker sharded run produce bit-identical datasets (same
+``StudyDataset.digest()``).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_smoke.py [--min-speedup 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.clients.population import ClientPopulationConfig
+from repro.simulation.campaign import CampaignConfig, CampaignRunner
+from repro.simulation.clock import SimulationCalendar
+from repro.simulation.parallel import ParallelCampaignRunner
+from repro.simulation.scenario import Scenario, ScenarioConfig
+
+
+def _timed_serial(scenario: Scenario, engine: str):
+    runner = CampaignRunner(scenario, CampaignConfig(engine=engine))
+    start = time.perf_counter()
+    dataset = runner.run()
+    seconds = time.perf_counter() - start
+    assert runner.stats is not None
+    return dataset, runner.stats.beacon_count / seconds, seconds
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--prefixes", type=int, default=200)
+    parser.add_argument("--days", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="required vectorized/reference beacons-per-second ratio",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = Scenario.build(
+        ScenarioConfig(
+            seed=args.seed,
+            population=ClientPopulationConfig(prefix_count=args.prefixes),
+            calendar=SimulationCalendar(num_days=args.days),
+        )
+    )
+
+    _, ref_rate, ref_seconds = _timed_serial(scenario, "reference")
+    vec_dataset, vec_rate, vec_seconds = _timed_serial(scenario, "vectorized")
+    speedup = vec_rate / ref_rate
+
+    sharded = ParallelCampaignRunner(
+        scenario, CampaignConfig(engine="vectorized"), workers=2
+    ).run()
+    if sharded.digest() != vec_dataset.digest():
+        print("FAIL: vectorized serial and 2-worker digests diverged")
+        return 1
+
+    print(
+        f"perf smoke ({args.prefixes} /24s x {args.days} days, "
+        f"seed {args.seed}):"
+    )
+    print(f"  reference:  {ref_seconds:6.2f}s  ({ref_rate:9,.0f} beacons/s)")
+    print(f"  vectorized: {vec_seconds:6.2f}s  ({vec_rate:9,.0f} beacons/s)")
+    print(f"  speedup: {speedup:.2f}x (required >= {args.min_speedup:.1f}x)")
+    print("  vectorized serial == 2-worker digest: ok")
+
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: vectorized engine only {speedup:.2f}x over reference "
+            f"(required >= {args.min_speedup:.1f}x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
