@@ -34,6 +34,7 @@ from repro.errors import (
     PredictionError,
     ReproError,
     RoutingError,
+    TelemetryError,
     TopologyError,
 )
 from repro.simulation.campaign import (
@@ -44,6 +45,12 @@ from repro.simulation.campaign import (
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.parallel import ParallelCampaignRunner, run_campaign
 from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.telemetry import (
+    RunContext,
+    Telemetry,
+    TelemetrySnapshot,
+    configure_logging,
+)
 
 __version__ = "1.0.0"
 
@@ -67,9 +74,14 @@ __all__ = [
     "ReproError",
     "run_campaign",
     "RoutingError",
+    "RunContext",
     "Scenario",
     "ScenarioConfig",
     "StudyDataset",
+    "Telemetry",
+    "TelemetryError",
+    "TelemetrySnapshot",
     "TopologyError",
+    "configure_logging",
     "__version__",
 ]

@@ -6,6 +6,12 @@ Commands:
 * ``catalog`` — print the §4 CDN deployment-size table.
 * ``troubleshoot`` — the §5 workflow: worst anycast vantages + traceroutes.
 * ``failover`` — withdraw a front-end and trace the §2 overload cascade.
+* ``telemetry`` — pretty-print a saved telemetry snapshot as a run report.
+
+Study-running commands also accept ``--telemetry-out`` (export the run's
+merged telemetry snapshot as JSON, or Prometheus text for ``.prom``/
+``.txt`` paths), and ``--log-level`` / ``--log-format`` (structured
+logging on stderr, quiet unless requested).
 """
 
 from __future__ import annotations
@@ -27,6 +33,15 @@ from repro.measurement.probes import ProbeNetwork
 from repro.net.topology import AsRole
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.scenario import ScenarioConfig
+from repro.telemetry import (
+    RunContext,
+    TelemetrySnapshot,
+    config_digest,
+    configure_logging,
+    format_run_report,
+    manifest_path_for,
+    write_run_manifest,
+)
 
 
 def _study_config(args: argparse.Namespace) -> ScenarioConfig:
@@ -66,31 +81,110 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
             "across worker counts within itself)"
         ),
     )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help=(
+            "write the run's merged telemetry snapshot here (JSON; "
+            "Prometheus text format for .prom/.txt paths)"
+        ),
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        help="enable structured logging on stderr at this level",
+    )
+    parser.add_argument(
+        "--log-format", choices=("json", "text"),
+        help="structured log line format (default text; implies --log-level info)",
+    )
+
+
+def _configure_telemetry(args: argparse.Namespace, config: ScenarioConfig) -> None:
+    """Install the structured-log handler when either flag was given."""
+    if args.log_level is None and args.log_format is None:
+        return
+    configure_logging(
+        level=args.log_level or "info",
+        fmt=args.log_format or "text",
+        context=RunContext(
+            seed=config.seed,
+            engine=config.engine,
+            workers=config.workers,
+            config_hash=config_digest(config),
+        ),
+    )
+
+
+def _export_telemetry(args: argparse.Namespace, study: AnycastStudy) -> None:
+    """Write the study's telemetry snapshot if ``--telemetry-out`` was given."""
+    if not args.telemetry_out:
+        return
+    snapshot = study.telemetry_snapshot()
+    path = args.telemetry_out
+    if path.endswith((".prom", ".txt")):
+        content = snapshot.to_prometheus()
+    else:
+        content = snapshot.to_json()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+        if not content.endswith("\n"):
+            handle.write("\n")
+    print(f"wrote telemetry snapshot to {path}")
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a study and print (or write) the full figure report."""
-    study = AnycastStudy(_study_config(args))
+    config = _study_config(args)
+    _configure_telemetry(args, config)
+    study = AnycastStudy(config)
     report = study.full_report()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+        write_run_manifest(
+            manifest_path_for(args.out),
+            study.telemetry_snapshot(),
+            dataset=study.dataset,
+            extra={"artifact": args.out},
+        )
         print(f"wrote report to {args.out}")
     else:
         print(report)
+    _export_telemetry(args, study)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a campaign and persist its dataset as JSON."""
-    study = AnycastStudy(_study_config(args))
+    config = _study_config(args)
+    _configure_telemetry(args, config)
+    study = AnycastStudy(config)
     dataset = study.dataset
     save_dataset(dataset, args.dataset)
+    manifest_path = manifest_path_for(args.dataset)
+    write_run_manifest(
+        manifest_path,
+        study.telemetry_snapshot(),
+        dataset=dataset,
+        extra={"artifact": args.dataset},
+    )
     print(
         f"campaign complete: {dataset.beacon_count:,} beacons, "
         f"{dataset.measurement_count:,} measurements -> {args.dataset}"
     )
+    print(f"wrote run manifest to {manifest_path}")
     print(study.campaign_stats.format())
+    _export_telemetry(args, study)
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Pretty-print a saved telemetry snapshot as a run report."""
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = TelemetrySnapshot.from_json(handle.read())
+    if args.prometheus:
+        print(snapshot.to_prometheus(), end="")
+    else:
+        print(format_run_report(snapshot, top=args.top))
     return 0
 
 
@@ -132,7 +226,9 @@ def cmd_catalog(args: argparse.Namespace) -> int:
 
 def cmd_troubleshoot(args: argparse.Namespace) -> int:
     """Find the worst anycast vantages and print their traceroutes."""
-    study = AnycastStudy(_study_config(args))
+    config = _study_config(args)
+    _configure_telemetry(args, config)
+    study = AnycastStudy(config)
     scenario = study.scenario
     topology = scenario.topology
     network = scenario.network
@@ -169,7 +265,9 @@ def cmd_troubleshoot(args: argparse.Namespace) -> int:
 
 def cmd_failover(args: argparse.Namespace) -> int:
     """Withdraw a front-end and print the §2 overload cascade."""
-    study = AnycastStudy(_study_config(args))
+    config = _study_config(args)
+    _configure_telemetry(args, config)
+    study = AnycastStudy(config)
     scenario = study.scenario
     simulator = WithdrawalSimulator(
         scenario.topology,
@@ -250,6 +348,21 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--headroom", type=float, default=1.5)
     failover.add_argument("--max-rounds", type=int, default=10)
     failover.set_defaults(func=cmd_failover)
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="pretty-print a telemetry snapshot (from --telemetry-out)",
+    )
+    telemetry.add_argument("snapshot", help="snapshot JSON path")
+    telemetry.add_argument(
+        "--top", type=int, default=12,
+        help="counters to show before folding the rest (default 12)",
+    )
+    telemetry.add_argument(
+        "--prometheus", action="store_true",
+        help="emit Prometheus text exposition format instead of the report",
+    )
+    telemetry.set_defaults(func=cmd_telemetry)
 
     return parser
 

@@ -50,8 +50,17 @@ from repro.cdn.catalog import CdnCatalogEntry, catalog
 from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
 from repro.simulation.campaign import CampaignConfig, CampaignStats
 from repro.simulation.dataset import StudyDataset
-from repro.simulation.parallel import run_campaign
+from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.telemetry import (
+    RunContext,
+    Telemetry,
+    TelemetrySnapshot,
+    config_digest,
+    get_logger,
+)
+
+_log = get_logger("study")
 
 
 class AnycastStudy:
@@ -61,9 +70,21 @@ class AnycastStudy:
         self,
         config: Optional[ScenarioConfig] = None,
         campaign: Optional[CampaignConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._config = config or ScenarioConfig()
         self._campaign_config = campaign or CampaignConfig()
+        workers = self._campaign_config.workers
+        if workers is None:
+            workers = self._config.workers
+        self.telemetry = telemetry or Telemetry(
+            RunContext(
+                seed=self._config.seed,
+                engine=self._campaign_config.engine or self._config.engine,
+                workers=workers,
+                config_hash=config_digest(self._config),
+            )
+        )
         self._scenario: Optional[Scenario] = None
         self._dataset: Optional[StudyDataset] = None
         self._campaign_stats: Optional[CampaignStats] = None
@@ -76,7 +97,15 @@ class AnycastStudy:
     def scenario(self) -> Scenario:
         """The built environment (constructed on first use)."""
         if self._scenario is None:
-            self._scenario = Scenario.build(self._config)
+            with self.telemetry.span("scenario_build"):
+                self._scenario = Scenario.build(self._config)
+            _log.info(
+                "scenario built",
+                extra={
+                    "clients": len(self._scenario.clients),
+                    "frontends": len(self._scenario.network.frontends),
+                },
+            )
         return self._scenario
 
     @property
@@ -93,9 +122,11 @@ class AnycastStudy:
         equivalent to it.
         """
         if self._dataset is None:
-            self._dataset, self._campaign_stats = run_campaign(
-                self.scenario, self._campaign_config
+            runner = ParallelCampaignRunner(
+                self.scenario, self._campaign_config, telemetry=self.telemetry
             )
+            self._dataset = runner.run()
+            self._campaign_stats = runner.stats
         return self._dataset
 
     @property
@@ -104,6 +135,10 @@ class AnycastStudy:
         self.dataset
         assert self._campaign_stats is not None
         return self._campaign_stats
+
+    def telemetry_snapshot(self) -> TelemetrySnapshot:
+        """Freeze the study's telemetry (shard-merged) for export."""
+        return self.telemetry.snapshot()
 
     # ------------------------------------------------------------------
     # Figures
@@ -213,25 +248,44 @@ class AnycastStudy:
     def full_report(self) -> str:
         """All figures plus the side analyses — EXPERIMENTS.md's raw
         material."""
-        sections = [
-            self.fig1_diminishing_returns().format(),
-            self.fig2_client_distance().format(),
-            self.fig3_anycast_penalty().format(),
-            self.fig4_anycast_distance().format(),
-            self.fig5_poor_path_prevalence().format(),
-            self.fig6_poor_path_duration().format(),
-            self.fig7_frontend_affinity().format(),
-            self.fig8_switch_distance().format(),
-            self.fig9_prediction().format(),
-            self.ldns_proximity().format(),
-            self.footnote1_geo_artifacts().format(),
-            format_disruption_table(tcp_disruption(self.dataset)),
+        # Materialize the expensive stages before the analysis span so
+        # the campaign's own phase tree does not nest under "analysis".
+        self.dataset
+        producers = (
+            ("fig1", lambda: self.fig1_diminishing_returns().format()),
+            ("fig2", lambda: self.fig2_client_distance().format()),
+            ("fig3", lambda: self.fig3_anycast_penalty().format()),
+            ("fig4", lambda: self.fig4_anycast_distance().format()),
+            ("fig5", lambda: self.fig5_poor_path_prevalence().format()),
+            ("fig6", lambda: self.fig6_poor_path_duration().format()),
+            ("fig7", lambda: self.fig7_frontend_affinity().format()),
+            ("fig8", lambda: self.fig8_switch_distance().format()),
+            ("fig9", lambda: self.fig9_prediction().format()),
+            ("ldns_proximity", lambda: self.ldns_proximity().format()),
             (
-                "§5 — single-day front-end switch rate: "
-                f"{self.daily_switch_rate(0):.1%} "
-                "(roots were 1.1-4.7% [20, 33])"
+                "geo_artifacts",
+                lambda: self.footnote1_geo_artifacts().format(),
             ),
-        ]
+            (
+                "tcp_disruption",
+                lambda: format_disruption_table(
+                    tcp_disruption(self.dataset)
+                ),
+            ),
+            (
+                "switch_rate",
+                lambda: (
+                    "§5 — single-day front-end switch rate: "
+                    f"{self.daily_switch_rate(0):.1%} "
+                    "(roots were 1.1-4.7% [20, 33])"
+                ),
+            ),
+        )
+        sections = []
+        with self.telemetry.span("analysis"):
+            for name, produce in producers:
+                with self.telemetry.span(name):
+                    sections.append(produce())
         table = ["§4 — CDN deployment sizes"]
         for entry in self.cdn_size_table():
             marker = " (anycast)" if entry.is_anycast else ""

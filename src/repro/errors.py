@@ -36,6 +36,10 @@ class MeasurementError(ReproError):
     """A measurement campaign or log operation was invalid."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry registry, span, or snapshot operation was invalid."""
+
+
 class AnalysisError(ReproError):
     """An analysis was asked of data that cannot support it."""
 

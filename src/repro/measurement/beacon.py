@@ -216,6 +216,16 @@ class BeaconRunner:
         for cache in self._ldns_caches.values():
             cache.purge_expired(now)
 
+    def cache_stats(self) -> Tuple[int, int]:
+        """Aggregate ``(hits, misses)`` across every LDNS resolver cache."""
+        hits = 0
+        misses = 0
+        for cache in self._ldns_caches.values():
+            cache_hits, cache_misses = cache.stats
+            hits += cache_hits
+            misses += cache_misses
+        return hits, misses
+
     def run_beacon(
         self,
         ldns_id: str,

@@ -24,12 +24,15 @@ from repro.measurement.aggregate import (
     RequestDiffLog,
 )
 from repro.measurement.logs import PassiveLog
+from repro.telemetry import get_logger
 from repro.net.ip import IPv4Prefix
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.dataset import StudyDataset
 
 #: Format marker written into every export.
 FORMAT_VERSION = 1
+
+_log = get_logger("export")
 
 
 def _pack_doubles(values) -> str:
@@ -189,6 +192,13 @@ def save_dataset(dataset: StudyDataset, path_or_file: Union[str, IO[str]]) -> No
     if isinstance(path_or_file, str):
         with open(path_or_file, "w", encoding="utf-8") as handle:
             json.dump(document, handle)
+        _log.info(
+            "dataset saved",
+            extra={
+                "path": path_or_file,
+                "measurements": dataset.measurement_count,
+            },
+        )
     else:
         json.dump(document, path_or_file)
 
@@ -198,6 +208,7 @@ def load_dataset(path_or_file: Union[str, IO[str]]) -> StudyDataset:
     if isinstance(path_or_file, str):
         with open(path_or_file, "r", encoding="utf-8") as handle:
             document = json.load(handle)
+        _log.info("dataset loaded", extra={"path": path_or_file})
     else:
         document = json.load(path_or_file)
     return dataset_from_json(document)

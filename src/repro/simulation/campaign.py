@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.dns.authoritative import ANYCAST_TARGET
+from repro.telemetry import RunContext, Telemetry, config_digest, get_logger
 from repro.geo.regions import region_of_point
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
 from repro.measurement.backend import BeaconBackend, JoinedBatch, JoinedSegment
@@ -63,6 +64,8 @@ from repro.simulation.churn import DayRoutePlan
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.episodes import EpisodeScope
 from repro.simulation.scenario import Scenario
+
+_log = get_logger("campaign")
 
 
 @dataclass(frozen=True)
@@ -134,7 +137,13 @@ def largest_remainder_apportion(
 
 @dataclass
 class PathCacheStats:
-    """Hit/miss counters for one campaign's :class:`_PathCache`."""
+    """Hit/miss counters for one campaign's :class:`_PathCache`.
+
+    During a run the counters live in the campaign's telemetry registry
+    (``path_cache.*`` counters); this dataclass is the stable public
+    view built from a snapshot (:meth:`from_snapshot`), kept for callers
+    and for standalone construction in tests.
+    """
 
     anycast_hits: int = 0
     anycast_misses: int = 0
@@ -161,10 +170,30 @@ class PathCacheStats:
         self.unicast_misses += other.unicast_misses
         return self
 
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "PathCacheStats":
+        """The view over a telemetry snapshot's ``path_cache.*`` counters."""
+        counters = snapshot.counters
+        return cls(
+            anycast_hits=int(counters.get("path_cache.anycast.hits_total", 0)),
+            anycast_misses=int(
+                counters.get("path_cache.anycast.misses_total", 0)
+            ),
+            unicast_hits=int(counters.get("path_cache.unicast.hits_total", 0)),
+            unicast_misses=int(
+                counters.get("path_cache.unicast.misses_total", 0)
+            ),
+        )
+
 
 @dataclass
 class CampaignStats:
     """Instrumentation emitted by a campaign run.
+
+    The numbers originate in the run's telemetry registry
+    (:class:`repro.telemetry.Telemetry`); this dataclass is the public
+    view distilled from its snapshot (:meth:`from_snapshot`) — kept
+    constructible directly for tests and ad-hoc arithmetic.
 
     Attributes:
         wall_seconds: Total wall-clock time of the run.
@@ -210,6 +239,32 @@ class CampaignStats:
         self.path_cache.merge(other.path_cache)
         return self
 
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "CampaignStats":
+        """The view over a (possibly merged) telemetry snapshot.
+
+        Wall time reads from the ``campaign.wall_seconds`` gauge (merge
+        policy ``max``, matching how concurrent shards overlap) and the
+        per-day seconds from the indexed ``campaign/day`` span record
+        (summed across shards, i.e. CPU-seconds).
+        """
+        counters = snapshot.counters
+        wall = snapshot.gauges.get("campaign.wall_seconds", {}).get("value")
+        if wall is None:
+            root = snapshot.spans.get("campaign")
+            wall = root.seconds if root is not None else 0.0
+        return cls(
+            wall_seconds=float(wall),
+            beacon_count=int(counters.get("campaign.beacons_total", 0)),
+            measurement_count=int(
+                counters.get("campaign.measurements_total", 0)
+            ),
+            day_seconds=snapshot.day_seconds("campaign/day"),
+            path_cache=PathCacheStats.from_snapshot(snapshot),
+            workers=int(snapshot.context.get("workers", 1)),
+            engine=str(snapshot.context.get("engine", "reference")),
+        )
+
     def format(self) -> str:
         """A short human-readable summary for the CLI."""
         lines = [
@@ -247,11 +302,36 @@ class _PathCache:
     drawn from a seed-derived RNG so it is stable for the whole study.
     """
 
-    def __init__(self, scenario: Scenario) -> None:
+    def __init__(self, scenario: Scenario, telemetry: Telemetry) -> None:
         self._scenario = scenario
         self._anycast: Dict[Tuple[str, int], Tuple[str, float]] = {}
         self._unicast: Dict[Tuple[str, str], float] = {}
-        self.stats = PathCacheStats()
+        self._anycast_hits = telemetry.counter(
+            "path_cache.anycast.hits_total",
+            "anycast (client, rank) baseline lookups served from cache",
+        )
+        self._anycast_misses = telemetry.counter(
+            "path_cache.anycast.misses_total",
+            "anycast baselines computed from routing + latency model",
+        )
+        self._unicast_hits = telemetry.counter(
+            "path_cache.unicast.hits_total",
+            "unicast (client, front-end) baseline lookups served from cache",
+        )
+        self._unicast_misses = telemetry.counter(
+            "path_cache.unicast.misses_total",
+            "unicast baselines computed from routing + latency model",
+        )
+
+    @property
+    def stats(self) -> PathCacheStats:
+        """The public counter view (values live in the registry)."""
+        return PathCacheStats(
+            anycast_hits=int(self._anycast_hits.value),
+            anycast_misses=int(self._anycast_misses.value),
+            unicast_hits=int(self._unicast_hits.value),
+            unicast_misses=int(self._unicast_misses.value),
+        )
 
     def _static_offset(self, client_key: str, path_key: str, anycast: bool) -> float:
         scenario = self._scenario
@@ -266,7 +346,7 @@ class _PathCache:
         """Serving front-end and baseline RTT over the anycast route."""
         cached = self._anycast.get((client_key, rank))
         if cached is None:
-            self.stats.anycast_misses += 1
+            self._anycast_misses.inc()
             scenario = self._scenario
             client = scenario.client_by_key(client_key)
             path = scenario.network.anycast_path(
@@ -287,14 +367,14 @@ class _PathCache:
             cached = (path.frontend.frontend_id, baseline)
             self._anycast[(client_key, rank)] = cached
         else:
-            self.stats.anycast_hits += 1
+            self._anycast_hits.inc()
         return cached
 
     def unicast(self, client_key: str, frontend_id: str) -> float:
         """Baseline RTT to one front-end's unicast prefix."""
         baseline = self._unicast.get((client_key, frontend_id))
         if baseline is None:
-            self.stats.unicast_misses += 1
+            self._unicast_misses.inc()
             scenario = self._scenario
             client = scenario.client_by_key(client_key)
             path = scenario.network.unicast_path(
@@ -311,7 +391,7 @@ class _PathCache:
             )
             self._unicast[(client_key, frontend_id)] = baseline
         else:
-            self.stats.unicast_hits += 1
+            self._unicast_hits.inc()
         return baseline
 
 
@@ -518,9 +598,14 @@ class CampaignRunner:
             population (they are global, sequential processes), so a
             sliced run observes exactly what a full run observes for the
             same clients.  Used by the sharded parallel executor.
+        telemetry: Optional :class:`repro.telemetry.Telemetry` to record
+            into (the study layer shares one across campaign and
+            analysis); a fresh instance with the run's context is
+            created when omitted.
 
     After :meth:`run` returns, :attr:`stats` holds the run's
-    :class:`CampaignStats`.
+    :class:`CampaignStats` and :attr:`telemetry` the full telemetry
+    (snapshot it for merging, export, or the run report).
     """
 
     def __init__(
@@ -528,6 +613,7 @@ class CampaignRunner:
         scenario: Scenario,
         config: Optional[CampaignConfig] = None,
         client_slice: Optional[Tuple[int, int]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._scenario = scenario
         self._config = config or CampaignConfig()
@@ -539,45 +625,99 @@ class CampaignRunner:
                     f"{len(scenario.clients)} clients"
                 )
         self._client_slice = client_slice
+        engine = self._config.engine or scenario.config.engine
+        self.telemetry = telemetry or Telemetry(
+            RunContext(
+                seed=scenario.config.seed,
+                engine=engine,
+                workers=1,
+                config_hash=config_digest(scenario.config),
+            )
+        )
         self.stats: Optional[CampaignStats] = None
 
     def run(self) -> StudyDataset:
-        """Execute every day of the calendar and return the dataset."""
-        run_start = time.perf_counter()
+        """Execute every day of the calendar and return the dataset.
+
+        The whole run is traced under the ``campaign`` span (setup →
+        per-day → finalize); counters and histograms land in
+        :attr:`telemetry`, from whose snapshot :attr:`stats` is built.
+        """
+        tel = self.telemetry
+        with tel.span("campaign"):
+            dataset = self._run_instrumented(tel)
+        root = tel.spans.records.get("campaign")
+        tel.gauge(
+            "campaign.wall_seconds",
+            "campaign wall-clock (max across concurrent shards)",
+        ).set(root.seconds if root is not None else 0.0)
+        self.stats = CampaignStats.from_snapshot(tel.snapshot())
+        return dataset
+
+    def _run_instrumented(self, tel: Telemetry) -> StudyDataset:
         scenario = self._scenario
         cfg = self._config
         calendar = scenario.calendar
-
-        selector = BeaconTargetSelector(
-            scenario.network.frontends, scenario.geolocation, cfg.beacon
-        )
-        runner = BeaconRunner(selector, cfg.beacon)
-        paths = _PathCache(scenario)
-        workload = scenario.workload_model
-        latency = scenario.latency_model
-
-        # Churn and episodes are global day-ordered processes; computing
-        # every day's plans up front keeps the day loop pure per-client
-        # work and gives sharded runs identical global dynamics.
-        churn = scenario.new_churn_model()
-        episodes = scenario.new_episode_model()
-        day_plans = [churn.plans_for_day(day) for day in calendar.days()]
-        day_inflations = [
-            episodes.inflations_for_day(day) for day in calendar.days()
-        ]
-
-        if self._client_slice is None:
-            clients = scenario.clients
-        else:
-            start, stop = self._client_slice
-            clients = scenario.clients[start:stop]
-
-        ecs_aggregates = GroupedDailyAggregates("ecs")
-        ldns_aggregates = GroupedDailyAggregates("ldns")
-        request_diffs = RequestDiffLog()
-        passive = PassiveLog()
-
         engine = cfg.engine or scenario.config.engine
+
+        beacons_counter = tel.counter(
+            "campaign.beacons_total", "beacon sessions executed (§3.2.2)"
+        )
+        queries_counter = tel.counter(
+            "campaign.queries_total",
+            "production queries served over anycast (§3.2.1)",
+        )
+        passive_counter = tel.counter(
+            "campaign.passive_records_total",
+            "per-(day, client, front-end) passive-log appends",
+        )
+        client_days_counter = tel.counter(
+            "campaign.client_days_total",
+            "client-days that produced traffic",
+        )
+        idle_counter = tel.counter(
+            "campaign.idle_client_days_total",
+            "client-days skipped for zero query volume",
+        )
+        beacons_hist = tel.histogram(
+            "campaign.beacons_per_client_day",
+            "beacon sessions per (client, day) block",
+        )
+        day_hist = tel.histogram(
+            "campaign.day_seconds", "wall-clock per simulated day"
+        )
+
+        with tel.span("setup"):
+            selector = BeaconTargetSelector(
+                scenario.network.frontends, scenario.geolocation, cfg.beacon
+            )
+            runner = BeaconRunner(selector, cfg.beacon)
+            paths = _PathCache(scenario, tel)
+            workload = scenario.workload_model
+            latency = scenario.latency_model
+
+            # Churn and episodes are global day-ordered processes;
+            # computing every day's plans up front keeps the day loop
+            # pure per-client work and gives sharded runs identical
+            # global dynamics.
+            churn = scenario.new_churn_model()
+            episodes = scenario.new_episode_model()
+            day_plans = [churn.plans_for_day(day) for day in calendar.days()]
+            day_inflations = [
+                episodes.inflations_for_day(day) for day in calendar.days()
+            ]
+
+            if self._client_slice is None:
+                clients = scenario.clients
+            else:
+                start, stop = self._client_slice
+                clients = scenario.clients[start:stop]
+
+            ecs_aggregates = GroupedDailyAggregates("ecs")
+            ldns_aggregates = GroupedDailyAggregates("ldns")
+            request_diffs = RequestDiffLog()
+            passive = PassiveLog()
+
         vectorized: Optional[_VectorizedBeaconEngine] = None
         if engine == "vectorized":
             def on_joined_batch(batch: JoinedBatch) -> None:
@@ -595,6 +735,10 @@ class CampaignRunner:
             vectorized = _VectorizedBeaconEngine(
                 scenario, selector, paths, cfg.beacon, backend, request_diffs
             )
+            batches_counter = tel.counter(
+                "engine.vectorized.batches_total",
+                "(client, day) blocks synthesized as numpy batches",
+            )
         else:
             def on_joined(row: JoinedMeasurement) -> None:
                 ecs_aggregates.observe(
@@ -608,35 +752,53 @@ class CampaignRunner:
 
         scenario_seed = scenario.config.seed
 
-        # Per-client invariants, hoisted out of the day loop: Resource
-        # Timing support (a property of the client's browser, drawn from
-        # a per-client derived RNG so it is shard-independent) and the
-        # Fig 3 region label — the paper splits out the United States
-        # specifically, not all of North America.
-        metro_db = scenario.metro_db
-        resource_timing: Dict[str, bool] = {}
-        regions: Dict[str, str] = {}
-        for client in clients:
-            key = client.key
-            resource_timing[key] = (
-                derive_rng(scenario_seed, "resource-timing", key).random()
-                < cfg.beacon.resource_timing_support
-            )
-            if metro_db.get(client.home_metro).country == "US":
-                regions[key] = "united-states"
-            else:
-                regions[key] = str(region_of_point(client.location))
+        with tel.span("invariants"):
+            # Per-client invariants, hoisted out of the day loop: Resource
+            # Timing support (a property of the client's browser, drawn from
+            # a per-client derived RNG so it is shard-independent) and the
+            # Fig 3 region label — the paper splits out the United States
+            # specifically, not all of North America.
+            metro_db = scenario.metro_db
+            resource_timing: Dict[str, bool] = {}
+            regions: Dict[str, str] = {}
+            for client in clients:
+                key = client.key
+                resource_timing[key] = (
+                    derive_rng(scenario_seed, "resource-timing", key).random()
+                    < cfg.beacon.resource_timing_support
+                )
+                if metro_db.get(client.home_metro).country == "US":
+                    regions[key] = "united-states"
+                else:
+                    regions[key] = str(region_of_point(client.location))
+
+        _log.info(
+            "campaign starting",
+            extra={
+                "clients": len(clients),
+                "days": calendar.num_days,
+                "engine": engine,
+                "sliced": self._client_slice is not None,
+            },
+        )
 
         beacon_count = 0
-        day_seconds: List[float] = []
         for day in calendar.days():
+          with tel.span("day", index=day):
             day_start_time = time.perf_counter()
             plans = day_plans[day]
             inflations = day_inflations[day]
             is_weekend = calendar.is_weekend(day)
             day_start = calendar.seconds_at(day)
+            # Sub-phase times are accumulated with bare perf_counter
+            # reads (not nested spans) to keep per-client overhead off
+            # the hot path, then recorded once per day below.
+            workload_seconds = 0.0
+            passive_seconds = 0.0
+            beacon_seconds = 0.0
 
             for client in clients:
+                section_start = time.perf_counter()
                 key = client.key
                 # Everything this client does today draws from its own
                 # derived stream — independent of every other client.
@@ -658,7 +820,14 @@ class CampaignRunner:
 
                 queries = workload.daily_queries(client, is_weekend, rng)
                 if queries <= 0:
+                    idle_counter.inc()
+                    workload_seconds += time.perf_counter() - section_start
                     continue
+                client_days_counter.inc()
+                queries_counter.inc(queries)
+                section_now = time.perf_counter()
+                workload_seconds += section_now - section_start
+                section_start = section_now
 
                 # Passive production traffic: split across the day's
                 # routes with largest-remainder apportionment, so the
@@ -671,10 +840,16 @@ class CampaignRunner:
                     largest_remainder_apportion(queries, plan.fractions),
                 ):
                     passive.record(day, key, frontend_id, count)
+                passive_counter.inc(len(rank_frontends))
 
                 beacons = workload.daily_beacons(queries, rng)
+                section_now = time.perf_counter()
+                passive_seconds += section_now - section_start
+                section_start = section_now
                 if beacons <= 0:
                     continue
+                beacons_counter.inc(beacons)
+                beacons_hist.observe(beacons)
                 client_index = scenario.client_index(key)
                 region = regions[key]
                 rt_supported = resource_timing[key]
@@ -705,6 +880,8 @@ class CampaignRunner:
                         unicast_inflation_ms=unicast_inflation,
                     )
                     beacon_count += beacons
+                    batches_counter.inc()
+                    beacon_seconds += time.perf_counter() - section_start
                     continue
 
                 unicast_offsets: Dict[str, float] = {}
@@ -779,24 +956,52 @@ class CampaignRunner:
                             day, client_index, region, anycast_rtt, best_unicast
                         )
 
-            runner.purge_caches(calendar.seconds_at(day) + 86_400.0)
-            day_seconds.append(time.perf_counter() - day_start_time)
-            if cfg.progress_callback is not None:
-                cfg.progress_callback(day, calendar.num_days)
+                beacon_seconds += time.perf_counter() - section_start
 
-        if backend.pending_count:
-            raise ConfigurationError(
-                f"{backend.pending_count} measurements never joined — "
-                "campaign bookkeeping bug"
+            runner.purge_caches(calendar.seconds_at(day) + 86_400.0)
+            day_elapsed = time.perf_counter() - day_start_time
+            day_hist.observe(day_elapsed)
+            tel.spans.record_seconds("campaign/day/workload", workload_seconds)
+            tel.spans.record_seconds("campaign/day/passive", passive_seconds)
+            tel.spans.record_seconds("campaign/day/beacons", beacon_seconds)
+            _log.debug(
+                "day complete",
+                extra={"day": day, "seconds": round(day_elapsed, 4)},
             )
-        self.stats = CampaignStats(
-            wall_seconds=time.perf_counter() - run_start,
-            beacon_count=beacon_count,
-            measurement_count=backend.joined_count,
-            day_seconds=day_seconds,
-            path_cache=paths.stats,
-            workers=1,
-            engine=engine,
+          if cfg.progress_callback is not None:
+            cfg.progress_callback(day, calendar.num_days)
+
+        with tel.span("finalize"):
+            if backend.pending_count:
+                raise ConfigurationError(
+                    f"{backend.pending_count} measurements never joined — "
+                    "campaign bookkeeping bug"
+                )
+            tel.counter(
+                "campaign.measurements_total",
+                "joined measurements (three-way DNS/server/HTTP join, §3.2.2)",
+            ).inc(backend.joined_count)
+            # A gauge, not a counter: every shard runs the full calendar,
+            # so "days simulated" is a property of the run, not additive.
+            tel.gauge(
+                "campaign.days", "calendar days simulated"
+            ).set(calendar.num_days)
+            dns_hits, dns_misses = runner.cache_stats()
+            tel.counter(
+                "dns.cache.hits_total",
+                "LDNS resolver-cache hits during beacon fetches",
+            ).inc(dns_hits)
+            tel.counter(
+                "dns.cache.misses_total",
+                "LDNS resolver-cache misses (fresh resolutions)",
+            ).inc(dns_misses)
+
+        _log.info(
+            "campaign complete",
+            extra={
+                "beacons": beacon_count,
+                "measurements": backend.joined_count,
+            },
         )
         return StudyDataset(
             calendar=calendar,

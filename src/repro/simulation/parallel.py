@@ -42,6 +42,15 @@ from repro.simulation.campaign import (
 )
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.telemetry import (
+    RunContext,
+    Telemetry,
+    TelemetrySnapshot,
+    config_digest,
+    get_logger,
+)
+
+_log = get_logger("parallel")
 
 #: Fork keeps worker startup cheap where available (Linux); elsewhere
 #: fall back to spawn, which re-imports this module in each worker.
@@ -78,16 +87,34 @@ def shard_bounds(population: int, shards: int) -> List[Tuple[int, int]]:
 
 def _run_shard(
     payload: Tuple[ScenarioConfig, CampaignConfig, int, int]
-) -> Tuple[StudyDataset, CampaignStats]:
-    """Worker entry point: rebuild the scenario, run one client shard."""
+) -> Tuple[StudyDataset, CampaignStats, TelemetrySnapshot]:
+    """Worker entry point: rebuild the scenario, run one client shard.
+
+    The worker's telemetry crosses the process boundary as a snapshot
+    (the live :class:`Telemetry` holds unpicklable state); the
+    coordinator absorbs the snapshots order-insensitively.
+    """
     scenario_config, campaign_config, start, stop = payload
-    scenario = Scenario.build(scenario_config)
+    engine = campaign_config.engine or scenario_config.engine
+    telemetry = Telemetry(
+        RunContext(
+            seed=scenario_config.seed,
+            engine=engine,
+            workers=1,
+            config_hash=config_digest(scenario_config),
+        )
+    )
+    # The rebuild is real per-worker work; timing it keeps the merged
+    # phase tree honest about where the sharded run's seconds go.
+    with telemetry.span("scenario_build"):
+        scenario = Scenario.build(scenario_config)
     runner = CampaignRunner(
-        scenario, campaign_config, client_slice=(start, stop)
+        scenario, campaign_config, client_slice=(start, stop),
+        telemetry=telemetry,
     )
     dataset = runner.run()
     assert runner.stats is not None
-    return dataset, runner.stats
+    return dataset, runner.stats, runner.telemetry.snapshot()
 
 
 class ParallelCampaignRunner:
@@ -113,6 +140,7 @@ class ParallelCampaignRunner:
         scenario: Scenario,
         config: Optional[CampaignConfig] = None,
         workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._scenario = scenario
         self._config = config or CampaignConfig()
@@ -123,6 +151,15 @@ class ParallelCampaignRunner:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         self._workers = min(workers, len(scenario.clients))
+        engine = self._config.engine or scenario.config.engine
+        self.telemetry = telemetry or Telemetry(
+            RunContext(
+                seed=scenario.config.seed,
+                engine=engine,
+                workers=self._workers,
+                config_hash=config_digest(scenario.config),
+            )
+        )
         self.stats: Optional[CampaignStats] = None
 
     @property
@@ -133,7 +170,9 @@ class ParallelCampaignRunner:
     def run(self) -> StudyDataset:
         """Execute the campaign and return the merged dataset."""
         if self._workers == 1:
-            runner = CampaignRunner(self._scenario, self._config)
+            runner = CampaignRunner(
+                self._scenario, self._config, telemetry=self.telemetry
+            )
             dataset = runner.run()
             self.stats = runner.stats
             return dataset
@@ -149,15 +188,30 @@ class ParallelCampaignRunner:
                 len(scenario.clients), self._workers
             )
         ]
+        _log.info(
+            "dispatching shards",
+            extra={"shards": len(payloads), "start_method": _START_METHOD},
+        )
         context = multiprocessing.get_context(_START_METHOD)
         with context.Pool(processes=self._workers) as pool:
             results = pool.map(_run_shard, payloads)
 
-        dataset, stats = results[0]
-        for shard_dataset, shard_stats in results[1:]:
+        dataset, stats, _ = results[0]
+        for shard_dataset, shard_stats, _ in results[1:]:
             dataset.merge(shard_dataset)
             stats.merge(shard_stats)
-        stats.wall_seconds = time.perf_counter() - run_start
+        # Absorb every shard's telemetry snapshot (order-insensitive:
+        # counters/histograms/spans add, gauges combine by policy), then
+        # stamp the coordinator's own wall-clock — shard wall-clocks
+        # overlap, so their sum/max is not the run's elapsed time.
+        for _, _, shard_snapshot in results:
+            self.telemetry.absorb(shard_snapshot)
+        wall_seconds = time.perf_counter() - run_start
+        self.telemetry.gauge(
+            "campaign.wall_seconds",
+            "campaign wall-clock (max across concurrent shards)",
+        ).set(wall_seconds)
+        stats.wall_seconds = wall_seconds
         stats.workers = self._workers
         self.stats = stats
         # Re-home the merged dataset on this process's client tuple (the
@@ -168,15 +222,18 @@ class ParallelCampaignRunner:
 
 
 def run_campaign(
-    scenario: Scenario, config: Optional[CampaignConfig] = None
+    scenario: Scenario,
+    config: Optional[CampaignConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[StudyDataset, CampaignStats]:
     """Run a campaign with the configured worker count.
 
     Dispatches to :class:`ParallelCampaignRunner` (which runs serially
     in-process when the resolved worker count is 1) and returns both the
-    dataset and the run's :class:`CampaignStats`.
+    dataset and the run's :class:`CampaignStats`.  Pass ``telemetry`` to
+    collect the run's metrics/spans into a caller-owned registry.
     """
-    runner = ParallelCampaignRunner(scenario, config)
+    runner = ParallelCampaignRunner(scenario, config, telemetry=telemetry)
     dataset = runner.run()
     assert runner.stats is not None
     return dataset, runner.stats

@@ -1,0 +1,64 @@
+"""Unified telemetry: metrics registry, phase tracing, structured logs.
+
+The paper's methodology is itself a measurement pipeline; this package
+is the pipeline's *own* instrumentation, the counterpart of the
+measurement accounting a production anycast CDN keeps over its beacon
+and passive-log volumes (§3).  One :class:`Telemetry` object per run
+bundles:
+
+* a :class:`MetricsRegistry` of counters, gauges, and histograms with
+  fixed log-spaced buckets (so shards merge deterministically);
+* a :class:`SpanTracker` of nested phase timers producing the
+  hierarchical wall-clock breakdown;
+* the run context (seed, engine, workers, config hash) stamped on
+  structured JSON-lines logs via :func:`configure_logging`.
+
+Snapshots (:class:`TelemetrySnapshot`) cross process boundaries and
+merge order-insensitively, mirroring the measurement sinks; they export
+to JSON and Prometheus text format, pretty-print as a run report, and
+distill into the run manifest written alongside every dataset.
+"""
+
+from repro.telemetry.core import Telemetry, config_digest
+from repro.telemetry.logs import (
+    JsonLineFormatter,
+    RunContext,
+    TextLineFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.report import (
+    build_run_manifest,
+    format_run_report,
+    manifest_path_for,
+    write_run_manifest,
+)
+from repro.telemetry.snapshot import TelemetrySnapshot
+from repro.telemetry.spans import SpanRecord, SpanTracker
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "MetricsRegistry",
+    "RunContext",
+    "SpanRecord",
+    "SpanTracker",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TextLineFormatter",
+    "build_run_manifest",
+    "config_digest",
+    "configure_logging",
+    "format_run_report",
+    "get_logger",
+    "manifest_path_for",
+    "write_run_manifest",
+]

@@ -1,0 +1,140 @@
+"""The per-run telemetry facade: registry + spans + run context.
+
+One :class:`Telemetry` instance accompanies one campaign/study run.  It
+bundles the three concerns every instrumented call site needs — the
+metrics registry, the span tracker, and the run-identity context — so
+the hot paths take a single object, and the whole state freezes into a
+mergeable :class:`~repro.telemetry.snapshot.TelemetrySnapshot` at the
+end.
+
+:meth:`Telemetry.absorb` is the inverse of :meth:`Telemetry.snapshot`:
+it folds a (worker's) snapshot back into this process's live registry,
+which is how the sharded parallel runner aggregates — each worker ships
+its snapshot over the process boundary, and the coordinator absorbs
+them all, in any order, into its own telemetry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.telemetry.logs import RunContext
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.snapshot import TelemetrySnapshot
+from repro.telemetry.spans import SpanTracker
+
+
+def config_digest(config: object) -> str:
+    """A short stable digest of a configuration object.
+
+    Frozen dataclass ``repr``s are deterministic field-by-field
+    renderings, so hashing the repr fingerprints every knob without a
+    custom serializer.  Used as the ``config_hash`` in run contexts and
+    manifests, making runs self-describing ("same digest" == "same
+    configuration").
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+class Telemetry:
+    """Metrics registry, span tracker, and run context for one run."""
+
+    def __init__(
+        self,
+        context: Optional[Union[RunContext, Dict[str, Any]]] = None,
+    ) -> None:
+        if isinstance(context, RunContext):
+            self.context: Dict[str, Any] = context.as_dict()
+        else:
+            self.context = dict(context or {})
+        self.registry = MetricsRegistry()
+        self.spans = SpanTracker()
+
+    # ------------------------------------------------------------------
+    # Registry delegation
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create a counter (see :class:`MetricsRegistry`)."""
+        return self.registry.counter(name, description)
+
+    def gauge(
+        self, name: str, description: str = "", merge: str = "max"
+    ) -> Gauge:
+        """Get or create a gauge."""
+        return self.registry.gauge(name, description, merge)
+
+    def histogram(self, name: str, description: str = "", **layout) -> Histogram:
+        """Get or create a histogram."""
+        return self.registry.histogram(name, description, **layout)
+
+    def span(self, name: str, index: Optional[object] = None):
+        """Time a nested region (see :meth:`SpanTracker.span`)."""
+        return self.spans.span(name, index=index)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze the current state into a mergeable snapshot."""
+        return TelemetrySnapshot(
+            context=dict(self.context),
+            counters={
+                counter.name: counter.value
+                for counter in self.registry.counters()
+            },
+            gauges={
+                gauge.name: {"value": gauge.value, "merge": gauge.merge_mode}
+                for gauge in self.registry.gauges()
+            },
+            histograms={
+                histogram.name: {
+                    "start": histogram.start,
+                    "growth": histogram.growth,
+                    "bucket_count": histogram.bucket_count,
+                    "counts": list(histogram.bucket_counts),
+                    "sum": histogram.sum,
+                    "observations": histogram.count,
+                }
+                for histogram in self.registry.histograms()
+            },
+            spans={
+                path: type(record)(
+                    count=record.count,
+                    seconds=record.seconds,
+                    indexed=dict(record.indexed),
+                )
+                for path, record in self.spans.records.items()
+            },
+        )
+
+    def absorb(self, snapshot: TelemetrySnapshot) -> None:
+        """Fold a snapshot into this live telemetry (inverse of
+        :meth:`snapshot`; order-insensitive across snapshots)."""
+        for key, value in snapshot.context.items():
+            self.context.setdefault(key, value)
+        for name, value in snapshot.counters.items():
+            self.registry.counter(name).inc(value)
+        for name, gauge in snapshot.gauges.items():
+            self.registry.gauge(name, merge=gauge["merge"]).combine(
+                gauge["value"]
+            )
+        for name, histogram in snapshot.histograms.items():
+            self.registry.histogram(
+                name,
+                start=histogram["start"],
+                growth=histogram["growth"],
+                bucket_count=histogram["bucket_count"],
+            ).absorb(
+                histogram["counts"],
+                histogram["sum"],
+                histogram["observations"],
+            )
+        self.spans.absorb(snapshot.spans)

@@ -1,0 +1,376 @@
+"""Process-local metrics: counters, gauges, and mergeable histograms.
+
+The registry is the single source of truth for a run's numeric
+instrumentation.  Three metric kinds cover the pipeline's needs:
+
+* :class:`Counter` — monotonically increasing totals (beacons executed,
+  cache hits).  Decrements are a bug and raise.
+* :class:`Gauge` — point-in-time values (wall seconds, worker count)
+  with an explicit merge policy, because "combine two shards' gauges"
+  has no single right answer.
+* :class:`Histogram` — distributions over *fixed log-spaced buckets*.
+  The bucket layout is part of the metric's identity (``start`` ×
+  ``growth`` ** i upper edges), so any two histograms of the same name
+  share layouts and merge by integer bucket-count addition — an
+  order-insensitive, deterministic operation, unlike quantile sketches.
+
+Every metric name may be registered once per registry; re-requesting the
+same name with the same shape returns the existing metric, while a
+conflicting re-registration raises
+:class:`repro.errors.TelemetryError` instead of silently overwriting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TelemetryError
+
+#: Default histogram bucket layout: upper edges 1e-6 * 2**i for
+#: i in [0, 48) — spanning microseconds to ~weeks when observing
+#: seconds, and 1 to ~1e8 when observing counts.
+DEFAULT_BUCKET_START = 1e-6
+DEFAULT_BUCKET_GROWTH = 2.0
+DEFAULT_BUCKET_COUNT = 48
+
+#: Gauge merge policies.
+GAUGE_MERGE_MODES = ("max", "min", "sum", "last")
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "description", "_value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0
+
+    @property
+    def value(self) -> Union[int, float]:
+        """The current total."""
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` to the counter.
+
+        Raises:
+            TelemetryError: for a negative ``amount`` — counters are
+                monotonic by contract, and a decrement is always a bug.
+        """
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self._value += amount
+
+
+class Gauge:
+    """A point-in-time value with an explicit cross-shard merge policy."""
+
+    kind = "gauge"
+    __slots__ = ("name", "description", "merge_mode", "_value")
+
+    def __init__(
+        self, name: str, description: str = "", merge: str = "max"
+    ) -> None:
+        if merge not in GAUGE_MERGE_MODES:
+            raise TelemetryError(
+                f"gauge {name!r}: unknown merge mode {merge!r}; expected "
+                f"one of {GAUGE_MERGE_MODES}"
+            )
+        self.name = name
+        self.description = description
+        self.merge_mode = merge
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+
+    def combine(self, other_value: float) -> None:
+        """Fold another gauge's value in, per this gauge's merge policy."""
+        if self.merge_mode == "max":
+            self._value = max(self._value, other_value)
+        elif self.merge_mode == "min":
+            self._value = min(self._value, other_value)
+        elif self.merge_mode == "sum":
+            self._value += other_value
+        else:  # "last"
+            self._value = other_value
+
+
+class Histogram:
+    """A distribution over fixed log-spaced buckets.
+
+    Bucket ``i`` counts observations ``v`` with ``v <= start *
+    growth**i`` (and above the previous edge); an overflow bucket
+    catches everything past the last edge.  Because the layout is fixed
+    by ``(start, growth, count)`` rather than adapted to the data, two
+    shards' histograms always share bucket boundaries and merge by
+    adding integer counts — deterministically, in any order.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "description", "start", "growth", "bucket_count",
+        "_edges", "_counts", "_sum", "_observations",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        start: float = DEFAULT_BUCKET_START,
+        growth: float = DEFAULT_BUCKET_GROWTH,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+    ) -> None:
+        if start <= 0:
+            raise TelemetryError(f"histogram {name!r}: start must be > 0")
+        if growth <= 1.0:
+            raise TelemetryError(f"histogram {name!r}: growth must be > 1")
+        if bucket_count < 1:
+            raise TelemetryError(
+                f"histogram {name!r}: bucket_count must be >= 1"
+            )
+        self.name = name
+        self.description = description
+        self.start = float(start)
+        self.growth = float(growth)
+        self.bucket_count = int(bucket_count)
+        self._edges = [
+            self.start * self.growth ** i for i in range(self.bucket_count)
+        ]
+        # One extra slot for the overflow (+Inf) bucket.
+        self._counts = [0] * (self.bucket_count + 1)
+        self._sum = 0.0
+        self._observations = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def layout(self) -> Tuple[float, float, int]:
+        """The bucket layout identity ``(start, growth, bucket_count)``."""
+        return (self.start, self.growth, self.bucket_count)
+
+    @property
+    def edges(self) -> Tuple[float, ...]:
+        """Finite bucket upper edges (the overflow bucket is implicit)."""
+        return tuple(self._edges)
+
+    @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket observation counts, overflow last."""
+        return tuple(self._counts)
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._observations
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.start:
+            return 0
+        # ceil(log_growth(value / start)), clamped into the layout.
+        index = int(
+            math.ceil(
+                math.log(value / self.start) / math.log(self.growth) - 1e-12
+            )
+        )
+        return min(max(index, 0), self.bucket_count)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[self._bucket_index(value)] += 1
+        self._sum += value
+        self._observations += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations (one pass, no numpy needed)."""
+        for value in values:
+            self.observe(value)
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+
+        Walks the cumulative bucket counts and interpolates
+        geometrically inside the covering bucket, which is the natural
+        interpolation for log-spaced edges.  Returns 0 for an empty
+        histogram; observations in the overflow bucket report the last
+        finite edge (an underestimate, flagged by the report layer).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise TelemetryError(f"percentile {q!r} outside [0, 100]")
+        if self._observations == 0:
+            return 0.0
+        target = q / 100.0 * self._observations
+        cumulative = 0
+        for index, bucket in enumerate(self._counts):
+            cumulative += bucket
+            if cumulative >= target and bucket > 0:
+                if index >= self.bucket_count:
+                    return self._edges[-1]
+                upper = self._edges[index]
+                lower = (
+                    upper / self.growth if index > 0 else min(upper, upper / self.growth)
+                )
+                fraction = (target - (cumulative - bucket)) / bucket
+                return lower * (upper / lower) ** fraction
+        return self._edges[-1]
+
+    def absorb(
+        self, counts: Sequence[int], total: float, observations: int
+    ) -> None:
+        """Fold another histogram's state (same layout) into this one."""
+        if len(counts) != len(self._counts):
+            raise TelemetryError(
+                f"histogram {self.name!r}: cannot absorb "
+                f"{len(counts)}-bucket state into "
+                f"{len(self._counts)} buckets"
+            )
+        for index, bucket in enumerate(counts):
+            self._counts[index] += bucket
+        self._sum += total
+        self._observations += observations
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed store of this process's metrics.
+
+    All accessors are get-or-create: asking for an existing name with a
+    compatible shape returns the existing metric, so call sites never
+    need to thread metric objects around.  Asking for an existing name
+    with a *different* kind, gauge merge policy, or histogram bucket
+    layout raises :class:`TelemetryError` — a silent overwrite would
+    corrupt whichever call site registered first.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric registered under ``name``, if any."""
+        return self._metrics.get(name)
+
+    def register(self, metric: Metric) -> Metric:
+        """Add a pre-built metric.
+
+        Raises:
+            TelemetryError: if the name is already registered — double
+                registration is always a wiring bug, never overwritten.
+        """
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            raise TelemetryError(
+                f"metric {metric.name!r} already registered as "
+                f"{existing.kind}; refusing to overwrite"
+            )
+        self._metrics[metric.name] = metric
+        return metric
+
+    def _get_or_create(self, name: str, factory, check) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            check(existing)
+            return existing
+        return self.register(factory())
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Get or create a counter."""
+
+        def check(existing: Metric) -> None:
+            if existing.kind != "counter":
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not counter"
+                )
+
+        return self._get_or_create(
+            name, lambda: Counter(name, description), check
+        )
+
+    def gauge(
+        self, name: str, description: str = "", merge: str = "max"
+    ) -> Gauge:
+        """Get or create a gauge with the given merge policy."""
+
+        def check(existing: Metric) -> None:
+            if existing.kind != "gauge":
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not gauge"
+                )
+            if existing.merge_mode != merge:
+                raise TelemetryError(
+                    f"gauge {name!r} already registered with merge="
+                    f"{existing.merge_mode!r}, not {merge!r}"
+                )
+
+        return self._get_or_create(
+            name, lambda: Gauge(name, description, merge), check
+        )
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        start: float = DEFAULT_BUCKET_START,
+        growth: float = DEFAULT_BUCKET_GROWTH,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+    ) -> Histogram:
+        """Get or create a histogram with the given bucket layout."""
+
+        def check(existing: Metric) -> None:
+            if existing.kind != "histogram":
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not histogram"
+                )
+            if existing.layout != (float(start), float(growth), int(bucket_count)):
+                raise TelemetryError(
+                    f"histogram {name!r} already registered with bucket "
+                    f"layout {existing.layout}, not "
+                    f"{(start, growth, bucket_count)}"
+                )
+
+        return self._get_or_create(
+            name,
+            lambda: Histogram(name, description, start, growth, bucket_count),
+            check,
+        )
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> List[Counter]:
+        """All counters, registration-ordered."""
+        return [m for m in self._metrics.values() if m.kind == "counter"]
+
+    def gauges(self) -> List[Gauge]:
+        """All gauges, registration-ordered."""
+        return [m for m in self._metrics.values() if m.kind == "gauge"]
+
+    def histograms(self) -> List[Histogram]:
+        """All histograms, registration-ordered."""
+        return [m for m in self._metrics.values() if m.kind == "histogram"]

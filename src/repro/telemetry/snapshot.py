@@ -1,0 +1,323 @@
+"""Serializable, mergeable snapshots of a run's telemetry.
+
+A :class:`TelemetrySnapshot` is the frozen value of one process's
+telemetry — counters, gauges, histograms, and span records, plus the
+run context (seed, engine, workers, config hash).  Snapshots are what
+cross process boundaries: each :class:`~repro.simulation.parallel
+.ParallelCampaignRunner` worker returns its snapshot alongside its
+partial dataset, and the coordinator merges them exactly like the
+measurement sinks — order-insensitively:
+
+* counters and span records add;
+* histograms add per-bucket counts (layouts are fixed, so buckets
+  always line up);
+* gauges combine under their declared merge policy;
+* contexts must agree on shared keys (shards of one run do).
+
+Snapshots serialize to a single JSON document (:meth:`to_json` /
+:meth:`from_json`) and to Prometheus text exposition format
+(:meth:`to_prometheus`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import GAUGE_MERGE_MODES
+from repro.telemetry.spans import PATH_SEPARATOR, SpanRecord
+
+#: Format marker written into every snapshot export.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted metric name to a Prometheus-legal one."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+@dataclass
+class TelemetrySnapshot:
+    """One process's telemetry, frozen at snapshot time.
+
+    Attributes:
+        context: Run identity (seed, engine, workers, config_hash, ...).
+        counters: name → total.
+        gauges: name → ``{"value": float, "merge": policy}``.
+        histograms: name → ``{"start", "growth", "bucket_count",
+            "counts" (overflow last), "sum", "observations"}``.
+        spans: path → :class:`SpanRecord`.
+    """
+
+    context: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    spans: Dict[str, SpanRecord] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Fold another snapshot into this one (in place).
+
+        Order-insensitive for counters, histograms, and spans; gauges
+        follow their merge policy.  Context keys present in both
+        snapshots must agree — shards of one run share seed, engine,
+        and config hash by construction, so a mismatch means snapshots
+        from *different* runs are being combined.
+
+        Raises:
+            TelemetryError: on conflicting context values, gauge merge
+                policies, or histogram bucket layouts.
+        """
+        for key, value in other.context.items():
+            mine = self.context.get(key)
+            if mine is None:
+                self.context[key] = value
+            elif mine != value and key != "workers":
+                raise TelemetryError(
+                    f"cannot merge snapshots from different runs: "
+                    f"context[{key!r}] differs ({mine!r} != {value!r})"
+                )
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, gauge in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = dict(gauge)
+                continue
+            if mine["merge"] != gauge["merge"]:
+                raise TelemetryError(
+                    f"gauge {name!r}: conflicting merge policies "
+                    f"{mine['merge']!r} != {gauge['merge']!r}"
+                )
+            mode = mine["merge"]
+            if mode == "max":
+                mine["value"] = max(mine["value"], gauge["value"])
+            elif mode == "min":
+                mine["value"] = min(mine["value"], gauge["value"])
+            elif mode == "sum":
+                mine["value"] += gauge["value"]
+            else:  # "last"
+                mine["value"] = gauge["value"]
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = {
+                    **histogram, "counts": list(histogram["counts"]),
+                }
+                continue
+            layout = ("start", "growth", "bucket_count")
+            if any(mine[k] != histogram[k] for k in layout):
+                raise TelemetryError(
+                    f"histogram {name!r}: bucket layouts differ; "
+                    "cannot merge"
+                )
+            mine["counts"] = [
+                a + b for a, b in zip(mine["counts"], histogram["counts"])
+            ]
+            mine["sum"] += histogram["sum"]
+            mine["observations"] += histogram["observations"]
+        for path, record in other.spans.items():
+            mine_record = self.spans.get(path)
+            if mine_record is None:
+                self.spans[path] = SpanRecord(
+                    count=record.count,
+                    seconds=record.seconds,
+                    indexed=dict(record.indexed),
+                )
+            else:
+                mine_record.absorb(record)
+        return self
+
+    # ------------------------------------------------------------------
+    # Phase-tree helpers
+    # ------------------------------------------------------------------
+
+    def span_children(self, path: str) -> List[Tuple[str, SpanRecord]]:
+        """Direct children of a span path, insertion-ordered."""
+        prefix = path + PATH_SEPARATOR
+        return [
+            (candidate, record)
+            for candidate, record in self.spans.items()
+            if candidate.startswith(prefix)
+            and PATH_SEPARATOR not in candidate[len(prefix):]
+        ]
+
+    def span_roots(self) -> List[Tuple[str, SpanRecord]]:
+        """Top-level span paths, insertion-ordered."""
+        return [
+            (path, record)
+            for path, record in self.spans.items()
+            if PATH_SEPARATOR not in path
+        ]
+
+    def phase_coverage(self, path: str) -> float:
+        """Fraction of a span's seconds explained by its children."""
+        record = self.spans.get(path)
+        if record is None:
+            return 0.0
+        if record.seconds <= 0.0:
+            return 1.0
+        children = sum(r.seconds for _, r in self.span_children(path))
+        return min(children / record.seconds, 1.0)
+
+    def day_seconds(self, path: str = "campaign/day") -> List[float]:
+        """Per-day seconds from an indexed span, day-ordered.
+
+        Missing days (a shard that never saw day ``d`` contributes
+        nothing) read as 0, so the list always spans day 0 to the
+        highest recorded day.
+        """
+        record = self.spans.get(path)
+        if record is None or not record.indexed:
+            return []
+        by_day = {int(key): value for key, value in record.indexed.items()}
+        return [by_day.get(day, 0.0) for day in range(max(by_day) + 1)]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_obj(self) -> Dict[str, Any]:
+        """A JSON-compatible document for this snapshot."""
+        return {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "context": dict(self.context),
+            "counters": dict(self.counters),
+            "gauges": {
+                name: dict(gauge) for name, gauge in self.gauges.items()
+            },
+            "histograms": {
+                name: {**hist, "counts": list(hist["counts"])}
+                for name, hist in self.histograms.items()
+            },
+            "spans": {
+                path: {
+                    "count": record.count,
+                    "seconds": record.seconds,
+                    "indexed": dict(record.indexed),
+                }
+                for path, record in self.spans.items()
+            },
+        }
+
+    @classmethod
+    def from_obj(cls, document: Dict[str, Any]) -> "TelemetrySnapshot":
+        """Rebuild a snapshot from :meth:`to_obj`'s output.
+
+        Raises:
+            TelemetryError: on an unknown format version or a gauge
+                with an unknown merge policy.
+        """
+        version = document.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise TelemetryError(
+                f"unsupported telemetry snapshot format {version!r}"
+            )
+        for name, gauge in document.get("gauges", {}).items():
+            if gauge.get("merge") not in GAUGE_MERGE_MODES:
+                raise TelemetryError(
+                    f"gauge {name!r}: unknown merge policy "
+                    f"{gauge.get('merge')!r}"
+                )
+        return cls(
+            context=dict(document.get("context", {})),
+            counters={
+                name: value
+                for name, value in document.get("counters", {}).items()
+            },
+            gauges={
+                name: dict(gauge)
+                for name, gauge in document.get("gauges", {}).items()
+            },
+            histograms={
+                name: {**hist, "counts": list(hist["counts"])}
+                for name, hist in document.get("histograms", {}).items()
+            },
+            spans={
+                path: SpanRecord(
+                    count=int(record["count"]),
+                    seconds=float(record["seconds"]),
+                    indexed={
+                        key: float(value)
+                        for key, value in record.get("indexed", {}).items()
+                    },
+                )
+                for path, record in document.get("spans", {}).items()
+            },
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_obj(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TelemetrySnapshot":
+        """Parse a snapshot from :meth:`to_json` output."""
+        return cls.from_obj(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Prometheus exposition
+    # ------------------------------------------------------------------
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render the snapshot in Prometheus text exposition format.
+
+        Counters become ``<prefix>_<name>`` counters, gauges become
+        gauges, histograms emit the standard cumulative ``_bucket{le=}``
+        / ``_sum`` / ``_count`` series, and span records emit
+        ``<prefix>_phase_seconds_total`` / ``_phase_runs_total`` series
+        labelled by phase path.
+        """
+        lines: List[str] = []
+
+        def esc(value: str) -> str:
+            return value.replace("\\", "\\\\").replace('"', '\\"')
+
+        for name, value in sorted(self.counters.items()):
+            metric = f"{prefix}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        for name, gauge in sorted(self.gauges.items()):
+            metric = f"{prefix}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge['value']}")
+        for name, hist in sorted(self.histograms.items()):
+            metric = f"{prefix}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} histogram")
+            edges = [
+                hist["start"] * hist["growth"] ** i
+                for i in range(hist["bucket_count"])
+            ]
+            cumulative = 0
+            for edge, bucket in zip(edges, hist["counts"]):
+                cumulative += bucket
+                lines.append(
+                    f'{metric}_bucket{{le="{edge:.9g}"}} {cumulative}'
+                )
+            cumulative += hist["counts"][-1]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {hist['sum']}")
+            lines.append(f"{metric}_count {hist['observations']}")
+        if self.spans:
+            seconds_metric = f"{prefix}_phase_seconds_total"
+            runs_metric = f"{prefix}_phase_runs_total"
+            lines.append(f"# TYPE {seconds_metric} counter")
+            for path, record in sorted(self.spans.items()):
+                lines.append(
+                    f'{seconds_metric}{{phase="{esc(path)}"}} '
+                    f"{record.seconds}"
+                )
+            lines.append(f"# TYPE {runs_metric} counter")
+            for path, record in sorted(self.spans.items()):
+                lines.append(
+                    f'{runs_metric}{{phase="{esc(path)}"}} {record.count}'
+                )
+        return "\n".join(lines) + "\n"

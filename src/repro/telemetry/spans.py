@@ -1,0 +1,151 @@
+"""Lightweight span timers: where a run's wall-clock actually goes.
+
+A *span* is a named, timed region entered with ``with tracker.span(
+"campaign.day", index=day):``.  Spans nest: the tracker keeps a stack,
+and a span's *path* is its ancestors' names joined with ``/`` (e.g.
+``campaign/day/beacons``), so the accumulated records form a phase tree
+without any explicit parent bookkeeping at the call sites.
+
+Records are aggregates, not traces: per path, the tracker keeps entry
+count and total seconds (plus optional per-``index`` second totals, used
+for per-day breakdowns).  That makes them cheap — two ``perf_counter``
+calls and a dict update per span — and *mergeable*: two shards' records
+combine by adding counts and seconds per path, order-insensitively.
+Merged trees therefore read as CPU-seconds, exactly like the summed
+per-day times :class:`repro.simulation.campaign.CampaignStats` reports.
+
+Spans are exception-safe: the timer stops and the stack pops in a
+``finally`` block, so a span that raises still records its elapsed time
+and never corrupts the nesting of its ancestors.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Separator between nested span names in a record path.
+PATH_SEPARATOR = "/"
+
+
+@dataclass
+class SpanRecord:
+    """Accumulated time for one span path.
+
+    Attributes:
+        count: Times the span was entered.
+        seconds: Total seconds spent inside (including nested spans).
+        indexed: Optional per-index second totals (e.g. per day), keyed
+            by the stringified ``index`` for JSON friendliness.
+    """
+
+    count: int = 0
+    seconds: float = 0.0
+    indexed: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, seconds: float, index: Optional[object] = None) -> None:
+        """Record one completed span entry."""
+        self.count += 1
+        self.seconds += seconds
+        if index is not None:
+            key = str(index)
+            self.indexed[key] = self.indexed.get(key, 0.0) + seconds
+
+    def absorb(self, other: "SpanRecord") -> None:
+        """Fold another record for the same path into this one."""
+        self.count += other.count
+        self.seconds += other.seconds
+        for key, seconds in other.indexed.items():
+            self.indexed[key] = self.indexed.get(key, 0.0) + seconds
+
+
+class SpanTracker:
+    """Accumulates nested span timings into path-keyed records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SpanRecord] = {}
+        self._stack: List[str] = []
+
+    @property
+    def records(self) -> Dict[str, SpanRecord]:
+        """The accumulated records, keyed by span path."""
+        return self._records
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    @contextmanager
+    def span(
+        self, name: str, index: Optional[object] = None
+    ) -> Iterator[None]:
+        """Time a region under ``name``, nested below the current span."""
+        self._stack.append(name)
+        path = PATH_SEPARATOR.join(self._stack)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._stack.pop()
+            record = self._records.get(path)
+            if record is None:
+                record = self._records[path] = SpanRecord()
+            record.add(elapsed, index)
+
+    def record_seconds(
+        self, path: str, seconds: float, index: Optional[object] = None
+    ) -> None:
+        """Record an externally-timed region directly (no nesting)."""
+        record = self._records.get(path)
+        if record is None:
+            record = self._records[path] = SpanRecord()
+        record.add(seconds, index)
+
+    def absorb(self, records: Dict[str, SpanRecord]) -> None:
+        """Merge another tracker's (or snapshot's) records into this one."""
+        for path, other in records.items():
+            record = self._records.get(path)
+            if record is None:
+                record = self._records[path] = SpanRecord()
+            record.absorb(other)
+
+    # ------------------------------------------------------------------
+
+    def children_of(self, path: str) -> List[Tuple[str, SpanRecord]]:
+        """Direct children of a span path, insertion-ordered."""
+        prefix = path + PATH_SEPARATOR
+        return [
+            (candidate, record)
+            for candidate, record in self._records.items()
+            if candidate.startswith(prefix)
+            and PATH_SEPARATOR not in candidate[len(prefix):]
+        ]
+
+    def roots(self) -> List[Tuple[str, SpanRecord]]:
+        """Top-level span paths, insertion-ordered."""
+        return [
+            (path, record)
+            for path, record in self._records.items()
+            if PATH_SEPARATOR not in path
+        ]
+
+    def coverage(self, path: str) -> float:
+        """Fraction of a span's time accounted for by its children.
+
+        1.0 means the phase tree fully explains where the span's time
+        went; a low value flags untimed gaps.  Returns 1.0 for a span
+        with no time (nothing to explain) and 0.0 for an unknown path.
+        """
+        record = self._records.get(path)
+        if record is None:
+            return 0.0
+        if record.seconds <= 0.0:
+            return 1.0
+        child_seconds = sum(
+            child.seconds for _, child in self.children_of(path)
+        )
+        return min(child_seconds / record.seconds, 1.0)

@@ -1,0 +1,152 @@
+"""Span tracker semantics: nesting, exception safety, merging, logs."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import RunContext, configure_logging, get_logger
+from repro.telemetry.spans import SpanTracker
+
+
+class TestSpanNesting:
+    def test_paths_join_with_separator(self):
+        tracker = SpanTracker()
+        with tracker.span("campaign"):
+            with tracker.span("day"):
+                with tracker.span("beacons"):
+                    pass
+        assert set(tracker.records) == {
+            "campaign", "campaign/day", "campaign/day/beacons",
+        }
+
+    def test_sibling_spans_share_parent_path(self):
+        tracker = SpanTracker()
+        with tracker.span("campaign"):
+            with tracker.span("setup"):
+                pass
+            with tracker.span("day"):
+                pass
+        assert [path for path, _ in tracker.children_of("campaign")] == [
+            "campaign/setup", "campaign/day",
+        ]
+        assert [path for path, _ in tracker.roots()] == ["campaign"]
+
+    def test_repeated_entries_aggregate(self):
+        tracker = SpanTracker()
+        for day in range(3):
+            with tracker.span("day", index=day):
+                pass
+        record = tracker.records["day"]
+        assert record.count == 3
+        assert set(record.indexed) == {"0", "1", "2"}
+        assert sum(record.indexed.values()) == pytest.approx(record.seconds)
+
+    def test_depth_tracks_stack(self):
+        tracker = SpanTracker()
+        assert tracker.depth == 0
+        with tracker.span("a"):
+            assert tracker.depth == 1
+            with tracker.span("b"):
+                assert tracker.depth == 2
+        assert tracker.depth == 0
+
+
+class TestExceptionSafety:
+    def test_raising_span_still_records_and_pops(self):
+        tracker = SpanTracker()
+        with pytest.raises(ValueError):
+            with tracker.span("campaign"):
+                with tracker.span("day"):
+                    raise ValueError("boom")
+        assert tracker.depth == 0
+        assert tracker.records["campaign"].count == 1
+        assert tracker.records["campaign/day"].count == 1
+        # The stack unwound cleanly: a new span is a root again.
+        with tracker.span("after"):
+            pass
+        assert "after" in tracker.records
+
+    def test_coverage(self):
+        tracker = SpanTracker()
+        tracker.record_seconds("campaign", 10.0)
+        tracker.record_seconds("campaign/day", 9.0)
+        tracker.record_seconds("campaign/setup", 0.5)
+        assert tracker.coverage("campaign") == pytest.approx(0.95)
+        assert tracker.coverage("missing") == 0.0
+        tracker.record_seconds("empty", 0.0)
+        assert tracker.coverage("empty") == 1.0
+
+    def test_absorb_adds_per_path(self):
+        a = SpanTracker()
+        b = SpanTracker()
+        a.record_seconds("campaign/day", 1.0, index=0)
+        b.record_seconds("campaign/day", 2.0, index=0)
+        b.record_seconds("campaign/day", 4.0, index=1)
+        a.absorb(b.records)
+        record = a.records["campaign/day"]
+        assert record.seconds == pytest.approx(7.0)
+        assert record.indexed == {"0": pytest.approx(3.0), "1": 4.0}
+
+
+class TestStructuredLogging:
+    def _capture(self, level="info", fmt="json", context=None):
+        stream = io.StringIO()
+        configure_logging(
+            level=level, fmt=fmt, context=context, stream=stream
+        )
+        return stream
+
+    def teardown_method(self):
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+
+    def test_json_lines_carry_run_context(self):
+        stream = self._capture(
+            context=RunContext(
+                seed=11, engine="vectorized", workers=4, config_hash="abcd"
+            )
+        )
+        get_logger("campaign").info("day complete", extra={"day": 3})
+        line = json.loads(stream.getvalue().strip())
+        assert line["msg"] == "day complete"
+        assert line["logger"] == "repro.campaign"
+        assert line["level"] == "info"
+        assert line["seed"] == 11
+        assert line["engine"] == "vectorized"
+        assert line["workers"] == 4
+        assert line["config_hash"] == "abcd"
+        assert line["day"] == 3
+
+    def test_text_format_includes_extras(self):
+        stream = self._capture(fmt="text")
+        get_logger("campaign").warning("slow day", extra={"day": 5})
+        assert "warning" in stream.getvalue()
+        assert "day=5" in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = self._capture(level="warning")
+        get_logger("campaign").info("quiet")
+        assert stream.getvalue() == ""
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        self._capture()
+        stream = self._capture()
+        get_logger("x").info("once")
+        assert len(stream.getvalue().strip().splitlines()) == 1
+
+    def test_unknown_level_or_format_raises(self):
+        with pytest.raises(TelemetryError):
+            configure_logging(level="verbose")
+        with pytest.raises(TelemetryError):
+            configure_logging(fmt="yaml")
+
+    def test_library_is_quiet_without_configuration(self):
+        logger = get_logger("campaign")
+        # No handler installed at import time on the repro root.
+        assert logging.getLogger("repro").handlers == []
+        assert logger.name == "repro.campaign"

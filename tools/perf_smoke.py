@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Optional, Sequence
 
 from repro.clients.population import ClientPopulationConfig
@@ -31,12 +30,13 @@ from repro.simulation.scenario import Scenario, ScenarioConfig
 
 
 def _timed_serial(scenario: Scenario, engine: str):
+    """Run one serial campaign; timings come from its telemetry snapshot."""
     runner = CampaignRunner(scenario, CampaignConfig(engine=engine))
-    start = time.perf_counter()
     dataset = runner.run()
-    seconds = time.perf_counter() - start
-    assert runner.stats is not None
-    return dataset, runner.stats.beacon_count / seconds, seconds
+    snapshot = runner.telemetry.snapshot()
+    seconds = snapshot.gauges["campaign.wall_seconds"]["value"]
+    rate = snapshot.counters["campaign.beacons_total"] / seconds
+    return dataset, rate, seconds, snapshot
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -58,16 +58,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
 
-    _, ref_rate, ref_seconds = _timed_serial(scenario, "reference")
-    vec_dataset, vec_rate, vec_seconds = _timed_serial(scenario, "vectorized")
+    _, ref_rate, ref_seconds, ref_snapshot = _timed_serial(
+        scenario, "reference"
+    )
+    vec_dataset, vec_rate, vec_seconds, vec_snapshot = _timed_serial(
+        scenario, "vectorized"
+    )
     speedup = vec_rate / ref_rate
 
-    sharded = ParallelCampaignRunner(
+    sharded_runner = ParallelCampaignRunner(
         scenario, CampaignConfig(engine="vectorized"), workers=2
-    ).run()
+    )
+    sharded = sharded_runner.run()
     if sharded.digest() != vec_dataset.digest():
         print("FAIL: vectorized serial and 2-worker digests diverged")
         return 1
+    sharded_counters = sharded_runner.telemetry.snapshot().counters
+    for name in ("campaign.beacons_total", "campaign.measurements_total"):
+        if sharded_counters[name] != vec_snapshot.counters[name]:
+            print(
+                f"FAIL: merged 2-worker {name} "
+                f"({sharded_counters[name]:,.0f}) != serial "
+                f"({vec_snapshot.counters[name]:,.0f})"
+            )
+            return 1
 
     print(
         f"perf smoke ({args.prefixes} /24s x {args.days} days, "
@@ -75,8 +89,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"  reference:  {ref_seconds:6.2f}s  ({ref_rate:9,.0f} beacons/s)")
     print(f"  vectorized: {vec_seconds:6.2f}s  ({vec_rate:9,.0f} beacons/s)")
+    for label, snapshot in (
+        ("reference", ref_snapshot), ("vectorized", vec_snapshot)
+    ):
+        phases = ", ".join(
+            f"{path.rsplit('/', 1)[-1]}={record.seconds:.2f}s"
+            for path, record in snapshot.span_children("campaign/day")
+        )
+        print(f"  {label} day phases: {phases}")
     print(f"  speedup: {speedup:.2f}x (required >= {args.min_speedup:.1f}x)")
     print("  vectorized serial == 2-worker digest: ok")
+    print("  vectorized serial == 2-worker merged telemetry counters: ok")
 
     if speedup < args.min_speedup:
         print(
