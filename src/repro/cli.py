@@ -27,10 +27,12 @@ from repro.cdn.catalog import catalog
 from repro.cdn.failover import WithdrawalSimulator
 from repro.clients.population import ClientPopulationConfig
 from repro.core.study import AnycastStudy
+from repro.faults import FaultPlan
 from repro.geo.coords import haversine_km
 from repro.measurement.export import load_dataset, save_dataset
 from repro.measurement.probes import ProbeNetwork
 from repro.net.topology import AsRole
+from repro.simulation.campaign import CampaignConfig
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.scenario import ScenarioConfig
 from repro.telemetry import (
@@ -51,6 +53,29 @@ def _study_config(args: argparse.Namespace) -> ScenarioConfig:
         calendar=SimulationCalendar(num_days=args.days),
         workers=getattr(args, "workers", 1),
         engine=getattr(args, "engine", "reference"),
+    )
+
+
+def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
+    """Campaign knobs from the CLI's resilience flags.
+
+    ``--resume-from DIR`` both reads existing shard checkpoints from
+    ``DIR`` and keeps spilling new ones there, so an interrupted campaign
+    can be re-invoked with the same flag until it completes.
+    """
+    fault_plan = None
+    spec = getattr(args, "fault_plan", None)
+    if spec:
+        fault_plan = FaultPlan.from_spec(spec)
+    resume_from = getattr(args, "resume_from", None)
+    checkpoint_dir = resume_from or getattr(args, "checkpoint_dir", None)
+    return CampaignConfig(
+        fault_plan=fault_plan,
+        max_retries=getattr(args, "max_retries", 2),
+        shard_timeout=getattr(args, "shard_timeout", None),
+        allow_partial=bool(getattr(args, "allow_partial", False)),
+        checkpoint_dir=checkpoint_dir,
+        resume=resume_from is not None,
     )
 
 
@@ -79,6 +104,45 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
             "measurement engine (default reference; vectorized is several "
             "times faster, statistically equivalent, and bit-identical "
             "across worker counts within itself)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help=(
+            "inject deterministic faults: comma-joined kind[:count][@shard] "
+            "specs, kinds crash/hang/exception/corrupt/merge "
+            "(e.g. 'crash:1,exception:2@0'); surviving runs stay "
+            "bit-identical to the fault-free run"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per shard after its first attempt (default 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, metavar="SECONDS",
+        help=(
+            "declare a shard attempt hung after this many seconds and "
+            "retry it (default: wait forever)"
+        ),
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help=(
+            "finish with a partial dataset (manifest lists the missing "
+            "client ranges) instead of failing when a shard exhausts its "
+            "retries"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="spill each completed shard's partial dataset here",
+    )
+    parser.add_argument(
+        "--resume-from", metavar="DIR",
+        help=(
+            "reuse intact shard checkpoints from DIR (and keep "
+            "checkpointing there); implies --checkpoint-dir DIR"
         ),
     )
     parser.add_argument(
@@ -135,7 +199,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Run a study and print (or write) the full figure report."""
     config = _study_config(args)
     _configure_telemetry(args, config)
-    study = AnycastStudy(config)
+    study = AnycastStudy(config, campaign=_campaign_config(args))
     report = study.full_report()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -157,9 +221,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run a campaign and persist its dataset as JSON."""
     config = _study_config(args)
     _configure_telemetry(args, config)
-    study = AnycastStudy(config)
+    study = AnycastStudy(config, campaign=_campaign_config(args))
     dataset = study.dataset
     save_dataset(dataset, args.dataset)
+    if dataset.is_partial:
+        print(
+            "warning: partial dataset — missing client ranges "
+            f"{list(dataset.missing_ranges())} "
+            f"(coverage {dataset.coverage_fraction:.1%})",
+            file=sys.stderr,
+        )
     manifest_path = manifest_path_for(args.dataset)
     write_run_manifest(
         manifest_path,

@@ -40,6 +40,40 @@ class TelemetryError(ReproError):
     """A telemetry registry, span, or snapshot operation was invalid."""
 
 
+class FaultError(ReproError):
+    """Base class for fault-injection and resilience failures."""
+
+
+class ShardFailureError(FaultError):
+    """A campaign shard exhausted its retry budget.
+
+    Raised by the resilient parallel executor when a shard keeps failing
+    and the campaign was not configured with ``allow_partial``.
+
+    Attributes:
+        shard_index: Index of the failed shard.
+        attempts: Number of attempts made (initial run plus retries).
+        client_range: Half-open ``(start, stop)`` client index range the
+            shard covered.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_index: int,
+        attempts: int,
+        client_range: "tuple[int, int]",
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.attempts = attempts
+        self.client_range = client_range
+
+
+class CheckpointError(ReproError):
+    """A shard checkpoint failed its integrity check on load."""
+
+
 class AnalysisError(ReproError):
     """An analysis was asked of data that cannot support it."""
 

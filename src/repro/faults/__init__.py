@@ -1,0 +1,50 @@
+"""Fault injection and resilient-execution primitives.
+
+Degraded and partial measurement is the normal operating mode of a
+production anycast pipeline — front-ends drain, routes flap, log
+shipments go missing (§6 of the paper; *Anycast Performance in Context*
+treats partial data as the default case).  This package supplies the
+chaos side of that story for the simulated pipeline:
+
+* :class:`FaultPlan` / :class:`FaultSpec` / :class:`FaultKind` — a
+  deterministic, seed-derived schedule of worker crashes, hangs,
+  transient exceptions, corrupted shard payloads, and merge failures;
+* :class:`CompiledFaultPlan` — the plan resolved to ``(shard, attempt)``
+  firing points, identical across engines and worker counts;
+* :class:`WorkerFaultInjector` and the ``Injected*Error`` family — the
+  live injection sites the campaign runners call into.
+
+The resilient executor that rides through these faults (retries with
+backoff, shard timeouts, checkpoint resume, graceful degradation) lives
+in :mod:`repro.simulation.parallel`.
+"""
+
+from repro.faults.inject import (
+    InjectedCrashError,
+    InjectedFaultError,
+    InjectedMergeError,
+    InjectedTransientError,
+    WorkerFaultInjector,
+    corrupt_payload,
+)
+from repro.faults.plan import (
+    DEFAULT_HANG_SECONDS,
+    CompiledFaultPlan,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "CompiledFaultPlan",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "InjectedMergeError",
+    "InjectedTransientError",
+    "WorkerFaultInjector",
+    "corrupt_payload",
+]

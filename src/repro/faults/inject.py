@@ -1,0 +1,137 @@
+"""Fault injection sites: turning a compiled plan into live failures.
+
+The :class:`WorkerFaultInjector` carries *one* shard attempt's scheduled
+fault (handed out by the coordinator from a
+:class:`~repro.faults.plan.CompiledFaultPlan`) into the worker, and
+fires it at the matching site:
+
+* ``CRASH`` — :meth:`WorkerFaultInjector.on_worker_start`, before any
+  work (the abort is modeled as a raised
+  :class:`InjectedCrashError`, which crosses the process boundary
+  cleanly — a hard ``os._exit`` would wedge the worker pool, and the
+  coordinator treats both identically: attempt failed, retry);
+* ``EXCEPTION`` — :meth:`WorkerFaultInjector.on_day`, at the start of a
+  seed-derived calendar day, so the transient error lands mid-run;
+* ``HANG`` — :meth:`WorkerFaultInjector.hang_before_return`, a bounded
+  sleep after the shard's work completes, long enough for a configured
+  shard timeout to fire first;
+* ``CORRUPT`` — :meth:`WorkerFaultInjector.transform_payload`, flipping
+  a byte of the serialized shard payload so the coordinator's
+  content-hash check rejects it;
+* ``MERGE`` — checked by the coordinator itself via
+  :attr:`WorkerFaultInjector.fires_on_merge` when folding the shard's
+  dataset into the campaign result.
+
+Injected errors derive from :class:`repro.errors.FaultError`, so the
+resilient executor can tell simulated faults from organic bugs in its
+accounting while retrying both the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultKind
+from repro.rand import derive_seed
+
+
+class InjectedFaultError(FaultError):
+    """Base class for failures raised by fault injection."""
+
+
+class InjectedCrashError(InjectedFaultError):
+    """A simulated worker-process crash at shard start."""
+
+
+class InjectedTransientError(InjectedFaultError):
+    """A simulated transient failure mid-campaign (recoverable by retry)."""
+
+
+class InjectedMergeError(InjectedFaultError):
+    """A simulated failure while merging a shard into the campaign result."""
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Flip one byte in the middle of a serialized payload.
+
+    Deterministic (always the same byte), guaranteed to change the
+    payload's content hash, and cheap — the point is to exercise the
+    coordinator's integrity check, not to model a particular bit-rot
+    distribution.
+    """
+    if not payload:
+        return b"\xff"
+    corrupted = bytearray(payload)
+    corrupted[len(corrupted) // 2] ^= 0xFF
+    return bytes(corrupted)
+
+
+class WorkerFaultInjector:
+    """Fires one shard attempt's scheduled fault at the right site.
+
+    Args:
+        kind: The fault scheduled for this ``(shard, attempt)``, or
+            ``None`` for a clean attempt (every site is then a no-op).
+        seed: Scenario seed; derives the ``EXCEPTION`` firing day.
+        shard_index: The shard this injector rides along with.
+        attempt: The attempt number (0 = first try).
+        hang_seconds: Sleep duration for ``HANG``.
+        sleep: Sleep function, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        kind: Optional[FaultKind],
+        seed: int,
+        shard_index: int,
+        attempt: int,
+        hang_seconds: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.kind = kind
+        self.seed = seed
+        self.shard_index = shard_index
+        self.attempt = attempt
+        self.hang_seconds = hang_seconds
+        self._sleep = sleep
+
+    def _describe(self) -> str:
+        return f"shard {self.shard_index} attempt {self.attempt}"
+
+    def on_worker_start(self) -> None:
+        """``CRASH`` site: abort before the shard does any work."""
+        if self.kind is FaultKind.CRASH:
+            raise InjectedCrashError(
+                f"injected worker crash ({self._describe()})"
+            )
+
+    def on_day(self, day: int, num_days: int) -> None:
+        """``EXCEPTION`` site: raise at the start of a derived day."""
+        if self.kind is not FaultKind.EXCEPTION:
+            return
+        target = derive_seed(
+            self.seed, "fault-day", self.shard_index, self.attempt
+        ) % max(num_days, 1)
+        if day == target:
+            raise InjectedTransientError(
+                f"injected transient failure on day {day} "
+                f"({self._describe()})"
+            )
+
+    def hang_before_return(self) -> None:
+        """``HANG`` site: stall long enough for a shard timeout to fire."""
+        if self.kind is FaultKind.HANG:
+            self._sleep(self.hang_seconds)
+
+    def transform_payload(self, payload: bytes) -> bytes:
+        """``CORRUPT`` site: damage the serialized shard payload."""
+        if self.kind is FaultKind.CORRUPT:
+            return corrupt_payload(payload)
+        return payload
+
+    @property
+    def fires_on_merge(self) -> bool:
+        """Whether the coordinator should fail this shard's merge."""
+        return self.kind is FaultKind.MERGE

@@ -152,6 +152,9 @@ def dataset_to_json(dataset: StudyDataset) -> Dict[str, Any]:
         "passive": _passive_to_obj(dataset.passive),
         "beacon_count": dataset.beacon_count,
         "measurement_count": dataset.measurement_count,
+        "covered_ranges": [
+            [start, stop] for start, stop in (dataset.covered_ranges or ())
+        ],
     }
 
 
@@ -172,6 +175,16 @@ def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
         start=datetime.date.fromisoformat(document["calendar"]["start"]),
         num_days=int(document["calendar"]["num_days"]),
     )
+    # Files written before coverage tracking carry no key; those read as
+    # full coverage (None), while an explicit list — even an empty one —
+    # is preserved so partial datasets survive the round trip.
+    if "covered_ranges" in document:
+        covered = tuple(
+            (int(start), int(stop))
+            for start, stop in document["covered_ranges"]
+        )
+    else:
+        covered = None
     return StudyDataset(
         calendar=calendar,
         clients=tuple(
@@ -183,6 +196,7 @@ def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
         passive=_passive_from_obj(document["passive"]),
         beacon_count=int(document["beacon_count"]),
         measurement_count=int(document["measurement_count"]),
+        covered_ranges=covered,
     )
 
 

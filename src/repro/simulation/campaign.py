@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.dns.authoritative import ANYCAST_TARGET
+from repro.faults import FaultPlan, WorkerFaultInjector
 from repro.telemetry import RunContext, Telemetry, config_digest, get_logger
 from repro.geo.regions import region_of_point
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
@@ -86,12 +87,43 @@ class CampaignConfig:
             Either engine is deterministic per seed and bit-identical
             across worker counts; the two engines' datasets agree
             statistically, not bit-for-bit.
+        fault_plan: Optional deterministic fault schedule
+            (:class:`repro.faults.FaultPlan`) injected into the run —
+            worker crashes, hangs, transient exceptions, corrupted shard
+            payloads, merge failures.  Faults never touch the campaign's
+            measurement RNG streams, so a run that survives them via
+            retries is bit-identical to the fault-free run.
+        max_retries: Retries per shard after its first attempt (so a
+            shard gets ``max_retries + 1`` attempts total).
+        shard_timeout: Seconds the coordinator waits for one shard
+            attempt before declaring it hung and retrying.  ``None``
+            waits forever.  Only enforceable for worker-process shards;
+            an in-process run cannot be interrupted.
+        allow_partial: When a shard exhausts its retries, drop its
+            client range and finish with a partial dataset (whose
+            :meth:`~repro.simulation.dataset.StudyDataset.missing_ranges`
+            names the gap) instead of raising
+            :class:`repro.errors.ShardFailureError`.
+        checkpoint_dir: Spill each completed shard's partial dataset
+            here (see :mod:`repro.simulation.checkpoint`).
+        resume: Reuse intact, matching shard checkpoints from
+            ``checkpoint_dir`` instead of re-running those shards.
+        retry_backoff_seconds: Base of the exponential backoff between
+            a shard's failed attempt and its retry
+            (``base * 2**attempt``).
     """
 
     beacon: BeaconConfig = BeaconConfig()
     progress_callback: Optional[Callable[[int, int], None]] = None
     workers: Optional[int] = None
     engine: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+    max_retries: int = 2
+    shard_timeout: Optional[float] = None
+    allow_partial: bool = False
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    retry_backoff_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -100,6 +132,16 @@ class CampaignConfig:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; expected 'reference' or "
                 "'vectorized'"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigurationError("shard_timeout must be > 0")
+        if self.retry_backoff_seconds < 0:
+            raise ConfigurationError("retry_backoff_seconds must be >= 0")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume requires a checkpoint_dir to resume from"
             )
 
 
@@ -602,6 +644,15 @@ class CampaignRunner:
             into (the study layer shares one across campaign and
             analysis); a fresh instance with the run's context is
             created when omitted.
+        fault_injector: Optional
+            :class:`repro.faults.WorkerFaultInjector` firing this run's
+            scheduled fault (crash at start, transient exception at a
+            derived day, hang at the end).  When omitted but
+            ``config.fault_plan`` is set, the plan is compiled for this
+            single run (one shard, attempt 0) — the injected fault then
+            surfaces as a raised ``Injected*Error`` with no retry;
+            retries are the resilient executor's job
+            (:class:`repro.simulation.parallel.ParallelCampaignRunner`).
 
     After :meth:`run` returns, :attr:`stats` holds the run's
     :class:`CampaignStats` and :attr:`telemetry` the full telemetry
@@ -614,6 +665,7 @@ class CampaignRunner:
         config: Optional[CampaignConfig] = None,
         client_slice: Optional[Tuple[int, int]] = None,
         telemetry: Optional[Telemetry] = None,
+        fault_injector: Optional[WorkerFaultInjector] = None,
     ) -> None:
         self._scenario = scenario
         self._config = config or CampaignConfig()
@@ -625,6 +677,18 @@ class CampaignRunner:
                     f"{len(scenario.clients)} clients"
                 )
         self._client_slice = client_slice
+        if fault_injector is None and self._config.fault_plan is not None:
+            compiled = self._config.fault_plan.compile(
+                scenario.config.seed, shards=1
+            )
+            fault_injector = WorkerFaultInjector(
+                compiled.fault_for(0, 0),
+                seed=scenario.config.seed,
+                shard_index=0,
+                attempt=0,
+                hang_seconds=compiled.hang_seconds,
+            )
+        self._fault_injector = fault_injector
         engine = self._config.engine or scenario.config.engine
         self.telemetry = telemetry or Telemetry(
             RunContext(
@@ -644,8 +708,12 @@ class CampaignRunner:
         :attr:`telemetry`, from whose snapshot :attr:`stats` is built.
         """
         tel = self.telemetry
+        if self._fault_injector is not None:
+            self._fault_injector.on_worker_start()
         with tel.span("campaign"):
             dataset = self._run_instrumented(tel)
+        if self._fault_injector is not None:
+            self._fault_injector.hang_before_return()
         root = tel.spans.records.get("campaign")
         tel.gauge(
             "campaign.wall_seconds",
@@ -784,6 +852,10 @@ class CampaignRunner:
 
         beacon_count = 0
         for day in calendar.days():
+          if self._fault_injector is not None:
+            # Transient-exception site: the injected failure surfaces at
+            # the start of a seed-derived day, i.e. genuinely mid-run.
+            self._fault_injector.on_day(day, calendar.num_days)
           with tel.span("day", index=day):
             day_start_time = time.perf_counter()
             plans = day_plans[day]
@@ -1003,6 +1075,11 @@ class CampaignRunner:
                 "measurements": backend.joined_count,
             },
         )
+        covered = (
+            (self._client_slice,)
+            if self._client_slice is not None
+            else None  # None -> full coverage
+        )
         return StudyDataset(
             calendar=calendar,
             clients=scenario.clients,
@@ -1012,4 +1089,5 @@ class CampaignRunner:
             passive=passive,
             beacon_count=beacon_count,
             measurement_count=backend.joined_count,
+            covered_ranges=covered,
         )

@@ -1,0 +1,160 @@
+"""Shard-level campaign checkpoints: spill, verify, resume.
+
+A multi-day sharded campaign should not lose completed work to one bad
+shard or a mid-run abort.  When a campaign runs with a checkpoint
+directory, the coordinator spills every completed shard's partial
+:class:`~repro.simulation.dataset.StudyDataset` to disk as it lands:
+
+* ``shard-NNNN.json`` — the partial dataset, in the standard export
+  format (:mod:`repro.measurement.export`);
+* ``shard-NNNN.manifest.json`` — the shard's identity (index, client
+  range, seed, config hash) plus two integrity anchors: the SHA-256 of
+  the payload file bytes and the dataset's canonical ``digest()``.
+
+On resume, a checkpoint is only reused when its manifest matches the
+requesting campaign (same shard layout, seed, and config hash — a
+different engine or beacon config produces different data, so its hash
+differs) *and* both integrity anchors verify.  A payload that fails
+verification raises :class:`repro.errors.CheckpointError`; the caller
+treats that as "no checkpoint" and re-runs the shard, because a corrupt
+spill must never silently feed an analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.measurement.export import load_dataset, save_dataset
+from repro.simulation.dataset import StudyDataset
+from repro.telemetry import get_logger
+
+#: Format marker written into every shard checkpoint manifest.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_log = get_logger("checkpoint")
+
+
+def shard_payload_path(directory: str, shard_index: int) -> str:
+    """Path of a shard's spilled dataset inside a checkpoint directory."""
+    return os.path.join(directory, f"shard-{shard_index:04d}.json")
+
+
+def shard_manifest_path(directory: str, shard_index: int) -> str:
+    """Path of a shard's checkpoint manifest."""
+    return os.path.join(directory, f"shard-{shard_index:04d}.manifest.json")
+
+
+def _sha256_of_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_shard_checkpoint(
+    directory: str,
+    shard_index: int,
+    client_range: Tuple[int, int],
+    dataset: StudyDataset,
+    seed: int,
+    config_hash: str,
+) -> Dict[str, Any]:
+    """Spill one completed shard's partial dataset with integrity anchors.
+
+    Returns the manifest that was written.  The payload is written
+    first, then hashed from disk, so the manifest vouches for the bytes
+    actually on disk rather than the bytes we meant to write.
+    """
+    os.makedirs(directory, exist_ok=True)
+    payload_path = shard_payload_path(directory, shard_index)
+    save_dataset(dataset, payload_path)
+    manifest = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "shard_index": shard_index,
+        "client_range": [int(client_range[0]), int(client_range[1])],
+        "seed": seed,
+        "config_hash": config_hash,
+        "dataset_digest": dataset.digest(),
+        "payload_sha256": _sha256_of_file(payload_path),
+    }
+    with open(
+        shard_manifest_path(directory, shard_index), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    _log.debug(
+        "shard checkpoint written",
+        extra={"shard": shard_index, "path": payload_path},
+    )
+    return manifest
+
+
+def load_shard_checkpoint(
+    directory: str,
+    shard_index: int,
+    client_range: Tuple[int, int],
+    seed: int,
+    config_hash: str,
+) -> Optional[StudyDataset]:
+    """Load a shard checkpoint if present, applicable, and intact.
+
+    Returns ``None`` when the checkpoint is absent or belongs to a
+    different campaign shape (other client range, seed, or config hash)
+    — both mean "run the shard".
+
+    Raises:
+        CheckpointError: when the checkpoint claims to match but fails
+            an integrity check (payload bytes or dataset digest differ
+            from the manifest) — the caller should count the corruption
+            and re-run the shard rather than trust the spill.
+    """
+    manifest_path = shard_manifest_path(directory, shard_index)
+    payload_path = shard_payload_path(directory, shard_index)
+    if not (os.path.exists(manifest_path) and os.path.exists(payload_path)):
+        return None
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"shard {shard_index}: unreadable checkpoint manifest "
+            f"({error})"
+        ) from error
+    if (
+        manifest.get("format_version") != CHECKPOINT_FORMAT_VERSION
+        or manifest.get("shard_index") != shard_index
+        or tuple(manifest.get("client_range", ())) != tuple(client_range)
+        or manifest.get("seed") != seed
+        or manifest.get("config_hash") != config_hash
+    ):
+        _log.debug(
+            "shard checkpoint not applicable",
+            extra={"shard": shard_index},
+        )
+        return None
+    actual_sha = _sha256_of_file(payload_path)
+    if actual_sha != manifest.get("payload_sha256"):
+        raise CheckpointError(
+            f"shard {shard_index}: checkpoint payload hash mismatch "
+            f"(expected {manifest.get('payload_sha256')}, got {actual_sha})"
+        )
+    try:
+        dataset = load_dataset(payload_path)
+    except Exception as error:  # corrupt-but-hash-matching is still possible
+        raise CheckpointError(
+            f"shard {shard_index}: checkpoint payload failed to parse "
+            f"({error})"
+        ) from error
+    actual_digest = dataset.digest()
+    if actual_digest != manifest.get("dataset_digest"):
+        raise CheckpointError(
+            f"shard {shard_index}: checkpoint dataset digest mismatch "
+            f"(expected {manifest.get('dataset_digest')}, "
+            f"got {actual_digest})"
+        )
+    return dataset

@@ -9,19 +9,60 @@ campaign produces one partial dataset per client shard and folds them
 into the full dataset.  :meth:`StudyDataset.digest` gives a canonical,
 order-insensitive fingerprint, so serial, parallel, and re-ordered runs
 of the same scenario can be checked for bit-identical results.
+
+Datasets also track *coverage*: which half-open client index ranges they
+actually measured.  Merging overlapping coverage is rejected (a
+duplicate shard merge would double-count), and a degraded campaign that
+lost shards reports the gaps via :meth:`StudyDataset.missing_ranges` —
+the "partial but trustworthy" contract of the resilient executor in
+:mod:`repro.simulation.parallel`.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MeasurementError
 from repro.clients.population import ClientPrefix
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
 from repro.measurement.logs import PassiveLog
 from repro.simulation.clock import SimulationCalendar
+
+
+def normalize_ranges(
+    ranges: Tuple[Tuple[int, int], ...]
+) -> Tuple[Tuple[int, int], ...]:
+    """Sort half-open index ranges, drop empty ones, coalesce adjacent.
+
+    The canonical form makes coverage bookkeeping order-insensitive: any
+    sequence of disjoint shard merges reaching the same client set
+    yields the same tuple.
+    """
+    spans = sorted((int(a), int(b)) for a, b in ranges if a < b)
+    merged: List[Tuple[int, int]] = []
+    for start, stop in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+        else:
+            merged.append((start, stop))
+    return tuple(merged)
+
+
+def ranges_overlap(
+    a: Tuple[Tuple[int, int], ...], b: Tuple[Tuple[int, int], ...]
+) -> bool:
+    """Whether two normalized half-open range sets share any index."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i][1] <= b[j][0]:
+            i += 1
+        elif b[j][1] <= a[i][0]:
+            j += 1
+        else:
+            return True
+    return False
 
 
 @dataclass
@@ -37,6 +78,13 @@ class StudyDataset:
         passive: Production-traffic front-end counts (Figs 4, 7, 8).
         beacon_count: Total beacon executions.
         measurement_count: Total joined measurements.
+        covered_ranges: Half-open client index ranges this dataset
+            actually measured.  ``None`` (the default) means the whole
+            population — the right reading for full runs, direct
+            constructions, and datasets saved before coverage existed.
+            Shard partials carry their slice; merging disjoint shards
+            unions the ranges, and a degraded campaign that lost shards
+            ends up with gaps (see :meth:`missing_ranges`).
     """
 
     calendar: SimulationCalendar
@@ -47,6 +95,7 @@ class StudyDataset:
     passive: PassiveLog
     beacon_count: int = 0
     measurement_count: int = 0
+    covered_ranges: Optional[Tuple[Tuple[int, int], ...]] = None
     _index: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -54,6 +103,14 @@ class StudyDataset:
             self._index = {
                 client.key: i for i, client in enumerate(self.clients)
             }
+        if self.covered_ranges is None:
+            self.covered_ranges = (
+                ((0, len(self.clients)),) if self.clients else ()
+            )
+        else:
+            self.covered_ranges = normalize_ranges(
+                tuple(self.covered_ranges)
+            )
 
     def client_by_key(self, client_key: str) -> ClientPrefix:
         """Client record for a /24 key."""
@@ -76,9 +133,13 @@ class StudyDataset:
 
         Both datasets must cover the same calendar and client population
         (shards of one campaign do); only the *measurements* may differ.
+        The operands' covered client ranges must be disjoint — merging
+        the same shard twice would double-count every one of its
+        measurements, so it is rejected rather than silently absorbed.
 
         Raises:
-            MeasurementError: on mismatched calendars or populations.
+            MeasurementError: on mismatched calendars or populations, or
+                overlapping covered client ranges (duplicate merge).
         """
         if (
             self.calendar.start != other.calendar.start
@@ -93,6 +154,17 @@ class StudyDataset:
             raise MeasurementError(
                 "cannot merge datasets over different client populations"
             )
+        assert self.covered_ranges is not None
+        assert other.covered_ranges is not None
+        if ranges_overlap(self.covered_ranges, other.covered_ranges):
+            raise MeasurementError(
+                "cannot merge datasets with overlapping client coverage "
+                f"({self.covered_ranges} vs {other.covered_ranges}) — "
+                "duplicate shard merge"
+            )
+        self.covered_ranges = normalize_ranges(
+            self.covered_ranges + other.covered_ranges
+        )
         self.ecs_aggregates.merge(other.ecs_aggregates)
         self.ldns_aggregates.merge(other.ldns_aggregates)
         self.request_diffs.merge(other.request_diffs)
@@ -114,10 +186,49 @@ class StudyDataset:
             ),
             request_diffs=RequestDiffLog(),
             passive=PassiveLog(),
+            covered_ranges=(),
         )
         result.merge(self)
         result.merge(other)
         return result
+
+    # ------------------------------------------------------------------
+    # Coverage and degradation
+    # ------------------------------------------------------------------
+
+    def missing_ranges(self) -> Tuple[Tuple[int, int], ...]:
+        """Half-open client index ranges with no measurements.
+
+        The complement of :attr:`covered_ranges` over the population —
+        empty for a complete dataset, and exactly the lost shard slices
+        for a degraded campaign that ran with ``allow_partial``.
+        Analyses can use this to down-weight or annotate figures built
+        from a partial dataset.
+        """
+        assert self.covered_ranges is not None
+        gaps: List[Tuple[int, int]] = []
+        cursor = 0
+        for start, stop in self.covered_ranges:
+            if cursor < start:
+                gaps.append((cursor, start))
+            cursor = max(cursor, stop)
+        if cursor < len(self.clients):
+            gaps.append((cursor, len(self.clients)))
+        return tuple(gaps)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether any client range is missing from this dataset."""
+        return bool(self.missing_ranges())
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of the client population with measurements (0..1)."""
+        if not self.clients:
+            return 1.0
+        assert self.covered_ranges is not None
+        covered = sum(stop - start for start, stop in self.covered_ranges)
+        return covered / len(self.clients)
 
     def digest(self) -> str:
         """Canonical SHA-256 fingerprint of the dataset's contents.
@@ -175,4 +286,12 @@ class StudyDataset:
                 ):
                     put(day, client_key, frontend_id, count)
         put("counts", self.beacon_count, self.measurement_count)
+        # Only a *partial* dataset hashes its coverage: complete datasets
+        # keep their historical digests, while a degraded campaign can
+        # never impersonate the full run it fell short of.
+        missing = self.missing_ranges()
+        if missing:
+            put("missing", len(missing))
+            for start, stop in missing:
+                put(start, stop)
         return h.hexdigest()

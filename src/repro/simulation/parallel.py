@@ -1,4 +1,4 @@
-"""Sharded parallel campaign execution.
+"""Sharded parallel campaign execution, resilient to worker faults.
 
 Production anycast CDNs shard their measurement pipelines the same way:
 per-front-end (or per-prefix) local state, merged globally.  Here the
@@ -20,6 +20,21 @@ Correctness rests on two properties established elsewhere:
   ``serial ≡ parallel ≡ reordered`` is testable bit-for-bit within
   either engine.
 
+**Resilience.**  The coordinator treats every shard attempt as
+disposable: a crash, hang (when ``shard_timeout`` is set), transient
+exception, or corrupted payload fails the attempt, and the shard is
+retried with exponential backoff up to ``max_retries`` times.  Because
+each retry re-derives the exact same RNG streams, a campaign that
+survives faults via retries produces a dataset *bit-identical* to the
+fault-free run.  Completed shards can be spilled as checkpoints
+(``checkpoint_dir``) and reused on resume; a shard that exhausts its
+retries either raises :class:`repro.errors.ShardFailureError` or — with
+``allow_partial`` — is dropped, leaving a partial dataset whose
+:meth:`~repro.simulation.dataset.StudyDataset.missing_ranges` names the
+gap.  Every shard payload crosses the process boundary inside an
+integrity envelope (SHA-256 over the pickled bytes), so corruption in
+transit is detected rather than merged.
+
 Workers rebuild the scenario from its :class:`ScenarioConfig` — scenario
 construction is cheap relative to a multi-day campaign and avoids
 pickling the whole routed topology.  For small populations the rebuild
@@ -30,22 +45,40 @@ thousand client /24s per worker upward.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import multiprocessing
+import pickle
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    FaultError,
+    ShardFailureError,
+)
+from repro.faults import (
+    CompiledFaultPlan,
+    FaultKind,
+    InjectedMergeError,
+    WorkerFaultInjector,
+)
+from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
+from repro.measurement.logs import PassiveLog
 from repro.simulation.campaign import (
     CampaignConfig,
     CampaignRunner,
     CampaignStats,
+)
+from repro.simulation.checkpoint import (
+    load_shard_checkpoint,
+    write_shard_checkpoint,
 )
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.scenario import Scenario, ScenarioConfig
 from repro.telemetry import (
     RunContext,
     Telemetry,
-    TelemetrySnapshot,
     config_digest,
     get_logger,
 )
@@ -60,12 +93,17 @@ _START_METHOD = (
     else "spawn"
 )
 
+#: Coordinator poll interval while shard attempts are in flight.
+_POLL_SECONDS = 0.01
+
 
 def shard_bounds(population: int, shards: int) -> List[Tuple[int, int]]:
     """Contiguous, near-equal half-open index ranges covering a population.
 
     The first ``population % shards`` shards get one extra client, so any
-    two shards differ in size by at most one.
+    two shards differ in size by at most one.  ``shards`` is clamped to
+    ``population`` — callers must size their worker pool off the
+    *returned* list, not the requested count.
 
     Raises:
         ConfigurationError: if ``shards`` < 1 or ``population`` < 1.
@@ -85,54 +123,166 @@ def shard_bounds(population: int, shards: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _run_shard(
-    payload: Tuple[ScenarioConfig, CampaignConfig, int, int]
-) -> Tuple[StudyDataset, CampaignStats, TelemetrySnapshot]:
+@dataclasses.dataclass(frozen=True)
+class _ShardTask:
+    """Everything one shard attempt needs to run in a worker process."""
+
+    scenario_config: ScenarioConfig
+    campaign_config: CampaignConfig
+    start: int
+    stop: int
+    shard_index: int
+    attempt: int
+    fault_kind: Optional[FaultKind]
+    hang_seconds: float
+
+
+@dataclasses.dataclass(frozen=True)
+class _ShardEnvelope:
+    """A shard result in transit: pickled payload plus integrity hash.
+
+    The hash is computed *before* any (injected or organic) corruption
+    of the payload bytes, so the coordinator verifies content integrity
+    end to end instead of trusting the transport.
+    """
+
+    shard_index: int
+    attempt: int
+    payload: bytes
+    sha256: str
+
+
+def _run_shard(task: _ShardTask) -> _ShardEnvelope:
     """Worker entry point: rebuild the scenario, run one client shard.
 
-    The worker's telemetry crosses the process boundary as a snapshot
-    (the live :class:`Telemetry` holds unpicklable state); the
-    coordinator absorbs the snapshots order-insensitively.
+    The worker's telemetry crosses the process boundary inside the
+    envelope as a snapshot (the live :class:`Telemetry` holds
+    unpicklable state); the coordinator absorbs the snapshots
+    order-insensitively.  The task's scheduled fault (if any) fires at
+    its site: crash before any work, transient exception at a derived
+    day, hang after the work, payload corruption on the way out.
     """
-    scenario_config, campaign_config, start, stop = payload
-    engine = campaign_config.engine or scenario_config.engine
+    injector = WorkerFaultInjector(
+        task.fault_kind,
+        seed=task.scenario_config.seed,
+        shard_index=task.shard_index,
+        attempt=task.attempt,
+        hang_seconds=task.hang_seconds,
+    )
+    # Crash before the (comparatively expensive) scenario rebuild — a
+    # worker that dies on arrival does no work at all.
+    injector.on_worker_start()
+    engine = task.campaign_config.engine or task.scenario_config.engine
     telemetry = Telemetry(
         RunContext(
-            seed=scenario_config.seed,
+            seed=task.scenario_config.seed,
             engine=engine,
             workers=1,
-            config_hash=config_digest(scenario_config),
+            config_hash=config_digest(task.scenario_config),
         )
     )
     # The rebuild is real per-worker work; timing it keeps the merged
     # phase tree honest about where the sharded run's seconds go.
     with telemetry.span("scenario_build"):
-        scenario = Scenario.build(scenario_config)
+        scenario = Scenario.build(task.scenario_config)
     runner = CampaignRunner(
-        scenario, campaign_config, client_slice=(start, stop),
+        scenario,
+        task.campaign_config,
+        client_slice=(task.start, task.stop),
         telemetry=telemetry,
+        fault_injector=injector,
     )
     dataset = runner.run()
     assert runner.stats is not None
-    return dataset, runner.stats, runner.telemetry.snapshot()
+    payload = pickle.dumps(
+        (dataset, runner.stats, runner.telemetry.snapshot()),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    sha256 = hashlib.sha256(payload).hexdigest()
+    return _ShardEnvelope(
+        shard_index=task.shard_index,
+        attempt=task.attempt,
+        payload=injector.transform_payload(payload),
+        sha256=sha256,
+    )
+
+
+class _InlineResult:
+    """An already-evaluated stand-in for :class:`AsyncResult`."""
+
+    def __init__(self, task: _ShardTask) -> None:
+        self._error: Optional[BaseException] = None
+        self._envelope: Optional[_ShardEnvelope] = None
+        try:
+            self._envelope = _run_shard(task)
+        except Exception as error:
+            self._error = error
+
+    def ready(self) -> bool:
+        """Always true — the work ran synchronously at submit time."""
+        return True
+
+    def get(self) -> _ShardEnvelope:
+        """The envelope, or re-raise the worker's exception."""
+        if self._error is not None:
+            raise self._error
+        assert self._envelope is not None
+        return self._envelope
+
+
+class _InlinePool:
+    """A single-process pool: shard attempts run in the coordinator.
+
+    Gives the resilient coordinator one code path for both execution
+    modes.  Timeouts cannot preempt an in-process attempt (``ready()``
+    is immediately true), which is the documented ``shard_timeout``
+    limitation for single-worker runs.
+    """
+
+    def apply_async(self, func, args) -> _InlineResult:
+        """Run the task immediately; mirror ``Pool.apply_async``."""
+        assert func is _run_shard
+        (task,) = args
+        return _InlineResult(task)
+
+    def __enter__(self) -> "_InlinePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
 
 
 class ParallelCampaignRunner:
-    """Runs a campaign sharded across worker processes.
+    """Runs a campaign sharded across worker processes, riding out faults.
 
     Drop-in equivalent of :class:`CampaignRunner` — same constructor
     shape, same :meth:`run` contract, same :attr:`stats` afterwards — but
     the client population is partitioned into contiguous shards executed
-    by a :mod:`multiprocessing` pool and merged.  Results are
-    bit-identical to a serial run (same :meth:`StudyDataset.digest`).
+    by worker processes and merged.  Results are bit-identical to a
+    serial run (same :meth:`StudyDataset.digest`), including runs that
+    recover from injected or organic shard failures via retries.
+
+    The worker pool is sized off the *clamped* shard count
+    (:func:`shard_bounds` caps shards at the population), so requesting
+    more workers than clients never spawns idle processes; the resolved
+    count is exported as the ``campaign.effective_workers`` gauge.
 
     Args:
         scenario: The built study environment.
         config: Campaign knobs.  ``progress_callback`` is ignored for
             sharded runs (workers cannot call back into this process).
+            The resilience knobs — ``fault_plan``, ``max_retries``,
+            ``shard_timeout``, ``allow_partial``, ``checkpoint_dir``,
+            ``resume`` — are honored here; see :class:`CampaignConfig`.
         workers: Worker-process count; ``None`` resolves
             ``config.workers``, then ``scenario.config.workers``.  A
-            resolved count of 1 runs serially in-process.
+            resolved count of 1 runs serially in-process (still with
+            retries/checkpoints when those are configured).
+
+    After :meth:`run`, :attr:`fired_faults` lists the fault-plan firing
+    points that were reached, as sorted ``(shard, attempt, kind)``
+    tuples — identical across engines and worker counts for a fixed
+    ``(seed, shard count)``.
     """
 
     def __init__(
@@ -150,7 +300,10 @@ class ParallelCampaignRunner:
             workers = scenario.config.workers
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
-        self._workers = min(workers, len(scenario.clients))
+        # Shards first, workers second: the pool never outnumbers the
+        # (population-clamped) shard list it serves.
+        self._bounds = shard_bounds(len(scenario.clients), workers)
+        self._workers = min(workers, len(self._bounds))
         engine = self._config.engine or scenario.config.engine
         self.telemetry = telemetry or Telemetry(
             RunContext(
@@ -161,64 +314,360 @@ class ParallelCampaignRunner:
             )
         )
         self.stats: Optional[CampaignStats] = None
+        self.fired_faults: Tuple[Tuple[int, int, str], ...] = ()
 
     @property
     def workers(self) -> int:
-        """The resolved worker count."""
+        """The resolved worker count (clamped to the shard count)."""
         return self._workers
 
+    @property
+    def shards(self) -> int:
+        """How many client shards the campaign splits into."""
+        return len(self._bounds)
+
+    def _needs_resilience(self) -> bool:
+        cfg = self._config
+        return cfg.fault_plan is not None or cfg.checkpoint_dir is not None
+
     def run(self) -> StudyDataset:
-        """Execute the campaign and return the merged dataset."""
-        if self._workers == 1:
+        """Execute the campaign and return the merged dataset.
+
+        Raises:
+            ShardFailureError: when a shard exhausts its retries and the
+                campaign was not configured with ``allow_partial``.
+        """
+        tel = self.telemetry
+        tel.gauge(
+            "campaign.effective_workers",
+            "worker processes actually used (clamped to shard count)",
+        ).set(self._workers)
+        tel.gauge(
+            "campaign.shards", "client shards the campaign split into"
+        ).set(len(self._bounds))
+
+        if self._workers == 1 and not self._needs_resilience():
             runner = CampaignRunner(
-                self._scenario, self._config, telemetry=self.telemetry
+                self._scenario, self._config, telemetry=tel
             )
             dataset = runner.run()
             self.stats = runner.stats
+            self._set_coverage_gauge(dataset)
             return dataset
 
+        dataset = self._run_resilient()
+        self._set_coverage_gauge(dataset)
+        return dataset
+
+    def _set_coverage_gauge(self, dataset: StudyDataset) -> None:
+        """Export the degradation gauge: fraction of clients measured."""
+        self.telemetry.gauge(
+            "campaign.client_coverage",
+            "fraction of the client population with measurements",
+            merge="min",
+        ).set(dataset.coverage_fraction)
+
+    # ------------------------------------------------------------------
+    # Resilient coordinator
+    # ------------------------------------------------------------------
+
+    def _run_resilient(self) -> StudyDataset:
         run_start = time.perf_counter()
         scenario = self._scenario
+        cfg = self._config
+        tel = self.telemetry
+        engine = cfg.engine or scenario.config.engine
+        seed = scenario.config.seed
+        bounds = self._bounds
+        # Workers receive no fault plan: the coordinator compiles it once
+        # and hands each attempt its own (possibly absent) fault, so the
+        # plan cannot double-fire through CampaignRunner's self-compile.
         worker_config = dataclasses.replace(
-            self._config, progress_callback=None, workers=None
+            cfg,
+            progress_callback=None,
+            workers=None,
+            fault_plan=None,
+            checkpoint_dir=None,
+            resume=False,
         )
-        payloads = [
-            (scenario.config, worker_config, start, stop)
-            for start, stop in shard_bounds(
-                len(scenario.clients), self._workers
-            )
-        ]
+        # Checkpoint identity: anything that changes the *data* — the
+        # scenario, the beacon methodology, the engine.  Deliberately
+        # excludes fault/retry knobs, which never change the data.
+        checkpoint_hash = config_digest(
+            (scenario.config, worker_config.beacon, engine)
+        )
+        compiled: Optional[CompiledFaultPlan] = (
+            cfg.fault_plan.compile(seed, len(bounds))
+            if cfg.fault_plan is not None
+            else None
+        )
+
+        retries_counter = tel.counter(
+            "shard.retries_total", "shard attempts re-dispatched after failure"
+        )
+        failures_counter = tel.counter(
+            "shard.failures_total",
+            "failed shard attempts (crash, timeout, corruption, merge)",
+        )
+        injected_counter = tel.counter(
+            "faults.injected_total", "fault-plan firing points reached"
+        )
+
+        merged: Optional[StudyDataset] = None
+        merged_stats: Optional[CampaignStats] = None
+        fired: List[Tuple[int, int, str]] = []
+        missing: List[int] = []
+        last_error: Dict[int, str] = {}
+        pending: Set[int] = set(range(len(bounds)))
+
+        # Resume: reuse intact, matching shard checkpoints.
+        if cfg.resume and cfg.checkpoint_dir is not None:
+            for index in sorted(pending):
+                try:
+                    loaded = load_shard_checkpoint(
+                        cfg.checkpoint_dir, index, bounds[index],
+                        seed=seed, config_hash=checkpoint_hash,
+                    )
+                except CheckpointError as error:
+                    tel.counter(
+                        "checkpoint.invalid_total",
+                        "checkpoints rejected by integrity checks",
+                    ).inc()
+                    _log.warning(
+                        "checkpoint rejected",
+                        extra={"shard": index, "error": str(error)},
+                    )
+                    continue
+                if loaded is None:
+                    continue
+                tel.counter(
+                    "checkpoint.loaded_total",
+                    "shards restored from checkpoints instead of re-run",
+                ).inc()
+                merged = loaded if merged is None else merged.merge(loaded)
+                pending.discard(index)
+
         _log.info(
             "dispatching shards",
-            extra={"shards": len(payloads), "start_method": _START_METHOD},
+            extra={
+                "shards": len(bounds),
+                "resumed": len(bounds) - len(pending),
+                "workers": self._workers,
+                "start_method": _START_METHOD,
+                "fault_plan": (
+                    cfg.fault_plan.spec_string() if cfg.fault_plan else None
+                ),
+            },
         )
-        context = multiprocessing.get_context(_START_METHOD)
-        with context.Pool(processes=self._workers) as pool:
-            results = pool.map(_run_shard, payloads)
 
-        dataset, stats, _ = results[0]
-        for shard_dataset, shard_stats, _ in results[1:]:
-            dataset.merge(shard_dataset)
-            stats.merge(shard_stats)
-        # Absorb every shard's telemetry snapshot (order-insensitive:
-        # counters/histograms/spans add, gauges combine by policy), then
-        # stamp the coordinator's own wall-clock — shard wall-clocks
-        # overlap, so their sum/max is not the run's elapsed time.
-        for _, _, shard_snapshot in results:
-            self.telemetry.absorb(shard_snapshot)
+        context = multiprocessing.get_context(_START_METHOD)
+        pool = (
+            _InlinePool()
+            if self._workers == 1
+            else context.Pool(processes=self._workers)
+        )
+        with pool:
+            inflight: Dict[Tuple[int, int], Tuple[object, Optional[float]]] = {}
+            retry_queue: List[Tuple[float, int, int]] = []
+
+            def dispatch(shard: int, attempt: int) -> None:
+                kind = (
+                    compiled.fault_for(shard, attempt)
+                    if compiled is not None
+                    else None
+                )
+                if kind is not None:
+                    # Firing points are deterministic per (seed, shards),
+                    # so counting at dispatch keeps the accounting exact
+                    # even for faults that destroy the worker's telemetry.
+                    fired.append((shard, attempt, kind.value))
+                    injected_counter.inc()
+                    tel.counter(
+                        f"faults.injected.{kind.value}_total",
+                        f"{kind.value} faults fired by the plan",
+                    ).inc()
+                start, stop = bounds[shard]
+                task = _ShardTask(
+                    scenario_config=scenario.config,
+                    campaign_config=worker_config,
+                    start=start,
+                    stop=stop,
+                    shard_index=shard,
+                    attempt=attempt,
+                    fault_kind=kind,
+                    hang_seconds=(
+                        compiled.hang_seconds if compiled is not None else 0.0
+                    ),
+                )
+                deadline = (
+                    time.monotonic() + cfg.shard_timeout
+                    if cfg.shard_timeout is not None
+                    else None
+                )
+                inflight[(shard, attempt)] = (
+                    pool.apply_async(_run_shard, (task,)),
+                    deadline,
+                )
+
+            def on_failure(shard: int, attempt: int, error: Exception) -> None:
+                nonlocal merged
+                failures_counter.inc()
+                last_error[shard] = f"{type(error).__name__}: {error}"
+                _log.warning(
+                    "shard attempt failed",
+                    extra={
+                        "shard": shard,
+                        "attempt": attempt,
+                        "error": last_error[shard],
+                    },
+                )
+                if isinstance(error, ConfigurationError):
+                    # Deterministic misconfiguration fails every retry
+                    # identically; surface it instead of burning budget.
+                    raise error
+                if attempt < cfg.max_retries:
+                    retries_counter.inc()
+                    backoff = cfg.retry_backoff_seconds * (2 ** attempt)
+                    retry_queue.append(
+                        (time.monotonic() + backoff, shard, attempt + 1)
+                    )
+                    return
+                attempts = attempt + 1
+                if cfg.allow_partial:
+                    missing.append(shard)
+                    pending.discard(shard)
+                    _log.warning(
+                        "shard dropped after exhausting retries",
+                        extra={"shard": shard, "attempts": attempts},
+                    )
+                    return
+                start, stop = bounds[shard]
+                raise ShardFailureError(
+                    f"shard {shard} (clients [{start}, {stop})) failed after "
+                    f"{attempts} attempts; last error: {last_error[shard]}",
+                    shard_index=shard,
+                    attempts=attempts,
+                    client_range=(start, stop),
+                ) from error
+
+            def on_ready(shard: int, attempt: int, async_result) -> None:
+                nonlocal merged, merged_stats
+                try:
+                    envelope = async_result.get()
+                    actual = hashlib.sha256(envelope.payload).hexdigest()
+                    if actual != envelope.sha256:
+                        raise FaultError(
+                            f"shard {shard} attempt {attempt}: payload "
+                            "integrity check failed (content hash mismatch)"
+                        )
+                    shard_dataset, shard_stats, shard_snapshot = (
+                        pickle.loads(envelope.payload)
+                    )
+                    if (
+                        compiled is not None
+                        and compiled.fault_for(shard, attempt)
+                        is FaultKind.MERGE
+                    ):
+                        raise InjectedMergeError(
+                            f"injected merge failure (shard {shard} "
+                            f"attempt {attempt})"
+                        )
+                except Exception as error:
+                    on_failure(shard, attempt, error)
+                    return
+                if cfg.checkpoint_dir is not None:
+                    write_shard_checkpoint(
+                        cfg.checkpoint_dir, shard, bounds[shard],
+                        shard_dataset, seed=seed, config_hash=checkpoint_hash,
+                    )
+                    tel.counter(
+                        "checkpoint.saved_total",
+                        "completed shards spilled as checkpoints",
+                    ).inc()
+                tel.absorb(shard_snapshot)
+                merged = (
+                    shard_dataset
+                    if merged is None
+                    else merged.merge(shard_dataset)
+                )
+                merged_stats = (
+                    shard_stats
+                    if merged_stats is None
+                    else merged_stats.merge(shard_stats)
+                )
+                pending.discard(shard)
+
+            for shard in sorted(pending):
+                dispatch(shard, 0)
+
+            while inflight or retry_queue:
+                now = time.monotonic()
+                for entry in list(retry_queue):
+                    ready_time, shard, attempt = entry
+                    if now >= ready_time:
+                        retry_queue.remove(entry)
+                        dispatch(shard, attempt)
+                progressed = False
+                for key in list(inflight):
+                    shard, attempt = key
+                    async_result, deadline = inflight[key]
+                    if async_result.ready():
+                        del inflight[key]
+                        on_ready(shard, attempt, async_result)
+                        progressed = True
+                    elif deadline is not None and now > deadline:
+                        # The attempt is declared hung; any result it
+                        # eventually produces is stale and ignored.
+                        del inflight[key]
+                        on_failure(
+                            shard,
+                            attempt,
+                            FaultError(
+                                f"shard {shard} attempt {attempt} exceeded "
+                                f"shard_timeout of {cfg.shard_timeout}s"
+                            ),
+                        )
+                        progressed = True
+                if not progressed and (inflight or retry_queue):
+                    time.sleep(_POLL_SECONDS)
+
+        if merged is None:
+            # Every shard was lost (allow_partial): an empty dataset that
+            # honestly reports zero coverage.
+            merged = StudyDataset(
+                calendar=scenario.calendar,
+                clients=scenario.clients,
+                ecs_aggregates=GroupedDailyAggregates("ecs"),
+                ldns_aggregates=GroupedDailyAggregates("ldns"),
+                request_diffs=RequestDiffLog(),
+                passive=PassiveLog(),
+                covered_ranges=(),
+            )
+        if missing:
+            _log.warning(
+                "campaign degraded to partial dataset",
+                extra={
+                    "missing_shards": sorted(missing),
+                    "coverage": round(merged.coverage_fraction, 4),
+                },
+            )
+
+        self.fired_faults = tuple(sorted(fired))
         wall_seconds = time.perf_counter() - run_start
-        self.telemetry.gauge(
+        tel.gauge(
             "campaign.wall_seconds",
             "campaign wall-clock (max across concurrent shards)",
         ).set(wall_seconds)
-        stats.wall_seconds = wall_seconds
-        stats.workers = self._workers
-        self.stats = stats
+        if merged_stats is None:
+            merged_stats = CampaignStats.from_snapshot(tel.snapshot())
+        merged_stats.wall_seconds = wall_seconds
+        merged_stats.workers = self._workers
+        self.stats = merged_stats
         # Re-home the merged dataset on this process's client tuple (the
         # workers' rebuilt clients are equal by value, but analyses that
         # compare identity expect the coordinator's scenario objects).
-        dataset.clients = scenario.clients
-        return dataset
+        merged.clients = scenario.clients
+        return merged
 
 
 def run_campaign(

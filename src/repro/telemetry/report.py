@@ -190,6 +190,15 @@ def build_run_manifest(
         manifest["dataset_digest"] = dataset.digest()
         manifest["dataset_beacon_count"] = dataset.beacon_count
         manifest["dataset_measurement_count"] = dataset.measurement_count
+        # Degradation record: a campaign that lost shards (allow_partial)
+        # declares exactly which client index ranges are absent, so a
+        # partial artifact can never pass as a complete one.
+        missing = getattr(dataset, "missing_ranges", None)
+        if callable(missing):
+            manifest["missing_client_ranges"] = [
+                [start, stop] for start, stop in missing()
+            ]
+            manifest["client_coverage"] = dataset.coverage_fraction
     if extra:
         manifest.update(extra)
     return manifest

@@ -278,6 +278,34 @@ class TestParallelRunner:
         runner = ParallelCampaignRunner(tiny_scenario, workers=10_000)
         assert runner.workers == len(tiny_scenario.clients)
 
+    def test_workers_follow_clamped_shard_count(self, tiny_scenario):
+        # Regression: the pool must be sized off the clamped shard list
+        # (shard_bounds caps shards at the population), never the raw
+        # request — otherwise an oversized request spawns idle workers.
+        runner = ParallelCampaignRunner(tiny_scenario, workers=10_000)
+        assert runner.shards == len(tiny_scenario.clients)
+        assert runner.workers == runner.shards
+
+    def test_effective_workers_gauge_reports_clamp(self):
+        # 3 clients, 10 requested workers: the gauge must report the
+        # clamped count actually used, end to end through a real run.
+        scenario = Scenario.build(
+            ScenarioConfig(
+                seed=23,
+                population=ClientPopulationConfig(prefix_count=3),
+                calendar=SimulationCalendar(num_days=1),
+            )
+        )
+        runner = ParallelCampaignRunner(scenario, workers=10)
+        dataset = runner.run()
+        assert runner.workers == 3
+        assert runner.stats is not None and runner.stats.workers == 3
+        gauges = runner.telemetry.snapshot().gauges
+        assert gauges["campaign.effective_workers"]["value"] == 3
+        assert gauges["campaign.shards"]["value"] == 3
+        assert gauges["campaign.client_coverage"]["value"] == 1.0
+        assert not dataset.is_partial
+
     def test_single_worker_runs_inline(self, tiny_scenario, tiny_dataset):
         runner = ParallelCampaignRunner(tiny_scenario, workers=1)
         assert runner.run().digest() == tiny_dataset.digest()

@@ -11,9 +11,18 @@ Also asserts the vectorized engine's correctness contract: a serial run
 and a 2-worker sharded run produce bit-identical datasets (same
 ``StudyDataset.digest()``).
 
+With ``--fault-plan`` the smoke additionally runs the same sharded
+campaign under an injected fault schedule (worker crashes, hangs,
+transient exceptions, corrupted payloads, merge failures — see
+``repro.faults``) and fails unless the retried run's digest is
+bit-identical to the clean run's.  ``--fault-manifest-out`` writes that
+chaos run's manifest (fired faults, retry counters, coverage) for CI to
+archive.
+
 Usage::
 
-    PYTHONPATH=src python tools/perf_smoke.py [--min-speedup 3.0]
+    PYTHONPATH=src python tools/perf_smoke.py [--min-speedup 3.0] \\
+        [--fault-plan crash:1] [--fault-manifest-out manifest.json]
 """
 
 from __future__ import annotations
@@ -23,10 +32,12 @@ import sys
 from typing import Optional, Sequence
 
 from repro.clients.population import ClientPopulationConfig
+from repro.faults import FaultPlan
 from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.telemetry import write_run_manifest
 
 
 def _timed_serial(scenario: Scenario, engine: str):
@@ -47,6 +58,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=3.0,
         help="required vectorized/reference beacons-per-second ratio",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help=(
+            "also run a fault-injected 2-worker campaign (spec like "
+            "'crash:1,exception:1') and require its retried digest to "
+            "match the clean run bit-for-bit"
+        ),
+    )
+    parser.add_argument(
+        "--fault-manifest-out", metavar="PATH",
+        help="write the chaos run's manifest here (requires --fault-plan)",
     )
     args = parser.parse_args(argv)
 
@@ -100,6 +123,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  speedup: {speedup:.2f}x (required >= {args.min_speedup:.1f}x)")
     print("  vectorized serial == 2-worker digest: ok")
     print("  vectorized serial == 2-worker merged telemetry counters: ok")
+
+    if args.fault_plan:
+        chaos_runner = ParallelCampaignRunner(
+            scenario,
+            CampaignConfig(
+                engine="vectorized",
+                fault_plan=FaultPlan.from_spec(args.fault_plan),
+                max_retries=3,
+                retry_backoff_seconds=0.0,
+            ),
+            workers=2,
+        )
+        chaos_dataset = chaos_runner.run()
+        chaos_snapshot = chaos_runner.telemetry.snapshot()
+        if args.fault_manifest_out:
+            write_run_manifest(
+                args.fault_manifest_out,
+                chaos_snapshot,
+                dataset=chaos_dataset,
+                extra={
+                    "fault_plan": args.fault_plan,
+                    "fired_faults": [
+                        list(point) for point in chaos_runner.fired_faults
+                    ],
+                },
+            )
+            print(f"  wrote chaos manifest to {args.fault_manifest_out}")
+        if chaos_dataset.digest() != vec_dataset.digest():
+            print(
+                f"FAIL: fault plan {args.fault_plan!r} survived retries but "
+                "produced a different digest than the fault-free run"
+            )
+            return 1
+        print(
+            f"  chaos ({args.fault_plan}): fired "
+            f"{chaos_snapshot.counters.get('faults.injected_total', 0):.0f} "
+            "faults, retried digest == clean digest: ok"
+        )
+    elif args.fault_manifest_out:
+        print("FAIL: --fault-manifest-out requires --fault-plan")
+        return 1
 
     if speedup < args.min_speedup:
         print(
