@@ -17,6 +17,7 @@ logging on stderr, quiet unless requested).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -29,7 +30,9 @@ from repro.clients.population import ClientPopulationConfig
 from repro.core.study import AnycastStudy
 from repro.faults import FaultPlan
 from repro.geo.coords import haversine_km
-from repro.measurement.export import load_dataset, save_dataset
+from repro.errors import StorageError
+from repro.measurement.export import load_dataset, recover_dataset, save_dataset
+from repro.measurement.storage import atomic_write_text
 from repro.measurement.probes import ProbeNetwork
 from repro.net.topology import AsRole
 from repro.simulation.campaign import CampaignConfig
@@ -76,6 +79,7 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         allow_partial=bool(getattr(args, "allow_partial", False)),
         checkpoint_dir=checkpoint_dir,
         resume=resume_from is not None,
+        validation=getattr(args, "validation_policy", "lenient"),
     )
 
 
@@ -112,8 +116,23 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
             "inject deterministic faults: comma-joined kind[:count][@shard] "
             "specs, kinds crash/hang/exception/corrupt/merge "
             "(e.g. 'crash:1,exception:2@0'); surviving runs stay "
-            "bit-identical to the fault-free run"
+            "bit-identical to the fault-free run; record-level kinds "
+            "record-corrupt/record-clock-skew/record-truncate dirty "
+            "individual measurements before the validation gate"
         ),
+    )
+    parser.add_argument(
+        "--validation-policy", choices=("strict", "lenient", "repair"),
+        default="lenient",
+        help=(
+            "invalid-record handling at the ingest gate: strict raises, "
+            "lenient quarantines and drops (default), repair clamps "
+            "recoverable values and quarantines the rest"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine-out", metavar="PATH",
+        help="write the run's quarantine log (reasons, counts, samples) here",
     )
     parser.add_argument(
         "--max-retries", type=int, default=2, metavar="N",
@@ -195,6 +214,21 @@ def _export_telemetry(args: argparse.Namespace, study: AnycastStudy) -> None:
     print(f"wrote telemetry snapshot to {path}")
 
 
+def _export_quarantine(args: argparse.Namespace, study: AnycastStudy) -> None:
+    """Write the run's quarantine log if ``--quarantine-out`` was given."""
+    if not getattr(args, "quarantine_out", None):
+        return
+    quarantine = study.quarantine
+    atomic_write_text(
+        args.quarantine_out,
+        json.dumps(quarantine.to_obj(), indent=2, sort_keys=True) + "\n",
+    )
+    print(
+        f"wrote quarantine log ({quarantine.total} records) to "
+        f"{args.quarantine_out}"
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a study and print (or write) the full figure report."""
     config = _study_config(args)
@@ -213,6 +247,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote report to {args.out}")
     else:
         print(report)
+    _export_quarantine(args, study)
     _export_telemetry(args, study)
     return 0
 
@@ -244,6 +279,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     print(f"wrote run manifest to {manifest_path}")
     print(study.campaign_stats.format())
+    _export_quarantine(args, study)
     _export_telemetry(args, study)
     return 0
 
@@ -261,7 +297,26 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Replay dataset-only figures from a saved campaign."""
-    dataset = load_dataset(args.dataset)
+    try:
+        dataset = load_dataset(args.dataset)
+    except StorageError as error:
+        if not args.recover:
+            print(
+                f"damaged dataset: {error}\n"
+                "(re-run with --recover to salvage intact records)",
+                file=sys.stderr,
+            )
+            return 2
+        dataset, recovery = recover_dataset(args.dataset)
+        report = recovery.report
+        print(
+            "recovered damaged dataset: "
+            f"{recovery.recovered_measurement_count:,}/"
+            f"{recovery.claimed_measurement_count:,} measurements salvaged "
+            f"({report.frames_corrupt} corrupt frames"
+            f"{', torn tail' if report.torn_tail else ''})",
+            file=sys.stderr,
+        )
     sections = {
         "fig3": lambda: anycast_penalty_ccdf(dataset).format(),
         "fig5": lambda: poor_path_prevalence(dataset).format(),
@@ -391,6 +446,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--figures", nargs="*",
         help="subset of figures: fig3 fig5 fig6 fig9 (default: all)",
+    )
+    analyze.add_argument(
+        "--recover", action="store_true",
+        help=(
+            "salvage intact records from a damaged framed dataset "
+            "(torn tail, corrupt frames) instead of failing"
+        ),
     )
     analyze.set_defaults(func=cmd_analyze)
 

@@ -48,6 +48,7 @@ from repro.analysis.proximity import (
 )
 from repro.cdn.catalog import CdnCatalogEntry, catalog
 from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
+from repro.measurement.validate import QuarantineLog
 from repro.simulation.campaign import CampaignConfig, CampaignStats
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.parallel import ParallelCampaignRunner
@@ -88,6 +89,7 @@ class AnycastStudy:
         self._scenario: Optional[Scenario] = None
         self._dataset: Optional[StudyDataset] = None
         self._campaign_stats: Optional[CampaignStats] = None
+        self._quarantine: Optional[QuarantineLog] = None
 
     # ------------------------------------------------------------------
     # Expensive, cached stages
@@ -127,6 +129,7 @@ class AnycastStudy:
             )
             self._dataset = runner.run()
             self._campaign_stats = runner.stats
+            self._quarantine = runner.quarantine
         return self._dataset
 
     @property
@@ -135,6 +138,18 @@ class AnycastStudy:
         self.dataset
         assert self._campaign_stats is not None
         return self._campaign_stats
+
+    @property
+    def quarantine(self) -> QuarantineLog:
+        """The campaign's quarantine log (runs the campaign on first use).
+
+        Empty for a clean run; non-empty exactly when the validation
+        gate rejected or repaired records (dirty-data faults, or a
+        workload that organically produced invalid records).
+        """
+        self.dataset
+        assert self._quarantine is not None
+        return self._quarantine
 
     def telemetry_snapshot(self) -> TelemetrySnapshot:
         """Freeze the study's telemetry (shard-merged) for export."""

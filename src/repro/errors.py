@@ -36,6 +36,22 @@ class MeasurementError(ReproError):
     """A measurement campaign or log operation was invalid."""
 
 
+class ValidationError(MeasurementError):
+    """A record failed schema validation under the ``strict`` policy.
+
+    Attributes:
+        reason: Machine-readable reason code (e.g. ``"negative-rtt"``).
+    """
+
+    def __init__(self, message: str, reason: str = "invalid") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class StorageError(ReproError):
+    """A framed segment file is damaged beyond what strict reading allows."""
+
+
 class TelemetryError(ReproError):
     """A telemetry registry, span, or snapshot operation was invalid."""
 

@@ -12,7 +12,12 @@ chaos side of that story for the simulated pipeline:
 * :class:`CompiledFaultPlan` — the plan resolved to ``(shard, attempt)``
   firing points, identical across engines and worker counts;
 * :class:`WorkerFaultInjector` and the ``Injected*Error`` family — the
-  live injection sites the campaign runners call into.
+  live injection sites the campaign runners call into;
+* the dirty-data mode: ``record-*`` fault kinds (:data:`RECORD_KINDS`)
+  compile via :meth:`FaultPlan.compile_records` to ``(day, client)``
+  cells, and :class:`RecordFaultInjector` substitutes NaN / clock-skewed
+  / truncated values into individual records so chaos tests can exercise
+  the validation gate in :mod:`repro.measurement.validate`.
 
 The resilient executor that rides through these faults (retries with
 backoff, shard timeouts, checkpoint resume, graceful degradation) lives
@@ -20,24 +25,31 @@ in :mod:`repro.simulation.parallel`.
 """
 
 from repro.faults.inject import (
+    CLOCK_SKEW_STEP_MS,
     InjectedCrashError,
     InjectedFaultError,
     InjectedMergeError,
     InjectedTransientError,
+    RecordFaultInjector,
     WorkerFaultInjector,
     corrupt_payload,
 )
 from repro.faults.plan import (
     DEFAULT_HANG_SECONDS,
+    RECORD_KINDS,
     CompiledFaultPlan,
+    CompiledRecordFaultPlan,
     FaultKind,
     FaultPlan,
     FaultSpec,
 )
 
 __all__ = [
+    "CLOCK_SKEW_STEP_MS",
     "DEFAULT_HANG_SECONDS",
+    "RECORD_KINDS",
     "CompiledFaultPlan",
+    "CompiledRecordFaultPlan",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
@@ -45,6 +57,7 @@ __all__ = [
     "InjectedFaultError",
     "InjectedMergeError",
     "InjectedTransientError",
+    "RecordFaultInjector",
     "WorkerFaultInjector",
     "corrupt_payload",
 ]

@@ -30,11 +30,15 @@ accounting while retrying both the same way.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import FaultError
-from repro.faults.plan import FaultKind
+from repro.faults.plan import CompiledRecordFaultPlan, FaultKind
 from repro.rand import derive_seed
+
+#: Milliseconds a ``record-clock-skew`` fault subtracts from an RTT — a
+#: large backwards clock step, far outside any plausible negative jitter.
+CLOCK_SKEW_STEP_MS = 10_000_000.0
 
 
 class InjectedFaultError(FaultError):
@@ -135,3 +139,68 @@ class WorkerFaultInjector:
     def fires_on_merge(self) -> bool:
         """Whether the coordinator should fail this shard's merge."""
         return self.kind is FaultKind.MERGE
+
+
+class RecordFaultInjector:
+    """Dirties individual measurement records per a compiled record plan.
+
+    Where :class:`WorkerFaultInjector` fails *processes*, this injector
+    damages *data*: for each ``(day, client)`` cell the plan targets, it
+    picks record slots within that cell's fetch block and substitutes the
+    kind's dirty value.  Slot choice depends only on the seed and the
+    cell — not on engine or sharding — and the dirty values are exactly
+    the shapes :mod:`repro.measurement.validate` classifies, so a
+    lenient-mode campaign over a dirtied stream quarantines precisely
+    the planted records.
+    """
+
+    def __init__(self, compiled: CompiledRecordFaultPlan) -> None:
+        self.compiled = compiled
+        #: Records actually dirtied so far, per kind value.
+        self.planted: Dict[str, int] = {}
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan schedules no record faults."""
+        return self.compiled.empty
+
+    @staticmethod
+    def dirty_value(kind: FaultKind, value: float) -> float:
+        """The damaged value a fault kind turns an RTT into."""
+        if kind is FaultKind.RECORD_CORRUPT:
+            return float("nan")
+        if kind is FaultKind.RECORD_CLOCK_SKEW:
+            return value - CLOCK_SKEW_STEP_MS
+        if kind is FaultKind.RECORD_TRUNCATE:
+            return float("-inf")
+        raise ValueError(f"not a record fault kind: {kind!r}")
+
+    def slots_for(
+        self, day: int, client_index: int, n_records: int
+    ) -> Dict[int, FaultKind]:
+        """Which record slots to dirty in one (day, client) fetch block.
+
+        ``client_index`` indexes the full population and ``n_records``
+        is the block's flat record count (``beacons * targets``) — both
+        identical across engines and shard layouts, so the returned
+        ``{record_index: kind}`` map is too.  Slot derivation excludes
+        the kind (only ``spec_index``/``instance`` disambiguate), so
+        same-shape plans of different kinds dirty the same slots.
+        Collisions probe linearly; at most ``n_records`` slots dirty.
+        """
+        instances = self.compiled.instances_for(day, client_index)
+        if not instances or n_records <= 0:
+            return {}
+        slots: Dict[int, FaultKind] = {}
+        for kind, spec_index, instance in instances:
+            if len(slots) >= n_records:
+                break
+            slot = derive_seed(
+                self.compiled.seed, "record-slot", day, client_index,
+                spec_index, instance,
+            ) % n_records
+            while slot in slots:
+                slot = (slot + 1) % n_records
+            slots[slot] = kind
+            self.planted[kind.value] = self.planted.get(kind.value, 0) + 1
+        return slots

@@ -46,6 +46,18 @@ class FaultKind(enum.Enum):
       corrupted in transit; the coordinator's integrity check rejects it.
     * ``MERGE`` — folding the shard's dataset into the campaign result
       fails at the coordinator.
+
+    The ``RECORD_*`` kinds are *dirty-data* faults: instead of failing a
+    worker, they damage individual measurement records in flight (the
+    client-side garbage real JavaScript beacons produce — §3.2's filter
+    targets), exercising the validation gate rather than the retry
+    machinery:
+
+    * ``RECORD_CORRUPT`` — a record's RTT becomes ``NaN`` (torn upload).
+    * ``RECORD_CLOCK_SKEW`` — a large negative clock step is added to
+      the RTT, making it wildly negative.
+    * ``RECORD_TRUNCATE`` — the record is cut off mid-upload, encoded as
+      ``-inf`` (no value to recover).
     """
 
     CRASH = "crash"
@@ -53,6 +65,19 @@ class FaultKind(enum.Enum):
     EXCEPTION = "exception"
     CORRUPT = "corrupt"
     MERGE = "merge"
+    RECORD_CORRUPT = "record-corrupt"
+    RECORD_CLOCK_SKEW = "record-clock-skew"
+    RECORD_TRUNCATE = "record-truncate"
+
+
+#: The dirty-data kinds, which target records instead of workers.
+RECORD_KINDS = frozenset(
+    {
+        FaultKind.RECORD_CORRUPT,
+        FaultKind.RECORD_CLOCK_SKEW,
+        FaultKind.RECORD_TRUNCATE,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -79,6 +104,15 @@ class FaultSpec:
         if self.shard is not None and self.shard < 0:
             raise ConfigurationError(
                 f"fault spec {self.kind.value!r}: shard must be >= 0"
+            )
+        if self.shard is not None and self.kind in RECORD_KINDS:
+            # Record faults land on (day, client) coordinates derived
+            # from the *population*, precisely so they hit the same
+            # records no matter how clients are sharded; a shard pin
+            # would contradict that.
+            raise ConfigurationError(
+                f"fault spec {self.kind.value!r}: record faults cannot "
+                "be pinned to a shard"
             )
 
 
@@ -158,14 +192,39 @@ class FaultPlan:
             parts.append(entry)
         return ",".join(parts)
 
+    @property
+    def worker_specs(self) -> Tuple[FaultSpec, ...]:
+        """The worker-level specs (everything except record faults)."""
+        return tuple(s for s in self.specs if s.kind not in RECORD_KINDS)
+
+    @property
+    def record_specs(self) -> Tuple[FaultSpec, ...]:
+        """The dirty-data (``record-*``) specs."""
+        return tuple(s for s in self.specs if s.kind in RECORD_KINDS)
+
+    def record_only(self) -> Optional["FaultPlan"]:
+        """The record-fault subset of this plan, or ``None`` if empty.
+
+        The coordinator hands exactly this subset to workers: worker
+        faults are the coordinator's to schedule per attempt, but record
+        faults must travel with the data-producing code so every shard
+        dirties its own slice of the (day, client) grid.
+        """
+        record_specs = self.record_specs
+        if not record_specs:
+            return None
+        return FaultPlan(specs=record_specs, hang_seconds=self.hang_seconds)
+
     def compile(self, seed: int, shards: int) -> "CompiledFaultPlan":
-        """Pin every fault instance to a deterministic firing point.
+        """Pin every worker-fault instance to a deterministic firing point.
 
         Unpinned instances land on a shard drawn from
         ``derive_seed(seed, "fault-plan", kind, spec_index, instance)``,
         so the assignment depends only on ``(seed, shards)`` — not on
         engine, worker count, or execution order.  Faults stack per
         shard: the n-th fault scheduled on a shard fires on attempt n.
+        Record faults are not shard events and are skipped here; compile
+        them with :meth:`compile_records`.
 
         Raises:
             ConfigurationError: if ``shards`` < 1.
@@ -175,6 +234,11 @@ class FaultPlan:
         next_attempt: Dict[int, int] = {}
         firing: Dict[Tuple[int, int], FaultKind] = {}
         for spec_index, spec in enumerate(self.specs):
+            if spec.kind in RECORD_KINDS:
+                # Skipped here, but still numbered: spec_index is a
+                # spec's identity in *both* compilers, so one plan
+                # string always derives one schedule.
+                continue
             for instance in range(spec.count):
                 if spec.shard is not None:
                     shard = spec.shard % shards
@@ -189,6 +253,50 @@ class FaultPlan:
         return CompiledFaultPlan(
             firing=firing, hang_seconds=self.hang_seconds, seed=seed
         )
+
+    def compile_records(
+        self, seed: int, num_days: int, population: int
+    ) -> "CompiledRecordFaultPlan":
+        """Pin every record-fault instance to a ``(day, client)`` cell.
+
+        Coordinates are derived from the seed and the *full* client
+        population — never the shard layout — so a sharded campaign
+        dirties exactly the records a serial one does.  The derivation
+        tags deliberately exclude the fault *kind*: plans that differ
+        only in kind (``record-corrupt:5`` vs ``record-truncate:5``) hit
+        the same cells, which is what lets the chaos tests compare their
+        quarantine accounting record-for-record.
+
+        Raises:
+            ConfigurationError: if ``num_days`` or ``population`` < 1
+            while record faults are scheduled.
+        """
+        record_specs = [
+            (spec_index, spec)
+            for spec_index, spec in enumerate(self.specs)
+            if spec.kind in RECORD_KINDS
+        ]
+        points: Dict[Tuple[int, int], Tuple[Tuple[FaultKind, int, int], ...]] = {}
+        if record_specs and (num_days < 1 or population < 1):
+            raise ConfigurationError(
+                "cannot compile record faults for an empty campaign "
+                f"({num_days} days, {population} clients)"
+            )
+        staged: Dict[Tuple[int, int], list] = {}
+        for spec_index, spec in record_specs:
+            for instance in range(spec.count):
+                day = derive_seed(
+                    seed, "record-fault", spec_index, instance, "day"
+                ) % num_days
+                client = derive_seed(
+                    seed, "record-fault", spec_index, instance, "client"
+                ) % population
+                staged.setdefault((day, client), []).append(
+                    (spec.kind, spec_index, instance)
+                )
+        for cell, instances in staged.items():
+            points[cell] = tuple(instances)
+        return CompiledRecordFaultPlan(points=points, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -220,3 +328,41 @@ class CompiledFaultPlan:
     def faults_on(self, shard: int) -> int:
         """How many faults are scheduled on a shard (stacked attempts)."""
         return sum(1 for (s, _) in self.firing if s == shard)
+
+
+@dataclass(frozen=True)
+class CompiledRecordFaultPlan:
+    """Record faults resolved to concrete ``(day, client)`` cells.
+
+    Attributes:
+        points: Maps ``(day, client_index)`` — indices into the full
+            population — to the fault instances landing in that cell.
+            Each instance is ``(kind, spec_index, instance)``; the last
+            two disambiguate record-slot derivation when several
+            instances share a cell.
+        seed: The scenario seed the plan was compiled against.
+    """
+
+    points: Dict[Tuple[int, int], Tuple[Tuple[FaultKind, int, int], ...]] = (
+        field(default_factory=dict)
+    )
+    seed: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when no record faults are scheduled."""
+        return not self.points
+
+    def instances_for(
+        self, day: int, client_index: int
+    ) -> Tuple[Tuple[FaultKind, int, int], ...]:
+        """The fault instances landing on one (day, client) cell."""
+        return self.points.get((day, client_index), ())
+
+    def planted_counts(self) -> Dict[str, int]:
+        """Scheduled instances per kind (for telemetry counters)."""
+        counts: Dict[str, int] = {}
+        for instances in self.points.values():
+            for kind, _, _ in instances:
+                counts[kind.value] = counts.get(kind.value, 0) + 1
+        return counts

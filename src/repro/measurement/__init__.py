@@ -1,4 +1,9 @@
-"""Measurement substrate: beacon, logs, aggregation, backend join."""
+"""Measurement substrate: beacon, logs, aggregation, backend join.
+
+Also home to the hardened data plane: schema-validated ingestion with a
+quarantine side channel (:mod:`repro.measurement.validate`) and
+crash-safe framed storage (:mod:`repro.measurement.storage`).
+"""
 
 from repro.measurement.aggregate import (
     GroupedDailyAggregates,
@@ -21,6 +26,21 @@ from repro.measurement.logs import (
     RawMeasurementLog,
     ServerLogEntry,
 )
+from repro.measurement.storage import (
+    RecoveryReport,
+    read_segment_file,
+    write_segment_file,
+)
+from repro.measurement.validate import (
+    MAX_PLAUSIBLE_RTT_MS,
+    RECORD_SCHEMA_VERSION,
+    QuarantinedRecord,
+    QuarantineLog,
+    ValidationGate,
+    ValidationPolicy,
+    classify_rtt,
+    validate_dataset,
+)
 
 __all__ = [
     "BeaconBackend",
@@ -32,12 +52,23 @@ __all__ = [
     "HttpLogEntry",
     "JoinedMeasurement",
     "LatencyDigest",
+    "MAX_PLAUSIBLE_RTT_MS",
     "PassiveLog",
     "Probe",
     "ProbeNetwork",
+    "QuarantineLog",
+    "QuarantinedRecord",
+    "RECORD_SCHEMA_VERSION",
     "RawMeasurementLog",
+    "RecoveryReport",
     "RequestDiffLog",
     "RequestDiffRow",
     "ServerLogEntry",
+    "ValidationGate",
+    "ValidationPolicy",
+    "classify_rtt",
     "join_raw_log",
+    "read_segment_file",
+    "validate_dataset",
+    "write_segment_file",
 ]

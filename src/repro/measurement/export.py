@@ -2,20 +2,36 @@
 
 A paper-scale campaign takes minutes to run; analyses and ablations over
 it take milliseconds.  These helpers serialize a
-:class:`repro.simulation.dataset.StudyDataset` to a single JSON document
-(latency samples packed as base64 arrays to keep the file compact) so a
-campaign can be run once and analyzed many times — the same split the
-paper's backend storage provided.
+:class:`repro.simulation.dataset.StudyDataset` so a campaign can be run
+once and analyzed many times — the same split the paper's backend
+storage provided.
+
+Two on-disk formats:
+
+* **v2 (current)** — a crash-safe framed segment file
+  (:mod:`repro.measurement.storage`): a header frame, client chunks,
+  per-day aggregate/passive frames, request-diff chunks, and a footer,
+  each line independently length- and CRC-verified, written via temp
+  file + atomic rename.  :func:`load_dataset` reads it strictly;
+  :func:`recover_dataset` salvages damaged files — skipping corrupt
+  frames, truncating torn tails — and reports exactly what survived.
+* **v1 (legacy)** — a single JSON document.  Still readable
+  (:func:`load_dataset` sniffs the format), never written.
+
+Latency samples are packed as base64 arrays in both formats to keep
+files compact.
 """
 
 from __future__ import annotations
 
 import base64
+import datetime
 import json
 from array import array
-from typing import Any, Dict, IO, List, Union
+from dataclasses import dataclass
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple, Union
 
-from repro.errors import MeasurementError
+from repro.errors import MeasurementError, StorageError
 from repro.clients.population import ClientPrefix
 from repro.geo.coords import GeoPoint
 from repro.measurement.aggregate import (
@@ -24,13 +40,28 @@ from repro.measurement.aggregate import (
     RequestDiffLog,
 )
 from repro.measurement.logs import PassiveLog
+from repro.measurement.storage import (
+    RecoveryReport,
+    read_segment_text,
+    write_segment_file,
+)
+from repro.measurement.validate import RECORD_SCHEMA_VERSION
 from repro.telemetry import get_logger
 from repro.net.ip import IPv4Prefix
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.dataset import StudyDataset
 
-#: Format marker written into every export.
-FORMAT_VERSION = 1
+#: Format marker of the framed segment exports this module writes.
+FORMAT_VERSION = 2
+
+#: Format marker of the legacy single-JSON-document exports (still read).
+LEGACY_FORMAT_VERSION = 1
+
+#: Client records per ``clients`` frame.
+_CLIENT_CHUNK = 500
+
+#: Request-diff rows per ``request_diffs`` frame.
+_DIFF_CHUNK = 100_000
 
 _log = get_logger("export")
 
@@ -67,6 +98,25 @@ def _aggregates_from_obj(obj: Dict[str, Any]) -> GroupedDailyAggregates:
     return aggregates
 
 
+def _aggregate_day_rows(
+    aggregates: GroupedDailyAggregates, day: int
+) -> List[Any]:
+    return [
+        [group, target_id, _pack_doubles(digest.values())]
+        for group, target_id, digest in aggregates.iter_day(day)
+    ]
+
+
+def _apply_aggregate_rows(
+    aggregates: GroupedDailyAggregates, day: int, rows: List[Any]
+) -> None:
+    for group, target_id, packed in rows:
+        per_group = aggregates._days.setdefault(day, {}).setdefault(
+            group, {}
+        )
+        per_group[target_id] = LatencyDigest(_unpack_doubles(packed))
+
+
 def _passive_to_obj(passive: PassiveLog) -> Dict[str, Any]:
     return {
         str(day): {
@@ -76,39 +126,64 @@ def _passive_to_obj(passive: PassiveLog) -> Dict[str, Any]:
     }
 
 
-def _passive_from_obj(obj: Dict[str, Any]) -> PassiveLog:
-    passive = PassiveLog()
-    for day_text, clients in obj.items():
-        day = int(day_text)
-        for client_key, counts in clients.items():
-            for frontend_id, count in counts.items():
-                passive.record(day, client_key, frontend_id, int(count))
-    return passive
-
-
-def _diffs_to_obj(diffs: RequestDiffLog) -> Dict[str, Any]:
+def _passive_day_obj(passive: PassiveLog, day: int) -> Dict[str, Any]:
     return {
-        "region_names": list(diffs.region_names),
-        "day": _pack_doubles(float(x) for x in diffs._day),
-        "client_index": _pack_doubles(float(x) for x in diffs._client_index),
-        "region_code": _pack_doubles(float(x) for x in diffs._region_code),
-        "anycast": _pack_doubles(diffs._anycast),
-        "best_unicast": _pack_doubles(diffs._best_unicast),
+        client_key: counts for client_key, counts in passive.iter_day(day)
     }
 
 
-def _diffs_from_obj(obj: Dict[str, Any]) -> RequestDiffLog:
-    diffs = RequestDiffLog()
-    for name in obj["region_names"]:
+def _apply_passive_day(
+    passive: PassiveLog, day: int, clients: Dict[str, Any]
+) -> None:
+    for client_key, counts in clients.items():
+        for frontend_id, count in counts.items():
+            passive.record(day, client_key, frontend_id, int(count))
+
+
+def _passive_from_obj(obj: Dict[str, Any]) -> PassiveLog:
+    passive = PassiveLog()
+    for day_text, clients in obj.items():
+        _apply_passive_day(passive, int(day_text), clients)
+    return passive
+
+
+def _diffs_slice_obj(
+    diffs: RequestDiffLog, start: int, stop: int
+) -> Dict[str, Any]:
+    return {
+        "region_names": list(diffs.region_names),
+        "day": _pack_doubles(float(x) for x in diffs._day[start:stop]),
+        "client_index": _pack_doubles(
+            float(x) for x in diffs._client_index[start:stop]
+        ),
+        "region_code": _pack_doubles(
+            float(x) for x in diffs._region_code[start:stop]
+        ),
+        "anycast": _pack_doubles(diffs._anycast[start:stop]),
+        "best_unicast": _pack_doubles(diffs._best_unicast[start:stop]),
+    }
+
+
+def _diffs_to_obj(diffs: RequestDiffLog) -> Dict[str, Any]:
+    return _diffs_slice_obj(diffs, 0, len(diffs))
+
+
+def _apply_diffs_obj(diffs: RequestDiffLog, obj: Dict[str, Any]) -> None:
+    names = obj["region_names"]
+    for name in names:
         diffs.region_code(name)
     days = _unpack_doubles(obj["day"])
     clients = _unpack_doubles(obj["client_index"])
     regions = _unpack_doubles(obj["region_code"])
     anycast = _unpack_doubles(obj["anycast"])
     best = _unpack_doubles(obj["best_unicast"])
-    names = obj["region_names"]
     for day, client, region, a, b in zip(days, clients, regions, anycast, best):
         diffs.observe(int(day), int(client), names[int(region)], a, b)
+
+
+def _diffs_from_obj(obj: Dict[str, Any]) -> RequestDiffLog:
+    diffs = RequestDiffLog()
+    _apply_diffs_obj(diffs, obj)
     return diffs
 
 
@@ -137,10 +212,19 @@ def _client_from_obj(obj: Dict[str, Any]) -> ClientPrefix:
     )
 
 
+# ----------------------------------------------------------------------
+# Legacy v1: one JSON document
+# ----------------------------------------------------------------------
+
+
 def dataset_to_json(dataset: StudyDataset) -> Dict[str, Any]:
-    """Serialize a dataset to a JSON-compatible document."""
+    """Serialize a dataset to a legacy (v1) JSON document.
+
+    Kept for in-memory round trips and compatibility; files written by
+    :func:`save_dataset` use the framed v2 format instead.
+    """
     return {
-        "format_version": FORMAT_VERSION,
+        "format_version": LEGACY_FORMAT_VERSION,
         "calendar": {
             "start": dataset.calendar.start.isoformat(),
             "num_days": dataset.calendar.num_days,
@@ -158,54 +242,302 @@ def dataset_to_json(dataset: StudyDataset) -> Dict[str, Any]:
     }
 
 
+def _check_version(version: Any, expected: int, what: str) -> None:
+    if version is None:
+        raise MeasurementError(
+            f"{what} carries no format version field — not a dataset "
+            "export, or one too damaged to identify"
+        )
+    if version != expected:
+        raise MeasurementError(
+            f"unsupported dataset format version {version!r}"
+        )
+
+
 def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
     """Rebuild a dataset from :func:`dataset_to_json`'s output.
 
     Raises:
-        MeasurementError: on an unknown format version.
+        MeasurementError: on a missing/unknown format version, or a
+            structurally incomplete document (every malformed shape
+            surfaces as a clear error, never a raw ``KeyError``).
     """
-    version = document.get("format_version")
-    if version != FORMAT_VERSION:
+    _check_version(
+        document.get("format_version"), LEGACY_FORMAT_VERSION,
+        "dataset document",
+    )
+    try:
+        calendar = SimulationCalendar(
+            start=datetime.date.fromisoformat(document["calendar"]["start"]),
+            num_days=int(document["calendar"]["num_days"]),
+        )
+        # Files written before coverage tracking carry no key; those read
+        # as full coverage (None), while an explicit list — even an empty
+        # one — is preserved so partial datasets survive the round trip.
+        if "covered_ranges" in document:
+            covered: Optional[Tuple[Tuple[int, int], ...]] = tuple(
+                (int(start), int(stop))
+                for start, stop in document["covered_ranges"]
+            )
+        else:
+            covered = None
+        return StudyDataset(
+            calendar=calendar,
+            clients=tuple(
+                _client_from_obj(obj) for obj in document["clients"]
+            ),
+            ecs_aggregates=_aggregates_from_obj(document["ecs_aggregates"]),
+            ldns_aggregates=_aggregates_from_obj(document["ldns_aggregates"]),
+            request_diffs=_diffs_from_obj(document["request_diffs"]),
+            passive=_passive_from_obj(document["passive"]),
+            beacon_count=int(document["beacon_count"]),
+            measurement_count=int(document["measurement_count"]),
+            covered_ranges=covered,
+        )
+    except KeyError as error:
         raise MeasurementError(
-            f"unsupported dataset format version {version!r}"
-        )
-    import datetime
+            f"malformed dataset document: missing field {error}"
+        ) from error
 
-    calendar = SimulationCalendar(
-        start=datetime.date.fromisoformat(document["calendar"]["start"]),
-        num_days=int(document["calendar"]["num_days"]),
+
+# ----------------------------------------------------------------------
+# v2: framed segment files
+# ----------------------------------------------------------------------
+
+
+def _dataset_frames(dataset: StudyDataset) -> Iterator[Dict[str, Any]]:
+    """Yield a dataset as v2 frames (header, clients, data, no footer)."""
+    clients = dataset.clients
+    client_chunks = max(
+        1, (len(clients) + _CLIENT_CHUNK - 1) // _CLIENT_CHUNK
     )
-    # Files written before coverage tracking carry no key; those read as
-    # full coverage (None), while an explicit list — even an empty one —
-    # is preserved so partial datasets survive the round trip.
-    if "covered_ranges" in document:
-        covered = tuple(
-            (int(start), int(stop))
-            for start, stop in document["covered_ranges"]
-        )
-    else:
-        covered = None
-    return StudyDataset(
-        calendar=calendar,
-        clients=tuple(
-            _client_from_obj(obj) for obj in document["clients"]
+    diffs = dataset.request_diffs
+    diff_chunks = (len(diffs) + _DIFF_CHUNK - 1) // _DIFF_CHUNK
+    yield {
+        "kind": "header",
+        "format_version": FORMAT_VERSION,
+        "record_schema_version": RECORD_SCHEMA_VERSION,
+        "calendar": {
+            "start": dataset.calendar.start.isoformat(),
+            "num_days": dataset.calendar.num_days,
+        },
+        "beacon_count": dataset.beacon_count,
+        "measurement_count": dataset.measurement_count,
+        "covered_ranges": (
+            None
+            if dataset.covered_ranges is None
+            else [[start, stop] for start, stop in dataset.covered_ranges]
         ),
-        ecs_aggregates=_aggregates_from_obj(document["ecs_aggregates"]),
-        ldns_aggregates=_aggregates_from_obj(document["ldns_aggregates"]),
-        request_diffs=_diffs_from_obj(document["request_diffs"]),
-        passive=_passive_from_obj(document["passive"]),
-        beacon_count=int(document["beacon_count"]),
-        measurement_count=int(document["measurement_count"]),
-        covered_ranges=covered,
+        "ecs_grouping": dataset.ecs_aggregates.grouping,
+        "ldns_grouping": dataset.ldns_aggregates.grouping,
+        "client_count": len(clients),
+        "client_chunks": client_chunks,
+        "diff_chunks": diff_chunks,
+    }
+    for index in range(client_chunks):
+        start = index * _CLIENT_CHUNK
+        yield {
+            "kind": "clients",
+            "index": index,
+            "rows": [
+                _client_to_obj(c)
+                for c in clients[start : start + _CLIENT_CHUNK]
+            ],
+        }
+    # Data frames are per day (and per diff chunk), so damage is
+    # localized: a torn tail loses trailing days, not the whole file.
+    days = sorted(
+        set(dataset.ecs_aggregates.days)
+        | set(dataset.ldns_aggregates.days)
+        | set(dataset.passive.days)
     )
+    for day in days:
+        yield {
+            "kind": "aggregates",
+            "which": "ecs",
+            "day": day,
+            "rows": _aggregate_day_rows(dataset.ecs_aggregates, day),
+        }
+        yield {
+            "kind": "aggregates",
+            "which": "ldns",
+            "day": day,
+            "rows": _aggregate_day_rows(dataset.ldns_aggregates, day),
+        }
+        yield {
+            "kind": "passive",
+            "day": day,
+            "clients": _passive_day_obj(dataset.passive, day),
+        }
+    for index in range(diff_chunks):
+        start = index * _DIFF_CHUNK
+        yield {
+            "kind": "request_diffs",
+            "index": index,
+            **_diffs_slice_obj(diffs, start, start + _DIFF_CHUNK),
+        }
 
 
-def save_dataset(dataset: StudyDataset, path_or_file: Union[str, IO[str]]) -> None:
-    """Write a dataset to a JSON file."""
-    document = dataset_to_json(dataset)
+@dataclass
+class DatasetRecovery:
+    """What :func:`recover_dataset` salvaged from a damaged export.
+
+    Attributes:
+        report: The frame-level salvage accounting.
+        claimed_beacon_count: Beacon count the header recorded.
+        claimed_measurement_count: Measurement count the header recorded.
+        recovered_measurement_count: Joined measurements actually present
+            in the salvaged frames; equals the claim iff nothing data-
+            bearing was lost.
+    """
+
+    report: RecoveryReport
+    claimed_beacon_count: int = 0
+    claimed_measurement_count: int = 0
+    recovered_measurement_count: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when the file was undamaged after all."""
+        return (
+            self.report.complete
+            and self.recovered_measurement_count
+            == self.claimed_measurement_count
+        )
+
+    def to_obj(self) -> Dict[str, Any]:
+        """JSON-compatible form for run manifests."""
+        return {
+            "complete": self.complete,
+            "claimed_beacon_count": self.claimed_beacon_count,
+            "claimed_measurement_count": self.claimed_measurement_count,
+            "recovered_measurement_count": self.recovered_measurement_count,
+            **self.report.to_obj(),
+        }
+
+
+def _dataset_from_frames(
+    frames: List[Dict[str, Any]], report: RecoveryReport
+) -> Tuple[StudyDataset, DatasetRecovery]:
+    """Assemble a dataset from decoded v2 frames.
+
+    Raises:
+        MeasurementError: on a missing/unknown header format version.
+        StorageError: when the salvageable frames cannot anchor a
+            dataset at all (no header, or client chunks missing).
+    """
+    if not frames or frames[0].get("kind") != "header":
+        raise StorageError(
+            "unrecoverable dataset export: header frame is missing or "
+            "damaged"
+        )
+    header = frames[0]
+    _check_version(
+        header.get("format_version"), FORMAT_VERSION, "dataset export"
+    )
+    try:
+        calendar = SimulationCalendar(
+            start=datetime.date.fromisoformat(header["calendar"]["start"]),
+            num_days=int(header["calendar"]["num_days"]),
+        )
+        covered_obj = header["covered_ranges"]
+        covered = (
+            None
+            if covered_obj is None
+            else tuple((int(s), int(e)) for s, e in covered_obj)
+        )
+        client_chunks: Dict[int, List[Any]] = {}
+        ecs = GroupedDailyAggregates(header["ecs_grouping"])
+        ldns = GroupedDailyAggregates(header["ldns_grouping"])
+        passive = PassiveLog()
+        diffs = RequestDiffLog()
+        diff_chunks: Dict[int, Dict[str, Any]] = {}
+        for frame in frames[1:]:
+            kind = frame.get("kind")
+            if kind == "clients":
+                client_chunks[int(frame["index"])] = frame["rows"]
+            elif kind == "aggregates":
+                target = ecs if frame["which"] == "ecs" else ldns
+                _apply_aggregate_rows(
+                    target, int(frame["day"]), frame["rows"]
+                )
+            elif kind == "passive":
+                _apply_passive_day(
+                    passive, int(frame["day"]), frame["clients"]
+                )
+            elif kind == "request_diffs":
+                diff_chunks[int(frame["index"])] = frame
+        if sorted(client_chunks) != list(range(int(header["client_chunks"]))):
+            raise StorageError(
+                "unrecoverable dataset export: client frames are "
+                f"incomplete ({len(client_chunks)} of "
+                f"{header['client_chunks']} chunks survived)"
+            )
+        clients = tuple(
+            _client_from_obj(obj)
+            for index in sorted(client_chunks)
+            for obj in client_chunks[index]
+        )
+        if len(clients) != int(header["client_count"]):
+            raise StorageError(
+                "unrecoverable dataset export: client count mismatch "
+                f"({len(clients)} != {header['client_count']})"
+            )
+        # Row order matters for the diff columns; apply chunks in index
+        # order and drop anything after a gap (rows would misalign).
+        for index in range(int(header["diff_chunks"])):
+            frame = diff_chunks.get(index)
+            if frame is None:
+                break
+            _apply_diffs_obj(diffs, frame)
+        recovered_measurements = sum(
+            digest.count
+            for day in ecs.days
+            for _, _, digest in ecs.iter_day(day)
+        )
+        recovery = DatasetRecovery(
+            report=report,
+            claimed_beacon_count=int(header["beacon_count"]),
+            claimed_measurement_count=int(header["measurement_count"]),
+            recovered_measurement_count=recovered_measurements,
+        )
+        dataset = StudyDataset(
+            calendar=calendar,
+            clients=clients,
+            ecs_aggregates=ecs,
+            ldns_aggregates=ldns,
+            request_diffs=diffs,
+            passive=passive,
+            beacon_count=int(header["beacon_count"]),
+            measurement_count=(
+                int(header["measurement_count"])
+                if recovery.complete
+                else recovered_measurements
+            ),
+            covered_ranges=covered,
+        )
+        return dataset, recovery
+    except KeyError as error:
+        raise MeasurementError(
+            f"malformed dataset export: missing field {error}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+
+def save_dataset(
+    dataset: StudyDataset, path_or_file: Union[str, IO[str]]
+) -> None:
+    """Write a dataset as a crash-safe framed (v2) export.
+
+    Paths are written via temp file + atomic rename, so an interrupted
+    save never leaves a torn file at the destination.
+    """
+    write_segment_file(path_or_file, _dataset_frames(dataset))
     if isinstance(path_or_file, str):
-        with open(path_or_file, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
         _log.info(
             "dataset saved",
             extra={
@@ -213,16 +545,66 @@ def save_dataset(dataset: StudyDataset, path_or_file: Union[str, IO[str]]) -> No
                 "measurements": dataset.measurement_count,
             },
         )
-    else:
-        json.dump(document, path_or_file)
+
+
+def _read_text(path_or_file: Union[str, IO[str]]) -> Tuple[str, str]:
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8", newline="") as handle:
+            return handle.read(), path_or_file
+    return path_or_file.read(), getattr(path_or_file, "name", "<stream>")
 
 
 def load_dataset(path_or_file: Union[str, IO[str]]) -> StudyDataset:
-    """Read a dataset from a JSON file."""
-    if isinstance(path_or_file, str):
-        with open(path_or_file, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-        _log.info("dataset loaded", extra={"path": path_or_file})
+    """Read a dataset export (framed v2, or a legacy v1 JSON document).
+
+    Strict: a damaged v2 file raises :class:`StorageError` (use
+    :func:`recover_dataset` to salvage), and a version-less or
+    unknown-version file raises a clear :class:`MeasurementError`.
+    """
+    text, source = _read_text(path_or_file)
+    if text.lstrip()[:1] == "{":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise MeasurementError(
+                f"{source}: not a dataset export (unparseable JSON "
+                f"document: {error})"
+            ) from error
+        dataset = dataset_from_json(document)
     else:
-        document = json.load(path_or_file)
-    return dataset_from_json(document)
+        frames, report = read_segment_text(text, strict=True, source=source)
+        dataset, _ = _dataset_from_frames(frames, report)
+    if isinstance(path_or_file, str):
+        _log.info("dataset loaded", extra={"path": path_or_file})
+    return dataset
+
+
+def recover_dataset(
+    path_or_file: Union[str, IO[str]]
+) -> Tuple[StudyDataset, DatasetRecovery]:
+    """Salvage a (possibly damaged) framed export.
+
+    Skips corrupt frames, truncates the torn tail, and returns whatever
+    dataset the surviving frames describe plus a
+    :class:`DatasetRecovery` accounting for exactly what was lost.  An
+    undamaged file recovers to the same dataset :func:`load_dataset`
+    returns, with ``recovery.complete`` true.
+
+    Raises:
+        StorageError: when not even a header + client frames survived —
+            there is no dataset to anchor.
+    """
+    text, source = _read_text(path_or_file)
+    if text.lstrip()[:1] == "{":
+        raise MeasurementError(
+            f"{source}: legacy (v1) JSON exports have no frame structure "
+            "to recover; re-export in the framed format"
+        )
+    frames, report = read_segment_text(text, strict=False, source=source)
+    dataset, recovery = _dataset_from_frames(frames, report)
+    if not recovery.complete:
+        _log.warning(
+            "dataset recovered with losses",
+            extra={"path": source, **recovery.to_obj()},
+        )
+    return dataset, recovery

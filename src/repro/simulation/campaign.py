@@ -52,13 +52,23 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.dns.authoritative import ANYCAST_TARGET
-from repro.faults import FaultPlan, WorkerFaultInjector
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    RecordFaultInjector,
+    WorkerFaultInjector,
+)
 from repro.telemetry import RunContext, Telemetry, config_digest, get_logger
 from repro.geo.regions import region_of_point
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
 from repro.measurement.backend import BeaconBackend, JoinedBatch, JoinedSegment
 from repro.measurement.beacon import BeaconConfig, BeaconRunner, BeaconTargetSelector
 from repro.measurement.logs import HttpLogEntry, JoinedMeasurement, PassiveLog
+from repro.measurement.validate import (
+    QuarantineLog,
+    ValidationGate,
+    ValidationPolicy,
+)
 from repro.clients.population import ClientPrefix
 from repro.rand import derive_rng, derive_seed
 from repro.simulation.churn import DayRoutePlan
@@ -111,6 +121,12 @@ class CampaignConfig:
         retry_backoff_seconds: Base of the exponential backoff between
             a shard's failed attempt and its retry
             (``base * 2**attempt``).
+        validation: Record-validation policy both engines enforce at the
+            ingestion boundaries (see :mod:`repro.measurement.validate`):
+            ``"strict"`` raises on the first invalid record, ``"lenient"``
+            (the default) drops invalid records into the campaign's
+            quarantine log, ``"repair"`` clamps repairable records and
+            annotates them.
     """
 
     beacon: BeaconConfig = BeaconConfig()
@@ -124,10 +140,16 @@ class CampaignConfig:
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     retry_backoff_seconds: float = 0.05
+    validation: str = "lenient"
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.validation not in ("strict", "lenient", "repair"):
+            raise ConfigurationError(
+                f"unknown validation policy {self.validation!r}; expected "
+                "'strict', 'lenient', or 'repair'"
+            )
         if self.engine not in (None, "reference", "vectorized"):
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; expected 'reference' or "
@@ -472,6 +494,7 @@ class _VectorizedBeaconEngine:
         beacon_config: BeaconConfig,
         backend: BeaconBackend,
         request_diffs: RequestDiffLog,
+        gate: ValidationGate,
     ) -> None:
         self._scenario = scenario
         self._selector = selector
@@ -479,6 +502,7 @@ class _VectorizedBeaconEngine:
         self._beacon_config = beacon_config
         self._backend = backend
         self._request_diffs = request_diffs
+        self._gate = gate
         self._latency = scenario.latency_model
         self._seed = scenario.config.seed
 
@@ -508,6 +532,7 @@ class _VectorizedBeaconEngine:
         anycast_extra_ms: float,
         degraded_frontend: Optional[str],
         unicast_inflation_ms: float,
+        dirty_slots: Optional[Dict[int, FaultKind]] = None,
     ) -> None:
         """Synthesize and sink one client-day's ``beacons`` sessions."""
         key = client.key
@@ -585,39 +610,78 @@ class _VectorizedBeaconEngine:
         # the reference engine applies per fetch).
         rtts = np.rint(fixed + jitter)
 
-        best_unicast = rtts[:, 1:].min(axis=1)
-        self._request_diffs.observe_many(
-            day, client_index, region, rtts[:, 0], best_unicast
-        )
+        if dirty_slots:
+            # Record faults land on flat b * T + t slots — the same
+            # coordinates the reference engine counts fetches in.
+            for flat, kind in dirty_slots.items():
+                b, t = divmod(flat, targets)
+                rtts[b, t] = RecordFaultInjector.dirty_value(
+                    kind, float(rtts[b, t])
+                )
+
+        admit = self._gate.admit_matrix(day, key, rtts)
+        if admit is None:
+            # Every cell valid (the overwhelmingly common case): the
+            # original zero-copy bulk path.
+            best_unicast = rtts[:, 1:].min(axis=1)
+            self._request_diffs.observe_many(
+                day, client_index, region, rtts[:, 0], best_unicast
+            )
+        else:
+            # A session contributes a diff row only when its anycast
+            # fetch and at least one unicast fetch were admitted — the
+            # same rule the reference engine's per-fetch tracking
+            # applies.
+            row_ok = admit[:, 0] & admit[:, 1:].any(axis=1)
+            if row_ok.any():
+                best_unicast = np.where(
+                    admit[:, 1:], rtts[:, 1:], np.inf
+                ).min(axis=1)
+                self._request_diffs.observe_many(
+                    day,
+                    client_index,
+                    region,
+                    rtts[row_ok, 0],
+                    best_unicast[row_ok],
+                )
 
         segments: List[JoinedSegment] = []
+
+        def add_segment(
+            target_id: str, frontend_id: str, values: np.ndarray
+        ) -> None:
+            if values.size:
+                segments.append(
+                    JoinedSegment(target_id, frontend_id, values)
+                )
+
+        anycast_ok = (
+            np.ones(beacons, dtype=bool) if admit is None else admit[:, 0]
+        )
         if on_first_rank is None:
-            segments.append(
-                JoinedSegment(ANYCAST_TARGET, rank_frontends[0], rtts[:, 0])
+            add_segment(
+                ANYCAST_TARGET, rank_frontends[0], rtts[anycast_ok, 0]
             )
         else:
             for rank_position, mask in ((0, on_first_rank), (1, ~on_first_rank)):
-                values = rtts[mask, 0]
-                if values.size:
-                    segments.append(
-                        JoinedSegment(
-                            ANYCAST_TARGET,
-                            rank_frontends[rank_position],
-                            values,
-                        )
-                    )
-        segments.append(JoinedSegment(closest, closest, rtts[:, 1]))
+                add_segment(
+                    ANYCAST_TARGET,
+                    rank_frontends[rank_position],
+                    rtts[mask & anycast_ok, 0],
+                )
+        if admit is None:
+            add_segment(closest, closest, rtts[:, 1])
+        else:
+            add_segment(closest, closest, rtts[admit[:, 1], 1])
         if picks:
             pick_rtts = rtts[:, 2:]
+            pick_ok = None if admit is None else admit[:, 2:]
             for pool_index in picked_pool_indices:
                 target_id = pool[pool_index]
-                segments.append(
-                    JoinedSegment(
-                        target_id,
-                        target_id,
-                        pick_rtts[pick_indices == pool_index],
-                    )
-                )
+                selected = pick_indices == pool_index
+                if pick_ok is not None:
+                    selected = selected & pick_ok
+                add_segment(target_id, target_id, pick_rtts[selected])
         self._backend.on_joined_batch(
             JoinedBatch(
                 day=day,
@@ -699,6 +763,8 @@ class CampaignRunner:
             )
         )
         self.stats: Optional[CampaignStats] = None
+        #: Records rejected or repaired by this run's validation gate.
+        self.quarantine = QuarantineLog()
 
     def run(self) -> StudyDataset:
         """Execute every day of the calendar and return the dataset.
@@ -764,6 +830,25 @@ class CampaignRunner:
             workload = scenario.workload_model
             latency = scenario.latency_model
 
+            # Every record this run ingests — beacon fetches in either
+            # engine, passive-log counts — passes this gate.
+            gate = ValidationGate(
+                ValidationPolicy.parse(cfg.validation),
+                quarantine=self.quarantine,
+            )
+            # Dirty-data faults compile against the *full* population
+            # and calendar, so a sharded run dirties exactly the records
+            # a serial run does.
+            record_faults: Optional[RecordFaultInjector] = None
+            if cfg.fault_plan is not None:
+                compiled_records = cfg.fault_plan.compile_records(
+                    scenario.config.seed,
+                    calendar.num_days,
+                    len(scenario.clients),
+                )
+                if not compiled_records.empty:
+                    record_faults = RecordFaultInjector(compiled_records)
+
             # Churn and episodes are global day-ordered processes;
             # computing every day's plans up front keeps the day loop
             # pure per-client work and gives sharded runs identical
@@ -801,7 +886,8 @@ class CampaignRunner:
 
             backend = BeaconBackend(batch_observers=(on_joined_batch,))
             vectorized = _VectorizedBeaconEngine(
-                scenario, selector, paths, cfg.beacon, backend, request_diffs
+                scenario, selector, paths, cfg.beacon, backend,
+                request_diffs, gate,
             )
             batches_counter = tel.counter(
                 "engine.vectorized.batches_total",
@@ -911,7 +997,11 @@ class CampaignRunner:
                     rank_frontends,
                     largest_remainder_apportion(queries, plan.fractions),
                 ):
-                    passive.record(day, key, frontend_id, count)
+                    admitted_count = gate.admit_count(
+                        day, key, frontend_id, count
+                    )
+                    if admitted_count is not None:
+                        passive.record(day, key, frontend_id, admitted_count)
                 passive_counter.inc(len(rank_frontends))
 
                 beacons = workload.daily_beacons(queries, rng)
@@ -938,6 +1028,20 @@ class CampaignRunner:
                     anycast=True,
                 )
 
+                # Record faults for this (day, client) cell, as flat
+                # session * T + position slots.  The target count T is a
+                # per-client constant shared by both engines, so the
+                # slot map is engine- and shard-independent.
+                dirty_slots: Optional[Dict[int, FaultKind]] = None
+                if record_faults is not None:
+                    n_targets = 2 + min(
+                        cfg.beacon.random_picks,
+                        len(selector.pick_pool(client.ldns_id)),
+                    )
+                    dirty_slots = record_faults.slots_for(
+                        day, client_index, beacons * n_targets
+                    )
+
                 if vectorized is not None:
                     vectorized.run_client_day(
                         day=day,
@@ -950,6 +1054,7 @@ class CampaignRunner:
                         anycast_extra_ms=anycast_inflation + anycast_offset,
                         degraded_frontend=degraded_frontend,
                         unicast_inflation_ms=unicast_inflation,
+                        dirty_slots=dirty_slots,
                     )
                     beacon_count += beacons
                     batches_counter.inc()
@@ -988,6 +1093,7 @@ class CampaignRunner:
                     )
                     return frontend_id, rtt
 
+                record_index = 0
                 for _ in range(beacons):
                     session_rank_cell[0] = plan.sample_rank(rng)
 
@@ -1003,6 +1109,19 @@ class CampaignRunner:
                     anycast_rtt: Optional[float] = None
                     best_unicast: Optional[float] = None
                     for fetch in fetches:
+                        rtt_ms = fetch.rtt_ms
+                        if dirty_slots:
+                            kind = dirty_slots.get(record_index)
+                            if kind is not None:
+                                rtt_ms = RecordFaultInjector.dirty_value(
+                                    kind, rtt_ms
+                                )
+                        admitted = gate.admit(day, key, record_index, rtt_ms)
+                        record_index += 1
+                        if admitted is None:
+                            # Quarantined: the record never reaches any
+                            # log stream, so it cannot join.
+                            continue
                         backend.on_dns(
                             fetch.measurement_id, client.ldns_id, fetch.target_id
                         )
@@ -1014,14 +1133,14 @@ class CampaignRunner:
                                 day=day,
                                 measurement_id=fetch.measurement_id,
                                 client_key=key,
-                                rtt_ms=fetch.rtt_ms,
+                                rtt_ms=admitted,
                                 used_resource_timing=fetch.used_resource_timing,
                             )
                         )
                         if fetch.target_id == ANYCAST_TARGET:
-                            anycast_rtt = fetch.rtt_ms
-                        elif best_unicast is None or fetch.rtt_ms < best_unicast:
-                            best_unicast = fetch.rtt_ms
+                            anycast_rtt = admitted
+                        elif best_unicast is None or admitted < best_unicast:
+                            best_unicast = admitted
 
                     if anycast_rtt is not None and best_unicast is not None:
                         request_diffs.observe(
@@ -1067,6 +1186,37 @@ class CampaignRunner:
                 "dns.cache.misses_total",
                 "LDNS resolver-cache misses (fresh resolutions)",
             ).inc(dns_misses)
+
+            # Validation accounting: the gate counts with plain ints on
+            # the hot path; publish them once here.
+            tel.counter(
+                "validate.records_total",
+                "records checked at the ingestion boundaries",
+            ).inc(gate.records_total)
+            tel.counter(
+                "validate.quarantined_total",
+                "invalid records dropped into the quarantine log",
+            ).inc(gate.dropped_total)
+            tel.counter(
+                "validate.repaired_total",
+                "invalid records clamped and kept (repair policy)",
+            ).inc(gate.repaired_total)
+            for reason, count in sorted(self.quarantine.counts.items()):
+                tel.counter(
+                    f"validate.quarantined.{reason}_total",
+                    f"records flagged as {reason}",
+                ).inc(count)
+            if record_faults is not None:
+                planted = record_faults.planted
+                tel.counter(
+                    "faults.records_planted_total",
+                    "records dirtied by the dirty-data fault injector",
+                ).inc(sum(planted.values()))
+                for kind_value, count in sorted(planted.items()):
+                    tel.counter(
+                        f"faults.records.{kind_value}_total",
+                        f"records dirtied as {kind_value}",
+                    ).inc(count)
 
         _log.info(
             "campaign complete",

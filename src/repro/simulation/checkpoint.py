@@ -29,6 +29,8 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import CheckpointError
 from repro.measurement.export import load_dataset, save_dataset
+from repro.measurement.storage import atomic_write_text
+from repro.measurement.validate import QuarantineLog
 from repro.simulation.dataset import StudyDataset
 from repro.telemetry import get_logger
 
@@ -63,12 +65,21 @@ def write_shard_checkpoint(
     dataset: StudyDataset,
     seed: int,
     config_hash: str,
+    quarantine: Optional[QuarantineLog] = None,
 ) -> Dict[str, Any]:
     """Spill one completed shard's partial dataset with integrity anchors.
 
     Returns the manifest that was written.  The payload is written
     first, then hashed from disk, so the manifest vouches for the bytes
-    actually on disk rather than the bytes we meant to write.
+    actually on disk rather than the bytes we meant to write.  Both
+    files land via atomic rename (the payload through the framed
+    writer's temp file, the manifest through
+    :func:`repro.measurement.storage.atomic_write_text`), so an abort
+    mid-spill never leaves a half-written checkpoint.
+
+    When the shard quarantined records, its :class:`QuarantineLog` is
+    embedded in the manifest so a resumed campaign's accounting stays
+    exact.
     """
     os.makedirs(directory, exist_ok=True)
     payload_path = shard_payload_path(directory, shard_index)
@@ -82,11 +93,12 @@ def write_shard_checkpoint(
         "dataset_digest": dataset.digest(),
         "payload_sha256": _sha256_of_file(payload_path),
     }
-    with open(
-        shard_manifest_path(directory, shard_index), "w", encoding="utf-8"
-    ) as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    if quarantine is not None and quarantine.total:
+        manifest["quarantine"] = quarantine.to_obj()
+    atomic_write_text(
+        shard_manifest_path(directory, shard_index),
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
     _log.debug(
         "shard checkpoint written",
         extra={"shard": shard_index, "path": payload_path},
@@ -158,3 +170,39 @@ def load_shard_checkpoint(
             f"got {actual_digest})"
         )
     return dataset
+
+
+def load_shard_quarantine(
+    directory: str, shard_index: int
+) -> Optional[QuarantineLog]:
+    """The quarantine log a shard checkpoint recorded, if any.
+
+    Companion to :func:`load_shard_checkpoint` (call it *after* that
+    function accepted the checkpoint — this helper re-reads only the
+    manifest and does not repeat the integrity checks).  Returns ``None``
+    when the manifest is absent, unreadable, or carries no quarantine
+    block (the shard quarantined nothing).
+
+    Raises:
+        CheckpointError: when a quarantine block is present but
+            malformed — a manifest that vouches for accounting it cannot
+            produce must not be silently treated as clean.
+    """
+    manifest_path = shard_manifest_path(directory, shard_index)
+    if not os.path.exists(manifest_path):
+        return None
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    block = manifest.get("quarantine")
+    if block is None:
+        return None
+    try:
+        return QuarantineLog.from_obj(block)
+    except Exception as error:
+        raise CheckpointError(
+            f"shard {shard_index}: malformed quarantine block in "
+            f"checkpoint manifest ({error})"
+        ) from error

@@ -56,6 +56,7 @@ from repro.errors import (
     ConfigurationError,
     FaultError,
     ShardFailureError,
+    ValidationError,
 )
 from repro.faults import (
     CompiledFaultPlan,
@@ -65,6 +66,7 @@ from repro.faults import (
 )
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
 from repro.measurement.logs import PassiveLog
+from repro.measurement.validate import QuarantineLog
 from repro.simulation.campaign import (
     CampaignConfig,
     CampaignRunner,
@@ -72,6 +74,7 @@ from repro.simulation.campaign import (
 )
 from repro.simulation.checkpoint import (
     load_shard_checkpoint,
+    load_shard_quarantine,
     write_shard_checkpoint,
 )
 from repro.simulation.dataset import StudyDataset
@@ -195,7 +198,7 @@ def _run_shard(task: _ShardTask) -> _ShardEnvelope:
     dataset = runner.run()
     assert runner.stats is not None
     payload = pickle.dumps(
-        (dataset, runner.stats, runner.telemetry.snapshot()),
+        (dataset, runner.stats, runner.telemetry.snapshot(), runner.quarantine),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     sha256 = hashlib.sha256(payload).hexdigest()
@@ -315,6 +318,9 @@ class ParallelCampaignRunner:
         )
         self.stats: Optional[CampaignStats] = None
         self.fired_faults: Tuple[Tuple[int, int, str], ...] = ()
+        #: Merged quarantine accounting across all shards (or the single
+        #: in-process run).  Deterministic: identical to a serial run's.
+        self.quarantine = QuarantineLog()
 
     @property
     def workers(self) -> int:
@@ -352,6 +358,7 @@ class ParallelCampaignRunner:
             )
             dataset = runner.run()
             self.stats = runner.stats
+            self.quarantine = runner.quarantine
             self._set_coverage_gauge(dataset)
             return dataset
 
@@ -379,22 +386,37 @@ class ParallelCampaignRunner:
         engine = cfg.engine or scenario.config.engine
         seed = scenario.config.seed
         bounds = self._bounds
-        # Workers receive no fault plan: the coordinator compiles it once
-        # and hands each attempt its own (possibly absent) fault, so the
-        # plan cannot double-fire through CampaignRunner's self-compile.
+        # Workers receive no *worker*-fault plan: the coordinator compiles
+        # it once and hands each attempt its own (possibly absent) fault,
+        # so the plan cannot double-fire through CampaignRunner's
+        # self-compile.  Record (dirty-data) faults do travel with the
+        # workers — each shard dirties its own slice of the population-
+        # derived (day, client) grid.
         worker_config = dataclasses.replace(
             cfg,
             progress_callback=None,
             workers=None,
-            fault_plan=None,
+            fault_plan=(
+                cfg.fault_plan.record_only()
+                if cfg.fault_plan is not None
+                else None
+            ),
             checkpoint_dir=None,
             resume=False,
         )
         # Checkpoint identity: anything that changes the *data* — the
-        # scenario, the beacon methodology, the engine.  Deliberately
-        # excludes fault/retry knobs, which never change the data.
+        # scenario, the beacon methodology, the engine, the validation
+        # policy, and any dirty-data faults.  Deliberately excludes
+        # worker-fault/retry knobs, which never change the data.
+        record_plan = worker_config.fault_plan
         checkpoint_hash = config_digest(
-            (scenario.config, worker_config.beacon, engine)
+            (
+                scenario.config,
+                worker_config.beacon,
+                engine,
+                cfg.validation,
+                record_plan.spec_string() if record_plan is not None else None,
+            )
         )
         compiled: Optional[CompiledFaultPlan] = (
             cfg.fault_plan.compile(seed, len(bounds))
@@ -445,6 +467,11 @@ class ParallelCampaignRunner:
                     "shards restored from checkpoints instead of re-run",
                 ).inc()
                 merged = loaded if merged is None else merged.merge(loaded)
+                restored_quarantine = load_shard_quarantine(
+                    cfg.checkpoint_dir, index
+                )
+                if restored_quarantine is not None:
+                    self.quarantine.merge(restored_quarantine)
                 pending.discard(index)
 
         _log.info(
@@ -521,9 +548,11 @@ class ParallelCampaignRunner:
                         "error": last_error[shard],
                     },
                 )
-                if isinstance(error, ConfigurationError):
-                    # Deterministic misconfiguration fails every retry
-                    # identically; surface it instead of burning budget.
+                if isinstance(error, (ConfigurationError, ValidationError)):
+                    # Deterministic failures — misconfiguration, or an
+                    # invalid record under the strict policy — fail every
+                    # retry identically; surface them instead of burning
+                    # budget.
                     raise error
                 if attempt < cfg.max_retries:
                     retries_counter.inc()
@@ -560,7 +589,7 @@ class ParallelCampaignRunner:
                             f"shard {shard} attempt {attempt}: payload "
                             "integrity check failed (content hash mismatch)"
                         )
-                    shard_dataset, shard_stats, shard_snapshot = (
+                    shard_dataset, shard_stats, shard_snapshot, shard_quarantine = (
                         pickle.loads(envelope.payload)
                     )
                     if (
@@ -579,12 +608,14 @@ class ParallelCampaignRunner:
                     write_shard_checkpoint(
                         cfg.checkpoint_dir, shard, bounds[shard],
                         shard_dataset, seed=seed, config_hash=checkpoint_hash,
+                        quarantine=shard_quarantine,
                     )
                     tel.counter(
                         "checkpoint.saved_total",
                         "completed shards spilled as checkpoints",
                     ).inc()
                 tel.absorb(shard_snapshot)
+                self.quarantine.merge(shard_quarantine)
                 merged = (
                     shard_dataset
                     if merged is None

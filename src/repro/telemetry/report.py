@@ -186,6 +186,24 @@ def build_run_manifest(
             for path, _ in snapshot.span_roots()
         },
     }
+    if "validate.records_total" in snapshot.counters:
+        reason_prefix = "validate.quarantined."
+        manifest["validation"] = {
+            "records_total": int(
+                snapshot.counters["validate.records_total"]
+            ),
+            "quarantined_total": int(
+                snapshot.counters.get("validate.quarantined_total", 0)
+            ),
+            "repaired_total": int(
+                snapshot.counters.get("validate.repaired_total", 0)
+            ),
+            "quarantined_by_reason": {
+                name[len(reason_prefix):-len("_total")]: int(value)
+                for name, value in sorted(snapshot.counters.items())
+                if name.startswith(reason_prefix)
+            },
+        }
     if dataset is not None:
         manifest["dataset_digest"] = dataset.digest()
         manifest["dataset_beacon_count"] = dataset.beacon_count

@@ -19,20 +19,34 @@ bit-identical to the clean run's.  ``--fault-manifest-out`` writes that
 chaos run's manifest (fired faults, retry counters, coverage) for CI to
 archive.
 
+With ``--dirty-plan`` it runs the dirty-data chaos leg: the same campaign
+with record-level faults (``record-corrupt``, ``record-clock-skew``,
+``record-truncate``) under the lenient validation policy, asserting the
+quarantine identity — the clean measurement count equals the dirty count
+plus exactly the quarantined records — and that serial, 2-worker sharded,
+and reference-engine runs agree on the dirty digest and quarantine
+accounting.  It then saves the dirty dataset through the framed exporter,
+tears its tail off, and requires the recovery loader to salvage the
+intact prefix.  ``--dirty-manifest-out`` archives the accounting.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_smoke.py [--min-speedup 3.0] \\
-        [--fault-plan crash:1] [--fault-manifest-out manifest.json]
+        [--fault-plan crash:1] [--fault-manifest-out manifest.json] \\
+        [--dirty-plan record-corrupt:8] [--dirty-manifest-out dirty.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import Optional, Sequence
 
 from repro.clients.population import ClientPopulationConfig
 from repro.faults import FaultPlan
+from repro.measurement.export import recover_dataset, save_dataset
 from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
@@ -70,6 +84,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--fault-manifest-out", metavar="PATH",
         help="write the chaos run's manifest here (requires --fault-plan)",
+    )
+    parser.add_argument(
+        "--dirty-plan", metavar="SPEC",
+        help=(
+            "also run the dirty-data chaos leg (spec of record-level "
+            "kinds like 'record-corrupt:8,record-clock-skew:4') and "
+            "require exact quarantine accounting across serial, sharded, "
+            "and reference runs plus torn-tail recovery"
+        ),
+    )
+    parser.add_argument(
+        "--dirty-manifest-out", metavar="PATH",
+        help=(
+            "write the dirty-data leg's manifest here (requires "
+            "--dirty-plan)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -163,6 +193,120 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.fault_manifest_out:
         print("FAIL: --fault-manifest-out requires --fault-plan")
+        return 1
+
+    if args.dirty_plan:
+        dirty_plan = FaultPlan.from_spec(args.dirty_plan)
+        dirty_config = CampaignConfig(
+            engine="vectorized",
+            fault_plan=dirty_plan,
+            validation="lenient",
+        )
+        dirty_runner = CampaignRunner(scenario, dirty_config)
+        dirty_dataset = dirty_runner.run()
+        quarantine = dirty_runner.quarantine
+        dirty_snapshot = dirty_runner.telemetry.snapshot()
+        planted = int(
+            dirty_snapshot.counters.get("faults.records_planted_total", 0)
+        )
+        if planted == 0:
+            print(
+                f"FAIL: dirty plan {args.dirty_plan!r} planted no records "
+                "(the chaos leg asserted nothing)"
+            )
+            return 1
+        clean_count = vec_dataset.measurement_count
+        dirty_count = dirty_dataset.measurement_count
+        if clean_count != dirty_count + quarantine.dropped:
+            print(
+                "FAIL: quarantine identity broken: clean measurements "
+                f"({clean_count:,}) != dirty ({dirty_count:,}) + "
+                f"quarantined dropped ({quarantine.dropped:,})"
+            )
+            return 1
+
+        dirty_sharded_runner = ParallelCampaignRunner(
+            scenario, dirty_config, workers=2
+        )
+        dirty_sharded = dirty_sharded_runner.run()
+        if dirty_sharded.digest() != dirty_dataset.digest():
+            print("FAIL: dirty serial and 2-worker digests diverged")
+            return 1
+        if dirty_sharded_runner.quarantine.digest() != quarantine.digest():
+            print(
+                "FAIL: dirty serial and 2-worker quarantine logs diverged"
+            )
+            return 1
+
+        ref_dirty_runner = CampaignRunner(
+            scenario,
+            CampaignConfig(
+                engine="reference",
+                fault_plan=dirty_plan,
+                validation="lenient",
+            ),
+        )
+        ref_dirty_runner.run()
+        if ref_dirty_runner.quarantine.counts != quarantine.counts:
+            print(
+                "FAIL: reference and vectorized engines quarantined "
+                f"different records ({ref_dirty_runner.quarantine.counts} "
+                f"vs {quarantine.counts})"
+            )
+            return 1
+
+        # Torn-tail recovery: export the dirty dataset through the framed
+        # writer, rip the tail off, and salvage what survived.
+        with tempfile.TemporaryDirectory(prefix="perf-smoke-") as tmpdir:
+            dirty_path = os.path.join(tmpdir, "dirty-dataset.json")
+            save_dataset(dirty_dataset, dirty_path)
+            size = os.path.getsize(dirty_path)
+            with open(dirty_path, "r+b") as handle:
+                handle.truncate(size - 200)
+            recovered, recovery = recover_dataset(dirty_path)
+        if recovery.report.complete:
+            print(
+                "FAIL: torn-tail export still reported a complete recovery"
+            )
+            return 1
+        if recovered.beacon_count != dirty_dataset.beacon_count:
+            print(
+                "FAIL: torn-tail recovery lost client records "
+                f"({recovered.beacon_count:,} of "
+                f"{dirty_dataset.beacon_count:,} beacons)"
+            )
+            return 1
+
+        if args.dirty_manifest_out:
+            write_run_manifest(
+                args.dirty_manifest_out,
+                dirty_snapshot,
+                dataset=dirty_dataset,
+                extra={
+                    "dirty_plan": args.dirty_plan,
+                    "records_planted": planted,
+                    "quarantine": quarantine.summary(),
+                    "quarantine_digest": quarantine.digest(),
+                    "torn_tail_recovery": recovery.to_obj(),
+                },
+            )
+            print(f"  wrote dirty-data manifest to {args.dirty_manifest_out}")
+
+        print(
+            f"  dirty ({args.dirty_plan}): planted {planted} records, "
+            f"quarantined {quarantine.total} "
+            f"({dict(sorted(quarantine.counts.items()))})"
+        )
+        print("  clean == dirty + quarantined measurement identity: ok")
+        print("  dirty serial == 2-worker digest + quarantine digest: ok")
+        print("  reference == vectorized quarantine counts: ok")
+        print(
+            "  torn-tail recovery: salvaged "
+            f"{recovery.recovered_measurement_count:,}/"
+            f"{recovery.claimed_measurement_count:,} measurements: ok"
+        )
+    elif args.dirty_manifest_out:
+        print("FAIL: --dirty-manifest-out requires --dirty-plan")
         return 1
 
     if speedup < args.min_speedup:
