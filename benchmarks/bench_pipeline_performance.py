@@ -19,11 +19,17 @@ from repro.clients.population import ClientPopulationConfig
 from repro.geo.metros import MetroDatabase
 from repro.net.bgp import Announcement, RouteComputation
 from repro.net.topology import AsRole, TopologyBuilder, populate_base_internet
+from repro.clients.workload import WorkloadConfig
 from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
-from repro.telemetry import manifest_path_for, write_run_manifest
+from repro.telemetry import (
+    MemoryProbe,
+    manifest_path_for,
+    peak_rss_bytes,
+    write_run_manifest,
+)
 
 #: Worker count for the parallel campaign cases, sized to the host — a
 #: worker per core.  Parallel cases skip on single-core hosts, where
@@ -231,6 +237,10 @@ def test_campaign_engines_report():
     assert speedup >= 3.0, (
         f"vectorized engine only {speedup:.2f}x over reference"
     )
+
+    memory_lines, memory_record = _memory_report()
+    lines.extend(memory_lines)
+
     report_path = write_report("pipeline_performance", "\n".join(lines))
     # The manifest makes the recorded numbers self-describing: which
     # configuration produced them, and where the wall-clock went.
@@ -238,5 +248,93 @@ def test_campaign_engines_report():
         manifest_path_for(str(report_path)),
         vec_snapshot,
         dataset=vectorized,
-        extra={"artifact": str(report_path)},
+        extra={"artifact": str(report_path), "memory": memory_record},
     )
+
+
+def _memory_scenario(clients: int) -> Scenario:
+    """Fixed shape (150 /24s x 2 days), client load behind it scaled.
+
+    The per-day beacon cap is lifted so the load knob actually reaches
+    the measurement path — the same construction ``tools/memory_smoke.py``
+    gates in CI, scaled down to benchmark-friendly sizes.
+    """
+    return Scenario.build(
+        ScenarioConfig(
+            seed=3,
+            population=ClientPopulationConfig(
+                prefix_count=150,
+                volume_median_queries=max(1.0, clients / 150),
+            ),
+            workload=WorkloadConfig(max_beacons_per_day=1_000_000),
+            calendar=SimulationCalendar(num_days=2),
+        )
+    )
+
+
+def _memory_report():
+    """Measure peak memory: exact vs sketch mode, then sketch under 3x load.
+
+    Returns the report lines and a manifest record.  Fails the benchmark
+    if sketch-mode peak memory grows super-linearly with load (it should
+    be nearly flat; exact mode is the linear baseline recorded for
+    contrast).
+    """
+    base_clients, scaled_clients = 30_000, 90_000
+    load_ratio = scaled_clients / base_clients
+    sketch_config = CampaignConfig(
+        engine="vectorized", sketch_threshold=32, sketch_max_buckets=32
+    )
+
+    base = _memory_scenario(base_clients)
+    with MemoryProbe() as exact_probe:
+        exact = CampaignRunner(base, CampaignConfig(engine="vectorized")).run()
+    with MemoryProbe() as sketch_probe:
+        sketched = CampaignRunner(base, sketch_config).run()
+    with MemoryProbe() as scaled_probe:
+        scaled = CampaignRunner(
+            _memory_scenario(scaled_clients), sketch_config
+        ).run()
+
+    peak_ratio = scaled_probe.peak_bytes / sketch_probe.peak_bytes
+    # Enough headroom for allocator noise, but a super-linear mode
+    # (peak tracking the 3x load) fails loudly.
+    assert peak_ratio < load_ratio * 0.67, (
+        f"sketch-mode peak memory grew {peak_ratio:.2f}x under "
+        f"{load_ratio:.0f}x load — super-linear"
+    )
+
+    mb = 1024.0 * 1024.0
+    lines = [
+        "memory (tracemalloc peak, 150 /24s x 2 days, load scaled):",
+        (
+            f"  exact  @ {base_clients:7,} clients: "
+            f"{exact_probe.peak_bytes / mb:6.1f} MB "
+            f"({exact.measurement_count:,} measurements)"
+        ),
+        (
+            f"  sketch @ {base_clients:7,} clients: "
+            f"{sketch_probe.peak_bytes / mb:6.1f} MB "
+            f"({sketched.measurement_count:,} measurements)"
+        ),
+        (
+            f"  sketch @ {scaled_clients:7,} clients: "
+            f"{scaled_probe.peak_bytes / mb:6.1f} MB "
+            f"({scaled.measurement_count:,} measurements)"
+        ),
+        (
+            f"  sketch peak growth under {load_ratio:.0f}x load: "
+            f"{peak_ratio:.3f}x (must stay sub-linear; CI gates <= 1.15x "
+            f"via tools/memory_smoke.py)"
+        ),
+        f"  process peak RSS: {peak_rss_bytes() / mb:.1f} MB",
+    ]
+    record = {
+        "exact_peak_bytes": exact_probe.peak_bytes,
+        "sketch_peak_bytes": sketch_probe.peak_bytes,
+        "sketch_scaled_peak_bytes": scaled_probe.peak_bytes,
+        "load_ratio": load_ratio,
+        "sketch_peak_ratio": peak_ratio,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    return lines, record

@@ -65,7 +65,12 @@ def anycast_penalty_ccdf(
     regions: Sequence[str] = (EUROPE, WORLD, UNITED_STATES),
     thresholds: Sequence[float] = (1.0, 10.0, 25.0, 50.0, 100.0),
 ) -> AnycastPenaltyResult:
-    """Compute Fig 3 from the per-request diff log."""
+    """Compute Fig 3 from the per-request diff log.
+
+    Works in both diff-log modes: an exact log computes the CCDF over
+    its raw rows; a bounded log answers from its merged per-region
+    sketches, within the sketch's relative error bound.
+    """
     diffs = dataset.request_diffs
     if len(diffs) == 0:
         raise AnalysisError("no beacon requests recorded")
@@ -73,7 +78,24 @@ def anycast_penalty_ccdf(
     series: List[CdfSeries] = []
     fraction_slower: Dict[str, Dict[float, float]] = {}
     for region in regions:
-        values = diffs.diffs(None if region == WORLD else region)
+        region_name = None if region == WORLD else region
+        if diffs.is_bounded:
+            sketch = diffs.diff_sketch(region_name)
+            if sketch is None or sketch.count == 0:
+                continue
+            series.append(
+                CdfSeries(
+                    label=region,
+                    xs=tuple(float(x) for x in grid),
+                    ys=tuple(sketch.fraction_above(x) for x in grid),
+                )
+            )
+            fraction_slower[region] = {
+                float(threshold): sketch.fraction_above(threshold - 1e-9)
+                for threshold in thresholds
+            }
+            continue
+        values = diffs.diffs(region_name)
         if not values:
             continue
         dist = WeightedDistribution(values)

@@ -32,6 +32,10 @@ from repro.faults import FaultPlan
 from repro.geo.coords import haversine_km
 from repro.errors import StorageError
 from repro.measurement.export import load_dataset, recover_dataset, save_dataset
+from repro.measurement.sketch import (
+    DEFAULT_MAX_BUCKETS,
+    DEFAULT_RELATIVE_ACCURACY,
+)
 from repro.measurement.storage import atomic_write_text
 from repro.measurement.probes import ProbeNetwork
 from repro.net.topology import AsRole
@@ -80,6 +84,11 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         checkpoint_dir=checkpoint_dir,
         resume=resume_from is not None,
         validation=getattr(args, "validation_policy", "lenient"),
+        sketch_threshold=getattr(args, "sketch_threshold", None),
+        sketch_accuracy=getattr(args, "sketch_accuracy", None)
+        or DEFAULT_RELATIVE_ACCURACY,
+        sketch_max_buckets=getattr(args, "sketch_max_buckets", None)
+        or DEFAULT_MAX_BUCKETS,
     )
 
 
@@ -133,6 +142,32 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quarantine-out", metavar="PATH",
         help="write the run's quarantine log (reasons, counts, samples) here",
+    )
+    parser.add_argument(
+        "--sketch-threshold", type=int, metavar="N",
+        help=(
+            "promote latency digests to bounded sketches above N samples "
+            "and switch the diff/passive logs to their bounded forms — "
+            "campaign memory becomes independent of client count; "
+            "percentiles then answer within --sketch-accuracy, and "
+            "per-client passive figures (4/7/8) become unavailable "
+            "(default: exact mode, no sketches)"
+        ),
+    )
+    parser.add_argument(
+        "--sketch-accuracy", type=float, metavar="ALPHA",
+        help=(
+            "relative quantile accuracy of the sketches used above "
+            "--sketch-threshold (default 0.01 = 1%%)"
+        ),
+    )
+    parser.add_argument(
+        "--sketch-max-buckets", type=int, metavar="N",
+        help=(
+            "hard per-sketch bucket cap; a sketch over the cap halves "
+            "its resolution (doubling its error bound) until it fits, "
+            "making peak memory flat in client count (default 512)"
+        ),
     )
     parser.add_argument(
         "--max-retries", type=int, default=2, metavar="N",

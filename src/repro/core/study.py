@@ -47,6 +47,7 @@ from repro.analysis.proximity import (
     nth_closest_distance_cdf,
 )
 from repro.cdn.catalog import CdnCatalogEntry, catalog
+from repro.errors import MeasurementError
 from repro.core.predictor import HistoryBasedPredictor, PredictorConfig
 from repro.measurement.validate import QuarantineLog
 from repro.simulation.campaign import CampaignConfig, CampaignStats
@@ -300,7 +301,17 @@ class AnycastStudy:
         with self.telemetry.span("analysis"):
             for name, produce in producers:
                 with self.telemetry.span(name):
-                    sections.append(produce())
+                    try:
+                        sections.append(produce())
+                    except MeasurementError as error:
+                        # Bounded (sketch-mode) campaigns trade per-client
+                        # passive rows and raw diff samples for flat
+                        # memory; figures that need them are skipped
+                        # rather than failing the whole report.
+                        sections.append(
+                            f"{name} — unavailable in bounded sketch mode: "
+                            f"{error}"
+                        )
         table = ["§4 — CDN deployment sizes"]
         for entry in self.cdn_size_table():
             marker = " (anycast)" if entry.is_anycast else ""

@@ -19,6 +19,15 @@ from repro.measurement.beacon import (
     BeaconTargetSelector,
 )
 from repro.measurement.probes import Probe, ProbeNetwork
+from repro.measurement.sketch import (
+    DEFAULT_MAX_BUCKETS,
+    DEFAULT_MIN_TRACKABLE_MS,
+    DEFAULT_RELATIVE_ACCURACY,
+    MIN_MAX_BUCKETS,
+    SKETCH_SCHEMA_VERSION,
+    LatencySketch,
+    mantissa_bits_for,
+)
 from repro.measurement.logs import (
     HttpLogEntry,
     JoinedMeasurement,
@@ -48,7 +57,13 @@ __all__ = [
     "BeaconFetch",
     "BeaconRunner",
     "BeaconTargetSelector",
+    "DEFAULT_MAX_BUCKETS",
+    "DEFAULT_MIN_TRACKABLE_MS",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "MIN_MAX_BUCKETS",
     "GroupedDailyAggregates",
+    "LatencySketch",
+    "SKETCH_SCHEMA_VERSION",
     "HttpLogEntry",
     "JoinedMeasurement",
     "LatencyDigest",
@@ -68,6 +83,7 @@ __all__ = [
     "ValidationPolicy",
     "classify_rtt",
     "join_raw_log",
+    "mantissa_bits_for",
     "read_segment_file",
     "validate_dataset",
     "write_segment_file",

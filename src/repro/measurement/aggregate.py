@@ -5,6 +5,22 @@ them as objects would dwarf memory.  Analyses only ever need (a) per-day
 per-(group, target) latency distributions and (b) the per-request anycast
 minus best-unicast difference (Fig 3).  These sinks accumulate exactly
 that, with compact ``array`` storage.
+
+Two aggregation modes exist end to end:
+
+* **exact** (the default, and the small-N oracle): every sample is
+  retained in a C-double array, percentiles interpolate over the sorted
+  samples, and dataset digests hash the raw values — bit-compatible with
+  every export and digest this repo has ever produced.
+* **sketch** (``exact_threshold`` set): a digest that grows past the
+  threshold *promotes* into a bounded
+  :class:`repro.measurement.sketch.LatencySketch` and stops retaining
+  samples.  Promotion is canonical — the sketch state is a pure function
+  of the sample multiset — so a shard that promotes at a different time
+  (or never, merging exact into an already-promoted peer) reaches
+  bit-identical sketch state.  :class:`RequestDiffLog` and
+  :class:`repro.measurement.logs.PassiveLog` have analogous bounded
+  modes, keyed per (day, region) and per (day, front-end).
 """
 
 from __future__ import annotations
@@ -18,34 +34,179 @@ import numpy as np
 
 from repro.errors import AnalysisError, MeasurementError
 from repro.latency.sampling import percentile
+from repro.measurement.sketch import (
+    DEFAULT_MAX_BUCKETS,
+    DEFAULT_RELATIVE_ACCURACY,
+    LatencySketch,
+)
 
 
 class LatencyDigest:
-    """Append-only latency sample accumulator with percentile queries.
+    """Append-only latency accumulator with percentile queries.
 
-    Samples live in a C-double array; the sorted view is computed lazily
-    and invalidated on append, so an analysis pass issuing consecutive
-    percentile queries sorts at most once.  Large digests sort into a
-    numpy array (one ``np.sort`` over the buffer, O(1) interpolated
-    quantile lookups); small ones stay on plain Python lists, which are
-    cheaper below the array-conversion overhead.
+    Exact mode: samples live in a C-double array; the sorted view is
+    computed lazily and invalidated on append, so an analysis pass
+    issuing consecutive percentile queries sorts at most once.  Large
+    digests sort into a numpy array (one ``np.sort`` over the buffer,
+    O(1) interpolated quantile lookups); small ones stay on plain Python
+    lists, which are cheaper below the array-conversion overhead.
+
+    With ``exact_threshold`` set, a digest whose count exceeds the
+    threshold promotes into a bounded :class:`LatencySketch` — raw
+    samples are dropped and percentiles answer within the sketch's
+    documented relative error.  ``minimum``/``maximum``/``count`` stay
+    exact in both modes (running extrema, O(1) per query).
     """
 
-    __slots__ = ("_values", "_sorted", "_sorted_array")
+    __slots__ = (
+        "_values",
+        "_sorted",
+        "_sorted_array",
+        "_min",
+        "_max",
+        "_exact_threshold",
+        "_relative_accuracy",
+        "_max_buckets",
+        "_sketch",
+    )
 
     #: Sample count at which percentile queries switch from a sorted
     #: Python list to a sorted numpy array.
     _NUMPY_SORT_THRESHOLD = 64
 
-    def __init__(self, values: Optional[Sequence[float]] = None) -> None:
-        self._values = array("d", values or ())
+    def __init__(
+        self,
+        values: Optional[Sequence[float]] = None,
+        exact_threshold: Optional[int] = None,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        if exact_threshold is not None and exact_threshold < 1:
+            raise MeasurementError("exact_threshold must be >= 1")
+        self._values: Optional[array] = array("d")
         self._sorted: Optional[List[float]] = None
         self._sorted_array: Optional[np.ndarray] = None
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._exact_threshold = exact_threshold
+        self._relative_accuracy = relative_accuracy
+        self._max_buckets = max_buckets
+        self._sketch: Optional[LatencySketch] = None
+        if values is not None and len(values) > 0:
+            self.extend(values)
+
+    # ------------------------------------------------------------------
+    # Mode plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether raw samples are still retained."""
+        return self._sketch is None
+
+    @property
+    def sketch(self) -> Optional[LatencySketch]:
+        """The backing sketch once promoted (``None`` in exact mode)."""
+        return self._sketch
+
+    @property
+    def exact_threshold(self) -> Optional[int]:
+        """Sample count beyond which this digest promotes to a sketch."""
+        return self._exact_threshold
+
+    @property
+    def relative_accuracy(self) -> float:
+        """Configured sketch accuracy (used at and after promotion)."""
+        return self._relative_accuracy
+
+    @property
+    def max_buckets(self) -> int:
+        """Configured hard cap on sketch buckets after promotion."""
+        return self._max_buckets
+
+    def _new_sketch(self) -> LatencySketch:
+        return LatencySketch(
+            relative_accuracy=self._relative_accuracy,
+            max_buckets=self._max_buckets,
+        )
+
+    def _promote(self) -> None:
+        """Convert retained samples into sketch state (canonical: the
+        result depends only on the sample multiset, not on when the
+        promotion happened)."""
+        assert self._values is not None
+        sketch = self._new_sketch()
+        if len(self._values):
+            sketch.extend(np.frombuffer(self._values, dtype=np.float64))
+        self._sketch = sketch
+        self._values = None
+        self._invalidate()
+
+    def _maybe_promote(self) -> None:
+        if (
+            self._exact_threshold is not None
+            and self._values is not None
+            and len(self._values) > self._exact_threshold
+        ):
+            self._promote()
+
+    @classmethod
+    def from_sketch(
+        cls,
+        sketch: LatencySketch,
+        exact_threshold: Optional[int] = None,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> "LatencyDigest":
+        """A sketch-mode digest wrapping an existing sketch (used when
+        loading sketch frames from an export)."""
+        digest = cls(
+            exact_threshold=exact_threshold,
+            relative_accuracy=relative_accuracy,
+            max_buckets=max_buckets,
+        )
+        digest._values = None
+        digest._sketch = sketch
+        if sketch.count:
+            digest._min = sketch.minimum()
+            digest._max = sketch.maximum()
+        return digest
+
+    def copy(self) -> "LatencyDigest":
+        """An independent digest with identical state and mode config."""
+        clone = LatencyDigest(
+            exact_threshold=self._exact_threshold,
+            relative_accuracy=self._relative_accuracy,
+            max_buckets=self._max_buckets,
+        )
+        if self._values is not None:
+            clone._values = array("d", self._values)
+        else:
+            clone._values = None
+            assert self._sketch is not None
+            clone._sketch = self._sketch.copy()
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
 
     def add(self, value: float) -> None:
         """Append one sample."""
+        value = float(value)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._values is None:
+            assert self._sketch is not None
+            self._sketch.add(value)
+            return
         self._values.append(value)
         self._invalidate()
+        self._maybe_promote()
 
     def extend(self, values: Union[np.ndarray, Sequence[float]]) -> None:
         """Append a batch of samples (the vectorized engine's bulk path).
@@ -53,34 +214,106 @@ class LatencyDigest:
         Accepts any float sequence; numpy arrays append through the
         buffer protocol without a per-element Python loop.
         """
+        if len(values) == 0:
+            return
         if isinstance(values, np.ndarray):
-            self._values.frombytes(
-                np.ascontiguousarray(values, dtype=np.float64).tobytes()
-            )
+            batch = np.ascontiguousarray(values, dtype=np.float64)
         else:
-            self._values.extend(values)
+            batch = np.asarray(tuple(values), dtype=np.float64)
+        low = float(batch.min())
+        high = float(batch.max())
+        if self._min is None or low < self._min:
+            self._min = low
+        if self._max is None or high > self._max:
+            self._max = high
+        if self._values is None:
+            assert self._sketch is not None
+            self._sketch.extend(batch)
+            return
+        self._values.frombytes(batch.tobytes())
         self._invalidate()
+        self._maybe_promote()
 
     def merge(self, other: "LatencyDigest") -> None:
-        """Fold another digest's samples into this one."""
-        self._values.extend(other._values)
-        self._invalidate()
+        """Fold another digest's samples into this one.
+
+        Works across modes: exact + exact stays exact (promoting only if
+        the combined count crosses the threshold), and any operand that
+        is already a sketch forces the result to sketch mode.  Because
+        promotion is canonical, every merge order over the same sample
+        multiset reaches the same state.
+
+        Raises:
+            MeasurementError: when the operands' mode configuration
+                (threshold or accuracy) differs — shards of one campaign
+                always agree, so a mismatch means mixed configs.
+        """
+        if (
+            other._exact_threshold != self._exact_threshold
+            or other._relative_accuracy != self._relative_accuracy
+            or other._max_buckets != self._max_buckets
+        ):
+            raise MeasurementError(
+                "cannot merge digests with different sketch configuration "
+                f"(threshold {other._exact_threshold} vs "
+                f"{self._exact_threshold}, accuracy "
+                f"{other._relative_accuracy!r} vs "
+                f"{self._relative_accuracy!r}, max_buckets "
+                f"{other._max_buckets} vs {self._max_buckets})"
+            )
+        if other._min is not None:
+            if self._min is None or other._min < self._min:
+                self._min = other._min
+            assert other._max is not None
+            if self._max is None or other._max > self._max:
+                self._max = other._max
+        if other._values is not None:
+            if self._values is not None:
+                self._values.extend(other._values)
+                self._invalidate()
+                self._maybe_promote()
+            else:
+                assert self._sketch is not None
+                if len(other._values):
+                    self._sketch.extend(
+                        np.frombuffer(other._values, dtype=np.float64)
+                    )
+        else:
+            assert other._sketch is not None
+            if self._values is not None:
+                self._promote()
+            assert self._sketch is not None
+            self._sketch.merge(other._sketch)
 
     def _invalidate(self) -> None:
         self._sorted = None
         self._sorted_array = None
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
     @property
     def count(self) -> int:
-        """Number of samples."""
-        return len(self._values)
+        """Number of samples (exact in both modes)."""
+        if self._values is not None:
+            return len(self._values)
+        assert self._sketch is not None
+        return self._sketch.count
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile of the samples (linear interpolation).
+        """The q-th percentile of the samples.
+
+        Exact mode interpolates linearly over the sorted samples; sketch
+        mode answers within the sketch's relative error bound
+        (:attr:`LatencySketch.relative_error_bound`).
 
         Raises:
             AnalysisError: if empty, or ``q`` outside [0, 100].
         """
+        if self._values is None:
+            assert self._sketch is not None
+            return self._sketch.quantile(q)
         if not self._values:
             raise AnalysisError("empty digest has no percentiles")
         if len(self._values) < self._NUMPY_SORT_THRESHOLD:
@@ -110,14 +343,48 @@ class LatencyDigest:
         return self.percentile(50.0)
 
     def minimum(self) -> float:
-        """Smallest sample."""
-        if not self._values:
+        """Smallest sample — exact, O(1) (running minimum)."""
+        if self._min is None:
             raise AnalysisError("empty digest has no minimum")
-        return min(self._values)
+        return self._min
+
+    def maximum(self) -> float:
+        """Largest sample — exact, O(1) (running maximum)."""
+        if self._max is None:
+            raise AnalysisError("empty digest has no maximum")
+        return self._max
 
     def values(self) -> Tuple[float, ...]:
-        """All samples (copy)."""
+        """All samples (copy) — the exact-mode API.
+
+        Raises:
+            MeasurementError: in sketch mode, which retains no samples.
+        """
+        if self._values is None:
+            raise MeasurementError(
+                "sketch-mode digest retains no raw samples; use "
+                "percentile()/minimum()/maximum() or the sketch itself"
+            )
         return tuple(self._values)
+
+    def values_view(self) -> np.ndarray:
+        """Zero-copy read-only numpy view over the samples (exact mode).
+
+        The view aliases the digest's buffer: do not hold it across
+        later appends.  Read-only consumers (export packing, dataset
+        digests) use this instead of the tuple-copying :meth:`values`.
+
+        Raises:
+            MeasurementError: in sketch mode, which retains no samples.
+        """
+        if self._values is None:
+            raise MeasurementError(
+                "sketch-mode digest retains no raw samples; use "
+                "percentile()/minimum()/maximum() or the sketch itself"
+            )
+        view = np.frombuffer(self._values, dtype=np.float64)
+        view.flags.writeable = False
+        return view
 
 
 class GroupedDailyAggregates:
@@ -127,18 +394,53 @@ class GroupedDailyAggregates:
     the structure is identical, only the grouping key differs.  The nested
     layout keeps per-group queries (``targets_for``) O(targets), which the
     predictor calls once per group per day.
+
+    ``exact_threshold``/``relative_accuracy`` configure the two-mode
+    behavior of every digest created here (see :class:`LatencyDigest`);
+    the defaults keep everything exact.
     """
 
-    def __init__(self, grouping: str) -> None:
+    def __init__(
+        self,
+        grouping: str,
+        exact_threshold: Optional[int] = None,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
         if not grouping:
             raise MeasurementError("grouping label cannot be empty")
         self._grouping = grouping
+        self._exact_threshold = exact_threshold
+        self._relative_accuracy = relative_accuracy
+        self._max_buckets = max_buckets
         self._days: Dict[int, Dict[str, Dict[str, LatencyDigest]]] = {}
 
     @property
     def grouping(self) -> str:
         """Label of the grouping dimension ('ecs' or 'ldns')."""
         return self._grouping
+
+    @property
+    def exact_threshold(self) -> Optional[int]:
+        """Per-digest sample count beyond which sketches take over."""
+        return self._exact_threshold
+
+    @property
+    def relative_accuracy(self) -> float:
+        """Sketch accuracy configured for this sink's digests."""
+        return self._relative_accuracy
+
+    @property
+    def max_buckets(self) -> int:
+        """Per-sketch bucket cap configured for this sink's digests."""
+        return self._max_buckets
+
+    def _new_digest(self) -> LatencyDigest:
+        return LatencyDigest(
+            exact_threshold=self._exact_threshold,
+            relative_accuracy=self._relative_accuracy,
+            max_buckets=self._max_buckets,
+        )
 
     def observe(self, day: int, group: str, target_id: str, rtt_ms: float) -> None:
         """Add one measurement."""
@@ -149,7 +451,7 @@ class GroupedDailyAggregates:
             per_day[group] = per_group
         digest = per_group.get(target_id)
         if digest is None:
-            digest = LatencyDigest()
+            digest = self._new_digest()
             per_group[target_id] = digest
         digest.add(rtt_ms)
 
@@ -174,7 +476,7 @@ class GroupedDailyAggregates:
             per_day[group] = per_group
         digest = per_group.get(target_id)
         if digest is None:
-            digest = LatencyDigest()
+            digest = self._new_digest()
             per_group[target_id] = digest
         digest.extend(rtts_ms)
 
@@ -201,6 +503,24 @@ class GroupedDailyAggregates:
             for target_id, digest in per_group.items():
                 yield group, target_id, digest
 
+    def sketch_stats(self) -> Tuple[int, int, int, int, int]:
+        """Compression accounting: ``(exact_digests, sketch_digests,
+        sketch_buckets, sketch_samples, resolution_halvings)`` across
+        every digest held."""
+        exact = sketched = buckets = samples = halvings = 0
+        for per_day in self._days.values():
+            for per_group in per_day.values():
+                for digest in per_group.values():
+                    if digest.is_exact:
+                        exact += 1
+                    else:
+                        assert digest.sketch is not None
+                        sketched += 1
+                        buckets += digest.sketch.bucket_count
+                        samples += digest.sketch.count
+                        halvings += digest.sketch.compressions
+        return exact, sketched, buckets, samples, halvings
+
     def merge(self, other: "GroupedDailyAggregates") -> "GroupedDailyAggregates":
         """Fold another instance's samples into this one (in place).
 
@@ -209,12 +529,22 @@ class GroupedDailyAggregates:
         independently usable.
 
         Raises:
-            MeasurementError: if the grouping dimensions differ.
+            MeasurementError: if the grouping dimensions or sketch
+                configurations differ.
         """
         if other._grouping != self._grouping:
             raise MeasurementError(
                 f"cannot merge {other._grouping!r} aggregates into "
                 f"{self._grouping!r} aggregates"
+            )
+        if (
+            other._exact_threshold != self._exact_threshold
+            or other._relative_accuracy != self._relative_accuracy
+            or other._max_buckets != self._max_buckets
+        ):
+            raise MeasurementError(
+                "cannot merge aggregates with different sketch "
+                "configurations"
             )
         for day, per_day in other._days.items():
             mine_day = self._days.setdefault(day, {})
@@ -223,7 +553,7 @@ class GroupedDailyAggregates:
                 for target_id, digest in per_group.items():
                     mine = mine_group.get(target_id)
                     if mine is None:
-                        mine_group[target_id] = LatencyDigest(digest.values())
+                        mine_group[target_id] = digest.copy()
                     else:
                         mine.merge(digest)
         return self
@@ -246,12 +576,26 @@ class RequestDiffRow:
 
 
 class RequestDiffLog:
-    """Per-request anycast-vs-best-unicast differences, column-packed.
+    """Per-request anycast-vs-best-unicast differences.
 
-    Region codes index into :attr:`region_names`, assigned on first use.
+    Exact mode (default) column-packs every row; region codes index into
+    :attr:`region_names`, assigned on first use.  Bounded mode
+    (``bounded=True``) keeps one :class:`LatencySketch` of the diff
+    distribution per (day, region) instead — constant-size state per
+    region-day, at the cost of per-row access (:meth:`rows`,
+    :meth:`diffs`), which raise.  Fig 3 consumes the sketches through
+    :meth:`diff_sketch`.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        bounded: bool = False,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        self._bounded = bounded
+        self._relative_accuracy = relative_accuracy
+        self._max_buckets = max_buckets
         self._client_index = array("i")
         self._region_code = array("b")
         self._anycast = array("f")
@@ -259,6 +603,24 @@ class RequestDiffLog:
         self._day = array("i")
         self._region_names: List[str] = []
         self._region_codes: Dict[str, int] = {}
+        #: bounded mode: (day, region_name) → sketch of the diffs
+        self._sketches: Dict[Tuple[int, str], LatencySketch] = {}
+        self._total = 0
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether this log keeps sketches instead of rows."""
+        return self._bounded
+
+    @property
+    def relative_accuracy(self) -> float:
+        """Sketch accuracy of the bounded mode's diff sketches."""
+        return self._relative_accuracy
+
+    @property
+    def max_buckets(self) -> int:
+        """Per-sketch bucket cap of the bounded mode's diff sketches."""
+        return self._max_buckets
 
     def region_code(self, region_name: str) -> int:
         """Stable small-int code for a region name."""
@@ -273,8 +635,20 @@ class RequestDiffLog:
 
     @property
     def region_names(self) -> Tuple[str, ...]:
-        """Known region names, by code."""
+        """Known region names, by code (first-use order)."""
         return tuple(self._region_names)
+
+    def _sketch_for(self, day: int, region_name: str) -> LatencySketch:
+        self.region_code(region_name)  # keep the name registry in sync
+        key = (day, region_name)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = LatencySketch(
+                relative_accuracy=self._relative_accuracy,
+                max_buckets=self._max_buckets,
+            )
+            self._sketches[key] = sketch
+        return sketch
 
     def observe(
         self,
@@ -285,6 +659,15 @@ class RequestDiffLog:
         best_unicast_rtt_ms: float,
     ) -> None:
         """Record one beacon execution's summary."""
+        if self._bounded:
+            # Match the exact mode's float32 storage cast, so the two
+            # modes sketch/retain the same diff values.
+            diff = float(np.float32(anycast_rtt_ms)) - float(
+                np.float32(best_unicast_rtt_ms)
+            )
+            self._sketch_for(day, region_name).add(diff)
+            self._total += 1
+            return
         self._day.append(day)
         self._client_index.append(client_index)
         self._region_code.append(self.region_code(region_name))
@@ -312,6 +695,16 @@ class RequestDiffLog:
             )
         if n == 0:
             return
+        if self._bounded:
+            anycast32 = np.ascontiguousarray(
+                anycast_rtts_ms, dtype=np.float32
+            ).astype(np.float64)
+            best32 = np.ascontiguousarray(
+                best_unicast_rtts_ms, dtype=np.float32
+            ).astype(np.float64)
+            self._sketch_for(day, region_name).extend(anycast32 - best32)
+            self._total += n
+            return
         code = self.region_code(region_name)
         self._day.extend([day] * n)
         self._client_index.extend([client_index] * n)
@@ -327,10 +720,20 @@ class RequestDiffLog:
         )
 
     def __len__(self) -> int:
-        return len(self._day)
+        return self._total if self._bounded else len(self._day)
 
     def diffs(self, region_name: Optional[str] = None) -> List[float]:
-        """Anycast minus best-unicast per request, optionally one region."""
+        """Anycast minus best-unicast per request, optionally one region.
+
+        Raises:
+            MeasurementError: in bounded mode, which retains no rows —
+                use :meth:`diff_sketch` instead.
+        """
+        if self._bounded:
+            raise MeasurementError(
+                "bounded diff log retains no per-request rows; use "
+                "diff_sketch() for the distribution"
+            )
         if region_name is None:
             return [
                 a - b for a, b in zip(self._anycast, self._best_unicast)
@@ -346,8 +749,53 @@ class RequestDiffLog:
             if code == want
         ]
 
+    def diff_sketch(
+        self, region_name: Optional[str] = None
+    ) -> Optional[LatencySketch]:
+        """The merged diff sketch for one region (or all, ``None``).
+
+        Bounded mode only; merges the per-day sketches into a fresh
+        sketch (cheap: bucket-count addition).  Returns ``None`` when no
+        matching requests were recorded.
+
+        Raises:
+            MeasurementError: in exact mode, which has no sketches —
+                use :meth:`diffs`.
+        """
+        if not self._bounded:
+            raise MeasurementError(
+                "exact diff log has no sketches; use diffs()"
+            )
+        merged: Optional[LatencySketch] = None
+        for (_, region), sketch in self._sketches.items():
+            if region_name is not None and region != region_name:
+                continue
+            if merged is None:
+                merged = sketch.copy()
+            else:
+                merged.merge(sketch)
+        return merged
+
+    def day_region_sketches(
+        self,
+    ) -> Dict[Tuple[int, str], LatencySketch]:
+        """The raw (day, region) → sketch map (bounded mode only)."""
+        if not self._bounded:
+            raise MeasurementError(
+                "exact diff log has no sketches; use diffs()/rows()"
+            )
+        return dict(self._sketches)
+
     def rows(self) -> Iterator[RequestDiffRow]:
-        """Iterate all rows (mostly for tests; analyses use columns)."""
+        """Iterate all rows (mostly for tests; analyses use columns).
+
+        Raises:
+            MeasurementError: in bounded mode, which retains no rows.
+        """
+        if self._bounded:
+            raise MeasurementError(
+                "bounded diff log retains no per-request rows"
+            )
         for i in range(len(self._day)):
             yield RequestDiffRow(
                 client_index=self._client_index[i],
@@ -357,13 +805,52 @@ class RequestDiffLog:
                 day=self._day[i],
             )
 
-    def merge(self, other: "RequestDiffLog") -> "RequestDiffLog":
-        """Append another log's rows to this one (in place).
+    def sketch_stats(self) -> Tuple[int, int, int, int]:
+        """Bounded-mode accounting: ``(sketches, buckets, samples,
+        resolution_halvings)``."""
+        if not self._bounded:
+            return (0, 0, 0, 0)
+        return (
+            len(self._sketches),
+            sum(s.bucket_count for s in self._sketches.values()),
+            sum(s.count for s in self._sketches.values()),
+            sum(s.compressions for s in self._sketches.values()),
+        )
 
-        Region codes are remapped through region *names*, so logs whose
-        regions were first observed in different orders (as happens with
-        per-shard logs) merge correctly.
+    def merge(self, other: "RequestDiffLog") -> "RequestDiffLog":
+        """Append another log's rows (or sketches) to this one (in place).
+
+        Exact mode remaps region codes through region *names*, so logs
+        whose regions were first observed in different orders (as happens
+        with per-shard logs) merge correctly.  Bounded mode adds the
+        per-(day, region) sketches — exact and order-insensitive.
+
+        Raises:
+            MeasurementError: when the operands' modes differ.
         """
+        if other._bounded != self._bounded:
+            raise MeasurementError(
+                "cannot merge bounded and exact request-diff logs"
+            )
+        if self._bounded and (
+            other._relative_accuracy != self._relative_accuracy
+            or other._max_buckets != self._max_buckets
+        ):
+            raise MeasurementError(
+                "cannot merge request-diff logs with different sketch "
+                "configurations"
+            )
+        if self._bounded:
+            for name in other._region_names:
+                self.region_code(name)
+            for (day, region), sketch in other._sketches.items():
+                mine = self._sketches.get((day, region))
+                if mine is None:
+                    self._sketches[(day, region)] = sketch.copy()
+                else:
+                    mine.merge(sketch)
+            self._total += other._total
+            return self
         code_map = [
             self.region_code(name) for name in other._region_names
         ]

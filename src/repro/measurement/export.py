@@ -6,19 +6,28 @@ it take milliseconds.  These helpers serialize a
 once and analyzed many times — the same split the paper's backend
 storage provided.
 
-Two on-disk formats:
+Three on-disk formats:
 
-* **v2 (current)** — a crash-safe framed segment file
+* **v3 (current)** — the framed segment layout of v2 extended with
+  sketch-aware frames: aggregate rows may carry a sketch object instead
+  of packed raw samples, bounded diff logs write per-(day, region)
+  ``diff_sketches`` frames instead of row chunks, bounded passive logs
+  write per-day ``passive_totals`` frames, and the header records the
+  sketch configuration so loads rebuild sinks in the right mode.
+* **v2** — a crash-safe framed segment file
   (:mod:`repro.measurement.storage`): a header frame, client chunks,
   per-day aggregate/passive frames, request-diff chunks, and a footer,
   each line independently length- and CRC-verified, written via temp
-  file + atomic rename.  :func:`load_dataset` reads it strictly;
-  :func:`recover_dataset` salvages damaged files — skipping corrupt
+  file + atomic rename.  Still readable; exact-mode datasets written
+  today differ from v2 only by the header's version and sketch fields.
+  :func:`load_dataset` reads framed files strictly;
+  :func:`recover_dataset` salvages damaged ones — skipping corrupt
   frames, truncating torn tails — and reports exactly what survived.
 * **v1 (legacy)** — a single JSON document.  Still readable
-  (:func:`load_dataset` sniffs the format), never written.
+  (:func:`load_dataset` sniffs the format), never written, and unable
+  to represent sketch-mode sinks (attempting to raises).
 
-Latency samples are packed as base64 arrays in both formats to keep
+Latency samples are packed as base64 arrays in all formats to keep
 files compact.
 """
 
@@ -40,6 +49,7 @@ from repro.measurement.aggregate import (
     RequestDiffLog,
 )
 from repro.measurement.logs import PassiveLog
+from repro.measurement.sketch import DEFAULT_MAX_BUCKETS, LatencySketch
 from repro.measurement.storage import (
     RecoveryReport,
     read_segment_text,
@@ -52,7 +62,10 @@ from repro.simulation.clock import SimulationCalendar
 from repro.simulation.dataset import StudyDataset
 
 #: Format marker of the framed segment exports this module writes.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+#: Framed format versions :func:`load_dataset` still reads.
+SUPPORTED_FORMAT_VERSIONS = (2, 3)
 
 #: Format marker of the legacy single-JSON-document exports (still read).
 LEGACY_FORMAT_VERSION = 1
@@ -76,12 +89,50 @@ def _unpack_doubles(text: str) -> array:
     return packed
 
 
+def _digest_payload(digest: LatencyDigest) -> Any:
+    """One aggregate row's value cell: packed samples (exact) or a
+    sketch object (promoted)."""
+    if digest.is_exact:
+        return _pack_doubles(digest.values_view())
+    assert digest.sketch is not None
+    return {"sketch": digest.sketch.to_obj()}
+
+
+def _digest_from_payload(
+    payload: Any,
+    exact_threshold: Optional[int],
+    relative_accuracy: float,
+    max_buckets: int = DEFAULT_MAX_BUCKETS,
+) -> LatencyDigest:
+    if isinstance(payload, dict):
+        return LatencyDigest.from_sketch(
+            LatencySketch.from_obj(payload["sketch"]),
+            exact_threshold=exact_threshold,
+            relative_accuracy=relative_accuracy,
+            max_buckets=max_buckets,
+        )
+    digest = LatencyDigest(
+        exact_threshold=exact_threshold,
+        relative_accuracy=relative_accuracy,
+        max_buckets=max_buckets,
+    )
+    digest.extend(_unpack_doubles(payload))
+    return digest
+
+
 def _aggregates_to_obj(aggregates: GroupedDailyAggregates) -> Dict[str, Any]:
+    if aggregates.exact_threshold is not None:
+        raise MeasurementError(
+            "legacy (v1) JSON documents cannot represent sketch-mode "
+            "aggregates; save through the framed exporter"
+        )
     days: Dict[str, Any] = {}
     for day in aggregates.days:
         rows: List[Any] = []
         for group, target_id, digest in aggregates.iter_day(day):
-            rows.append([group, target_id, _pack_doubles(digest.values())])
+            rows.append(
+                [group, target_id, _pack_doubles(digest.values_view())]
+            )
         days[str(day)] = rows
     return {"grouping": aggregates.grouping, "days": days}
 
@@ -102,7 +153,7 @@ def _aggregate_day_rows(
     aggregates: GroupedDailyAggregates, day: int
 ) -> List[Any]:
     return [
-        [group, target_id, _pack_doubles(digest.values())]
+        [group, target_id, _digest_payload(digest)]
         for group, target_id, digest in aggregates.iter_day(day)
     ]
 
@@ -110,14 +161,24 @@ def _aggregate_day_rows(
 def _apply_aggregate_rows(
     aggregates: GroupedDailyAggregates, day: int, rows: List[Any]
 ) -> None:
-    for group, target_id, packed in rows:
+    for group, target_id, payload in rows:
         per_group = aggregates._days.setdefault(day, {}).setdefault(
             group, {}
         )
-        per_group[target_id] = LatencyDigest(_unpack_doubles(packed))
+        per_group[target_id] = _digest_from_payload(
+            payload,
+            aggregates.exact_threshold,
+            aggregates.relative_accuracy,
+            aggregates.max_buckets,
+        )
 
 
 def _passive_to_obj(passive: PassiveLog) -> Dict[str, Any]:
+    if passive.is_bounded:
+        raise MeasurementError(
+            "legacy (v1) JSON documents cannot represent a bounded "
+            "passive log; save through the framed exporter"
+        )
     return {
         str(day): {
             client_key: counts for client_key, counts in passive.iter_day(day)
@@ -165,6 +226,11 @@ def _diffs_slice_obj(
 
 
 def _diffs_to_obj(diffs: RequestDiffLog) -> Dict[str, Any]:
+    if diffs.is_bounded:
+        raise MeasurementError(
+            "legacy (v1) JSON documents cannot represent a bounded "
+            "request-diff log; save through the framed exporter"
+        )
     return _diffs_slice_obj(diffs, 0, len(diffs))
 
 
@@ -242,13 +308,15 @@ def dataset_to_json(dataset: StudyDataset) -> Dict[str, Any]:
     }
 
 
-def _check_version(version: Any, expected: int, what: str) -> None:
+def _check_version(
+    version: Any, expected: Tuple[int, ...], what: str
+) -> None:
     if version is None:
         raise MeasurementError(
             f"{what} carries no format version field — not a dataset "
             "export, or one too damaged to identify"
         )
-    if version != expected:
+    if version not in expected:
         raise MeasurementError(
             f"unsupported dataset format version {version!r}"
         )
@@ -263,7 +331,7 @@ def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
             surfaces as a clear error, never a raw ``KeyError``).
     """
     _check_version(
-        document.get("format_version"), LEGACY_FORMAT_VERSION,
+        document.get("format_version"), (LEGACY_FORMAT_VERSION,),
         "dataset document",
     )
     try:
@@ -306,13 +374,18 @@ def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
 
 
 def _dataset_frames(dataset: StudyDataset) -> Iterator[Dict[str, Any]]:
-    """Yield a dataset as v2 frames (header, clients, data, no footer)."""
+    """Yield a dataset as v3 frames (header, clients, data, no footer)."""
     clients = dataset.clients
     client_chunks = max(
         1, (len(clients) + _CLIENT_CHUNK - 1) // _CLIENT_CHUNK
     )
     diffs = dataset.request_diffs
-    diff_chunks = (len(diffs) + _DIFF_CHUNK - 1) // _DIFF_CHUNK
+    diff_chunks = (
+        0
+        if diffs.is_bounded
+        else (len(diffs) + _DIFF_CHUNK - 1) // _DIFF_CHUNK
+    )
+    ecs = dataset.ecs_aggregates
     yield {
         "kind": "header",
         "format_version": FORMAT_VERSION,
@@ -328,11 +401,21 @@ def _dataset_frames(dataset: StudyDataset) -> Iterator[Dict[str, Any]]:
             if dataset.covered_ranges is None
             else [[start, stop] for start, stop in dataset.covered_ranges]
         ),
-        "ecs_grouping": dataset.ecs_aggregates.grouping,
+        "ecs_grouping": ecs.grouping,
         "ldns_grouping": dataset.ldns_aggregates.grouping,
         "client_count": len(clients),
         "client_chunks": client_chunks,
         "diff_chunks": diff_chunks,
+        # Sketch configuration (v3): loads rebuild sinks in this mode.
+        "sketch": {
+            "exact_threshold": ecs.exact_threshold,
+            "relative_accuracy": ecs.relative_accuracy,
+            "max_buckets": ecs.max_buckets,
+        },
+        "diffs_bounded": diffs.is_bounded,
+        "diffs_accuracy": diffs.relative_accuracy,
+        "diffs_max_buckets": diffs.max_buckets,
+        "passive_bounded": dataset.passive.is_bounded,
     }
     for index in range(client_chunks):
         start = index * _CLIENT_CHUNK
@@ -364,11 +447,33 @@ def _dataset_frames(dataset: StudyDataset) -> Iterator[Dict[str, Any]]:
             "day": day,
             "rows": _aggregate_day_rows(dataset.ldns_aggregates, day),
         }
-        yield {
-            "kind": "passive",
-            "day": day,
-            "clients": _passive_day_obj(dataset.passive, day),
-        }
+        if dataset.passive.is_bounded:
+            yield {
+                "kind": "passive_totals",
+                "day": day,
+                "totals": dataset.passive.day_totals(day),
+            }
+        else:
+            yield {
+                "kind": "passive",
+                "day": day,
+                "clients": _passive_day_obj(dataset.passive, day),
+            }
+    if diffs.is_bounded:
+        # One frame per day, mirroring the aggregate frames' damage
+        # locality: a torn tail loses trailing days of sketches only.
+        sketches = diffs.day_region_sketches()
+        sketch_days = sorted({day for day, _ in sketches})
+        for day in sketch_days:
+            yield {
+                "kind": "diff_sketches",
+                "day": day,
+                "rows": [
+                    [region, sketches[(d, region)].to_obj()]
+                    for d, region in sorted(sketches)
+                    if d == day
+                ],
+            }
     for index in range(diff_chunks):
         start = index * _DIFF_CHUNK
         yield {
@@ -433,7 +538,8 @@ def _dataset_from_frames(
         )
     header = frames[0]
     _check_version(
-        header.get("format_version"), FORMAT_VERSION, "dataset export"
+        header.get("format_version"), SUPPORTED_FORMAT_VERSIONS,
+        "dataset export",
     )
     try:
         calendar = SimulationCalendar(
@@ -447,10 +553,39 @@ def _dataset_from_frames(
             else tuple((int(s), int(e)) for s, e in covered_obj)
         )
         client_chunks: Dict[int, List[Any]] = {}
-        ecs = GroupedDailyAggregates(header["ecs_grouping"])
-        ldns = GroupedDailyAggregates(header["ldns_grouping"])
-        passive = PassiveLog()
-        diffs = RequestDiffLog()
+        # v2 headers carry no sketch fields; they read as exact mode.
+        sketch_config = header.get("sketch") or {}
+        exact_threshold = sketch_config.get("exact_threshold")
+        if exact_threshold is not None:
+            exact_threshold = int(exact_threshold)
+        relative_accuracy = float(
+            sketch_config.get("relative_accuracy", 0.01)
+        )
+        max_buckets = int(
+            sketch_config.get("max_buckets", DEFAULT_MAX_BUCKETS)
+        )
+        ecs = GroupedDailyAggregates(
+            header["ecs_grouping"],
+            exact_threshold=exact_threshold,
+            relative_accuracy=relative_accuracy,
+            max_buckets=max_buckets,
+        )
+        ldns = GroupedDailyAggregates(
+            header["ldns_grouping"],
+            exact_threshold=exact_threshold,
+            relative_accuracy=relative_accuracy,
+            max_buckets=max_buckets,
+        )
+        passive = PassiveLog(bounded=bool(header.get("passive_bounded")))
+        diffs = RequestDiffLog(
+            bounded=bool(header.get("diffs_bounded")),
+            relative_accuracy=float(
+                header.get("diffs_accuracy", relative_accuracy)
+            ),
+            max_buckets=int(
+                header.get("diffs_max_buckets", DEFAULT_MAX_BUCKETS)
+            ),
+        )
         diff_chunks: Dict[int, Dict[str, Any]] = {}
         for frame in frames[1:]:
             kind = frame.get("kind")
@@ -465,6 +600,21 @@ def _dataset_from_frames(
                 _apply_passive_day(
                     passive, int(frame["day"]), frame["clients"]
                 )
+            elif kind == "passive_totals":
+                day = int(frame["day"])
+                for frontend_id, count in frame["totals"].items():
+                    passive.record(day, "", frontend_id, int(count))
+            elif kind == "diff_sketches":
+                day = int(frame["day"])
+                for region, sketch_obj in frame["rows"]:
+                    sketch = LatencySketch.from_obj(sketch_obj)
+                    diffs.region_code(region)
+                    existing = diffs._sketches.get((day, region))
+                    if existing is None:
+                        diffs._sketches[(day, region)] = sketch
+                    else:
+                        existing.merge(sketch)
+                    diffs._total += sketch.count
             elif kind == "request_diffs":
                 diff_chunks[int(frame["index"])] = frame
         if sorted(client_chunks) != list(range(int(header["client_chunks"]))):

@@ -120,11 +120,35 @@ class RawMeasurementLog:
 
 class PassiveLog:
     """Per-day, per-prefix counts of which front-end served production
-    traffic — the simulated Bing server logs of §3.2.1."""
+    traffic — the simulated Bing server logs of §3.2.1.
 
-    def __init__(self) -> None:
-        #: day -> client_key -> frontend_id -> query count
+    Bounded mode (``bounded=True``) collapses the per-client dimension
+    and keeps only per-(day, front-end) totals: constant-size state per
+    front-end-day regardless of population.  Per-client queries
+    (``frontends_for``/``clients_on``/``primary_frontend``/``iter_day``)
+    then raise — Figs 4, 7 and 8 need per-client detail and are
+    unavailable in bounded campaigns; ``total_queries``/``day_totals``
+    still answer exactly.
+    """
+
+    def __init__(self, bounded: bool = False) -> None:
+        self._bounded = bounded
+        #: day -> client_key -> frontend_id -> query count (exact mode)
         self._days: Dict[int, Dict[str, Dict[str, int]]] = {}
+        #: day -> frontend_id -> query count (bounded mode)
+        self._totals: Dict[int, Dict[str, int]] = {}
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether this log keeps per-day totals only."""
+        return self._bounded
+
+    def _require_exact(self, what: str) -> None:
+        if self._bounded:
+            raise MeasurementError(
+                f"bounded passive log retains no per-client counts; "
+                f"{what} is unavailable (use day_totals()/total_queries())"
+            )
 
     def record(
         self, day: int, client_key: str, frontend_id: str, query_count: int
@@ -134,6 +158,12 @@ class PassiveLog:
             raise MeasurementError("query_count must be non-negative")
         if query_count == 0:
             return
+        if self._bounded:
+            per_fe_total = self._totals.setdefault(day, {})
+            per_fe_total[frontend_id] = (
+                per_fe_total.get(frontend_id, 0) + query_count
+            )
+            return
         per_client = self._days.setdefault(day, {})
         per_fe = per_client.setdefault(client_key, {})
         per_fe[frontend_id] = per_fe.get(frontend_id, 0) + query_count
@@ -141,18 +171,23 @@ class PassiveLog:
     @property
     def days(self) -> Tuple[int, ...]:
         """Days with any recorded traffic, ascending."""
+        if self._bounded:
+            return tuple(sorted(self._totals))
         return tuple(sorted(self._days))
 
     def frontends_for(self, day: int, client_key: str) -> Dict[str, int]:
         """Front-end→count map for one /24-day (empty if no traffic)."""
+        self._require_exact("frontends_for()")
         return dict(self._days.get(day, {}).get(client_key, {}))
 
     def clients_on(self, day: int) -> Tuple[str, ...]:
         """Client keys with traffic on a day."""
+        self._require_exact("clients_on()")
         return tuple(self._days.get(day, {}))
 
     def primary_frontend(self, day: int, client_key: str) -> Optional[str]:
         """The front-end serving the most queries for a /24-day."""
+        self._require_exact("primary_frontend()")
         counts = self._days.get(day, {}).get(client_key)
         if not counts:
             return None
@@ -160,11 +195,24 @@ class PassiveLog:
 
     def iter_day(self, day: int) -> Iterator[Tuple[str, Dict[str, int]]]:
         """Iterate (client_key, {frontend: count}) pairs for a day."""
+        self._require_exact("iter_day()")
         for client_key, counts in self._days.get(day, {}).items():
             yield client_key, dict(counts)
 
+    def day_totals(self, day: int) -> Dict[str, int]:
+        """Front-end→total query count for a day (exact in both modes)."""
+        if self._bounded:
+            return dict(self._totals.get(day, {}))
+        totals: Dict[str, int] = {}
+        for counts in self._days.get(day, {}).values():
+            for frontend_id, count in counts.items():
+                totals[frontend_id] = totals.get(frontend_id, 0) + count
+        return totals
+
     def total_queries(self, day: int) -> int:
         """Total queries recorded on a day."""
+        if self._bounded:
+            return sum(self._totals.get(day, {}).values())
         return sum(
             count
             for counts in self._days.get(day, {}).values()
@@ -176,7 +224,21 @@ class PassiveLog:
 
         Counts for the same (day, client, front-end) cell add up, so
         per-shard partial logs combine into exactly the unsharded log.
+        Bounded logs add their per-(day, front-end) totals the same way.
+
+        Raises:
+            MeasurementError: when the operands' modes differ.
         """
+        if other._bounded != self._bounded:
+            raise MeasurementError(
+                "cannot merge bounded and exact passive logs"
+            )
+        if self._bounded:
+            for day, per_fe_total in other._totals.items():
+                mine = self._totals.setdefault(day, {})
+                for frontend_id, count in per_fe_total.items():
+                    mine[frontend_id] = mine.get(frontend_id, 0) + count
+            return self
         for day, per_client in other._days.items():
             for client_key, counts in per_client.items():
                 for frontend_id, count in counts.items():

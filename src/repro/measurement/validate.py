@@ -492,7 +492,26 @@ def validate_dataset(
     for aggregates in (dataset.ecs_aggregates, dataset.ldns_aggregates):
         for day in aggregates.days:
             for group, target_id, digest in aggregates.iter_day(day):
-                values = np.frombuffer(digest._values, dtype=np.float64)
+                if not digest.is_exact:
+                    # Sketch-mode digests retain no samples to rescan;
+                    # the campaign gates already validated them at
+                    # ingest.  Bucket keys derive from admitted values,
+                    # so a range check on the retained extrema is the
+                    # strongest test still available.
+                    gate.records_total += digest.count
+                    if digest.count and (
+                        digest.minimum() < 0.0
+                        or digest.maximum() > MAX_PLAUSIBLE_RTT_MS
+                    ):
+                        raise ValidationError(
+                            "sketch-mode digest for "
+                            f"({day}, {group!r}, {target_id!r}) holds "
+                            "out-of-range samples that can no longer be "
+                            "individually quarantined; re-run the "
+                            "campaign with validation enabled"
+                        )
+                    continue
+                values = digest.values_view()
                 gate.records_total += int(values.size)
                 with np.errstate(invalid="ignore"):
                     valid = (values >= 0.0) & (values <= MAX_PLAUSIBLE_RTT_MS)
@@ -509,9 +528,21 @@ def validate_dataset(
                     # (and one LDNS sample); counting the ECS removals
                     # keeps measurement_count honest without doubling.
                     removed += digest.count - len(kept)
-                replacement = type(digest)(kept)
+                replacement = type(digest)(
+                    kept,
+                    exact_threshold=digest.exact_threshold,
+                    relative_accuracy=digest.relative_accuracy,
+                )
                 aggregates._days[day][group][target_id] = replacement
     diffs = dataset.request_diffs
+    if diffs.is_bounded:
+        # Bounded logs hold sketches of already-gated diffs, not rows.
+        gate.records_total += len(diffs)
+        if removed:
+            dataset.measurement_count = max(
+                0, dataset.measurement_count - removed
+            )
+        return gate, removed
     anycast = np.frombuffer(diffs._anycast, dtype=np.float32)
     best = np.frombuffer(diffs._best_unicast, dtype=np.float32)
     with np.errstate(invalid="ignore"):

@@ -61,6 +61,12 @@ from repro.faults import (
 from repro.telemetry import RunContext, Telemetry, config_digest, get_logger
 from repro.geo.regions import region_of_point
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
+from repro.measurement.sketch import (
+    DEFAULT_MAX_BUCKETS,
+    DEFAULT_RELATIVE_ACCURACY,
+    MIN_MAX_BUCKETS,
+)
+from repro.telemetry.memory import peak_rss_bytes
 from repro.measurement.backend import BeaconBackend, JoinedBatch, JoinedSegment
 from repro.measurement.beacon import BeaconConfig, BeaconRunner, BeaconTargetSelector
 from repro.measurement.logs import HttpLogEntry, JoinedMeasurement, PassiveLog
@@ -127,6 +133,26 @@ class CampaignConfig:
             (the default) drops invalid records into the campaign's
             quarantine log, ``"repair"`` clamps repairable records and
             annotates them.
+        sketch_threshold: Per-digest sample count above which latency
+            digests promote from exact sample retention to bounded
+            :class:`repro.measurement.sketch.LatencySketch` aggregation,
+            and the request-diff and passive logs switch to their
+            bounded forms.  ``None`` (the default) keeps everything
+            exact — bit-compatible with every historical digest.
+            Setting it makes campaign memory independent of client
+            count (the constant-memory mode); percentile queries then
+            answer within the sketch's relative error bound, and
+            per-row/per-client queries on the diff and passive logs
+            become unavailable.
+        sketch_accuracy: Relative accuracy of the sketches used above
+            the threshold (worst-case relative quantile error; the
+            default 0.01 guarantees <= 1%).
+        sketch_max_buckets: Hard per-sketch bucket cap.  A sketch that
+            exceeds it halves its resolution (deterministically merging
+            adjacent bucket pairs) until it fits, doubling its relative
+            error bound per halving — this is what makes peak memory
+            genuinely flat in client count rather than merely
+            log-linear.  Must be >= 8.
     """
 
     beacon: BeaconConfig = BeaconConfig()
@@ -141,10 +167,23 @@ class CampaignConfig:
     resume: bool = False
     retry_backoff_seconds: float = 0.05
     validation: str = "lenient"
+    sketch_threshold: Optional[int] = None
+    sketch_accuracy: float = DEFAULT_RELATIVE_ACCURACY
+    sketch_max_buckets: int = DEFAULT_MAX_BUCKETS
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.sketch_threshold is not None and self.sketch_threshold < 1:
+            raise ConfigurationError("sketch_threshold must be >= 1")
+        if not 0.0 < self.sketch_accuracy <= 0.5:
+            raise ConfigurationError(
+                "sketch_accuracy must be in (0, 0.5]"
+            )
+        if self.sketch_max_buckets < MIN_MAX_BUCKETS:
+            raise ConfigurationError(
+                f"sketch_max_buckets must be >= {MIN_MAX_BUCKETS}"
+            )
         if self.validation not in ("strict", "lenient", "repair"):
             raise ConfigurationError(
                 f"unknown validation policy {self.validation!r}; expected "
@@ -459,6 +498,13 @@ class _PathCache:
         return baseline
 
 
+#: Beacon sessions synthesized per numpy block.  Days heavier than this
+#: are processed in fixed-size blocks over the same per-(client, day)
+#: stream, bounding the engine's transient matrices at roughly
+#: ``_MAX_BLOCK_BEACONS x targets`` doubles regardless of volume.
+_MAX_BLOCK_BEACONS = 4096
+
+
 class _VectorizedBeaconEngine:
     """Batched beacon synthesis: one numpy block per (client, day).
 
@@ -534,12 +580,85 @@ class _VectorizedBeaconEngine:
         unicast_inflation_ms: float,
         dirty_slots: Optional[Dict[int, FaultKind]] = None,
     ) -> None:
-        """Synthesize and sink one client-day's ``beacons`` sessions."""
+        """Synthesize and sink one client-day's ``beacons`` sessions.
+
+        Days up to ``_MAX_BLOCK_BEACONS`` sessions run as a single block
+        and consume the per-(client, day) stream exactly as they always
+        have.  Heavier days (large simulated populations behind one /24)
+        are split into fixed-size blocks over the same stream, so the
+        transient ``(B, T)`` matrices — the campaign's peak-memory
+        driver — stay bounded no matter the day's volume.  Daily
+        congestion offsets are cached per unicast path across blocks
+        (one draw per path per day, first-touch order), preserving the
+        one-offset-per-path-per-day semantics.  Block boundaries are a
+        pure function of ``beacons``, so chunked runs remain
+        deterministic and shard-order-independent.
+        """
         key = client.key
-        ldns_id = client.ldns_id
         gen = np.random.default_rng(
             derive_seed(self._seed, "campaign-vec", day, key)
         )
+        daily_offset_cache: Dict[int, float] = {}
+        for start in range(0, beacons, _MAX_BLOCK_BEACONS):
+            self._run_block(
+                day,
+                client,
+                client_index,
+                region,
+                resource_timing_supported,
+                plan,
+                min(_MAX_BLOCK_BEACONS, beacons - start),
+                start,
+                anycast_extra_ms,
+                degraded_frontend,
+                unicast_inflation_ms,
+                gen,
+                daily_offset_cache,
+                dirty_slots,
+            )
+
+    def _daily_offsets_for(
+        self,
+        gen: np.random.Generator,
+        cache: Dict[int, float],
+        path_keys: List[int],
+    ) -> None:
+        """Draw daily congestion offsets for any not-yet-seen paths.
+
+        ``path_keys`` uses ``-1`` for the closest target and pool indices
+        for picked targets; draws happen in the given order, one batch
+        call, so the single-block case consumes the stream exactly as
+        the unchunked implementation did.
+        """
+        missing = [k for k in path_keys if k not in cache]
+        if not missing:
+            return
+        drawn = self._latency.sample_daily_variation_batch_ms(
+            gen, len(missing), anycast=False
+        )
+        for path_key, offset in zip(missing, drawn):
+            cache[path_key] = float(offset)
+
+    def _run_block(
+        self,
+        day: int,
+        client: ClientPrefix,
+        client_index: int,
+        region: str,
+        resource_timing_supported: bool,
+        plan: DayRoutePlan,
+        beacons: int,
+        beacon_start: int,
+        anycast_extra_ms: float,
+        degraded_frontend: Optional[str],
+        unicast_inflation_ms: float,
+        gen: np.random.Generator,
+        daily_offset_cache: Dict[int, float],
+        dirty_slots: Optional[Dict[int, FaultKind]] = None,
+    ) -> None:
+        """Synthesize and sink one block of ``beacons`` sessions."""
+        key = client.key
+        ldns_id = client.ldns_id
 
         # Anycast fixed component per possible session rank (1 or 2).
         rank_frontends: List[str] = []
@@ -571,10 +690,15 @@ class _VectorizedBeaconEngine:
 
         # One daily congestion draw per unicast path the day's beacons
         # touch: the closest target first, then the picked pool targets
-        # in index order.
-        daily_offsets = self._latency.sample_daily_variation_batch_ms(
-            gen, 1 + len(picked_pool_indices), anycast=False
+        # in index order (cached across blocks of the same day).
+        self._daily_offsets_for(
+            gen,
+            daily_offset_cache,
+            [-1] + [int(i) for i in picked_pool_indices],
         )
+        daily_offsets = [daily_offset_cache[-1]] + [
+            daily_offset_cache[int(i)] for i in picked_pool_indices
+        ]
 
         jitter = self._latency.sample_jitter_batch_ms(
             gen, (beacons, targets)
@@ -612,9 +736,13 @@ class _VectorizedBeaconEngine:
 
         if dirty_slots:
             # Record faults land on flat b * T + t slots — the same
-            # coordinates the reference engine counts fetches in.
+            # coordinates the reference engine counts fetches in (day
+            # level, so rebase into this block's rows).
             for flat, kind in dirty_slots.items():
                 b, t = divmod(flat, targets)
+                b -= beacon_start
+                if not 0 <= b < beacons:
+                    continue
                 rtts[b, t] = RecordFaultInjector.dirty_value(
                     kind, float(rtts[b, t])
                 )
@@ -866,10 +994,25 @@ class CampaignRunner:
                 start, stop = self._client_slice
                 clients = scenario.clients[start:stop]
 
-            ecs_aggregates = GroupedDailyAggregates("ecs")
-            ldns_aggregates = GroupedDailyAggregates("ldns")
-            request_diffs = RequestDiffLog()
-            passive = PassiveLog()
+            bounded = cfg.sketch_threshold is not None
+            ecs_aggregates = GroupedDailyAggregates(
+                "ecs",
+                exact_threshold=cfg.sketch_threshold,
+                relative_accuracy=cfg.sketch_accuracy,
+                max_buckets=cfg.sketch_max_buckets,
+            )
+            ldns_aggregates = GroupedDailyAggregates(
+                "ldns",
+                exact_threshold=cfg.sketch_threshold,
+                relative_accuracy=cfg.sketch_accuracy,
+                max_buckets=cfg.sketch_max_buckets,
+            )
+            request_diffs = RequestDiffLog(
+                bounded=bounded,
+                relative_accuracy=cfg.sketch_accuracy,
+                max_buckets=cfg.sketch_max_buckets,
+            )
+            passive = PassiveLog(bounded=bounded)
 
         vectorized: Optional[_VectorizedBeaconEngine] = None
         if engine == "vectorized":
@@ -1217,6 +1360,55 @@ class CampaignRunner:
                         f"faults.records.{kind_value}_total",
                         f"records dirtied as {kind_value}",
                     ).inc(count)
+
+            # Memory accounting: lifetime peak RSS (max-merged across
+            # shards) plus sketch-compression counters when the bounded
+            # mode is on.
+            tel.gauge(
+                "campaign.peak_rss_bytes",
+                "OS-reported peak resident set of the campaign process",
+                merge="max",
+            ).set(float(peak_rss_bytes()))
+            if cfg.sketch_threshold is not None:
+                exact_digests = sketch_digests = 0
+                sketch_buckets = sketch_samples = sketch_halvings = 0
+                for aggregates in (ecs_aggregates, ldns_aggregates):
+                    e, s, b, n, h = aggregates.sketch_stats()
+                    exact_digests += e
+                    sketch_digests += s
+                    sketch_buckets += b
+                    sketch_samples += n
+                    sketch_halvings += h
+                diff_sketches, diff_buckets, diff_samples, diff_halvings = (
+                    request_diffs.sketch_stats()
+                )
+                tel.counter(
+                    "sketch.digests_exact_total",
+                    "latency digests still below the sketch threshold",
+                ).inc(exact_digests)
+                tel.counter(
+                    "sketch.digests_promoted_total",
+                    "latency digests promoted to bounded sketches",
+                ).inc(sketch_digests)
+                tel.counter(
+                    "sketch.buckets_total",
+                    "sketch buckets held across all promoted digests "
+                    "and diff sketches",
+                ).inc(sketch_buckets + diff_buckets)
+                tel.counter(
+                    "sketch.samples_compressed_total",
+                    "samples represented by sketches instead of raw "
+                    "retention",
+                ).inc(sketch_samples + diff_samples)
+                tel.counter(
+                    "sketch.diff_sketches_total",
+                    "bounded (day, region) request-diff sketches",
+                ).inc(diff_sketches)
+                tel.counter(
+                    "sketch.compressions_total",
+                    "resolution halvings forced by the per-sketch "
+                    "bucket cap",
+                ).inc(sketch_halvings + diff_halvings)
 
         _log.info(
             "campaign complete",

@@ -24,6 +24,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import MeasurementError
 from repro.clients.population import ClientPrefix
 from repro.measurement.aggregate import GroupedDailyAggregates, RequestDiffLog
@@ -179,13 +181,23 @@ class StudyDataset:
             calendar=self.calendar,
             clients=self.clients,
             ecs_aggregates=GroupedDailyAggregates(
-                self.ecs_aggregates.grouping
+                self.ecs_aggregates.grouping,
+                exact_threshold=self.ecs_aggregates.exact_threshold,
+                relative_accuracy=self.ecs_aggregates.relative_accuracy,
+                max_buckets=self.ecs_aggregates.max_buckets,
             ),
             ldns_aggregates=GroupedDailyAggregates(
-                self.ldns_aggregates.grouping
+                self.ldns_aggregates.grouping,
+                exact_threshold=self.ldns_aggregates.exact_threshold,
+                relative_accuracy=self.ldns_aggregates.relative_accuracy,
+                max_buckets=self.ldns_aggregates.max_buckets,
             ),
-            request_diffs=RequestDiffLog(),
-            passive=PassiveLog(),
+            request_diffs=RequestDiffLog(
+                bounded=self.request_diffs.is_bounded,
+                relative_accuracy=self.request_diffs.relative_accuracy,
+                max_buckets=self.request_diffs.max_buckets,
+            ),
+            passive=PassiveLog(bounded=self.passive.is_bounded),
             covered_ranges=(),
         )
         result.merge(self)
@@ -258,33 +270,55 @@ class StudyDataset:
                         aggregates.targets_for(day, group).items()
                     ):
                         put(day, group, target_id)
-                        for value in sorted(digest.values()):
-                            put(repr(value))
+                        if digest.is_exact:
+                            # tolist() yields Python floats, so repr
+                            # matches the historical sorted(values())
+                            # hashing byte for byte.
+                            ordered = np.sort(digest.values_view()).tolist()
+                            for value in ordered:
+                                put(repr(value))
+                        else:
+                            assert digest.sketch is not None
+                            put("sketch", digest.sketch.digest())
         put("request_diffs", len(self.request_diffs))
         names = self.request_diffs.region_names
-        for row in sorted(
-            self.request_diffs.rows(),
-            key=lambda r: (
-                r.day,
-                r.client_index,
-                r.anycast_rtt_ms,
-                r.best_unicast_rtt_ms,
-            ),
-        ):
-            put(
-                row.day,
-                row.client_index,
-                names[row.region_code],
-                repr(row.anycast_rtt_ms),
-                repr(row.best_unicast_rtt_ms),
-            )
+        if self.request_diffs.is_bounded:
+            put("diff-sketches")
+            sketches = self.request_diffs.day_region_sketches()
+            for (day, region) in sorted(sketches):
+                put(day, region, sketches[(day, region)].digest())
+        else:
+            for row in sorted(
+                self.request_diffs.rows(),
+                key=lambda r: (
+                    r.day,
+                    r.client_index,
+                    r.anycast_rtt_ms,
+                    r.best_unicast_rtt_ms,
+                ),
+            ):
+                put(
+                    row.day,
+                    row.client_index,
+                    names[row.region_code],
+                    repr(row.anycast_rtt_ms),
+                    repr(row.best_unicast_rtt_ms),
+                )
         put("passive")
-        for day in self.passive.days:
-            for client_key in sorted(self.passive.clients_on(day)):
+        if self.passive.is_bounded:
+            put("totals")
+            for day in self.passive.days:
                 for frontend_id, count in sorted(
-                    self.passive.frontends_for(day, client_key).items()
+                    self.passive.day_totals(day).items()
                 ):
-                    put(day, client_key, frontend_id, count)
+                    put(day, frontend_id, count)
+        else:
+            for day in self.passive.days:
+                for client_key in sorted(self.passive.clients_on(day)):
+                    for frontend_id, count in sorted(
+                        self.passive.frontends_for(day, client_key).items()
+                    ):
+                        put(day, client_key, frontend_id, count)
         put("counts", self.beacon_count, self.measurement_count)
         # Only a *partial* dataset hashes its coverage: complete datasets
         # keep their historical digests, while a degraded campaign can

@@ -32,8 +32,10 @@ retries either raises :class:`repro.errors.ShardFailureError` or — with
 ``allow_partial`` — is dropped, leaving a partial dataset whose
 :meth:`~repro.simulation.dataset.StudyDataset.missing_ranges` names the
 gap.  Every shard payload crosses the process boundary inside an
-integrity envelope (SHA-256 over the pickled bytes), so corruption in
-transit is detected rather than merged.
+integrity envelope (SHA-256 over the columnar transport bytes of
+:mod:`repro.simulation.transport` — raw sample/sketch buffers plus a
+small manifest, shipped via shared memory where available), so
+corruption in transit is detected rather than merged.
 
 Workers rebuild the scenario from its :class:`ScenarioConfig` — scenario
 construction is cheap relative to a multi-day campaign and avoids
@@ -47,7 +49,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import multiprocessing
-import pickle
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -79,6 +80,14 @@ from repro.simulation.checkpoint import (
 )
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.scenario import Scenario, ScenarioConfig
+from repro.simulation.transport import (
+    HAVE_SHARED_MEMORY,
+    decode_shard_payload,
+    encode_shard_payload,
+    receive_payload,
+    release_payload,
+    ship_payload,
+)
 from repro.telemetry import (
     RunContext,
     Telemetry,
@@ -138,21 +147,30 @@ class _ShardTask:
     attempt: int
     fault_kind: Optional[FaultKind]
     hang_seconds: float
+    use_shm: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
 class _ShardEnvelope:
-    """A shard result in transit: pickled payload plus integrity hash.
+    """A shard result in transit: columnar payload plus integrity hash.
 
-    The hash is computed *before* any (injected or organic) corruption
-    of the payload bytes, so the coordinator verifies content integrity
-    end to end instead of trusting the transport.
+    The payload is the columnar encoding of
+    :func:`repro.simulation.transport.encode_shard_payload` — raw
+    sample/sketch buffers plus a pickled manifest, never the client
+    population.  It travels either inline (``payload``) or through a
+    shared-memory block (``shm_name``); ``payload_size`` is the exact
+    byte length either way.  The hash is computed over the encoded
+    bytes *before* any (injected or organic) corruption, so the
+    coordinator verifies content integrity end to end instead of
+    trusting the transport.
     """
 
     shard_index: int
     attempt: int
     payload: bytes
     sha256: str
+    shm_name: Optional[str] = None
+    payload_size: int = 0
 
 
 def _run_shard(task: _ShardTask) -> _ShardEnvelope:
@@ -197,16 +215,22 @@ def _run_shard(task: _ShardTask) -> _ShardEnvelope:
     )
     dataset = runner.run()
     assert runner.stats is not None
-    payload = pickle.dumps(
-        (dataset, runner.stats, runner.telemetry.snapshot(), runner.quarantine),
-        protocol=pickle.HIGHEST_PROTOCOL,
+    payload = encode_shard_payload(
+        dataset, runner.stats, runner.telemetry.snapshot(), runner.quarantine
     )
     sha256 = hashlib.sha256(payload).hexdigest()
+    # Corruption (injected here, organic anywhere) lands on the encoded
+    # bytes before they are placed, so the integrity check sees it
+    # regardless of whether the bytes travel inline or via shared memory.
+    payload = injector.transform_payload(payload)
+    inline, shm_name = ship_payload(payload, use_shm=task.use_shm)
     return _ShardEnvelope(
         shard_index=task.shard_index,
         attempt=task.attempt,
-        payload=injector.transform_payload(payload),
+        payload=inline,
         sha256=sha256,
+        shm_name=shm_name,
+        payload_size=len(payload),
     )
 
 
@@ -416,6 +440,9 @@ class ParallelCampaignRunner:
                 engine,
                 cfg.validation,
                 record_plan.spec_string() if record_plan is not None else None,
+                cfg.sketch_threshold,
+                cfg.sketch_accuracy,
+                cfg.sketch_max_buckets,
             )
         )
         compiled: Optional[CompiledFaultPlan] = (
@@ -493,9 +520,28 @@ class ParallelCampaignRunner:
             if self._workers == 1
             else context.Pool(processes=self._workers)
         )
+        # Worker-process shards ship large payloads via shared memory;
+        # an in-process pool hands the envelope straight back, so the
+        # extra copy would be pure overhead.
+        use_shm = self._workers > 1 and HAVE_SHARED_MEMORY
         with pool:
             inflight: Dict[Tuple[int, int], Tuple[object, Optional[float]]] = {}
             retry_queue: List[Tuple[float, int, int]] = []
+            # Timed-out attempts whose workers may still complete and
+            # leave a shared-memory block behind; polled so their blocks
+            # are released instead of leaked.
+            abandoned: List[object] = []
+
+            def sweep_abandoned() -> None:
+                for stale in list(abandoned):
+                    if not stale.ready():  # type: ignore[attr-defined]
+                        continue
+                    abandoned.remove(stale)
+                    try:
+                        envelope = stale.get()  # type: ignore[attr-defined]
+                    except Exception:
+                        continue
+                    release_payload(envelope.shm_name)
 
             def dispatch(shard: int, attempt: int) -> None:
                 kind = (
@@ -525,6 +571,7 @@ class ParallelCampaignRunner:
                     hang_seconds=(
                         compiled.hang_seconds if compiled is not None else 0.0
                     ),
+                    use_shm=use_shm,
                 )
                 deadline = (
                     time.monotonic() + cfg.shard_timeout
@@ -583,14 +630,19 @@ class ParallelCampaignRunner:
                 nonlocal merged, merged_stats
                 try:
                     envelope = async_result.get()
-                    actual = hashlib.sha256(envelope.payload).hexdigest()
+                    payload = receive_payload(
+                        envelope.payload,
+                        envelope.shm_name,
+                        envelope.payload_size,
+                    )
+                    actual = hashlib.sha256(payload).hexdigest()
                     if actual != envelope.sha256:
                         raise FaultError(
                             f"shard {shard} attempt {attempt}: payload "
                             "integrity check failed (content hash mismatch)"
                         )
                     shard_dataset, shard_stats, shard_snapshot, shard_quarantine = (
-                        pickle.loads(envelope.payload)
+                        decode_shard_payload(payload, scenario.clients)
                     )
                     if (
                         compiled is not None
@@ -648,8 +700,10 @@ class ParallelCampaignRunner:
                         progressed = True
                     elif deadline is not None and now > deadline:
                         # The attempt is declared hung; any result it
-                        # eventually produces is stale and ignored.
+                        # eventually produces is stale — kept only so
+                        # its shared-memory block can be released.
                         del inflight[key]
+                        abandoned.append(async_result)
                         on_failure(
                             shard,
                             attempt,
@@ -659,19 +713,36 @@ class ParallelCampaignRunner:
                             ),
                         )
                         progressed = True
+                sweep_abandoned()
                 if not progressed and (inflight or retry_queue):
                     time.sleep(_POLL_SECONDS)
+            sweep_abandoned()
 
         if merged is None:
             # Every shard was lost (allow_partial): an empty dataset that
             # honestly reports zero coverage.
+            bounded = cfg.sketch_threshold is not None
             merged = StudyDataset(
                 calendar=scenario.calendar,
                 clients=scenario.clients,
-                ecs_aggregates=GroupedDailyAggregates("ecs"),
-                ldns_aggregates=GroupedDailyAggregates("ldns"),
-                request_diffs=RequestDiffLog(),
-                passive=PassiveLog(),
+                ecs_aggregates=GroupedDailyAggregates(
+                    "ecs",
+                    exact_threshold=cfg.sketch_threshold,
+                    relative_accuracy=cfg.sketch_accuracy,
+                    max_buckets=cfg.sketch_max_buckets,
+                ),
+                ldns_aggregates=GroupedDailyAggregates(
+                    "ldns",
+                    exact_threshold=cfg.sketch_threshold,
+                    relative_accuracy=cfg.sketch_accuracy,
+                    max_buckets=cfg.sketch_max_buckets,
+                ),
+                request_diffs=RequestDiffLog(
+                    bounded=bounded,
+                    relative_accuracy=cfg.sketch_accuracy,
+                    max_buckets=cfg.sketch_max_buckets,
+                ),
+                passive=PassiveLog(bounded=bounded),
                 covered_ranges=(),
             )
         if missing:

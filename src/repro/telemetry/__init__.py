@@ -27,6 +27,7 @@ from repro.telemetry.logs import (
     configure_logging,
     get_logger,
 )
+from repro.telemetry.memory import MemoryProbe, peak_rss_bytes
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -47,6 +48,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonLineFormatter",
+    "MemoryProbe",
     "MetricsRegistry",
     "RunContext",
     "SpanRecord",
@@ -60,5 +62,6 @@ __all__ = [
     "format_run_report",
     "get_logger",
     "manifest_path_for",
+    "peak_rss_bytes",
     "write_run_manifest",
 ]

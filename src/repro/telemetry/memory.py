@@ -1,0 +1,68 @@
+"""Process-memory instrumentation for campaigns and smoke gates.
+
+Two complementary signals:
+
+* :func:`peak_rss_bytes` — the OS-reported lifetime peak resident set
+  (``getrusage.ru_maxrss``).  Cheap, always available, but *monotonic*
+  for the process: it cannot compare two phases of one run.
+* :class:`MemoryProbe` — a ``tracemalloc`` window around one phase,
+  reporting that phase's peak *Python-allocated* bytes.  Restartable,
+  so the memory smoke can compare two population sizes within one
+  process; slower (2x-ish on allocation-heavy code), so only gates use
+  it, never production campaign paths.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import tracemalloc
+from typing import Optional
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to bytes.  Monotonic: it never decreases, so it gauges a whole run,
+    not a phase.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+class MemoryProbe:
+    """A restartable ``tracemalloc`` window around one phase.
+
+    Usage::
+
+        with MemoryProbe() as probe:
+            run_phase()
+        print(probe.peak_bytes)
+
+    Entering resets the peak accounting (via
+    ``tracemalloc.reset_peak`` when tracing is already on, else by
+    starting tracing), so consecutive probes in one process measure
+    their own phases independently.  If this probe started tracing, it
+    stops it on exit to remove the overhead between phases.
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes: Optional[int] = None
+        self._started_tracing = False
+
+    def __enter__(self) -> "MemoryProbe":
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            self._started_tracing = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = int(peak)
+        if self._started_tracing:
+            tracemalloc.stop()

@@ -29,6 +29,18 @@ accounting.  It then saves the dirty dataset through the framed exporter,
 tears its tail off, and requires the recovery loader to salvage the
 intact prefix.  ``--dirty-manifest-out`` archives the accounting.
 
+The sketch leg (always on) reruns the campaign in bounded sketch mode
+(``--sketch-threshold``), requires the serial and 2-worker sketch digests
+to match bit-for-bit, and requires the sketch-mode Fig 3/Fig 5 headline
+fractions to stay within ``--sketch-tolerance`` of the exact run's.
+
+The memory leg (``--memory-populations A,B``) runs the bounded campaign
+at two population sizes with a tracemalloc probe around each and fails
+if peak traced memory grows super-linearly in the population — the
+cheap in-smoke guard against retention regressions; the strict flatness
+gate lives in ``tools/memory_smoke.py``.  Every leg records both
+tracemalloc peaks and ``resource.getrusage`` peak RSS in its manifest.
+
 Usage::
 
     PYTHONPATH=src python tools/perf_smoke.py [--min-speedup 3.0] \\
@@ -44,6 +56,8 @@ import sys
 import tempfile
 from typing import Optional, Sequence
 
+from repro.analysis.anycast_perf import WORLD, anycast_penalty_ccdf
+from repro.analysis.poor_paths import poor_path_prevalence
 from repro.clients.population import ClientPopulationConfig
 from repro.faults import FaultPlan
 from repro.measurement.export import recover_dataset, save_dataset
@@ -51,17 +65,18 @@ from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
-from repro.telemetry import write_run_manifest
+from repro.telemetry import MemoryProbe, peak_rss_bytes, write_run_manifest
 
 
 def _timed_serial(scenario: Scenario, engine: str):
     """Run one serial campaign; timings come from its telemetry snapshot."""
     runner = CampaignRunner(scenario, CampaignConfig(engine=engine))
-    dataset = runner.run()
+    with MemoryProbe() as probe:
+        dataset = runner.run()
     snapshot = runner.telemetry.snapshot()
     seconds = snapshot.gauges["campaign.wall_seconds"]["value"]
     rate = snapshot.counters["campaign.beacons_total"] / seconds
-    return dataset, rate, seconds, snapshot
+    return dataset, rate, seconds, snapshot, probe.peak_bytes
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -101,6 +116,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--dirty-plan)"
         ),
     )
+    parser.add_argument(
+        "--sketch-threshold", type=int, default=64, metavar="N",
+        help=(
+            "per-digest exact-sample budget for the bounded sketch leg "
+            "(digests above it compress into mergeable sketches)"
+        ),
+    )
+    parser.add_argument(
+        "--sketch-tolerance", type=float, default=0.05, metavar="FRAC",
+        help=(
+            "max absolute drift allowed between exact and sketch-mode "
+            "Fig 3 / Fig 5 headline fractions"
+        ),
+    )
+    parser.add_argument(
+        "--memory-populations", default="120,360", metavar="A,B",
+        help=(
+            "two prefix counts for the memory leg; peak traced memory "
+            "must not grow super-linearly between them (empty to skip)"
+        ),
+    )
+    parser.add_argument(
+        "--memory-slack", type=float, default=1.25, metavar="X",
+        help=(
+            "memory leg tolerance: peak ratio must be <= population "
+            "ratio times this factor"
+        ),
+    )
+    parser.add_argument(
+        "--rss-manifest-out", metavar="PATH",
+        help="write the memory/RSS accounting manifest here",
+    )
     args = parser.parse_args(argv)
 
     scenario = Scenario.build(
@@ -111,11 +158,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
 
-    _, ref_rate, ref_seconds, ref_snapshot = _timed_serial(
+    _, ref_rate, ref_seconds, ref_snapshot, ref_peak = _timed_serial(
         scenario, "reference"
     )
-    vec_dataset, vec_rate, vec_seconds, vec_snapshot = _timed_serial(
-        scenario, "vectorized"
+    vec_dataset, vec_rate, vec_seconds, vec_snapshot, vec_peak = (
+        _timed_serial(scenario, "vectorized")
     )
     speedup = vec_rate / ref_rate
 
@@ -151,8 +198,149 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(f"  {label} day phases: {phases}")
     print(f"  speedup: {speedup:.2f}x (required >= {args.min_speedup:.1f}x)")
+    print(
+        f"  peak traced memory: reference {ref_peak / 1e6:.1f} MB, "
+        f"vectorized {vec_peak / 1e6:.1f} MB "
+        f"(process peak RSS {peak_rss_bytes() / 1e6:.1f} MB)"
+    )
     print("  vectorized serial == 2-worker digest: ok")
     print("  vectorized serial == 2-worker merged telemetry counters: ok")
+
+    # ------------------------------------------------------------------
+    # Sketch leg: bounded mode must shard exactly and answer the headline
+    # figures within tolerance of the exact oracle.
+    sketch_config = CampaignConfig(
+        engine="vectorized", sketch_threshold=args.sketch_threshold
+    )
+    with MemoryProbe() as sketch_probe:
+        sketch_dataset = CampaignRunner(scenario, sketch_config).run()
+    sketch_sharded = ParallelCampaignRunner(
+        scenario, sketch_config, workers=2
+    ).run()
+    if sketch_sharded.digest() != sketch_dataset.digest():
+        print("FAIL: sketch-mode serial and 2-worker digests diverged")
+        return 1
+    if sketch_dataset.measurement_count != vec_dataset.measurement_count:
+        print(
+            "FAIL: sketch-mode campaign lost measurements "
+            f"({sketch_dataset.measurement_count:,} vs "
+            f"{vec_dataset.measurement_count:,})"
+        )
+        return 1
+
+    exact_fig3 = anycast_penalty_ccdf(vec_dataset)
+    sketch_fig3 = anycast_penalty_ccdf(sketch_dataset)
+    for threshold, exact_fraction in exact_fig3.fraction_slower[
+        WORLD
+    ].items():
+        sketch_fraction = sketch_fig3.fraction_slower[WORLD][threshold]
+        if abs(sketch_fraction - exact_fraction) > args.sketch_tolerance:
+            print(
+                f"FAIL: Fig 3 world fraction >= {threshold:.0f}ms drifted "
+                f"{exact_fraction:.3f} -> {sketch_fraction:.3f} in sketch "
+                f"mode (tolerance {args.sketch_tolerance})"
+            )
+            return 1
+    exact_fig5 = poor_path_prevalence(vec_dataset)
+    sketch_fig5 = poor_path_prevalence(sketch_dataset)
+    for threshold in exact_fig5.thresholds:
+        exact_fraction = exact_fig5.mean_fraction(threshold)
+        sketch_fraction = sketch_fig5.mean_fraction(threshold)
+        if abs(sketch_fraction - exact_fraction) > args.sketch_tolerance:
+            print(
+                f"FAIL: Fig 5 fraction >= {threshold:.0f}ms drifted "
+                f"{exact_fraction:.3f} -> {sketch_fraction:.3f} in sketch "
+                f"mode (tolerance {args.sketch_tolerance})"
+            )
+            return 1
+    print(
+        f"  sketch (threshold {args.sketch_threshold}): serial == 2-worker "
+        "digest: ok"
+    )
+    print(
+        f"  sketch Fig 3 + Fig 5 fractions within "
+        f"{args.sketch_tolerance} of exact: ok "
+        f"(peak traced memory {sketch_probe.peak_bytes / 1e6:.1f} MB)"
+    )
+
+    # ------------------------------------------------------------------
+    # Memory leg: bounded-mode peak memory must not grow super-linearly
+    # in the population.
+    memory_leg = None
+    if args.memory_populations:
+        try:
+            small_pop, large_pop = (
+                int(part) for part in args.memory_populations.split(",")
+            )
+        except ValueError:
+            print(
+                "FAIL: --memory-populations must be two comma-separated "
+                f"integers, got {args.memory_populations!r}"
+            )
+            return 1
+        if not 0 < small_pop < large_pop:
+            print(
+                "FAIL: --memory-populations must be increasing and "
+                f"positive, got {args.memory_populations!r}"
+            )
+            return 1
+        peaks = {}
+        for prefixes in (small_pop, large_pop):
+            mem_scenario = Scenario.build(
+                ScenarioConfig(
+                    seed=args.seed,
+                    population=ClientPopulationConfig(
+                        prefix_count=prefixes
+                    ),
+                    calendar=SimulationCalendar(num_days=2),
+                )
+            )
+            with MemoryProbe() as probe:
+                CampaignRunner(mem_scenario, sketch_config).run()
+            peaks[prefixes] = probe.peak_bytes
+        pop_ratio = large_pop / small_pop
+        peak_ratio = peaks[large_pop] / peaks[small_pop]
+        limit = pop_ratio * args.memory_slack
+        memory_leg = {
+            "populations": [small_pop, large_pop],
+            "peak_traced_bytes": {
+                str(pop): peak for pop, peak in peaks.items()
+            },
+            "peak_ratio": peak_ratio,
+            "limit": limit,
+        }
+        if peak_ratio > limit:
+            print(
+                f"FAIL: sketch-mode peak memory grew {peak_ratio:.2f}x "
+                f"from {small_pop} to {large_pop} prefixes (limit "
+                f"{limit:.2f}x = {pop_ratio:.1f}x population x "
+                f"{args.memory_slack} slack)"
+            )
+            return 1
+        print(
+            f"  memory ({small_pop} -> {large_pop} prefixes): peak "
+            f"{peaks[small_pop] / 1e6:.1f} MB -> "
+            f"{peaks[large_pop] / 1e6:.1f} MB "
+            f"({peak_ratio:.2f}x <= {limit:.2f}x): ok"
+        )
+
+    if args.rss_manifest_out:
+        write_run_manifest(
+            args.rss_manifest_out,
+            vec_snapshot,
+            dataset=vec_dataset,
+            extra={
+                "peak_traced_bytes": {
+                    "reference": ref_peak,
+                    "vectorized": vec_peak,
+                    "sketch": sketch_probe.peak_bytes,
+                },
+                "peak_rss_bytes": peak_rss_bytes(),
+                "sketch_threshold": args.sketch_threshold,
+                "memory_leg": memory_leg,
+            },
+        )
+        print(f"  wrote memory manifest to {args.rss_manifest_out}")
 
     if args.fault_plan:
         chaos_runner = ParallelCampaignRunner(
