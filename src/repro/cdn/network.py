@@ -55,6 +55,21 @@ class ServedPath:
         return self.path_km + self.backbone_km
 
 
+@dataclass(frozen=True)
+class _RouteSummary:
+    """A resolved route with its client-independent geometry precomputed.
+
+    ``tail_km`` is the summed distance of every inter-metro leg of the
+    route walk; a caller only adds its own (client → first metro) leg.
+    """
+
+    frontend: FrontEnd
+    route: AnycastRoute
+    hop0_location: Optional[GeoPoint]
+    tail_km: float
+    backbone_km: float
+
+
 class CdnNetwork:
     """Control and data plane of the deployed CDN over one topology.
 
@@ -130,6 +145,16 @@ class CdnNetwork:
             self._unicast_ribs[fe.frontend_id] = rib
             self._unicast_resolvers[fe.frontend_id] = AnycastResolver(topology, rib)
 
+        # Route-summary caches: resolution + the inter-metro distance
+        # walk depend only on (AS, metro[, rank]) — never on the client's
+        # exact coordinates — so they are shared across clients.
+        self._anycast_summaries: Dict[
+            Tuple[int, str, int], _RouteSummary
+        ] = {}
+        self._unicast_summaries: Dict[
+            Tuple[str, int, str], _RouteSummary
+        ] = {}
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -185,27 +210,46 @@ class CdnNetwork:
     # Data plane
     # ------------------------------------------------------------------
 
-    def _served_path(
+    def _route_summary(
         self,
         route: AnycastRoute,
         frontend: FrontEnd,
         backbone_km: float,
-        client_location: Optional[GeoPoint],
-    ) -> ServedPath:
+    ) -> "_RouteSummary":
         metro_db = self._topology.metro_db
-        path_km = 0.0
-        previous = client_location
+        hop0_location: Optional[GeoPoint] = None
+        tail_km = 0.0
+        previous: Optional[GeoPoint] = None
         for _, metro_code in route.hops:
             location = metro_db.get(metro_code).location
-            if previous is not None:
-                path_km += haversine_km(previous, location)
+            if previous is None:
+                hop0_location = location
+            else:
+                tail_km += haversine_km(previous, location)
             previous = location
-        return ServedPath(
+        return _RouteSummary(
             frontend=frontend,
+            route=route,
+            hop0_location=hop0_location,
+            tail_km=tail_km,
+            backbone_km=backbone_km,
+        )
+
+    def _served_path(
+        self, summary: "_RouteSummary", client_location: Optional[GeoPoint]
+    ) -> ServedPath:
+        # The per-route walk (every inter-metro leg) is frozen in the
+        # summary; only the client's first leg varies per caller.
+        path_km = summary.tail_km
+        if client_location is not None and summary.hop0_location is not None:
+            path_km += haversine_km(client_location, summary.hop0_location)
+        route = summary.route
+        return ServedPath(
+            frontend=summary.frontend,
             route=route,
             ingress_metro=route.ingress_metro,
             path_km=path_km,
-            backbone_km=backbone_km,
+            backbone_km=summary.backbone_km,
             as_hops=len(route.hops),
         )
 
@@ -218,6 +262,10 @@ class CdnNetwork:
     ) -> ServedPath:
         """Resolve the anycast service path for a client.
 
+        Route resolution and the inter-metro distance walk are cached per
+        (AS, metro, rank); only the client's own first leg is recomputed
+        per call, so many clients sharing an AS PoP resolve cheaply.
+
         Args:
             client_asn: The client's access AS.
             client_metro: The AS PoP metro the client attaches at.
@@ -229,14 +277,18 @@ class CdnNetwork:
         Raises:
             RoutingError: if the client's AS has no anycast route.
         """
-        route = self._anycast_resolver.resolve(
-            client_asn, client_metro, egress_rank
-        )
-        backbone_route = self._backbone.route(route.ingress_metro)
-        return self._served_path(
-            route, backbone_route.frontend, backbone_route.backbone_km,
-            client_location,
-        )
+        key = (client_asn, client_metro, egress_rank)
+        summary = self._anycast_summaries.get(key)
+        if summary is None:
+            route = self._anycast_resolver.resolve(
+                client_asn, client_metro, egress_rank
+            )
+            backbone_route = self._backbone.route(route.ingress_metro)
+            summary = self._route_summary(
+                route, backbone_route.frontend, backbone_route.backbone_km
+            )
+            self._anycast_summaries[key] = summary
+        return self._served_path(summary, client_location)
 
     def unicast_path(
         self,
@@ -249,20 +301,26 @@ class CdnNetwork:
 
         The unicast prefix is announced only at the front-end's own metro,
         so the ingress always equals that metro and there is no backbone
-        leg — the head-to-head configuration of §3.1.
+        leg — the head-to-head configuration of §3.1.  Resolution is
+        cached per (front-end, AS, metro) like :meth:`anycast_path`.
 
         Raises:
             RoutingError: if the client's AS has no route to the prefix.
         """
-        frontend = self._deployment.frontend_by_id(frontend_id)
-        resolver = self._unicast_resolvers[frontend_id]
-        route = resolver.resolve(client_asn, client_metro)
-        if route.ingress_metro != frontend.metro_code:
-            raise RoutingError(
-                f"unicast ingress for {frontend_id} resolved to "
-                f"{route.ingress_metro!r}, expected {frontend.metro_code!r}"
-            )
-        return self._served_path(route, frontend, 0.0, client_location)
+        key = (frontend_id, client_asn, client_metro)
+        summary = self._unicast_summaries.get(key)
+        if summary is None:
+            frontend = self._deployment.frontend_by_id(frontend_id)
+            resolver = self._unicast_resolvers[frontend_id]
+            route = resolver.resolve(client_asn, client_metro)
+            if route.ingress_metro != frontend.metro_code:
+                raise RoutingError(
+                    f"unicast ingress for {frontend_id} resolved to "
+                    f"{route.ingress_metro!r}, expected {frontend.metro_code!r}"
+                )
+            summary = self._route_summary(route, frontend, 0.0)
+            self._unicast_summaries[key] = summary
+        return self._served_path(summary, client_location)
 
     def anycast_variant_ranks(
         self, client_asn: int, client_metro: str, max_rank: int = 4

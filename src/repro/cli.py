@@ -112,11 +112,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
-        "--engine", choices=("reference", "vectorized"), default="reference",
+        "--engine", choices=("reference", "vectorized", "matrix"),
+        default="reference",
         help=(
             "measurement engine (default reference; vectorized is several "
-            "times faster, statistically equivalent, and bit-identical "
-            "across worker counts within itself)"
+            "times faster and matrix faster still — the two batched "
+            "engines are bit-identical to each other and across worker "
+            "counts, and statistically equivalent to reference)"
         ),
     )
     parser.add_argument(

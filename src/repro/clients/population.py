@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -55,9 +56,13 @@ class ClientPrefix:
     daily_queries: float
     ldns_id: str
 
-    @property
+    @cached_property
     def key(self) -> str:
-        """String form of the /24 — the ECS grouping key."""
+        """String form of the /24 — the ECS grouping key.
+
+        Cached: campaign day loops read it once per client per day, and
+        dotted-quad formatting is pure.
+        """
         return str(self.prefix)
 
 

@@ -304,6 +304,39 @@ class LatencyModel:
             math.log(cfg.static_offset_median_ms), cfg.static_offset_sigma
         )
 
+    def static_offset_from_seed(
+        self, seed_value: int, anycast: bool = False
+    ) -> float:
+        """The persistent quality offset keyed by a derived seed.
+
+        Equivalent in distribution to :meth:`sample_static_offset_ms`
+        over ``random.Random(seed_value)``, but the occurrence test —
+        the outcome for most (client, path) pairs — costs one splitmix64
+        finalizer round on the seed instead of initializing a Mersenne
+        Twister; the magnitude RNG is only built for the minority of
+        paths that do carry an offset.  Campaign engines resolve every
+        (client, path) baseline through this, so it sits on the
+        path-cache warm-up critical path.
+        """
+        cfg = self._config
+        probability = (
+            cfg.anycast_static_offset_probability
+            if anycast
+            else cfg.static_offset_probability
+        )
+        if probability <= 0.0 or cfg.static_offset_median_ms == 0.0:
+            return 0.0
+        mask = 0xFFFFFFFFFFFFFFFF
+        h = seed_value & mask
+        h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & mask
+        h ^= h >> 31
+        if (h >> 11) * 2.0**-53 >= probability:
+            return 0.0
+        return random.Random(seed_value).lognormvariate(
+            math.log(cfg.static_offset_median_ms), cfg.static_offset_sigma
+        )
+
     def sample_rtt_ms(
         self,
         path_km: float,

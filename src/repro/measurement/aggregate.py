@@ -208,11 +208,18 @@ class LatencyDigest:
         self._invalidate()
         self._maybe_promote()
 
-    def extend(self, values: Union[np.ndarray, Sequence[float]]) -> None:
+    def extend(
+        self,
+        values: Union[np.ndarray, Sequence[float]],
+        bounds: Optional[Tuple[float, float]] = None,
+    ) -> None:
         """Append a batch of samples (the vectorized engine's bulk path).
 
         Accepts any float sequence; numpy arrays append through the
-        buffer protocol without a per-element Python loop.
+        buffer protocol without a per-element Python loop.  ``bounds``
+        lets a caller that already knows the batch's ``(min, max)`` —
+        e.g. from one ``reduceat`` over many run boundaries — skip the
+        per-batch reductions; it must equal the true extrema.
         """
         if len(values) == 0:
             return
@@ -220,8 +227,11 @@ class LatencyDigest:
             batch = np.ascontiguousarray(values, dtype=np.float64)
         else:
             batch = np.asarray(tuple(values), dtype=np.float64)
-        low = float(batch.min())
-        high = float(batch.max())
+        if bounds is None:
+            low = float(batch.min())
+            high = float(batch.max())
+        else:
+            low, high = bounds
         if self._min is None or low < self._min:
             self._min = low
         if self._max is None or high > self._max:
@@ -436,11 +446,20 @@ class GroupedDailyAggregates:
         return self._max_buckets
 
     def _new_digest(self) -> LatencyDigest:
-        return LatencyDigest(
-            exact_threshold=self._exact_threshold,
-            relative_accuracy=self._relative_accuracy,
-            max_buckets=self._max_buckets,
-        )
+        # Config was validated when this sink was built, so skip the
+        # constructor's re-validation: bulk sinks create one digest per
+        # (day, group, target) and the constructor shows up at scale.
+        digest = LatencyDigest.__new__(LatencyDigest)
+        digest._values = array("d")
+        digest._sorted = None
+        digest._sorted_array = None
+        digest._min = None
+        digest._max = None
+        digest._exact_threshold = self._exact_threshold
+        digest._relative_accuracy = self._relative_accuracy
+        digest._max_buckets = self._max_buckets
+        digest._sketch = None
+        return digest
 
     def observe(self, day: int, group: str, target_id: str, rtt_ms: float) -> None:
         """Add one measurement."""
@@ -461,11 +480,14 @@ class GroupedDailyAggregates:
         group: str,
         target_id: str,
         rtts_ms: Union[np.ndarray, Sequence[float]],
+        bounds: Optional[Tuple[float, float]] = None,
     ) -> None:
         """Add a batch of measurements for one (day, group, target).
 
         The bulk counterpart of :meth:`observe` — one dictionary walk and
         one :meth:`LatencyDigest.extend` per batch instead of per sample.
+        ``bounds`` forwards a precomputed ``(min, max)`` to the digest
+        (see :meth:`LatencyDigest.extend`).
         """
         if len(rtts_ms) == 0:
             return
@@ -478,7 +500,56 @@ class GroupedDailyAggregates:
         if digest is None:
             digest = self._new_digest()
             per_group[target_id] = digest
-        digest.extend(rtts_ms)
+        digest.extend(rtts_ms, bounds)
+
+    def observe_runs(
+        self,
+        day: int,
+        entries: Sequence[Tuple[str, str, int, int, float, float]],
+        values: np.ndarray,
+    ) -> None:
+        """Add many (group, target) runs sliced from one value array.
+
+        The chunk-scale counterpart of :meth:`observe_many`: ``values``
+        is one float64 array holding every run back to back, and each
+        entry ``(group, target_id, start, stop, low, high)`` appends
+        ``values[start:stop]`` — whose true extrema must be
+        ``(low, high)`` — to that (day, group, target) digest.  One call
+        per chunk replaces one :meth:`observe_many` per run; exact-mode
+        digests append through a zero-copy byte view without re-entering
+        :meth:`LatencyDigest.extend`, which is what keeps the matrix
+        engine's sink cost per run at dictionary-walk level.
+        """
+        if not entries:
+            return
+        per_day = self._days.setdefault(day, {})
+        contiguous = np.ascontiguousarray(values, dtype=np.float64)
+        raw = memoryview(contiguous.tobytes())
+        threshold = self._exact_threshold
+        for group, target_id, start, stop, low, high in entries:
+            per_group = per_day.get(group)
+            if per_group is None:
+                per_group = {}
+                per_day[group] = per_group
+            digest = per_group.get(target_id)
+            if digest is None:
+                digest = self._new_digest()
+                per_group[target_id] = digest
+            samples = digest._values
+            if samples is None:
+                # Sketch mode: the digest already promoted, so take the
+                # normal extend path (it feeds the sketch directly).
+                digest.extend(contiguous[start:stop], (low, high))
+                continue
+            if digest._min is None or low < digest._min:
+                digest._min = low
+            if digest._max is None or high > digest._max:
+                digest._max = high
+            samples.frombytes(raw[8 * start : 8 * stop])
+            digest._sorted = None
+            digest._sorted_array = None
+            if threshold is not None and len(samples) > threshold:
+                digest._promote()
 
     @property
     def days(self) -> Tuple[int, ...]:
@@ -710,6 +781,67 @@ class RequestDiffLog:
         self._client_index.extend([client_index] * n)
         self._region_code.extend([code] * n)
         # float32 storage, same cast the scalar append performs.
+        self._anycast.frombytes(
+            np.ascontiguousarray(anycast_rtts_ms, dtype=np.float32).tobytes()
+        )
+        self._best_unicast.frombytes(
+            np.ascontiguousarray(
+                best_unicast_rtts_ms, dtype=np.float32
+            ).tobytes()
+        )
+
+    def observe_columns(
+        self,
+        day: int,
+        client_indices: np.ndarray,
+        region_codes: np.ndarray,
+        anycast_rtts_ms: np.ndarray,
+        best_unicast_rtts_ms: np.ndarray,
+    ) -> None:
+        """Record one whole day of beacon summaries as columns.
+
+        The matrix engine's sink: unlike :meth:`observe_many`, rows may
+        span many clients and regions.  ``region_codes`` must come from
+        *this* log's :meth:`region_code` registry.  Exact mode packs the
+        columns straight into the backing arrays (same float32 casts as
+        the per-client paths, so the stored row multiset is identical);
+        bounded mode fans the rows out to the per-(day, region) sketches.
+        """
+        n = int(anycast_rtts_ms.shape[0])
+        if (
+            best_unicast_rtts_ms.shape[0] != n
+            or client_indices.shape[0] != n
+            or region_codes.shape[0] != n
+        ):
+            raise MeasurementError(
+                "column batches must have equal length"
+            )
+        if n == 0:
+            return
+        if self._bounded:
+            anycast32 = np.ascontiguousarray(
+                anycast_rtts_ms, dtype=np.float32
+            ).astype(np.float64)
+            best32 = np.ascontiguousarray(
+                best_unicast_rtts_ms, dtype=np.float32
+            ).astype(np.float64)
+            diffs = anycast32 - best32
+            for code in np.unique(region_codes):
+                name = self._region_names[int(code)]
+                self._sketch_for(day, name).extend(
+                    diffs[region_codes == code]
+                )
+            self._total += n
+            return
+        self._day.frombytes(
+            np.full(n, day, dtype=np.int32).tobytes()
+        )
+        self._client_index.frombytes(
+            np.ascontiguousarray(client_indices, dtype=np.int32).tobytes()
+        )
+        self._region_code.frombytes(
+            np.ascontiguousarray(region_codes, dtype=np.int8).tobytes()
+        )
         self._anycast.frombytes(
             np.ascontiguousarray(anycast_rtts_ms, dtype=np.float32).tobytes()
         )

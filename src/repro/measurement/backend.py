@@ -172,6 +172,28 @@ class BeaconBackend:
                     for observer in self._observers:
                         observer(joined)
 
+    def count_joined_bulk(self, count: int) -> None:
+        """Account ``count`` already-joined rows without batch objects.
+
+        The matrix engine writes its columns into the aggregate sinks
+        directly (no per-client :class:`JoinedBatch` is materialized),
+        so it reports its admitted row volume here — the same number a
+        per-client engine would accumulate via segment counts.  Only
+        valid for sinks with no scalar observers to notify.
+
+        Raises:
+            MeasurementError: if scalar observers are registered — they
+                would silently miss these rows.
+        """
+        if self._observers:
+            raise MeasurementError(
+                "bulk joined-count accounting cannot notify scalar "
+                "observers; use on_joined_batch"
+            )
+        if count < 0:
+            raise MeasurementError("joined count cannot be negative")
+        self._joined_count += count
+
     def merge(self, other: "BeaconBackend") -> "BeaconBackend":
         """Fold another backend's join state into this one (in place).
 

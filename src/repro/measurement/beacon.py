@@ -95,6 +95,7 @@ class BeaconTargetSelector:
         self._config = config or BeaconConfig()
         self._candidates: Dict[str, Tuple[str, ...]] = {}
         self._weights: Dict[str, Tuple[float, ...]] = {}
+        self._log_weights: Dict[str, np.ndarray] = {}
 
     @property
     def config(self) -> BeaconConfig:
@@ -144,6 +145,20 @@ class BeaconTargetSelector:
         """The candidates eligible for random picks (ranks 2..N)."""
         return self.candidates(ldns_id)[1:]
 
+    def log_pick_weights(self, ldns_id: str) -> np.ndarray:
+        """``log`` of the rank weights over :meth:`pick_pool`, cached.
+
+        The additive term of the Gumbel top-k pick used by the batched
+        engines; cached per LDNS so the per-(client, day) hot paths do
+        no allocation or ``log`` work.
+        """
+        cached = self._log_weights.get(ldns_id)
+        if cached is None:
+            self.candidates(ldns_id)  # also caches the weights
+            cached = np.log(np.asarray(self._weights[ldns_id]))
+            self._log_weights[ldns_id] = cached
+        return cached
+
     def sample_pick_indices(
         self, ldns_id: str, gen: np.random.Generator, count: int
     ) -> np.ndarray:
@@ -164,8 +179,7 @@ class BeaconTargetSelector:
         picks = min(self._config.random_picks, pool_size)
         if picks == 0 or count == 0:
             return np.empty((count, 0), dtype=np.intp)
-        log_weights = np.log(np.asarray(self._weights[ldns_id]))
-        keys = log_weights[np.newaxis, :] + gen.gumbel(
+        keys = self.log_pick_weights(ldns_id)[np.newaxis, :] + gen.gumbel(
             size=(count, pool_size)
         )
         if picks == pool_size:

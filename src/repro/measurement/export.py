@@ -679,15 +679,25 @@ def _dataset_from_frames(
 
 
 def save_dataset(
-    dataset: StudyDataset, path_or_file: Union[str, IO[str]]
+    dataset: StudyDataset,
+    path_or_file: Union[str, IO[str]],
+    columnar: bool = True,
 ) -> None:
     """Write a dataset as a crash-safe framed (v2) export.
 
     Paths are written via temp file + atomic rename, so an interrupted
-    save never leaves a torn file at the destination.
+    save never leaves a torn file at the destination.  Saves to a path
+    also write a columnar sidecar (``<path>.cols``,
+    :mod:`repro.measurement.columnar`) so later loads skip the JSON
+    frame parse; pass ``columnar=False`` to suppress it.  The sidecar
+    is best-effort — failing to write it never fails the save.
     """
     write_segment_file(path_or_file, _dataset_frames(dataset))
     if isinstance(path_or_file, str):
+        if columnar:
+            from repro.measurement.columnar import write_sidecar
+
+            write_sidecar(path_or_file, dataset)
         _log.info(
             "dataset saved",
             extra={
@@ -704,13 +714,44 @@ def _read_text(path_or_file: Union[str, IO[str]]) -> Tuple[str, str]:
     return path_or_file.read(), getattr(path_or_file, "name", "<stream>")
 
 
-def load_dataset(path_or_file: Union[str, IO[str]]) -> StudyDataset:
+def load_dataset(
+    path_or_file: Union[str, IO[str]], columnar: bool = True
+) -> StudyDataset:
     """Read a dataset export (framed v2, or a legacy v1 JSON document).
 
     Strict: a damaged v2 file raises :class:`StorageError` (use
     :func:`recover_dataset` to salvage), and a version-less or
     unknown-version file raises a clear :class:`MeasurementError`.
+
+    Loads from a path first try the columnar sidecar
+    (:mod:`repro.measurement.columnar`): when one exists and its
+    fingerprint matches the export's current bytes, the dataset decodes
+    from memory-mapped columns without touching the JSON frames.  A
+    missing or stale sidecar falls back to the framed parse and — for a
+    framed file — rewrites the sidecar so the next load is fast again.
+    Pass ``columnar=False`` to force the framed parse.
     """
+    fingerprint = None
+    if isinstance(path_or_file, str) and columnar:
+        from repro.measurement.columnar import (
+            file_fingerprint,
+            load_sidecar,
+            write_sidecar,
+        )
+
+        try:
+            fingerprint = file_fingerprint(path_or_file)
+        except OSError as error:
+            raise MeasurementError(
+                f"{path_or_file}: cannot read dataset export ({error})"
+            ) from error
+        cached = load_sidecar(path_or_file, fingerprint)
+        if cached is not None:
+            _log.info(
+                "dataset loaded",
+                extra={"path": path_or_file, "columnar": True},
+            )
+            return cached
     text, source = _read_text(path_or_file)
     if text.lstrip()[:1] == "{":
         try:
@@ -724,6 +765,11 @@ def load_dataset(path_or_file: Union[str, IO[str]]) -> StudyDataset:
     else:
         frames, report = read_segment_text(text, strict=True, source=source)
         dataset, _ = _dataset_from_frames(frames, report)
+        if fingerprint is not None:
+            # Framed parse succeeded but the sidecar was absent/stale:
+            # refresh it (best-effort) so the next load takes the
+            # columnar path.
+            write_sidecar(path_or_file, dataset, fingerprint)
     if isinstance(path_or_file, str):
         _log.info("dataset loaded", extra={"path": path_or_file})
     return dataset

@@ -457,6 +457,24 @@ class ValidationGate:
                 valid[row, col] = True
         return valid
 
+    def admit_bulk_valid(self, rtts: np.ndarray) -> bool:
+        """All-valid probe over an arbitrary RTT batch (matrix engine).
+
+        Returns ``True`` — after counting every cell as checked — when
+        the whole batch is valid, letting the caller skip per-block
+        bookkeeping entirely.  Returns ``False`` *without counting
+        anything* otherwise: the caller must then re-run the batch
+        through :meth:`admit_matrix` in reference-engine block order so
+        quarantine coordinates and ``records_total`` land exactly where
+        the per-client engines put them.
+        """
+        with np.errstate(invalid="ignore"):
+            valid = (rtts >= 0.0) & (rtts <= MAX_PLAUSIBLE_RTT_MS)
+        if valid.all():
+            self.records_total += int(rtts.size)
+            return True
+        return False
+
     def admit_count(
         self, day: int, client_key: str, frontend_id: str, count: int
     ) -> Optional[int]:

@@ -169,6 +169,12 @@ class Topology:
         }
         for link in links:
             self._add_link(link)
+        # Egress rankings depend only on (anchor metro, candidate set)
+        # over this frozen topology; route resolution asks for the same
+        # handful of rankings once per client, so memoize them.
+        self._egress_rank_cache: Dict[
+            Tuple[str, Tuple[str, ...]], Tuple[str, ...]
+        ] = {}
 
     def _add_link(self, link: Link) -> None:
         for asn in (link.a, link.b):
@@ -273,16 +279,21 @@ class Topology:
         Ties break on metro code for determinism.
         """
         as_ = self.get(asn)
-        candidates = sorted(set(candidate_metros))
+        if as_.egress_policy is EgressPolicy.COLD_POTATO:
+            anchor_code = as_.cold_potato_egress
+        else:
+            anchor_code = entry_metro
+        cache_key = (anchor_code, frozenset(candidate_metros))
+        cached = self._egress_rank_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        candidates = sorted(cache_key[1])
         if not candidates:
             raise TopologyError(
                 f"no candidate egress metros for AS{asn} from {entry_metro!r}"
             )
-        if as_.egress_policy is EgressPolicy.COLD_POTATO:
-            anchor = self._metro_db.get(as_.cold_potato_egress).location
-        else:
-            anchor = self._metro_db.get(entry_metro).location
-        return tuple(
+        anchor = self._metro_db.get(anchor_code).location
+        ranked = tuple(
             sorted(
                 candidates,
                 key=lambda code: (
@@ -291,6 +302,8 @@ class Topology:
                 ),
             )
         )
+        self._egress_rank_cache[cache_key] = ranked
+        return ranked
 
     def egress_metro(
         self,

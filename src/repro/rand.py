@@ -18,11 +18,13 @@ def derive_seed(seed: int, *tags: Union[str, int]) -> int:
     The derivation is stable across Python versions and processes (it uses
     SHA-256, not ``hash()``, which is salted per process).
     """
-    digest = hashlib.sha256()
-    digest.update(str(seed).encode("ascii"))
+    # One pre-joined buffer feeds sha256 in a single call; the byte
+    # stream (and therefore every derived seed) is identical to hashing
+    # str(seed), then "/" + str(tag) per tag, incrementally.
+    parts = [str(seed)]
     for tag in tags:
-        digest.update(b"/")
-        digest.update(str(tag).encode("utf-8"))
+        parts.append(str(tag))
+    digest = hashlib.sha256("/".join(parts).encode("utf-8"))
     return int.from_bytes(digest.digest()[:8], "big")
 
 

@@ -44,6 +44,7 @@ different random streams.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -78,6 +79,15 @@ from repro.measurement.validate import (
 from repro.clients.population import ClientPrefix
 from repro.rand import derive_rng, derive_seed
 from repro.simulation.churn import DayRoutePlan
+from repro.simulation.counterrng import (
+    ROW_CAP,
+    BeaconSlotLayout,
+    DayKeys,
+    gumbel_from_uniform,
+    hashed_uniform,
+    normal_from_uniforms,
+    normal_pair_from_uniforms,
+)
 from repro.simulation.dataset import StudyDataset
 from repro.simulation.episodes import EpisodeScope
 from repro.simulation.scenario import Scenario
@@ -96,13 +106,16 @@ class CampaignConfig:
             sharded parallel runs.
         workers: Worker-process count for the campaign, or ``None`` to
             inherit :attr:`repro.simulation.scenario.ScenarioConfig.workers`.
-        engine: Measurement engine — ``"reference"`` (scalar oracle) or
-            ``"vectorized"`` (numpy-batched, several times faster), or
+        engine: Measurement engine — ``"reference"`` (scalar oracle),
+            ``"vectorized"`` (numpy-batched per (client, day) block),
+            ``"matrix"`` (whole-day cross-client batches, fastest), or
             ``None`` to inherit
             :attr:`repro.simulation.scenario.ScenarioConfig.engine`.
-            Either engine is deterministic per seed and bit-identical
-            across worker counts; the two engines' datasets agree
-            statistically, not bit-for-bit.
+            Every engine is deterministic per seed and bit-identical
+            across worker counts.  ``vectorized`` and ``matrix`` share
+            the counter-based beacon streams and produce *bit-identical*
+            datasets; the reference engine consumes different streams,
+            so its dataset agrees statistically, not bit-for-bit.
         fault_plan: Optional deterministic fault schedule
             (:class:`repro.faults.FaultPlan`) injected into the run —
             worker crashes, hangs, transient exceptions, corrupted shard
@@ -189,10 +202,10 @@ class CampaignConfig:
                 f"unknown validation policy {self.validation!r}; expected "
                 "'strict', 'lenient', or 'repair'"
             )
-        if self.engine not in (None, "reference", "vectorized"):
+        if self.engine not in (None, "reference", "vectorized", "matrix"):
             raise ConfigurationError(
-                f"unknown engine {self.engine!r}; expected 'reference' or "
-                "'vectorized'"
+                f"unknown engine {self.engine!r}; expected 'reference', "
+                "'vectorized', or 'matrix'"
             )
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
@@ -438,11 +451,9 @@ class _PathCache:
 
     def _static_offset(self, client_key: str, path_key: str, anycast: bool) -> float:
         scenario = self._scenario
-        rng = derive_rng(
-            scenario.config.seed, "path-quality", client_key, path_key
-        )
-        return scenario.latency_model.sample_static_offset_ms(
-            rng, anycast=anycast
+        return scenario.latency_model.static_offset_from_seed(
+            derive_seed(scenario.config.seed, "path-quality", client_key, path_key),
+            anycast=anycast,
         )
 
     def anycast(self, client_key: str, rank: int) -> Tuple[str, float]:
@@ -504,6 +515,211 @@ class _PathCache:
 #: ``_MAX_BLOCK_BEACONS x targets`` doubles regardless of volume.
 _MAX_BLOCK_BEACONS = 4096
 
+#: Rows the matrix engine synthesizes per chunk.  A chunk concatenates
+#: whole 4096-session spans from many clients; this cap bounds the
+#: transient day matrices the same way ``_MAX_BLOCK_BEACONS`` bounds the
+#: per-client engine's.
+_MATRIX_CHUNK_ROWS = 32768
+
+
+def _layout_for(beacon_config: BeaconConfig) -> BeaconSlotLayout:
+    """The draw-slot layout implied by the beacon methodology."""
+    pool_max = max(beacon_config.candidate_count - 1, 0)
+    targets_max = 2 + min(beacon_config.random_picks, pool_max)
+    return BeaconSlotLayout(pool_max, targets_max)
+
+
+def _daily_path_offsets(
+    latency_config,
+    layout: BeaconSlotLayout,
+    daily_key: np.uint64,
+    client_indices: np.ndarray,
+    pool_size: int,
+) -> np.ndarray:
+    """Per-day congestion offsets for every (client, unicast path) pair.
+
+    Returns a ``(clients, 1 + pool_size)`` matrix: column 0 the closest
+    unicast target, column ``1 + j`` pool position ``j``.  Every value is
+    a pure function of (seed, day, client index, path slot) through the
+    counter streams, so the per-client oracle and the whole-day matrix
+    engine evaluate identical offsets no matter how they batch the
+    computation.  The *anycast* path's offset is not here: it stays on
+    the shared per-(day, client) ``derive_rng`` scalar stream so the
+    reference and batched engines realize the same anycast elevation
+    days (the per-client anycast distributions are compared directly by
+    the equivalence tests; path slot 0 is reserved for it).
+    """
+    cfg = latency_config
+    count = int(client_indices.shape[0])
+    n_paths = 1 + pool_size
+    offsets = np.zeros((count, n_paths))
+    if cfg.daily_variation_median_ms == 0.0:
+        return offsets
+    base = client_indices.astype(np.uint64)[:, None] * np.uint64(
+        layout.path_stride
+    ) + np.arange(1, 1 + n_paths, dtype=np.uint64)[None, :] * np.uint64(3)
+    gate_u = hashed_uniform(daily_key, base)
+    rows, cols = np.nonzero(gate_u < cfg.daily_variation_probability)
+    if rows.size:
+        elevated = base[rows, cols]
+        z = normal_from_uniforms(
+            hashed_uniform(daily_key, elevated + np.uint64(1)),
+            hashed_uniform(daily_key, elevated + np.uint64(2)),
+        )
+        offsets[rows, cols] = np.exp(
+            math.log(cfg.daily_variation_median_ms)
+            + cfg.daily_variation_sigma * z
+        )
+    return offsets
+
+
+def _synthesize_rtts(
+    latency_config,
+    beacon_config: BeaconConfig,
+    layout: BeaconSlotLayout,
+    beacon_key: np.uint64,
+    row_gids: np.ndarray,
+    pool_size: int,
+    picks: int,
+    log_weights: Optional[np.ndarray],
+    frac0,
+    anycast_fixed0,
+    anycast_fixed1,
+    unicast_fixed: np.ndarray,
+    overhead_rows: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthesize RTT rows from the counter streams.
+
+    The single draw path both batched engines share: every random term —
+    rank switch, Gumbel pick keys, jitter body, spike gate/magnitude,
+    measurement overhead — is evaluated from ``hashed_uniform`` at the
+    (row, slot) coordinates in ``row_gids``/``layout``, and every
+    floating-point expression is written once here, so any batching of
+    the same rows produces bit-identical values.
+
+    Args:
+        row_gids: Stride-scaled (client, row) draw coordinates.
+        log_weights: ``log`` pick weights — a ``(pool_size,)`` vector
+            (single client) or ``(rows, pool_size)`` matrix; only needed
+            when ``0 < picks < pool_size``.
+        frac0: First-rank traffic fraction (scalar or per-row);
+            ``1.0`` for single-rank days, which makes the rank draw a
+            no-op since uniforms are strictly below 1.
+        anycast_fixed0 / anycast_fixed1: Fixed anycast RTT component on
+            the first / second session rank (scalar or per-row).
+        unicast_fixed: Fixed components for the closest target (col 0)
+            and the pick pool (cols 1..) — ``(1 + pool_size,)`` vector
+            or per-row matrix.
+        overhead_rows: Row indices that lack Resource Timing and incur
+            the measurement-overhead term, or ``None`` for none.
+
+    Returns:
+        ``(on_first_rank, pick_indices, rtts)`` — the rank mask, the
+        ``(rows, picks)`` pool-index matrix, and the rounded
+        ``(rows, 2 + picks)`` RTT matrix.
+    """
+    cfg = latency_config
+    n = int(row_gids.shape[0])
+    targets = 2 + picks
+
+    on_first = hashed_uniform(beacon_key, row_gids) < frac0
+
+    if picks == 0:
+        pick_indices = np.empty((n, 0), dtype=np.intp)
+    elif picks == pool_size:
+        pick_indices = np.tile(np.arange(pool_size, dtype=np.intp), (n, 1))
+    else:
+        assert log_weights is not None
+        pick_slots = np.arange(
+            layout.pick_base, layout.pick_base + pool_size, dtype=np.uint64
+        )
+        keys = log_weights + gumbel_from_uniform(
+            hashed_uniform(beacon_key, row_gids[:, None] + pick_slots)
+        )
+        pick_indices = np.argpartition(-keys, picks - 1, axis=1)[:, :picks]
+
+    if cfg.jitter_median_ms > 0.0:
+        pair_slots = np.arange(
+            layout.jitter_base,
+            layout.jitter_base + targets + (targets & 1),
+            2,
+            dtype=np.uint64,
+        )
+        pair_gids = row_gids[:, None] + pair_slots
+        z_cos, z_sin = normal_pair_from_uniforms(
+            hashed_uniform(beacon_key, pair_gids),
+            hashed_uniform(beacon_key, pair_gids + np.uint64(1)),
+        )
+        body = np.empty((n, 2 * pair_slots.shape[0]))
+        body[:, 0::2] = z_cos
+        body[:, 1::2] = z_sin
+        jitter = np.exp(
+            math.log(cfg.jitter_median_ms)
+            + cfg.jitter_sigma * body[:, :targets]
+        )
+    else:
+        jitter = np.zeros((n, targets))
+
+    if cfg.spike_probability > 0.0:
+        spike_slots = np.arange(
+            layout.spike_base, layout.spike_base + targets, dtype=np.uint64
+        )
+        spiked = (
+            hashed_uniform(beacon_key, row_gids[:, None] + spike_slots)
+            < cfg.spike_probability
+        )
+        rows, cols = np.nonzero(spiked)
+        if rows.size:
+            # Spike magnitudes exist only where the gate fired; counter
+            # streams let both engines evaluate exactly that subset.
+            mag_gids = (
+                row_gids[rows]
+                + np.uint64(layout.spike_mag_base)
+                + cols.astype(np.uint64) * np.uint64(2)
+            )
+            z = normal_from_uniforms(
+                hashed_uniform(beacon_key, mag_gids),
+                hashed_uniform(beacon_key, mag_gids + np.uint64(1)),
+            )
+            jitter[rows, cols] += np.exp(
+                math.log(cfg.spike_median_ms) + cfg.spike_sigma * z
+            )
+
+    if overhead_rows is not None and overhead_rows.size:
+        oh_slots = np.arange(
+            layout.overhead_base,
+            layout.overhead_base + 2 * targets,
+            2,
+            dtype=np.uint64,
+        )
+        oh_gids = row_gids[overhead_rows][:, None] + oh_slots
+        z = normal_from_uniforms(
+            hashed_uniform(beacon_key, oh_gids),
+            hashed_uniform(beacon_key, oh_gids + np.uint64(1)),
+        )
+        jitter[overhead_rows] += np.maximum(
+            beacon_config.primitive_overhead_mean_ms
+            + beacon_config.primitive_overhead_sigma_ms * z,
+            0.0,
+        )
+
+    fixed = np.empty((n, targets))
+    fixed[:, 0] = np.where(on_first, anycast_fixed0, anycast_fixed1)
+    if unicast_fixed.ndim == 1:
+        fixed[:, 1] = unicast_fixed[0]
+        if picks:
+            fixed[:, 2:] = unicast_fixed[1:][pick_indices]
+    else:
+        fixed[:, 1] = unicast_fixed[:, 0]
+        if picks:
+            fixed[:, 2:] = np.take_along_axis(
+                unicast_fixed[:, 1:], pick_indices, axis=1
+            )
+    # Browser timing APIs report integer milliseconds (same rounding
+    # the reference engine applies per fetch).
+    rtts = np.rint(fixed + jitter)
+    return on_first, pick_indices, rtts
+
 
 class _VectorizedBeaconEngine:
     """Batched beacon synthesis: one numpy block per (client, day).
@@ -513,11 +729,12 @@ class _VectorizedBeaconEngine:
     This engine synthesizes a whole (client, day) block of ``B`` beacons
     × ``T`` targets as arrays:
 
-    * session-rank switches, random-pick indices, daily congestion
-      offsets, jitter bodies, spike masks, spike magnitudes, and
-      primitive-timing overheads are batched draws from one
-      ``numpy.random.Generator`` seeded by
-      ``derive_seed(seed, "campaign-vec", day, client)``;
+    * session-rank switches, random-pick keys, daily congestion offsets,
+      jitter bodies, spike masks, spike magnitudes, and primitive-timing
+      overheads are counter-based streams
+      (:mod:`repro.simulation.counterrng`): pure functions of (seed, day,
+      client index, beacon row, slot), evaluated through the shared
+      :func:`_synthesize_rtts` path;
     * per-target fixed components (cached path baseline + persistent
       offset + daily congestion offset + episode inflation) assemble into
       a ``(B, T)`` base matrix that the jitter adds onto;
@@ -525,11 +742,14 @@ class _VectorizedBeaconEngine:
       (:meth:`BeaconBackend.on_joined_batch`,
       :meth:`RequestDiffLog.observe_many`) — no per-sample Python calls.
 
-    Because every draw derives from ``(seed, day, client)``, the engine
-    is deterministic per seed and bit-identical across serial, sharded,
-    and re-ordered runs — the same contract the reference engine has,
-    just over a different stream, so digests differ between engines while
-    the distributions match (pinned by the equivalence tests).
+    Because every draw is a pure per-coordinate function, the engine is
+    deterministic per seed and bit-identical across serial, sharded, and
+    re-ordered runs — and, by construction, bit-identical to the
+    whole-day :class:`_MatrixBeaconEngine`, which evaluates the same
+    streams batched across clients.  This per-client form is the oracle
+    the matrix engine is verified against.  The reference engine consumes
+    different streams, so its digests differ while the distributions
+    match (pinned by the equivalence tests).
     """
 
     def __init__(
@@ -551,24 +771,12 @@ class _VectorizedBeaconEngine:
         self._gate = gate
         self._latency = scenario.latency_model
         self._seed = scenario.config.seed
-
-    def _unicast_fixed_ms(
-        self,
-        client_key: str,
-        target_id: str,
-        daily_offset_ms: float,
-        degraded_frontend: Optional[str],
-        unicast_inflation: float,
-    ) -> float:
-        """Baseline + daily offset (+ episode inflation) for one target."""
-        fixed = self._paths.unicast(client_key, target_id) + daily_offset_ms
-        if target_id == degraded_frontend:
-            fixed += unicast_inflation
-        return fixed
+        self._layout = _layout_for(beacon_config)
 
     def run_client_day(
         self,
         day: int,
+        day_keys: DayKeys,
         client: ClientPrefix,
         client_index: int,
         region: str,
@@ -582,83 +790,34 @@ class _VectorizedBeaconEngine:
     ) -> None:
         """Synthesize and sink one client-day's ``beacons`` sessions.
 
-        Days up to ``_MAX_BLOCK_BEACONS`` sessions run as a single block
-        and consume the per-(client, day) stream exactly as they always
-        have.  Heavier days (large simulated populations behind one /24)
-        are split into fixed-size blocks over the same stream, so the
-        transient ``(B, T)`` matrices — the campaign's peak-memory
-        driver — stay bounded no matter the day's volume.  Daily
-        congestion offsets are cached per unicast path across blocks
-        (one draw per path per day, first-touch order), preserving the
-        one-offset-per-path-per-day semantics.  Block boundaries are a
-        pure function of ``beacons``, so chunked runs remain
-        deterministic and shard-order-independent.
+        Days up to ``_MAX_BLOCK_BEACONS`` sessions run as a single
+        block.  Heavier days (large simulated populations behind one
+        /24) are split into fixed-size blocks with *absolute* row
+        indices into the counter streams, so the transient ``(B, T)``
+        matrices — the campaign's peak-memory driver — stay bounded no
+        matter the day's volume while every draw stays independent of
+        the block boundaries.
         """
-        key = client.key
-        gen = np.random.default_rng(
-            derive_seed(self._seed, "campaign-vec", day, key)
-        )
-        daily_offset_cache: Dict[int, float] = {}
-        for start in range(0, beacons, _MAX_BLOCK_BEACONS):
-            self._run_block(
-                day,
-                client,
-                client_index,
-                region,
-                resource_timing_supported,
-                plan,
-                min(_MAX_BLOCK_BEACONS, beacons - start),
-                start,
-                anycast_extra_ms,
-                degraded_frontend,
-                unicast_inflation_ms,
-                gen,
-                daily_offset_cache,
-                dirty_slots,
+        if beacons > ROW_CAP:
+            raise ConfigurationError(
+                f"client-day of {beacons} beacons exceeds the "
+                f"{ROW_CAP} row capacity of the counter streams"
             )
-
-    def _daily_offsets_for(
-        self,
-        gen: np.random.Generator,
-        cache: Dict[int, float],
-        path_keys: List[int],
-    ) -> None:
-        """Draw daily congestion offsets for any not-yet-seen paths.
-
-        ``path_keys`` uses ``-1`` for the closest target and pool indices
-        for picked targets; draws happen in the given order, one batch
-        call, so the single-block case consumes the stream exactly as
-        the unchunked implementation did.
-        """
-        missing = [k for k in path_keys if k not in cache]
-        if not missing:
-            return
-        drawn = self._latency.sample_daily_variation_batch_ms(
-            gen, len(missing), anycast=False
-        )
-        for path_key, offset in zip(missing, drawn):
-            cache[path_key] = float(offset)
-
-    def _run_block(
-        self,
-        day: int,
-        client: ClientPrefix,
-        client_index: int,
-        region: str,
-        resource_timing_supported: bool,
-        plan: DayRoutePlan,
-        beacons: int,
-        beacon_start: int,
-        anycast_extra_ms: float,
-        degraded_frontend: Optional[str],
-        unicast_inflation_ms: float,
-        gen: np.random.Generator,
-        daily_offset_cache: Dict[int, float],
-        dirty_slots: Optional[Dict[int, FaultKind]] = None,
-    ) -> None:
-        """Synthesize and sink one block of ``beacons`` sessions."""
         key = client.key
         ldns_id = client.ldns_id
+        selector = self._selector
+        closest = selector.closest(ldns_id)
+        pool = selector.pick_pool(ldns_id)
+        pool_size = len(pool)
+        picks = min(self._beacon_config.random_picks, pool_size)
+
+        offsets = _daily_path_offsets(
+            self._latency.config,
+            self._layout,
+            day_keys.daily,
+            np.array([client_index]),
+            pool_size,
+        )[0]
 
         # Anycast fixed component per possible session rank (1 or 2).
         rank_frontends: List[str] = []
@@ -667,72 +826,111 @@ class _VectorizedBeaconEngine:
             frontend_id, baseline = self._paths.anycast(key, rank)
             rank_frontends.append(frontend_id)
             rank_fixed.append(baseline + anycast_extra_ms)
-        if len(plan.ranks) > 1:
-            on_first_rank = gen.random(beacons) < plan.fractions[0]
-            anycast_fixed = np.where(
-                on_first_rank, rank_fixed[0], rank_fixed[1]
-            )
-        else:
-            on_first_rank = None
-            anycast_fixed = np.full(beacons, rank_fixed[0])
+        dual_rank = len(plan.ranks) > 1
+        # With frac0 pinned to 1.0, the rank draw (strictly below 1)
+        # always lands on the first rank — single-rank days cost no
+        # branch in the shared synthesis path.
+        frac0 = plan.fractions[0] if dual_rank else 1.0
+        anycast_fixed0 = rank_fixed[0]
+        anycast_fixed1 = rank_fixed[1] if dual_rank else rank_fixed[0]
 
-        closest = self._selector.closest(ldns_id)
-        pick_indices = self._selector.sample_pick_indices(
-            ldns_id, gen, beacons
+        unicast_fixed = np.empty(1 + pool_size)
+        unicast_fixed[0] = self._paths.unicast(key, closest) + offsets[0]
+        for position, target_id in enumerate(pool):
+            unicast_fixed[1 + position] = (
+                self._paths.unicast(key, target_id) + offsets[1 + position]
+            )
+        if degraded_frontend is not None:
+            if closest == degraded_frontend:
+                unicast_fixed[0] += unicast_inflation_ms
+            for position, target_id in enumerate(pool):
+                if target_id == degraded_frontend:
+                    unicast_fixed[1 + position] += unicast_inflation_ms
+
+        log_weights = (
+            selector.log_pick_weights(ldns_id)
+            if 0 < picks < pool_size
+            else None
         )
-        picks = pick_indices.shape[1]
+        for start in range(0, beacons, _MAX_BLOCK_BEACONS):
+            self._run_block(
+                day,
+                day_keys,
+                key,
+                ldns_id,
+                client_index,
+                region,
+                resource_timing_supported,
+                dual_rank,
+                frac0,
+                anycast_fixed0,
+                anycast_fixed1,
+                unicast_fixed,
+                log_weights,
+                rank_frontends,
+                closest,
+                pool,
+                pool_size,
+                picks,
+                min(_MAX_BLOCK_BEACONS, beacons - start),
+                start,
+                dirty_slots,
+            )
+
+    def _run_block(
+        self,
+        day: int,
+        day_keys: DayKeys,
+        key: str,
+        ldns_id: str,
+        client_index: int,
+        region: str,
+        resource_timing_supported: bool,
+        dual_rank: bool,
+        frac0: float,
+        anycast_fixed0: float,
+        anycast_fixed1: float,
+        unicast_fixed: np.ndarray,
+        log_weights: Optional[np.ndarray],
+        rank_frontends: List[str],
+        closest: str,
+        pool: Tuple[str, ...],
+        pool_size: int,
+        picks: int,
+        beacons: int,
+        beacon_start: int,
+        dirty_slots: Optional[Dict[int, FaultKind]] = None,
+    ) -> None:
+        """Synthesize and sink one block of ``beacons`` sessions."""
         targets = 2 + picks
-        pool = self._selector.pick_pool(ldns_id)
+        rows = np.arange(
+            beacon_start, beacon_start + beacons, dtype=np.uint64
+        )
+        row_gids = self._layout.row_gids(client_index, rows)
+        overhead_rows = (
+            None if resource_timing_supported else np.arange(beacons)
+        )
+        on_first_rank, pick_indices, rtts = _synthesize_rtts(
+            self._latency.config,
+            self._beacon_config,
+            self._layout,
+            day_keys.beacon,
+            row_gids,
+            pool_size,
+            picks,
+            log_weights,
+            frac0,
+            anycast_fixed0,
+            anycast_fixed1,
+            unicast_fixed,
+            overhead_rows,
+        )
+        if not dual_rank:
+            on_first_rank = None
         if picks:
             picked_pool_indices = np.unique(pick_indices)
         else:
             picked_pool_indices = np.empty(0, dtype=np.intp)
-
-        # One daily congestion draw per unicast path the day's beacons
-        # touch: the closest target first, then the picked pool targets
-        # in index order (cached across blocks of the same day).
-        self._daily_offsets_for(
-            gen,
-            daily_offset_cache,
-            [-1] + [int(i) for i in picked_pool_indices],
-        )
-        daily_offsets = [daily_offset_cache[-1]] + [
-            daily_offset_cache[int(i)] for i in picked_pool_indices
-        ]
-
-        jitter = self._latency.sample_jitter_batch_ms(
-            gen, (beacons, targets)
-        )
-        if not resource_timing_supported:
-            cfg = self._beacon_config
-            overhead = gen.normal(
-                cfg.primitive_overhead_mean_ms,
-                cfg.primitive_overhead_sigma_ms,
-                (beacons, targets),
-            )
-            jitter = jitter + np.maximum(overhead, 0.0)
-
-        fixed = np.empty((beacons, targets))
-        fixed[:, 0] = anycast_fixed
-        fixed[:, 1] = self._unicast_fixed_ms(
-            key, closest, daily_offsets[0], degraded_frontend,
-            unicast_inflation_ms,
-        )
-        if picks:
-            pool_fixed = np.zeros(len(pool))
-            for position, pool_index in enumerate(picked_pool_indices):
-                pool_fixed[pool_index] = self._unicast_fixed_ms(
-                    key,
-                    pool[pool_index],
-                    daily_offsets[1 + position],
-                    degraded_frontend,
-                    unicast_inflation_ms,
-                )
-            fixed[:, 2:] = pool_fixed[pick_indices]
-
-        # Browser timing APIs report integer milliseconds (same rounding
-        # the reference engine applies per fetch).
-        rtts = np.rint(fixed + jitter)
 
         if dirty_slots:
             # Record faults land on flat b * T + t slots — the same
@@ -818,6 +1016,700 @@ class _VectorizedBeaconEngine:
                 segments=tuple(segments),
             )
         )
+
+
+class _MatrixGroup:
+    """One target-shape cohort of the matrix engine's member table.
+
+    Clients sharing a pick-pool size share a target count, so their
+    beacon rows have identical width and can be synthesized in one
+    matrix.  Member columns are frozen at engine construction; the
+    ``staged_*`` fields accumulate one day's active client-days between
+    :meth:`_MatrixBeaconEngine.stage_client_day` and
+    :meth:`_MatrixBeaconEngine.run_day`.
+    """
+
+    __slots__ = (
+        "pool_size",
+        "picks",
+        "keys",
+        "ldns_ids",
+        "slot_ldns_ids",
+        "closests",
+        "pools",
+        "client_indices",
+        "region_codes",
+        "rt_overhead",
+        "base_unicast",
+        "log_weights",
+        "ldns_slot",
+        "staged_members",
+        "staged_beacons",
+        "staged_frac0",
+        "staged_af0",
+        "staged_af1",
+        "staged_degraded",
+        "staged_dirty",
+    )
+
+    def __init__(self, pool_size: int, picks: int) -> None:
+        self.pool_size = pool_size
+        self.picks = picks
+        self.keys: List[str] = []
+        self.ldns_ids: List[str] = []
+        self.slot_ldns_ids: List[str] = []
+        self.closests: List[str] = []
+        self.pools: List[Tuple[str, ...]] = []
+        self.client_indices: np.ndarray = np.empty(0, dtype=np.int64)
+        self.region_codes: np.ndarray = np.empty(0, dtype=np.int8)
+        self.rt_overhead: np.ndarray = np.empty(0, dtype=bool)
+        self.base_unicast: np.ndarray = np.empty((0, 1 + pool_size))
+        self.log_weights: Optional[np.ndarray] = None
+        self.ldns_slot: np.ndarray = np.empty(0, dtype=np.intp)
+        self.clear_staging()
+
+    def clear_staging(self) -> None:
+        self.staged_members: List[int] = []
+        self.staged_beacons: List[int] = []
+        self.staged_frac0: List[float] = []
+        self.staged_af0: List[float] = []
+        self.staged_af1: List[float] = []
+        #: (staged row, unicast column, inflation) episode adjustments
+        self.staged_degraded: List[Tuple[int, int, float]] = []
+        #: staged row → flat-slot dirty-record map
+        self.staged_dirty: Dict[int, Dict[int, FaultKind]] = {}
+
+
+class _MatrixBeaconEngine:
+    """Whole-day beacon synthesis: one matrix pipeline across clients.
+
+    The chunked :class:`_VectorizedBeaconEngine` synthesizes one
+    (client, day) block per call — correct, but every client-day pays
+    Python and small-array overhead.  This engine synthesizes a whole
+    day at once: the day loop stages every active client's scalars
+    (volume, route plan, episode adjustments), and :meth:`run_day`
+    expands them into cross-client row chunks of up to
+    ``_MATRIX_CHUNK_ROWS`` sessions that flow through the *same*
+    :func:`_synthesize_rtts` counter-stream path the oracle uses.
+
+    Bit-identity with the oracle holds by construction:
+
+    * every random term is a pure function of (seed, day, client index,
+      row, slot) — batching across clients evaluates the same values at
+      the same coordinates;
+    * every floating-point expression (fixed-component assembly, jitter
+      adds, rounding) is shared code or written in the same operation
+      order;
+    * chunk spans are aligned to the oracle's ``_MAX_BLOCK_BEACONS``
+      block grid, so validation-gate calls see the same block shapes
+      and quarantine the same block-local record coordinates.
+
+    Sinks are day-columnar: one :meth:`RequestDiffLog.observe_columns`
+    call per chunk, per-span bulk extends into the grouped aggregates,
+    and a single joined-count bump per chunk — no per-beacon Python.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        selector: BeaconTargetSelector,
+        paths: "_PathCache",
+        beacon_config: BeaconConfig,
+        backend: BeaconBackend,
+        request_diffs: RequestDiffLog,
+        ecs_aggregates: GroupedDailyAggregates,
+        ldns_aggregates: GroupedDailyAggregates,
+        gate: ValidationGate,
+        clients: Sequence[ClientPrefix],
+        regions: Dict[str, str],
+        resource_timing: Dict[str, bool],
+    ) -> None:
+        self._scenario = scenario
+        self._paths = paths
+        self._beacon_config = beacon_config
+        self._backend = backend
+        self._request_diffs = request_diffs
+        self._ecs = ecs_aggregates
+        self._ldns = ldns_aggregates
+        self._gate = gate
+        self._latency = scenario.latency_model
+        self._layout = _layout_for(beacon_config)
+        self._groups: Dict[int, _MatrixGroup] = {}
+        self._member: Dict[str, Tuple[_MatrixGroup, int]] = {}
+
+        # Freeze the member table: per-client invariants land in columns
+        # once, so the per-day staging path touches no dictionaries.
+        builders: Dict[int, Dict[str, list]] = {}
+        ldns_slots: Dict[int, Dict[str, int]] = {}
+        random_picks = beacon_config.random_picks
+        for client in clients:
+            key = client.key
+            ldns_id = client.ldns_id
+            pool = selector.pick_pool(ldns_id)
+            pool_size = len(pool)
+            group = self._groups.get(pool_size)
+            if group is None:
+                group = _MatrixGroup(
+                    pool_size, min(random_picks, pool_size)
+                )
+                self._groups[pool_size] = group
+                builders[pool_size] = {
+                    "cidx": [], "region": [], "rt": [], "base": [],
+                    "lslot": [], "logw": [],
+                }
+                ldns_slots[pool_size] = {}
+            build = builders[pool_size]
+            slots = ldns_slots[pool_size]
+            slot = slots.get(ldns_id)
+            if slot is None:
+                slot = len(group.closests)
+                slots[ldns_id] = slot
+                group.slot_ldns_ids.append(ldns_id)
+                group.closests.append(selector.closest(ldns_id))
+                group.pools.append(pool)
+                if 0 < group.picks < pool_size:
+                    build["logw"].append(
+                        selector.log_pick_weights(ldns_id)
+                    )
+            self._member[key] = (group, len(group.keys))
+            group.keys.append(key)
+            group.ldns_ids.append(ldns_id)
+            build["cidx"].append(scenario.client_index(key))
+            build["region"].append(
+                request_diffs.region_code(regions[key])
+            )
+            build["rt"].append(not resource_timing[key])
+            build["lslot"].append(slot)
+            base = np.empty(1 + pool_size)
+            base[0] = paths.unicast(key, group.closests[slot])
+            for position, target_id in enumerate(pool):
+                base[1 + position] = paths.unicast(key, target_id)
+            build["base"].append(base)
+        for pool_size, group in self._groups.items():
+            build = builders[pool_size]
+            group.client_indices = np.asarray(build["cidx"], dtype=np.int64)
+            group.region_codes = np.asarray(build["region"], dtype=np.int8)
+            group.rt_overhead = np.asarray(build["rt"], dtype=bool)
+            group.ldns_slot = np.asarray(build["lslot"], dtype=np.intp)
+            group.base_unicast = (
+                np.vstack(build["base"])
+                if build["base"]
+                else np.empty((0, 1 + pool_size))
+            )
+            if build["logw"]:
+                group.log_weights = np.vstack(build["logw"])
+
+    def stage_client_day(
+        self,
+        client_key: str,
+        plan: DayRoutePlan,
+        beacons: int,
+        anycast_extra_ms: float,
+        degraded_frontend: Optional[str],
+        unicast_inflation_ms: float,
+        dirty_slots: Optional[Dict[int, FaultKind]] = None,
+    ) -> None:
+        """Queue one active client-day for the next :meth:`run_day`.
+
+        The scalar assembly here mirrors the oracle's
+        ``run_client_day`` expression-for-expression (same Python-float
+        additions, same adjustment order), which is what keeps the
+        fixed RTT components bit-identical.
+        """
+        if beacons > ROW_CAP:
+            raise ConfigurationError(
+                f"client-day of {beacons} beacons exceeds the "
+                f"{ROW_CAP} row capacity of the counter streams"
+            )
+        group, member = self._member[client_key]
+        staged_row = len(group.staged_members)
+        group.staged_members.append(member)
+        group.staged_beacons.append(beacons)
+        _, baseline0 = self._paths.anycast(client_key, plan.ranks[0])
+        anycast_fixed0 = baseline0 + anycast_extra_ms
+        if len(plan.ranks) > 1:
+            _, baseline1 = self._paths.anycast(client_key, plan.ranks[1])
+            group.staged_frac0.append(plan.fractions[0])
+            group.staged_af1.append(baseline1 + anycast_extra_ms)
+        else:
+            group.staged_frac0.append(1.0)
+            group.staged_af1.append(anycast_fixed0)
+        group.staged_af0.append(anycast_fixed0)
+        if degraded_frontend is not None:
+            slot = group.ldns_slot[member]
+            if group.closests[slot] == degraded_frontend:
+                group.staged_degraded.append(
+                    (staged_row, 0, unicast_inflation_ms)
+                )
+            for position, target_id in enumerate(group.pools[slot]):
+                if target_id == degraded_frontend:
+                    group.staged_degraded.append(
+                        (staged_row, 1 + position, unicast_inflation_ms)
+                    )
+        if dirty_slots:
+            group.staged_dirty[staged_row] = dirty_slots
+
+    def run_day(self, day: int, day_keys: DayKeys) -> int:
+        """Synthesize and sink every staged client-day; returns chunks."""
+        chunks = 0
+        for group in self._groups.values():
+            if group.staged_members:
+                chunks += self._run_group_day(day, day_keys, group)
+                group.clear_staging()
+        return chunks
+
+    def _run_group_day(
+        self, day: int, day_keys: DayKeys, group: _MatrixGroup
+    ) -> int:
+        members = np.asarray(group.staged_members, dtype=np.intp)
+        beacons = np.asarray(group.staged_beacons, dtype=np.int64)
+        frac0 = np.asarray(group.staged_frac0)
+        af0 = np.asarray(group.staged_af0)
+        af1 = np.asarray(group.staged_af1)
+        cidx = group.client_indices[members]
+        regions = group.region_codes[members]
+        rt_overhead = group.rt_overhead[members]
+        ldns_slot = group.ldns_slot[members]
+
+        # Daily congestion offsets for every staged (client, unicast
+        # path) in one evaluation, then the same offsets-then-episode
+        # adjustment order the oracle applies per client.
+        unicast_fixed = group.base_unicast[members] + _daily_path_offsets(
+            self._latency.config,
+            self._layout,
+            day_keys.daily,
+            cidx,
+            group.pool_size,
+        )
+        for staged_row, column, inflation in group.staged_degraded:
+            unicast_fixed[staged_row, column] += inflation
+
+        # Expand client-days into oracle-aligned spans: client-day rows
+        # [k * 4096, (k+1) * 4096) form span k, so the validation gate
+        # sees exactly the oracle's block shapes.
+        n_spans = (
+            beacons + (_MAX_BLOCK_BEACONS - 1)
+        ) // _MAX_BLOCK_BEACONS
+        total_spans = int(n_spans.sum())
+        span_member = np.repeat(np.arange(len(members)), n_spans)
+        span_excl = np.cumsum(n_spans) - n_spans
+        span_rank = np.arange(total_spans) - span_excl[span_member]
+        span_start = span_rank * _MAX_BLOCK_BEACONS
+        span_len = np.minimum(
+            beacons[span_member] - span_start, _MAX_BLOCK_BEACONS
+        )
+
+        chunks = 0
+        start = 0
+        while start < total_spans:
+            stop = start + 1
+            rows = int(span_len[start])
+            while (
+                stop < total_spans
+                and rows + int(span_len[stop]) <= _MATRIX_CHUNK_ROWS
+            ):
+                rows += int(span_len[stop])
+                stop += 1
+            self._run_chunk(
+                day,
+                day_keys,
+                group,
+                frac0,
+                af0,
+                af1,
+                unicast_fixed,
+                cidx,
+                regions,
+                rt_overhead,
+                ldns_slot,
+                members,
+                span_member[start:stop],
+                span_start[start:stop],
+                span_len[start:stop],
+            )
+            chunks += 1
+            start = stop
+        return chunks
+
+    def _run_chunk(
+        self,
+        day: int,
+        day_keys: DayKeys,
+        group: _MatrixGroup,
+        frac0: np.ndarray,
+        af0: np.ndarray,
+        af1: np.ndarray,
+        unicast_fixed: np.ndarray,
+        cidx: np.ndarray,
+        regions: np.ndarray,
+        rt_overhead: np.ndarray,
+        ldns_slot: np.ndarray,
+        members: np.ndarray,
+        span_member: np.ndarray,
+        span_start: np.ndarray,
+        span_len: np.ndarray,
+    ) -> None:
+        picks = group.picks
+        targets = 2 + picks
+        n_rows = int(span_len.sum())
+        row_starts = np.cumsum(span_len) - span_len
+        row_member = np.repeat(span_member, span_len)
+        rows_abs = (
+            np.arange(n_rows, dtype=np.int64)
+            - np.repeat(row_starts, span_len)
+            + np.repeat(span_start, span_len)
+        )
+        row_gids = self._layout.row_gids(cidx[row_member], rows_abs)
+        overhead_rows = np.nonzero(rt_overhead[row_member])[0]
+        log_weights = (
+            group.log_weights[ldns_slot[row_member]]
+            if group.log_weights is not None
+            else None
+        )
+        on_first, pick_indices, rtts = _synthesize_rtts(
+            self._latency.config,
+            self._beacon_config,
+            self._layout,
+            day_keys.beacon,
+            row_gids,
+            group.pool_size,
+            picks,
+            log_weights,
+            frac0[row_member],
+            af0[row_member],
+            af1[row_member],
+            unicast_fixed[row_member],
+            overhead_rows if overhead_rows.size else None,
+        )
+
+        # Dirty-record faults, rebased from day-flat slots into chunk
+        # rows — same coordinates, same pre-admission application point
+        # as the per-client engines.
+        has_dirty = False
+        if group.staged_dirty:
+            for span_index in range(len(span_member)):
+                dirty = group.staged_dirty.get(int(span_member[span_index]))
+                if not dirty:
+                    continue
+                base_row = int(row_starts[span_index])
+                first = int(span_start[span_index])
+                length = int(span_len[span_index])
+                for flat, kind in dirty.items():
+                    b, t = divmod(flat, targets)
+                    b -= first
+                    if not 0 <= b < length:
+                        continue
+                    has_dirty = True
+                    rtts[base_row + b, t] = RecordFaultInjector.dirty_value(
+                        kind, float(rtts[base_row + b, t])
+                    )
+
+        # Validation: one all-valid probe for the whole chunk (the
+        # overwhelmingly common case), else per-span admit_matrix calls
+        # reproducing the oracle's block-local quarantine coordinates.
+        admits: Optional[List[Optional[np.ndarray]]] = None
+        if has_dirty or not self._gate.admit_bulk_valid(rtts):
+            admits = []
+            for span_index in range(len(span_member)):
+                base_row = int(row_starts[span_index])
+                length = int(span_len[span_index])
+                member = int(members[span_member[span_index]])
+                admits.append(
+                    self._gate.admit_matrix(
+                        day,
+                        group.keys[member],
+                        rtts[base_row:base_row + length],
+                    )
+                )
+
+        if admits is None:
+            self._sink_chunk_clean(
+                day, group, members, span_member, span_len, row_starts,
+                row_member, ldns_slot, cidx, regions, pick_indices, rtts,
+            )
+        else:
+            self._sink_chunk_masked(
+                day, group, members, span_member, span_len, row_starts,
+                row_member, cidx, regions, admits, pick_indices, rtts,
+            )
+
+    def _sink_chunk_clean(
+        self,
+        day: int,
+        group: _MatrixGroup,
+        members: np.ndarray,
+        span_member: np.ndarray,
+        span_len: np.ndarray,
+        row_starts: np.ndarray,
+        row_member: np.ndarray,
+        ldns_slot: np.ndarray,
+        cidx: np.ndarray,
+        regions: np.ndarray,
+        pick_indices: np.ndarray,
+        rtts: np.ndarray,
+    ) -> None:
+        """Sink an all-admitted chunk with run-grouped columnar extends.
+
+        Each (day, group, target) still receives exactly the multiset of
+        values the per-client oracle produces; what changes is the call
+        shape — runs found by one argsort per key instead of a boolean
+        mask per (client, pool position).  LDNS groups additionally
+        coalesce across the clients sharing a resolver, so that sink
+        sees one extend per (resolver, target) per chunk.
+        """
+        ecs = self._ecs
+        ldns_aggregates = self._ldns
+        picks = group.picks
+        pool_size = group.pool_size
+        n_rows = rtts.shape[0]
+        self._backend.count_joined_bulk(n_rows * (2 + picks))
+        self._request_diffs.observe_columns(
+            day,
+            cidx[row_member],
+            regions[row_member],
+            rtts[:, 0],
+            rtts[:, 1:].min(axis=1),
+        )
+
+        # Anycast + closest per client-day: each span IS one client-day
+        # segment, already contiguous.  Run extrema come from one
+        # reduceat over the span boundaries instead of two reductions
+        # per extend.
+        keys = group.keys
+        closests = group.closests
+        member_slot = group.ldns_slot
+        span_members = members[span_member].tolist()
+        anycast_col = np.ascontiguousarray(rtts[:, 0])
+        closest_col = np.ascontiguousarray(rtts[:, 1])
+        # Both target columns ride in one buffer so each sink takes one
+        # observe_runs call per chunk; closest-column entries index past
+        # the anycast column.
+        ecs_vals = np.concatenate((anycast_col, closest_col))
+        low0 = np.minimum.reduceat(anycast_col, row_starts).tolist()
+        high0 = np.maximum.reduceat(anycast_col, row_starts).tolist()
+        low1 = np.minimum.reduceat(closest_col, row_starts).tolist()
+        high1 = np.maximum.reduceat(closest_col, row_starts).tolist()
+        span_bases = row_starts.tolist()
+        span_lens = span_len.tolist()
+        entries = []
+        add = entries.append
+        for span_index, member in enumerate(span_members):
+            base_row = span_bases[span_index]
+            end_row = base_row + span_lens[span_index]
+            key = keys[member]
+            add((
+                key,
+                ANYCAST_TARGET,
+                base_row,
+                end_row,
+                low0[span_index],
+                high0[span_index],
+            ))
+            add((
+                key,
+                closests[member_slot[member]],
+                n_rows + base_row,
+                n_rows + end_row,
+                low1[span_index],
+                high1[span_index],
+            ))
+        ecs.observe_runs(day, entries, ecs_vals)
+
+        # Anycast + closest per resolver: one sort keys the chunk rows
+        # by LDNS slot; the runs are that resolver's day columns.
+        row_slots = ldns_slot[row_member]
+        order = np.argsort(row_slots, kind="stable")
+        sorted_slots = row_slots[order]
+        run_bounds = np.nonzero(np.diff(sorted_slots))[0] + 1
+        starts = np.concatenate(([0], run_bounds))
+        ends = np.concatenate((run_bounds, [n_rows]))
+        anycast_sorted = anycast_col[order]
+        closest_sorted = closest_col[order]
+        ldns_vals = np.concatenate((anycast_sorted, closest_sorted))
+        la0 = np.minimum.reduceat(anycast_sorted, starts).tolist()
+        ha0 = np.maximum.reduceat(anycast_sorted, starts).tolist()
+        la1 = np.minimum.reduceat(closest_sorted, starts).tolist()
+        ha1 = np.maximum.reduceat(closest_sorted, starts).tolist()
+        slot_ldns_ids = group.slot_ldns_ids
+        entries = []
+        add = entries.append
+        for run, (start, end) in enumerate(
+            zip(starts.tolist(), ends.tolist())
+        ):
+            slot = int(sorted_slots[start])
+            ldns_id = slot_ldns_ids[slot]
+            add((ldns_id, ANYCAST_TARGET, start, end, la0[run], ha0[run]))
+            add((
+                ldns_id,
+                closests[slot],
+                n_rows + start,
+                n_rows + end,
+                la1[run],
+                ha1[run],
+            ))
+        ldns_aggregates.observe_runs(day, entries, ldns_vals)
+
+        if not picks:
+            return
+        # Random-pick cells, keyed (client-day, pool index) for the ECS
+        # sink and (resolver, pool index) for the LDNS sink.
+        pick_vals = np.ascontiguousarray(rtts[:, 2:]).reshape(-1)
+        cell_staged = np.repeat(row_member.astype(np.int64), picks)
+        cell_pool = pick_indices.reshape(-1).astype(np.int64)
+        pools = group.pools
+        for by_ldns in (False, True):
+            if by_ldns:
+                cell_keys = (
+                    np.repeat(row_slots.astype(np.int64), picks) * pool_size
+                    + cell_pool
+                )
+            else:
+                cell_keys = cell_staged * pool_size + cell_pool
+            order = np.argsort(cell_keys, kind="stable")
+            sorted_keys = cell_keys[order]
+            sorted_vals = pick_vals[order]
+            run_bounds = np.nonzero(np.diff(sorted_keys))[0] + 1
+            starts = np.concatenate(([0], run_bounds))
+            ends = np.concatenate((run_bounds, [sorted_keys.shape[0]]))
+            run_lows = np.minimum.reduceat(sorted_vals, starts).tolist()
+            run_highs = np.maximum.reduceat(sorted_vals, starts).tolist()
+            run_keys = sorted_keys[starts].tolist()
+            entries = []
+            add = entries.append
+            for run, (start, end) in enumerate(
+                zip(starts.tolist(), ends.tolist())
+            ):
+                run_key = run_keys[run]
+                pool_index = run_key % pool_size
+                if by_ldns:
+                    slot = run_key // pool_size
+                    add((
+                        slot_ldns_ids[slot],
+                        pools[slot][pool_index],
+                        start,
+                        end,
+                        run_lows[run],
+                        run_highs[run],
+                    ))
+                else:
+                    member = int(members[run_key // pool_size])
+                    add((
+                        keys[member],
+                        pools[member_slot[member]][pool_index],
+                        start,
+                        end,
+                        run_lows[run],
+                        run_highs[run],
+                    ))
+            sink = ldns_aggregates if by_ldns else ecs
+            sink.observe_runs(day, entries, sorted_vals)
+
+    def _sink_chunk_masked(
+        self,
+        day: int,
+        group: _MatrixGroup,
+        members: np.ndarray,
+        span_member: np.ndarray,
+        span_len: np.ndarray,
+        row_starts: np.ndarray,
+        row_member: np.ndarray,
+        cidx: np.ndarray,
+        regions: np.ndarray,
+        admits: List[Optional[np.ndarray]],
+        pick_indices: np.ndarray,
+        rtts: np.ndarray,
+    ) -> None:
+        """Sink a chunk with quarantined cells, span by span.
+
+        The slow path — it only runs for chunks that actually contain
+        dirty or invalid records, so it keeps the straightforward
+        per-span masking the oracle uses.
+        """
+        ecs = self._ecs
+        ldns_aggregates = self._ldns
+        picks = group.picks
+        targets = 2 + picks
+        joined = 0
+        diff_pieces: List[Tuple[np.ndarray, ...]] = []
+        for span_index in range(len(span_member)):
+            base_row = int(row_starts[span_index])
+            length = int(span_len[span_index])
+            member = int(members[span_member[span_index]])
+            key = group.keys[member]
+            ldns_id = group.ldns_ids[member]
+            slot = int(group.ldns_slot[member])
+            view = rtts[base_row:base_row + length]
+            admit = admits[span_index]
+            if admit is None:
+                anycast_col = view[:, 0]
+                closest_col = view[:, 1]
+            else:
+                anycast_col = view[admit[:, 0], 0]
+                closest_col = view[admit[:, 1], 1]
+            if anycast_col.size:
+                ecs.observe_many(day, key, ANYCAST_TARGET, anycast_col)
+                ldns_aggregates.observe_many(
+                    day, ldns_id, ANYCAST_TARGET, anycast_col
+                )
+            closest_id = group.closests[slot]
+            if closest_col.size:
+                ecs.observe_many(day, key, closest_id, closest_col)
+                ldns_aggregates.observe_many(
+                    day, ldns_id, closest_id, closest_col
+                )
+            if picks:
+                pool = group.pools[slot]
+                span_picks = pick_indices[base_row:base_row + length]
+                pick_rtts = view[:, 2:]
+                pick_ok = None if admit is None else admit[:, 2:]
+                for pool_index in range(group.pool_size):
+                    selected = span_picks == pool_index
+                    if pick_ok is not None:
+                        selected &= pick_ok
+                    values = pick_rtts[selected]
+                    if values.size:
+                        target_id = pool[pool_index]
+                        ecs.observe_many(day, key, target_id, values)
+                        ldns_aggregates.observe_many(
+                            day, ldns_id, target_id, values
+                        )
+            span_rows = slice(base_row, base_row + length)
+            if admit is None:
+                joined += length * targets
+                diff_pieces.append(
+                    (
+                        cidx[row_member[span_rows]],
+                        regions[row_member[span_rows]],
+                        view[:, 0],
+                        view[:, 1:].min(axis=1),
+                    )
+                )
+            else:
+                joined += int(admit.sum())
+                row_ok = admit[:, 0] & admit[:, 1:].any(axis=1)
+                if not row_ok.any():
+                    continue
+                best = np.where(
+                    admit[:, 1:], view[:, 1:], np.inf
+                ).min(axis=1)[row_ok]
+                diff_pieces.append(
+                    (
+                        cidx[row_member[span_rows]][row_ok],
+                        regions[row_member[span_rows]][row_ok],
+                        view[row_ok, 0],
+                        best,
+                    )
+                )
+
+        if diff_pieces:
+            self._request_diffs.observe_columns(
+                day,
+                np.concatenate([p[0] for p in diff_pieces]),
+                np.concatenate([p[1] for p in diff_pieces]),
+                np.concatenate([p[2] for p in diff_pieces]),
+                np.concatenate([p[3] for p in diff_pieces]),
+            )
+        self._backend.count_joined_bulk(joined)
 
 
 class CampaignRunner:
@@ -1015,7 +1907,17 @@ class CampaignRunner:
             passive = PassiveLog(bounded=bounded)
 
         vectorized: Optional[_VectorizedBeaconEngine] = None
-        if engine == "vectorized":
+        matrix: Optional[_MatrixBeaconEngine] = None
+        if engine == "matrix":
+            # The matrix engine writes its columns into the aggregate
+            # sinks directly; the backend only keeps the joined-row
+            # accounting (no observers, scalar or batch).
+            backend = BeaconBackend()
+            chunks_counter = tel.counter(
+                "engine.matrix.chunks_total",
+                "cross-client row chunks synthesized by the matrix engine",
+            )
+        elif engine == "vectorized":
             def on_joined_batch(batch: JoinedBatch) -> None:
                 for segment in batch.segments:
                     ecs_aggregates.observe_many(
@@ -1069,6 +1971,23 @@ class CampaignRunner:
                 else:
                     regions[key] = str(region_of_point(client.location))
 
+        if engine == "matrix":
+            with tel.span("matrix-member-table"):
+                matrix = _MatrixBeaconEngine(
+                    scenario,
+                    selector,
+                    paths,
+                    cfg.beacon,
+                    backend,
+                    request_diffs,
+                    ecs_aggregates,
+                    ldns_aggregates,
+                    gate,
+                    clients,
+                    regions,
+                    resource_timing,
+                )
+
         _log.info(
             "campaign starting",
             extra={
@@ -1087,6 +2006,7 @@ class CampaignRunner:
             self._fault_injector.on_day(day, calendar.num_days)
           with tel.span("day", index=day):
             day_start_time = time.perf_counter()
+            day_keys = DayKeys(scenario_seed, day)
             plans = day_plans[day]
             inflations = day_inflations[day]
             is_weekend = calendar.is_weekend(day)
@@ -1098,199 +2018,312 @@ class CampaignRunner:
             passive_seconds = 0.0
             beacon_seconds = 0.0
 
-            for client in clients:
-                section_start = time.perf_counter()
-                key = client.key
-                # Everything this client does today draws from its own
-                # derived stream — independent of every other client.
-                rng = derive_rng(scenario_seed, "campaign", day, key)
-                plan = plans[key]
-                effect = inflations.get(key)
-                anycast_inflation = 0.0
-                degraded_frontend: Optional[str] = None
-                unicast_inflation = 0.0
-                if effect is not None:
-                    if effect.scope is EpisodeScope.ANYCAST:
-                        anycast_inflation = effect.inflation_ms
-                    else:
-                        candidates = selector.candidates(client.ldns_id)
-                        degraded_frontend = candidates[
-                            int(effect.selector * len(candidates))
-                        ]
-                        unicast_inflation = effect.inflation_ms
-
-                queries = workload.daily_queries(client, is_weekend, rng)
-                if queries <= 0:
-                    idle_counter.inc()
-                    workload_seconds += time.perf_counter() - section_start
-                    continue
-                client_days_counter.inc()
-                queries_counter.inc(queries)
-                section_now = time.perf_counter()
-                workload_seconds += section_now - section_start
-                section_start = section_now
-
-                # Passive production traffic: split across the day's
-                # routes with largest-remainder apportionment, so the
-                # recorded counts sum exactly to the day's query volume.
-                rank_frontends = tuple(
-                    paths.anycast(key, rank)[0] for rank in plan.ranks
-                )
-                for frontend_id, count in zip(
-                    rank_frontends,
-                    largest_remainder_apportion(queries, plan.fractions),
-                ):
-                    admitted_count = gate.admit_count(
-                        day, key, frontend_id, count
-                    )
-                    if admitted_count is not None:
-                        passive.record(day, key, frontend_id, admitted_count)
-                passive_counter.inc(len(rank_frontends))
-
-                beacons = workload.daily_beacons(queries, rng)
-                section_now = time.perf_counter()
-                passive_seconds += section_now - section_start
-                section_start = section_now
-                if beacons <= 0:
-                    continue
-                beacons_counter.inc(beacons)
-                beacons_hist.observe(beacons)
-                client_index = scenario.client_index(key)
-                region = regions[key]
-                rt_supported = resource_timing[key]
-
-                # Per-(client, day) invariants hoisted out of the beacon
-                # loop: the daily congestion offsets (stable within the
-                # day, drawn from derived RNGs) and one serve closure
-                # reading the session rank from a cell.
-                anycast_offset = latency.sample_daily_variation_ms(
-                    derive_rng(
-                        scenario_seed, "daily-variation", day, key,
-                        ANYCAST_TARGET,
-                    ),
-                    anycast=True,
-                )
-
-                # Record faults for this (day, client) cell, as flat
-                # session * T + position slots.  The target count T is a
-                # per-client constant shared by both engines, so the
-                # slot map is engine- and shard-independent.
-                dirty_slots: Optional[Dict[int, FaultKind]] = None
-                if record_faults is not None:
-                    n_targets = 2 + min(
-                        cfg.beacon.random_picks,
-                        len(selector.pick_pool(client.ldns_id)),
-                    )
-                    dirty_slots = record_faults.slots_for(
-                        day, client_index, beacons * n_targets
-                    )
-
-                if vectorized is not None:
-                    vectorized.run_client_day(
-                        day=day,
-                        client=client,
-                        client_index=client_index,
-                        region=region,
-                        resource_timing_supported=rt_supported,
-                        plan=plan,
-                        beacons=beacons,
-                        anycast_extra_ms=anycast_inflation + anycast_offset,
-                        degraded_frontend=degraded_frontend,
-                        unicast_inflation_ms=unicast_inflation,
-                        dirty_slots=dirty_slots,
-                    )
-                    beacon_count += beacons
-                    batches_counter.inc()
-                    beacon_seconds += time.perf_counter() - section_start
-                    continue
-
-                unicast_offsets: Dict[str, float] = {}
-                session_rank_cell = [plan.ranks[0]]
-
-                def serve(target_id: str) -> Tuple[str, float]:
-                    if target_id == ANYCAST_TARGET:
-                        frontend_id, baseline = paths.anycast(
-                            key, session_rank_cell[0]
+            if matrix is not None:
+                # Matrix day: three cross-client passes replace the
+                # per-client section bookkeeping.  Scalar staging stays
+                # in Python (each client's workload draw is its own
+                # derived stream), but phase timers and telemetry
+                # counters are read/bumped once per day, not per client.
+                active = []
+                day_queries = 0
+                idle_days = 0
+                for client in clients:
+                    key = client.key
+                    rng = derive_rng(scenario_seed, "campaign", day, key)
+                    queries = workload.daily_queries(client, is_weekend, rng)
+                    if queries <= 0:
+                        idle_days += 1
+                        continue
+                    day_queries += queries
+                    # Drawn immediately after the query volume: the
+                    # campaign stream has no draws in between in any
+                    # engine, so beacon counts match per-client runs.
+                    active.append(
+                        (
+                            client,
+                            plans[key],
+                            queries,
+                            workload.daily_beacons(queries, rng),
                         )
-                        extra = anycast_inflation + anycast_offset
-                    else:
-                        frontend_id = target_id
-                        baseline = paths.unicast(key, target_id)
-                        offset = unicast_offsets.get(target_id)
-                        if offset is None:
-                            offset = latency.sample_daily_variation_ms(
-                                derive_rng(
-                                    scenario_seed, "daily-variation", day,
-                                    key, target_id,
-                                ),
-                                anycast=False,
+                    )
+                idle_counter.inc(idle_days)
+                client_days_counter.inc(len(active))
+                queries_counter.inc(day_queries)
+                section_now = time.perf_counter()
+                workload_seconds = section_now - day_start_time
+                section_start = section_now
+
+                passive_appends = 0
+                for client, plan, queries, _beacons in active:
+                    key = client.key
+                    for rank, count in zip(
+                        plan.ranks,
+                        largest_remainder_apportion(queries, plan.fractions),
+                    ):
+                        frontend_id = paths.anycast(key, rank)[0]
+                        admitted_count = gate.admit_count(
+                            day, key, frontend_id, count
+                        )
+                        if admitted_count is not None:
+                            passive.record(
+                                day, key, frontend_id, admitted_count
                             )
-                            unicast_offsets[target_id] = offset
-                        extra = offset
-                        if target_id == degraded_frontend:
-                            extra += unicast_inflation
-                    rtt = (
-                        baseline
-                        + latency.sample_jitter_ms(rng)
-                        + extra
+                    passive_appends += len(plan.ranks)
+                passive_counter.inc(passive_appends)
+                section_now = time.perf_counter()
+                passive_seconds = section_now - section_start
+                section_start = section_now
+
+                day_beacons = 0
+                for client, plan, _queries, beacons in active:
+                    if beacons <= 0:
+                        continue
+                    key = client.key
+                    beacons_hist.observe(beacons)
+                    day_beacons += beacons
+                    effect = inflations.get(key)
+                    anycast_inflation = 0.0
+                    degraded_frontend = None
+                    unicast_inflation = 0.0
+                    if effect is not None:
+                        if effect.scope is EpisodeScope.ANYCAST:
+                            anycast_inflation = effect.inflation_ms
+                        else:
+                            candidates = selector.candidates(client.ldns_id)
+                            degraded_frontend = candidates[
+                                int(effect.selector * len(candidates))
+                            ]
+                            unicast_inflation = effect.inflation_ms
+                    # Same shared per-(day, client) anycast stream as
+                    # the other engines (see the per-client loop below).
+                    anycast_offset = latency.sample_daily_variation_ms(
+                        derive_rng(
+                            scenario_seed, "daily-variation", day, key,
+                            ANYCAST_TARGET,
+                        ),
+                        anycast=True,
                     )
-                    return frontend_id, rtt
-
-                record_index = 0
-                for _ in range(beacons):
-                    session_rank_cell[0] = plan.sample_rank(rng)
-
-                    fetches = runner.run_beacon(
-                        ldns_id=client.ldns_id,
-                        resource_timing_supported=rt_supported,
-                        serve=serve,
-                        rng=rng,
-                        now=day_start,
+                    dirty_slots = None
+                    if record_faults is not None:
+                        n_targets = 2 + min(
+                            cfg.beacon.random_picks,
+                            len(selector.pick_pool(client.ldns_id)),
+                        )
+                        dirty_slots = record_faults.slots_for(
+                            day,
+                            scenario.client_index(key),
+                            beacons * n_targets,
+                        )
+                    matrix.stage_client_day(
+                        key,
+                        plan,
+                        beacons,
+                        anycast_inflation + anycast_offset,
+                        degraded_frontend,
+                        unicast_inflation,
+                        dirty_slots,
                     )
-                    beacon_count += 1
+                chunks_counter.inc(matrix.run_day(day, day_keys))
+                beacons_counter.inc(day_beacons)
+                beacon_count += day_beacons
+                beacon_seconds = time.perf_counter() - section_start
+            else:
+                for client in clients:
+                    section_start = time.perf_counter()
+                    key = client.key
+                    # Everything this client does today draws from its own
+                    # derived stream — independent of every other client.
+                    rng = derive_rng(scenario_seed, "campaign", day, key)
+                    plan = plans[key]
+                    effect = inflations.get(key)
+                    anycast_inflation = 0.0
+                    degraded_frontend: Optional[str] = None
+                    unicast_inflation = 0.0
+                    if effect is not None:
+                        if effect.scope is EpisodeScope.ANYCAST:
+                            anycast_inflation = effect.inflation_ms
+                        else:
+                            candidates = selector.candidates(client.ldns_id)
+                            degraded_frontend = candidates[
+                                int(effect.selector * len(candidates))
+                            ]
+                            unicast_inflation = effect.inflation_ms
 
-                    anycast_rtt: Optional[float] = None
-                    best_unicast: Optional[float] = None
-                    for fetch in fetches:
-                        rtt_ms = fetch.rtt_ms
-                        if dirty_slots:
-                            kind = dirty_slots.get(record_index)
-                            if kind is not None:
-                                rtt_ms = RecordFaultInjector.dirty_value(
-                                    kind, rtt_ms
+                    queries = workload.daily_queries(client, is_weekend, rng)
+                    if queries <= 0:
+                        idle_counter.inc()
+                        workload_seconds += time.perf_counter() - section_start
+                        continue
+                    client_days_counter.inc()
+                    queries_counter.inc(queries)
+                    section_now = time.perf_counter()
+                    workload_seconds += section_now - section_start
+                    section_start = section_now
+
+                    # Passive production traffic: split across the day's
+                    # routes with largest-remainder apportionment, so the
+                    # recorded counts sum exactly to the day's query volume.
+                    rank_frontends = tuple(
+                        paths.anycast(key, rank)[0] for rank in plan.ranks
+                    )
+                    for frontend_id, count in zip(
+                        rank_frontends,
+                        largest_remainder_apportion(queries, plan.fractions),
+                    ):
+                        admitted_count = gate.admit_count(
+                            day, key, frontend_id, count
+                        )
+                        if admitted_count is not None:
+                            passive.record(day, key, frontend_id, admitted_count)
+                    passive_counter.inc(len(rank_frontends))
+
+                    beacons = workload.daily_beacons(queries, rng)
+                    section_now = time.perf_counter()
+                    passive_seconds += section_now - section_start
+                    section_start = section_now
+                    if beacons <= 0:
+                        continue
+                    beacons_counter.inc(beacons)
+                    beacons_hist.observe(beacons)
+                    client_index = scenario.client_index(key)
+                    region = regions[key]
+                    rt_supported = resource_timing[key]
+
+                    # The anycast path's daily congestion offset lives on a
+                    # shared per-(day, client) derived stream: every engine
+                    # realizes the same anycast elevation days, keeping the
+                    # per-client anycast distributions comparable across
+                    # engines.  (Unicast path offsets are engine-stream
+                    # terms — counter-based in the batched engines.)
+                    anycast_offset = latency.sample_daily_variation_ms(
+                        derive_rng(
+                            scenario_seed, "daily-variation", day, key,
+                            ANYCAST_TARGET,
+                        ),
+                        anycast=True,
+                    )
+
+                    # Record faults for this (day, client) cell, as flat
+                    # session * T + position slots.  The target count T is a
+                    # per-client constant shared by both engines, so the
+                    # slot map is engine- and shard-independent.
+                    dirty_slots: Optional[Dict[int, FaultKind]] = None
+                    if record_faults is not None:
+                        n_targets = 2 + min(
+                            cfg.beacon.random_picks,
+                            len(selector.pick_pool(client.ldns_id)),
+                        )
+                        dirty_slots = record_faults.slots_for(
+                            day, client_index, beacons * n_targets
+                        )
+
+                    if vectorized is not None:
+                        vectorized.run_client_day(
+                            day=day,
+                            day_keys=day_keys,
+                            client=client,
+                            client_index=client_index,
+                            region=region,
+                            resource_timing_supported=rt_supported,
+                            plan=plan,
+                            beacons=beacons,
+                            anycast_extra_ms=anycast_inflation + anycast_offset,
+                            degraded_frontend=degraded_frontend,
+                            unicast_inflation_ms=unicast_inflation,
+                            dirty_slots=dirty_slots,
+                        )
+                        beacon_count += beacons
+                        batches_counter.inc()
+                        beacon_seconds += time.perf_counter() - section_start
+                        continue
+
+                    unicast_offsets: Dict[str, float] = {}
+                    session_rank_cell = [plan.ranks[0]]
+
+                    def serve(target_id: str) -> Tuple[str, float]:
+                        if target_id == ANYCAST_TARGET:
+                            frontend_id, baseline = paths.anycast(
+                                key, session_rank_cell[0]
+                            )
+                            extra = anycast_inflation + anycast_offset
+                        else:
+                            frontend_id = target_id
+                            baseline = paths.unicast(key, target_id)
+                            offset = unicast_offsets.get(target_id)
+                            if offset is None:
+                                offset = latency.sample_daily_variation_ms(
+                                    derive_rng(
+                                        scenario_seed, "daily-variation", day,
+                                        key, target_id,
+                                    ),
+                                    anycast=False,
                                 )
-                        admitted = gate.admit(day, key, record_index, rtt_ms)
-                        record_index += 1
-                        if admitted is None:
-                            # Quarantined: the record never reaches any
-                            # log stream, so it cannot join.
-                            continue
-                        backend.on_dns(
-                            fetch.measurement_id, client.ldns_id, fetch.target_id
+                                unicast_offsets[target_id] = offset
+                            extra = offset
+                            if target_id == degraded_frontend:
+                                extra += unicast_inflation
+                        rtt = (
+                            baseline
+                            + latency.sample_jitter_ms(rng)
+                            + extra
                         )
-                        backend.on_server(
-                            fetch.measurement_id, fetch.serving_frontend_id
+                        return frontend_id, rtt
+
+                    record_index = 0
+                    for _ in range(beacons):
+                        session_rank_cell[0] = plan.sample_rank(rng)
+
+                        fetches = runner.run_beacon(
+                            ldns_id=client.ldns_id,
+                            resource_timing_supported=rt_supported,
+                            serve=serve,
+                            rng=rng,
+                            now=day_start,
                         )
-                        backend.on_http(
-                            HttpLogEntry(
-                                day=day,
-                                measurement_id=fetch.measurement_id,
-                                client_key=key,
-                                rtt_ms=admitted,
-                                used_resource_timing=fetch.used_resource_timing,
+                        beacon_count += 1
+
+                        anycast_rtt: Optional[float] = None
+                        best_unicast: Optional[float] = None
+                        for fetch in fetches:
+                            rtt_ms = fetch.rtt_ms
+                            if dirty_slots:
+                                kind = dirty_slots.get(record_index)
+                                if kind is not None:
+                                    rtt_ms = RecordFaultInjector.dirty_value(
+                                        kind, rtt_ms
+                                    )
+                            admitted = gate.admit(day, key, record_index, rtt_ms)
+                            record_index += 1
+                            if admitted is None:
+                                # Quarantined: the record never reaches any
+                                # log stream, so it cannot join.
+                                continue
+                            backend.on_dns(
+                                fetch.measurement_id, client.ldns_id, fetch.target_id
                             )
-                        )
-                        if fetch.target_id == ANYCAST_TARGET:
-                            anycast_rtt = admitted
-                        elif best_unicast is None or admitted < best_unicast:
-                            best_unicast = admitted
+                            backend.on_server(
+                                fetch.measurement_id, fetch.serving_frontend_id
+                            )
+                            backend.on_http(
+                                HttpLogEntry(
+                                    day=day,
+                                    measurement_id=fetch.measurement_id,
+                                    client_key=key,
+                                    rtt_ms=admitted,
+                                    used_resource_timing=fetch.used_resource_timing,
+                                )
+                            )
+                            if fetch.target_id == ANYCAST_TARGET:
+                                anycast_rtt = admitted
+                            elif best_unicast is None or admitted < best_unicast:
+                                best_unicast = admitted
 
-                    if anycast_rtt is not None and best_unicast is not None:
-                        request_diffs.observe(
-                            day, client_index, region, anycast_rtt, best_unicast
-                        )
+                        if anycast_rtt is not None and best_unicast is not None:
+                            request_diffs.observe(
+                                day, client_index, region, anycast_rtt, best_unicast
+                            )
 
-                beacon_seconds += time.perf_counter() - section_start
+                    beacon_seconds += time.perf_counter() - section_start
 
             runner.purge_caches(calendar.seconds_at(day) + 86_400.0)
             day_elapsed = time.perf_counter() - day_start_time

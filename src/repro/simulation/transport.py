@@ -147,20 +147,36 @@ def _sketch_from_spec(
 def _aggregates_spec(
     aggregates: GroupedDailyAggregates, columns: _ColumnWriter
 ) -> Dict[str, Any]:
-    days: Dict[int, List[Any]] = {}
+    # Exact digests for one day coalesce into a single float64 column;
+    # each row records its [start, stop) slice instead of a column
+    # index.  One tobytes per day instead of one per digest is what
+    # keeps encode (and the mirrored decode) at memcpy speed — a
+    # paper-scale day holds tens of thousands of digests.
+    days: Dict[int, Dict[str, Any]] = {}
     for day in aggregates.days:
         rows: List[Any] = []
+        chunks: List[np.ndarray] = []
+        offset = 0
         for group, target_id, digest in aggregates.iter_day(day):
             if digest.is_exact:
+                view = digest.values_view()
                 rows.append(
-                    [group, target_id, columns.put(digest.values_view())]
+                    [group, target_id, offset, offset + view.size]
                 )
+                if view.size:
+                    chunks.append(view)
+                    offset += view.size
             else:
                 assert digest.sketch is not None
                 rows.append(
                     [group, target_id, _sketch_spec(digest.sketch, columns)]
                 )
-        days[day] = rows
+        days[day] = {
+            "rows": rows,
+            "samples": (
+                columns.put(np.concatenate(chunks)) if chunks else None
+            ),
+        }
     return {
         "grouping": aggregates.grouping,
         "exact_threshold": aggregates.exact_threshold,
@@ -179,24 +195,52 @@ def _aggregates_from_spec(
         relative_accuracy=spec["relative_accuracy"],
         max_buckets=spec["max_buckets"],
     )
-    for day, rows in spec["days"].items():
-        per_day = aggregates._days.setdefault(int(day), {})
-        for group, target_id, payload in rows:
-            if isinstance(payload, dict):
+    for day, day_spec in spec["days"].items():
+        day = int(day)
+        per_day = aggregates._days.setdefault(day, {})
+        # Exact digests decode in bulk from the day's coalesced sample
+        # column: one reduceat pair recovers every digest's extrema and
+        # the zero-copy run sink appends the slices.  A per-digest
+        # extend() would pay a Python call plus two tiny numpy
+        # reductions for each of tens of thousands of digests.
+        values: Optional[np.ndarray] = None
+        if day_spec["samples"] is not None:
+            values = columns.get(day_spec["samples"])
+        runs: List[Tuple[str, str, int, int]] = []
+        for row in day_spec["rows"]:
+            if isinstance(row[2], dict):
+                group, target_id, sketch_spec = row
                 digest = LatencyDigest.from_sketch(
-                    _sketch_from_spec(payload, columns),
+                    _sketch_from_spec(sketch_spec, columns),
                     exact_threshold=spec["exact_threshold"],
                     relative_accuracy=spec["relative_accuracy"],
                     max_buckets=spec["max_buckets"],
                 )
-            else:
-                digest = LatencyDigest(
-                    exact_threshold=spec["exact_threshold"],
-                    relative_accuracy=spec["relative_accuracy"],
-                    max_buckets=spec["max_buckets"],
+                per_day.setdefault(group, {})[target_id] = digest
+                continue
+            group, target_id, start, stop = row
+            if start == stop:
+                per_day.setdefault(group, {})[target_id] = (
+                    aggregates._new_digest()
                 )
-                digest.extend(columns.get(payload))
-            per_day.setdefault(group, {})[target_id] = digest
+                continue
+            runs.append((group, target_id, start, stop))
+        if not runs:
+            continue
+        assert values is not None
+        starts = np.fromiter(
+            (run[2] for run in runs), dtype=np.intp, count=len(runs)
+        )
+        lows = np.minimum.reduceat(values, starts)
+        highs = np.maximum.reduceat(values, starts)
+        aggregates.observe_runs(
+            day,
+            [
+                (group, target_id, start, stop, lows[i], highs[i])
+                for i, (group, target_id, start, stop) in enumerate(runs)
+            ],
+            values,
+        )
     return aggregates
 
 

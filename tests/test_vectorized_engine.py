@@ -61,6 +61,13 @@ def vectorized_dataset(engine_scenario):
     ).run()
 
 
+@pytest.fixture(scope="module")
+def matrix_dataset(engine_scenario):
+    return CampaignRunner(
+        engine_scenario, CampaignConfig(engine="matrix")
+    ).run()
+
+
 def ks_statistic(a, b) -> float:
     """Two-sample Kolmogorov-Smirnov statistic (max CDF distance)."""
     a = np.sort(np.asarray(a, dtype=float))
@@ -118,6 +125,60 @@ class TestVectorizedDeterminism:
         # Different random streams: equality across engines would mean
         # one is silently running the other's code path.
         assert reference_dataset.digest() != vectorized_dataset.digest()
+
+
+class TestMatrixEngine:
+    """The whole-day matrix engine is an exact twin of the vectorized one.
+
+    Unlike reference vs vectorized (different streams, statistical
+    equivalence), matrix vs vectorized share every counter-keyed draw,
+    so their datasets must match **bit for bit** — the chunked vectorized
+    engine is the matrix engine's oracle.
+    """
+
+    def test_matrix_equals_vectorized_digest(
+        self, vectorized_dataset, matrix_dataset
+    ):
+        assert matrix_dataset.digest() == vectorized_dataset.digest()
+
+    def test_same_seed_same_digest(self, engine_scenario, matrix_dataset):
+        again = CampaignRunner(
+            engine_scenario, CampaignConfig(engine="matrix")
+        ).run()
+        assert again.digest() == matrix_dataset.digest()
+
+    def test_serial_equals_parallel(self, engine_scenario, matrix_dataset):
+        runner = ParallelCampaignRunner(
+            engine_scenario, CampaignConfig(engine="matrix"), workers=2
+        )
+        parallel = runner.run()
+        assert parallel.digest() == matrix_dataset.digest()
+        assert runner.stats.engine == "matrix"
+
+    def test_sliced_halves_merge_to_serial(
+        self, engine_scenario, matrix_dataset
+    ):
+        config = CampaignConfig(engine="matrix")
+        half = len(engine_scenario.clients) // 2
+        first = CampaignRunner(
+            engine_scenario, config, client_slice=(0, half)
+        ).run()
+        second = CampaignRunner(
+            engine_scenario, config,
+            client_slice=(half, len(engine_scenario.clients)),
+        ).run()
+        assert (first + second).digest() == matrix_dataset.digest()
+
+    def test_sketch_mode_matches_vectorized(self, engine_scenario):
+        matrix = CampaignRunner(
+            engine_scenario,
+            CampaignConfig(engine="matrix", sketch_threshold=32),
+        ).run()
+        vectorized = CampaignRunner(
+            engine_scenario,
+            CampaignConfig(engine="vectorized", sketch_threshold=32),
+        ).run()
+        assert matrix.digest() == vectorized.digest()
 
 
 class TestEngineEquivalence:

@@ -11,6 +11,13 @@ Also asserts the vectorized engine's correctness contract: a serial run
 and a 2-worker sharded run produce bit-identical datasets (same
 ``StudyDataset.digest()``).
 
+The matrix leg (always on) runs the same campaign through the whole-day
+matrix engine and enforces its two contracts: the dataset digest is
+bit-identical to the vectorized run's (the chunked engine is the matrix
+engine's oracle — they share every counter-keyed draw), and its beacon
+throughput is at least ``--min-matrix-speedup`` times the vectorized
+serial rate.
+
 With ``--fault-plan`` the smoke additionally runs the same sharded
 campaign under an injected fault schedule (worker crashes, hangs,
 transient exceptions, corrupted payloads, merge failures — see
@@ -89,6 +96,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="required vectorized/reference beacons-per-second ratio",
     )
     parser.add_argument(
+        "--min-matrix-speedup", type=float, default=2.0,
+        help="required matrix/vectorized beacons-per-second ratio",
+    )
+    parser.add_argument(
         "--fault-plan", metavar="SPEC",
         help=(
             "also run a fault-injected 2-worker campaign (spec like "
@@ -164,7 +175,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     vec_dataset, vec_rate, vec_seconds, vec_snapshot, vec_peak = (
         _timed_serial(scenario, "vectorized")
     )
+    mat_dataset, mat_rate, mat_seconds, mat_snapshot, mat_peak = (
+        _timed_serial(scenario, "matrix")
+    )
     speedup = vec_rate / ref_rate
+    matrix_speedup = mat_rate / vec_rate
+
+    if mat_dataset.digest() != vec_dataset.digest():
+        print(
+            "FAIL: matrix engine digest diverged from its vectorized "
+            "oracle (the engines must share every counter-keyed draw)"
+        )
+        return 1
 
     sharded_runner = ParallelCampaignRunner(
         scenario, CampaignConfig(engine="vectorized"), workers=2
@@ -189,8 +211,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"  reference:  {ref_seconds:6.2f}s  ({ref_rate:9,.0f} beacons/s)")
     print(f"  vectorized: {vec_seconds:6.2f}s  ({vec_rate:9,.0f} beacons/s)")
+    print(f"  matrix:     {mat_seconds:6.2f}s  ({mat_rate:9,.0f} beacons/s)")
     for label, snapshot in (
-        ("reference", ref_snapshot), ("vectorized", vec_snapshot)
+        ("reference", ref_snapshot),
+        ("vectorized", vec_snapshot),
+        ("matrix", mat_snapshot),
     ):
         phases = ", ".join(
             f"{path.rsplit('/', 1)[-1]}={record.seconds:.2f}s"
@@ -199,12 +224,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  {label} day phases: {phases}")
     print(f"  speedup: {speedup:.2f}x (required >= {args.min_speedup:.1f}x)")
     print(
+        f"  matrix speedup over vectorized: {matrix_speedup:.2f}x "
+        f"(required >= {args.min_matrix_speedup:.1f}x)"
+    )
+    print(
         f"  peak traced memory: reference {ref_peak / 1e6:.1f} MB, "
-        f"vectorized {vec_peak / 1e6:.1f} MB "
+        f"vectorized {vec_peak / 1e6:.1f} MB, "
+        f"matrix {mat_peak / 1e6:.1f} MB "
         f"(process peak RSS {peak_rss_bytes() / 1e6:.1f} MB)"
     )
     print("  vectorized serial == 2-worker digest: ok")
     print("  vectorized serial == 2-worker merged telemetry counters: ok")
+    print("  matrix serial == vectorized serial digest: ok")
 
     # ------------------------------------------------------------------
     # Sketch leg: bounded mode must shard exactly and answer the headline
@@ -333,6 +364,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "peak_traced_bytes": {
                     "reference": ref_peak,
                     "vectorized": vec_peak,
+                    "matrix": mat_peak,
                     "sketch": sketch_probe.peak_bytes,
                 },
                 "peak_rss_bytes": peak_rss_bytes(),
@@ -501,6 +533,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"FAIL: vectorized engine only {speedup:.2f}x over reference "
             f"(required >= {args.min_speedup:.1f}x)"
+        )
+        return 1
+    if matrix_speedup < args.min_matrix_speedup:
+        print(
+            f"FAIL: matrix engine only {matrix_speedup:.2f}x over "
+            f"vectorized (required >= {args.min_matrix_speedup:.1f}x)"
         )
         return 1
     return 0
