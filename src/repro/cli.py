@@ -7,11 +7,16 @@ Commands:
 * ``troubleshoot`` — the §5 workflow: worst anycast vantages + traceroutes.
 * ``failover`` — withdraw a front-end and trace the §2 overload cascade.
 * ``telemetry`` — pretty-print a saved telemetry snapshot as a run report.
+* ``trace`` — render a trace timeline summary from a ``trace.json``.
 
 Study-running commands also accept ``--telemetry-out`` (export the run's
 merged telemetry snapshot as JSON, or Prometheus text for ``.prom``/
-``.txt`` paths), and ``--log-level`` / ``--log-format`` (structured
-logging on stderr, quiet unless requested).
+``.txt`` paths), ``--trace-out`` (export the run's merged trace timeline
+as Chrome/Perfetto ``trace.json``), ``--progress`` (a live stderr
+ticker fed by worker heartbeats), ``--history-out`` (append the run's
+perf record to a ``BENCH_history.json`` ledger), and ``--log-level`` /
+``--log-format`` (structured logging on stderr, quiet unless
+requested).
 """
 
 from __future__ import annotations
@@ -39,16 +44,20 @@ from repro.measurement.sketch import (
 from repro.measurement.storage import atomic_write_text
 from repro.measurement.probes import ProbeNetwork
 from repro.net.topology import AsRole
-from repro.simulation.campaign import CampaignConfig
+from repro.simulation.campaign import CampaignConfig, CampaignProgress
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.scenario import ScenarioConfig
 from repro.telemetry import (
+    BenchHistory,
     RunContext,
     TelemetrySnapshot,
+    TraceLog,
     config_digest,
     configure_logging,
     format_run_report,
+    format_trace_report,
     manifest_path_for,
+    record_from_snapshot,
     write_run_manifest,
 )
 
@@ -76,7 +85,11 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         fault_plan = FaultPlan.from_spec(spec)
     resume_from = getattr(args, "resume_from", None)
     checkpoint_dir = resume_from or getattr(args, "checkpoint_dir", None)
+    listener = None
+    if getattr(args, "progress", False):
+        listener = _progress_ticker()
     return CampaignConfig(
+        progress_listener=listener,
         fault_plan=fault_plan,
         max_retries=getattr(args, "max_retries", 2),
         shard_timeout=getattr(args, "shard_timeout", None),
@@ -90,6 +103,20 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         sketch_max_buckets=getattr(args, "sketch_max_buckets", None)
         or DEFAULT_MAX_BUCKETS,
     )
+
+
+def _progress_ticker():
+    """A ``progress_listener`` rendering a one-line stderr ticker."""
+
+    def listener(progress: CampaignProgress) -> None:
+        done = (
+            progress.num_days > 0
+            and progress.days_completed >= progress.num_days
+        )
+        end = "\n" if done else ""
+        print(f"\r{progress.format()}", end=end, file=sys.stderr, flush=True)
+
+    return listener
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -209,6 +236,31 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help=(
+            "write the run's merged trace timeline here as Chrome/"
+            "Perfetto trace-event JSON (one lane per shard; open in "
+            "ui.perfetto.dev or chrome://tracing, or summarize with "
+            "'repro trace')"
+        ),
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help=(
+            "render a live one-line progress ticker on stderr (days, "
+            "beacons/s, shard completion, retries) fed by worker "
+            "heartbeats"
+        ),
+    )
+    parser.add_argument(
+        "--history-out", metavar="PATH",
+        help=(
+            "append this run's perf record (engine, beacons/s, phase "
+            "splits, peak RSS, dataset digest) to a BENCH_history.json "
+            "ledger at PATH; check it with tools/bench_history.py"
+        ),
+    )
+    parser.add_argument(
         "--log-level", choices=("debug", "info", "warning", "error"),
         help="enable structured logging on stderr at this level",
     )
@@ -251,6 +303,43 @@ def _export_telemetry(args: argparse.Namespace, study: AnycastStudy) -> None:
     print(f"wrote telemetry snapshot to {path}")
 
 
+def _export_trace(args: argparse.Namespace, study: AnycastStudy) -> None:
+    """Write the run's trace timeline if ``--trace-out`` was given."""
+    if not getattr(args, "trace_out", None):
+        return
+    snapshot = study.telemetry_snapshot()
+    trace = snapshot.trace
+    if trace is None or not trace.events:
+        print("no trace events recorded; skipping --trace-out", file=sys.stderr)
+        return
+    atomic_write_text(
+        args.trace_out,
+        json.dumps(trace.to_perfetto_obj(), indent=2, sort_keys=True) + "\n",
+    )
+    print(
+        f"wrote trace timeline ({len(trace.events)} events) to "
+        f"{args.trace_out}"
+    )
+
+
+def _append_history(
+    args: argparse.Namespace, study: AnycastStudy, label: str
+) -> None:
+    """Append this run's perf record if ``--history-out`` was given."""
+    if not getattr(args, "history_out", None):
+        return
+    record = record_from_snapshot(
+        study.telemetry_snapshot(), label, dataset=study.dataset
+    )
+    history = BenchHistory.load(args.history_out)
+    history.append(record)
+    history.save(args.history_out)
+    print(
+        f"appended perf record ({record.engine}, "
+        f"{record.beacons_per_second:,.0f} beacons/s) to {args.history_out}"
+    )
+
+
 def _export_quarantine(args: argparse.Namespace, study: AnycastStudy) -> None:
     """Write the run's quarantine log if ``--quarantine-out`` was given."""
     if not getattr(args, "quarantine_out", None):
@@ -286,6 +375,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(report)
     _export_quarantine(args, study)
     _export_telemetry(args, study)
+    _export_trace(args, study)
+    _append_history(args, study, "repro-report")
     return 0
 
 
@@ -318,6 +409,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(study.campaign_stats.format())
     _export_quarantine(args, study)
     _export_telemetry(args, study)
+    _export_trace(args, study)
+    _append_history(args, study, "repro-run")
     return 0
 
 
@@ -329,6 +422,33 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         print(snapshot.to_prometheus(), end="")
     else:
         print(format_run_report(snapshot, top=args.top))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a timeline summary from a saved trace.
+
+    Accepts both serializations: the Perfetto ``trace.json`` written by
+    ``--trace-out`` (sniffed by its ``traceEvents`` key) and the
+    compact event-list form embedded in telemetry snapshots.
+    """
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if "traceEvents" in document:
+        trace = TraceLog.from_perfetto_obj(document)
+    elif "events" in document:
+        trace = TraceLog.from_obj(document)
+    elif "trace" in document:
+        # A telemetry snapshot with an embedded trace also works.
+        trace = TraceLog.from_obj(document["trace"])
+    else:
+        print(
+            f"{args.trace}: neither a Perfetto trace nor a repro trace "
+            "export",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_trace_report(trace), end="")
     return 0
 
 
@@ -533,6 +653,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Prometheus text exposition format instead of the report",
     )
     telemetry.set_defaults(func=cmd_telemetry)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarize a trace timeline (from --trace-out)",
+    )
+    trace.add_argument(
+        "trace",
+        help="trace path: Perfetto trace.json or a telemetry snapshot",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -36,13 +36,72 @@ import mmap
 import os
 import pickle
 import struct
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import MeasurementError
 from repro.simulation.dataset import StudyDataset
 from repro.telemetry import get_logger
+from repro.telemetry.trace import active_trace
 
 _log = get_logger("columnar")
+
+
+@dataclass
+class SidecarStats:
+    """Process-wide sidecar traffic counters.
+
+    The loader runs in analysis processes with no campaign telemetry,
+    so the counts live here and :func:`repro.telemetry.report
+    .build_run_manifest` reads them when assembling a manifest.
+
+    Attributes:
+        hits: Loads served from a sidecar (zero-copy path).
+        rebuilds: Sidecars rewritten after a framed re-parse (stale,
+            torn, or absent sidecar behind an existing export).
+        fallbacks: Loads that fell back to the framed parse.
+    """
+
+    hits: int = 0
+    rebuilds: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters keyed as they appear in run manifests."""
+        return {
+            "sidecar_hits": self.hits,
+            "sidecar_rebuilds": self.rebuilds,
+            "sidecar_fallbacks": self.fallbacks,
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.rebuilds = 0
+        self.fallbacks = 0
+
+
+#: The process-wide counters behind ``columnar.sidecar_*`` manifests.
+SIDECAR_STATS = SidecarStats()
+
+
+def sidecar_stats() -> Dict[str, int]:
+    """A copy of the current process-wide sidecar counters."""
+    return SIDECAR_STATS.as_dict()
+
+
+def reset_sidecar_stats() -> None:
+    """Zero the process-wide sidecar counters (tests, benchmarks)."""
+    SIDECAR_STATS.reset()
+
+
+def _trace_sidecar(event: str, export_path: str, **args: Any) -> None:
+    """Emit a sidecar instant onto the active trace, if one exists."""
+    trace = active_trace()
+    if trace is not None:
+        trace.instant(
+            f"sidecar.{event}", "sidecar", path=export_path, **args
+        )
 
 #: Leading bytes of every columnar sidecar file.
 MAGIC = b"RPRO-COLS1\x00"
@@ -94,6 +153,10 @@ def write_sidecar(
     """
     from repro.simulation.transport import encode_shard_payload
 
+    # A caller-supplied fingerprint marks the load-path rewrite site: a
+    # framed re-parse refreshing a missing/stale sidecar.  The save
+    # path (fingerprint=None) writes a brand-new sidecar instead.
+    rebuild = fingerprint is not None
     try:
         if fingerprint is None:
             fingerprint = file_fingerprint(export_path)
@@ -123,6 +186,9 @@ def write_sidecar(
             extra={"path": export_path, "error": str(error)},
         )
         return False
+    if rebuild:
+        SIDECAR_STATS.rebuilds += 1
+        _trace_sidecar("rebuild", export_path)
     return True
 
 
@@ -175,12 +241,16 @@ def load_sidecar(
     try:
         handle = open(path, "rb")
     except OSError:
+        SIDECAR_STATS.fallbacks += 1
+        _trace_sidecar("miss", export_path, reason="absent")
         return None
     try:
         try:
             mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
         except (ValueError, OSError):
             # Empty or unmappable file: treat as absent.
+            SIDECAR_STATS.fallbacks += 1
+            _trace_sidecar("miss", export_path, reason="empty")
             return None
     finally:
         handle.close()
@@ -194,10 +264,14 @@ def load_sidecar(
                 "columnar sidecar is stale; re-parsing frames",
                 extra={"path": export_path},
             )
+            SIDECAR_STATS.fallbacks += 1
+            _trace_sidecar("miss", export_path, reason="stale")
             return None
         dataset, _, _, _ = decode_shard_payload(
             view[payload_start:], tuple(header["clients"])
         )
+        SIDECAR_STATS.hits += 1
+        _trace_sidecar("hit", export_path)
         return dataset
     except (
         MeasurementError,
@@ -216,4 +290,6 @@ def load_sidecar(
             "columnar sidecar unreadable; re-parsing frames",
             extra={"path": export_path, "error": str(error)},
         )
+        SIDECAR_STATS.fallbacks += 1
+        _trace_sidecar("miss", export_path, reason="unreadable")
         return None

@@ -96,14 +96,53 @@ _log = get_logger("campaign")
 
 
 @dataclass(frozen=True)
+class CampaignProgress:
+    """One live progress observation of a running campaign.
+
+    Serial runs emit one per completed day; sharded runs aggregate
+    worker heartbeats into these (days_completed is then the *minimum*
+    across shards — the day every shard has finished).
+    """
+
+    days_completed: int
+    num_days: int
+    beacons: int
+    beacons_per_second: float
+    elapsed_seconds: float
+    shards_done: int = 0
+    shards_total: int = 1
+    retries: int = 0
+
+    def format(self) -> str:
+        """A one-line ticker rendering (the CLI ``--progress`` line)."""
+        parts = [
+            f"day {self.days_completed}/{self.num_days}",
+            f"beacons {self.beacons:,}",
+            f"{self.beacons_per_second:,.0f}/s",
+        ]
+        if self.shards_total > 1:
+            parts.append(f"shards {self.shards_done}/{self.shards_total}")
+        if self.retries:
+            parts.append(f"retries {self.retries}")
+        parts.append(f"[{self.elapsed_seconds:.1f}s]")
+        return "  ".join(parts)
+
+
+@dataclass(frozen=True)
 class CampaignConfig:
     """Campaign-level knobs.
 
     Attributes:
         beacon: Beacon methodology parameters.
         progress_callback: Optional per-day hook ``f(day, num_days)`` for
-            long runs (the library never prints on its own).  Ignored by
-            sharded parallel runs.
+            long runs (the library never prints on its own).  Sharded
+            parallel runs aggregate worker heartbeats and invoke it once
+            per day fully completed across *all* shards, in day order.
+        progress_listener: Optional richer hook receiving
+            :class:`CampaignProgress` observations (beacons/s, shard
+            completion, retry counts) — what the CLI ``--progress``
+            ticker renders.  Like ``progress_callback``, honored by both
+            serial and sharded runs.
         workers: Worker-process count for the campaign, or ``None`` to
             inherit :attr:`repro.simulation.scenario.ScenarioConfig.workers`.
         engine: Measurement engine — ``"reference"`` (scalar oracle),
@@ -170,6 +209,7 @@ class CampaignConfig:
 
     beacon: BeaconConfig = BeaconConfig()
     progress_callback: Optional[Callable[[int, int], None]] = None
+    progress_listener: Optional[Callable[["CampaignProgress"], None]] = None
     workers: Optional[int] = None
     engine: Optional[str] = None
     fault_plan: Optional[FaultPlan] = None
@@ -1750,9 +1790,14 @@ class CampaignRunner:
         client_slice: Optional[Tuple[int, int]] = None,
         telemetry: Optional[Telemetry] = None,
         fault_injector: Optional[WorkerFaultInjector] = None,
+        heartbeat: Optional[Callable[[int, int, int], None]] = None,
     ) -> None:
         self._scenario = scenario
         self._config = config or CampaignConfig()
+        #: Per-day hook ``f(day, num_days, beacons_so_far)`` — shard
+        #: workers install their heartbeat channel here so the
+        #: coordinator can aggregate live progress.
+        self._heartbeat = heartbeat
         if client_slice is not None:
             start, stop = client_slice
             if not 0 <= start <= stop <= len(scenario.clients):
@@ -1999,11 +2044,13 @@ class CampaignRunner:
         )
 
         beacon_count = 0
+        run_started = time.perf_counter()
         for day in calendar.days():
           if self._fault_injector is not None:
             # Transient-exception site: the injected failure surfaces at
             # the start of a seed-derived day, i.e. genuinely mid-run.
             self._fault_injector.on_day(day, calendar.num_days)
+          day_beacons_before = beacon_count
           with tel.span("day", index=day):
             day_start_time = time.perf_counter()
             day_keys = DayKeys(scenario_seed, day)
@@ -2335,8 +2382,33 @@ class CampaignRunner:
                 "day complete",
                 extra={"day": day, "seconds": round(day_elapsed, 4)},
             )
+          # Per-day work totals as a data-scope trace event: numeric
+          # args sum shard-invariantly (each shard contributes its
+          # slice's beacons), so serial and sharded trace digests agree.
+          tel.trace.data(
+              "engine.day",
+              "engine",
+              index=day,
+              engine=engine,
+              beacons=beacon_count - day_beacons_before,
+          )
+          if self._heartbeat is not None:
+            self._heartbeat(day, calendar.num_days, beacon_count)
           if cfg.progress_callback is not None:
             cfg.progress_callback(day, calendar.num_days)
+          if cfg.progress_listener is not None:
+            elapsed = time.perf_counter() - run_started
+            cfg.progress_listener(
+                CampaignProgress(
+                    days_completed=day + 1,
+                    num_days=calendar.num_days,
+                    beacons=beacon_count,
+                    beacons_per_second=(
+                        beacon_count / elapsed if elapsed > 0 else 0.0
+                    ),
+                    elapsed_seconds=elapsed,
+                )
+            )
 
         with tel.span("finalize"):
             if backend.pending_count:
@@ -2382,6 +2454,9 @@ class CampaignRunner:
                     f"validate.quarantined.{reason}_total",
                     f"records flagged as {reason}",
                 ).inc(count)
+                tel.trace.data(
+                    "quarantine", "validate", index=reason, records=count
+                )
             if record_faults is not None:
                 planted = record_faults.planted
                 tel.counter(

@@ -49,6 +49,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import multiprocessing
+import queue as queue_module
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -70,6 +71,7 @@ from repro.measurement.logs import PassiveLog
 from repro.measurement.validate import QuarantineLog
 from repro.simulation.campaign import (
     CampaignConfig,
+    CampaignProgress,
     CampaignRunner,
     CampaignStats,
 )
@@ -137,7 +139,13 @@ def shard_bounds(population: int, shards: int) -> List[Tuple[int, int]]:
 
 @dataclasses.dataclass(frozen=True)
 class _ShardTask:
-    """Everything one shard attempt needs to run in a worker process."""
+    """Everything one shard attempt needs to run in a worker process.
+
+    ``heartbeats`` is an optional queue (a ``multiprocessing.Manager``
+    proxy for worker processes, a plain queue in-process) the worker
+    posts per-day progress dicts into; absent when no progress hook is
+    configured, so quiet runs pay no Manager cost.
+    """
 
     scenario_config: ScenarioConfig
     campaign_config: CampaignConfig
@@ -148,6 +156,7 @@ class _ShardTask:
     fault_kind: Optional[FaultKind]
     hang_seconds: float
     use_shm: bool = False
+    heartbeats: Optional[object] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -202,6 +211,31 @@ def _run_shard(task: _ShardTask) -> _ShardEnvelope:
             config_hash=config_digest(task.scenario_config),
         )
     )
+    # Trace events this worker emits land on its own shard lane,
+    # stamped with the attempt so retries are distinguishable.
+    telemetry.trace.lane = task.shard_index
+    telemetry.trace.attempt = task.attempt
+    heartbeat = None
+    if task.heartbeats is not None:
+        channel = task.heartbeats
+
+        def heartbeat(day: int, num_days: int, beacons: int) -> None:
+            try:
+                channel.put(
+                    {
+                        "shard": task.shard_index,
+                        "attempt": task.attempt,
+                        "day": day,
+                        "days": num_days,
+                        "beacons": beacons,
+                    }
+                )
+            except Exception:
+                # Progress is best-effort; a torn Manager connection
+                # (e.g. coordinator tearing down) must not fail the
+                # shard's real work.
+                pass
+
     # The rebuild is real per-worker work; timing it keeps the merged
     # phase tree honest about where the sharded run's seconds go.
     with telemetry.span("scenario_build"):
@@ -212,6 +246,7 @@ def _run_shard(task: _ShardTask) -> _ShardEnvelope:
         client_slice=(task.start, task.stop),
         telemetry=telemetry,
         fault_injector=injector,
+        heartbeat=heartbeat,
     )
     dataset = runner.run()
     assert runner.stats is not None
@@ -279,6 +314,131 @@ class _InlinePool:
         return None
 
 
+#: Minimum seconds between ``progress_listener`` emissions while the
+#: coordinator is aggregating heartbeats (the final emission is never
+#: throttled).
+_PROGRESS_EMIT_SECONDS = 0.2
+
+
+class _ProgressAggregator:
+    """Folds worker heartbeats into the campaign-level progress hooks.
+
+    ``progress_callback`` keeps its serial contract under sharding: it
+    fires exactly once per day, in day order, when that day is complete
+    across *every* shard (the minimum of per-shard completed days).
+    Retried attempts replay earlier days; the per-shard maximum keeps
+    reported progress monotone, so replays never re-fire the callback.
+
+    ``progress_listener`` receives throttled :class:`CampaignProgress`
+    observations with live beacon totals, shard completion, and retry
+    counts.
+    """
+
+    def __init__(
+        self,
+        cfg: CampaignConfig,
+        shards: int,
+        run_start: float,
+    ) -> None:
+        self._cfg = cfg
+        self._shards = shards
+        self._run_start = run_start
+        self._num_days = 0
+        self._days_done: Dict[int, int] = {}
+        self._beacons: Dict[int, int] = {}
+        self._complete: Set[int] = set()
+        self._retries = 0
+        self._reported = 0
+        self._last_emit = float("-inf")
+
+    @property
+    def wanted(self) -> bool:
+        """Whether any progress hook is configured at all."""
+        return (
+            self._cfg.progress_callback is not None
+            or self._cfg.progress_listener is not None
+        )
+
+    def heartbeat(self, message: object) -> None:
+        """Fold one worker heartbeat dict in (malformed ones dropped)."""
+        if not isinstance(message, dict):
+            return
+        try:
+            shard = int(message["shard"])
+            day = int(message["day"])
+            self._num_days = max(self._num_days, int(message["days"]))
+            beacons = int(message["beacons"])
+        except (KeyError, TypeError, ValueError):
+            return
+        self._days_done[shard] = max(self._days_done.get(shard, 0), day + 1)
+        self._beacons[shard] = max(self._beacons.get(shard, 0), beacons)
+        self._advance()
+
+    def mark_complete(self, shard: int) -> None:
+        """A shard's data has merged (run, resumed, or checkpointed)."""
+        self._complete.add(shard)
+        if self._num_days:
+            self._days_done[shard] = self._num_days
+        self._advance()
+
+    def note_retry(self) -> None:
+        self._retries += 1
+
+    def finish(self) -> None:
+        """Report any remaining days and emit the final observation.
+
+        Called on normal coordinator exit only: the run is over, so the
+        day sequence completes even if trailing heartbeats were lost.
+        """
+        if self._num_days:
+            for shard in range(self._shards):
+                self._days_done[shard] = self._num_days
+        self._advance(force=True)
+
+    def _floor_days(self) -> int:
+        floor: Optional[int] = None
+        for shard in range(self._shards):
+            if shard in self._complete:
+                done = self._num_days
+            else:
+                done = self._days_done.get(shard)
+                if done is None:
+                    return 0
+            floor = done if floor is None else min(floor, done)
+        return floor or 0
+
+    def _advance(self, force: bool = False) -> None:
+        floor = self._floor_days()
+        callback = self._cfg.progress_callback
+        if callback is not None:
+            while self._reported < floor:
+                callback(self._reported, self._num_days)
+                self._reported += 1
+        listener = self._cfg.progress_listener
+        if listener is None:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_emit < _PROGRESS_EMIT_SECONDS:
+            return
+        self._last_emit = now
+        elapsed = now - self._run_start
+        beacons = sum(self._beacons.values())
+        listener(
+            CampaignProgress(
+                days_completed=floor,
+                num_days=self._num_days,
+                beacons=beacons,
+                beacons_per_second=(
+                    beacons / elapsed if elapsed > 0 else 0.0
+                ),
+                elapsed_seconds=elapsed,
+                shards_done=len(self._complete),
+                shards_total=self._shards,
+                retries=self._retries,
+            )
+        )
+
+
 class ParallelCampaignRunner:
     """Runs a campaign sharded across worker processes, riding out faults.
 
@@ -296,9 +456,12 @@ class ParallelCampaignRunner:
 
     Args:
         scenario: The built study environment.
-        config: Campaign knobs.  ``progress_callback`` is ignored for
-            sharded runs (workers cannot call back into this process).
-            The resilience knobs — ``fault_plan``, ``max_retries``,
+        config: Campaign knobs.  ``progress_callback`` and
+            ``progress_listener`` are honored for sharded runs: workers
+            post per-day heartbeats through a queue, and the coordinator
+            aggregates them — the callback fires once per day completed
+            across *all* shards, in day order, exactly like a serial
+            run.  The resilience knobs — ``fault_plan``, ``max_retries``,
             ``shard_timeout``, ``allow_partial``, ``checkpoint_dir``,
             ``resume`` — are honored here; see :class:`CampaignConfig`.
         workers: Worker-process count; ``None`` resolves
@@ -419,6 +582,7 @@ class ParallelCampaignRunner:
         worker_config = dataclasses.replace(
             cfg,
             progress_callback=None,
+            progress_listener=None,
             workers=None,
             fault_plan=(
                 cfg.fault_plan.record_only()
@@ -468,6 +632,10 @@ class ParallelCampaignRunner:
         missing: List[int] = []
         last_error: Dict[int, str] = {}
         pending: Set[int] = set(range(len(bounds)))
+        progress = _ProgressAggregator(cfg, len(bounds), run_start)
+        # Start timestamps of in-flight attempts, for the per-attempt
+        # trace slices rendered on each shard's lane.
+        dispatch_ts: Dict[Tuple[int, int], int] = {}
 
         # Resume: reuse intact, matching shard checkpoints.
         if cfg.resume and cfg.checkpoint_dir is not None:
@@ -482,6 +650,9 @@ class ParallelCampaignRunner:
                         "checkpoint.invalid_total",
                         "checkpoints rejected by integrity checks",
                     ).inc()
+                    tel.trace.instant(
+                        "checkpoint.invalid", "checkpoint", shard=index
+                    )
                     _log.warning(
                         "checkpoint rejected",
                         extra={"shard": index, "error": str(error)},
@@ -493,6 +664,9 @@ class ParallelCampaignRunner:
                     "checkpoint.loaded_total",
                     "shards restored from checkpoints instead of re-run",
                 ).inc()
+                tel.trace.instant(
+                    "checkpoint.loaded", "checkpoint", shard=index
+                )
                 merged = loaded if merged is None else merged.merge(loaded)
                 restored_quarantine = load_shard_quarantine(
                     cfg.checkpoint_dir, index
@@ -500,6 +674,7 @@ class ParallelCampaignRunner:
                 if restored_quarantine is not None:
                     self.quarantine.merge(restored_quarantine)
                 pending.discard(index)
+                progress.mark_complete(index)
 
         _log.info(
             "dispatching shards",
@@ -515,6 +690,28 @@ class ParallelCampaignRunner:
         )
 
         context = multiprocessing.get_context(_START_METHOD)
+        # The heartbeat channel exists only when a progress hook asked
+        # for it: worker processes need a picklable Manager queue proxy,
+        # which costs an extra process — quiet runs skip it entirely.
+        manager = None
+        heartbeat_channel = None
+        if progress.wanted:
+            if self._workers == 1:
+                heartbeat_channel = queue_module.SimpleQueue()
+            else:
+                manager = context.Manager()
+                heartbeat_channel = manager.Queue()
+
+        def drain_heartbeats() -> None:
+            if heartbeat_channel is None:
+                return
+            while True:
+                try:
+                    message = heartbeat_channel.get_nowait()
+                except (queue_module.Empty, OSError, EOFError):
+                    return
+                progress.heartbeat(message)
+
         pool = (
             _InlinePool()
             if self._workers == 1
@@ -559,6 +756,17 @@ class ParallelCampaignRunner:
                         f"faults.injected.{kind.value}_total",
                         f"{kind.value} faults fired by the plan",
                     ).inc()
+                    tel.trace.instant(
+                        "fault.injected",
+                        "fault",
+                        shard=shard,
+                        attempt=attempt,
+                        kind=kind.value,
+                    )
+                dispatch_ts[(shard, attempt)] = tel.trace.now_us()
+                tel.trace.instant(
+                    "shard.dispatch", "scheduler", shard=shard, attempt=attempt
+                )
                 start, stop = bounds[shard]
                 task = _ShardTask(
                     scenario_config=scenario.config,
@@ -572,6 +780,7 @@ class ParallelCampaignRunner:
                         compiled.hang_seconds if compiled is not None else 0.0
                     ),
                     use_shm=use_shm,
+                    heartbeats=heartbeat_channel,
                 )
                 deadline = (
                     time.monotonic() + cfg.shard_timeout
@@ -587,6 +796,19 @@ class ParallelCampaignRunner:
                 nonlocal merged
                 failures_counter.inc()
                 last_error[shard] = f"{type(error).__name__}: {error}"
+                started = dispatch_ts.pop((shard, attempt), None)
+                now_us = tel.trace.now_us()
+                if started is not None:
+                    tel.trace.complete(
+                        "shard.attempt",
+                        "shard",
+                        ts_us=started,
+                        dur_us=now_us - started,
+                        shard=shard,
+                        attempt=attempt,
+                        status="failed",
+                        error=type(error).__name__,
+                    )
                 _log.warning(
                     "shard attempt failed",
                     extra={
@@ -603,7 +825,15 @@ class ParallelCampaignRunner:
                     raise error
                 if attempt < cfg.max_retries:
                     retries_counter.inc()
+                    progress.note_retry()
                     backoff = cfg.retry_backoff_seconds * (2 ** attempt)
+                    tel.trace.instant(
+                        "shard.retry",
+                        "scheduler",
+                        shard=shard,
+                        attempt=attempt + 1,
+                        backoff_seconds=backoff,
+                    )
                     retry_queue.append(
                         (time.monotonic() + backoff, shard, attempt + 1)
                     )
@@ -612,6 +842,13 @@ class ParallelCampaignRunner:
                 if cfg.allow_partial:
                     missing.append(shard)
                     pending.discard(shard)
+                    tel.trace.instant(
+                        "shard.dropped",
+                        "scheduler",
+                        shard=shard,
+                        attempt=attempt,
+                        attempts=attempts,
+                    )
                     _log.warning(
                         "shard dropped after exhausting retries",
                         extra={"shard": shard, "attempts": attempts},
@@ -666,6 +903,23 @@ class ParallelCampaignRunner:
                         "checkpoint.saved_total",
                         "completed shards spilled as checkpoints",
                     ).inc()
+                    tel.trace.instant(
+                        "checkpoint.saved",
+                        "checkpoint",
+                        shard=shard,
+                        attempt=attempt,
+                    )
+                started = dispatch_ts.pop((shard, attempt), None)
+                if started is not None:
+                    tel.trace.complete(
+                        "shard.attempt",
+                        "shard",
+                        ts_us=started,
+                        dur_us=tel.trace.now_us() - started,
+                        shard=shard,
+                        attempt=attempt,
+                        status="ok",
+                    )
                 tel.absorb(shard_snapshot)
                 self.quarantine.merge(shard_quarantine)
                 merged = (
@@ -679,11 +933,13 @@ class ParallelCampaignRunner:
                     else merged_stats.merge(shard_stats)
                 )
                 pending.discard(shard)
+                progress.mark_complete(shard)
 
             for shard in sorted(pending):
                 dispatch(shard, 0)
 
             while inflight or retry_queue:
+                drain_heartbeats()
                 now = time.monotonic()
                 for entry in list(retry_queue):
                     ready_time, shard, attempt = entry
@@ -716,7 +972,11 @@ class ParallelCampaignRunner:
                 sweep_abandoned()
                 if not progressed and (inflight or retry_queue):
                     time.sleep(_POLL_SECONDS)
+            drain_heartbeats()
             sweep_abandoned()
+        progress.finish()
+        if manager is not None:
+            manager.shutdown()
 
         if merged is None:
             # Every shard was lost (allow_partial): an empty dataset that

@@ -20,6 +20,16 @@ distill into the run manifest written alongside every dataset.
 """
 
 from repro.telemetry.core import Telemetry, config_digest
+from repro.telemetry.history import (
+    BenchHistory,
+    ComparisonResult,
+    PerfRecord,
+    check_history,
+    compare_records,
+    format_history_report,
+    host_fingerprint,
+    record_from_snapshot,
+)
 from repro.telemetry.logs import (
     JsonLineFormatter,
     RunContext,
@@ -42,26 +52,48 @@ from repro.telemetry.report import (
 )
 from repro.telemetry.snapshot import TelemetrySnapshot
 from repro.telemetry.spans import SpanRecord, SpanTracker
+from repro.telemetry.trace import (
+    TraceEvent,
+    TraceLog,
+    active_trace,
+    format_trace_report,
+    merge_trace_logs,
+    set_active_trace,
+)
 
 __all__ = [
+    "BenchHistory",
+    "ComparisonResult",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonLineFormatter",
     "MemoryProbe",
     "MetricsRegistry",
+    "PerfRecord",
     "RunContext",
     "SpanRecord",
     "SpanTracker",
     "Telemetry",
     "TelemetrySnapshot",
     "TextLineFormatter",
+    "TraceEvent",
+    "TraceLog",
+    "active_trace",
     "build_run_manifest",
+    "check_history",
+    "compare_records",
     "config_digest",
     "configure_logging",
+    "format_history_report",
     "format_run_report",
+    "format_trace_report",
     "get_logger",
+    "host_fingerprint",
     "manifest_path_for",
+    "merge_trace_logs",
     "peak_rss_bytes",
+    "record_from_snapshot",
+    "set_active_trace",
     "write_run_manifest",
 ]

@@ -28,6 +28,7 @@ from repro.telemetry.registry import (
 )
 from repro.telemetry.snapshot import TelemetrySnapshot
 from repro.telemetry.spans import SpanTracker
+from repro.telemetry.trace import TraceLog, set_active_trace
 
 
 def config_digest(config: object) -> str:
@@ -55,6 +56,12 @@ class Telemetry:
             self.context = dict(context or {})
         self.registry = MetricsRegistry()
         self.spans = SpanTracker()
+        # One timeline per run: spans mirror onto it as phase slices,
+        # and emission sites without a Telemetry handle (e.g. the
+        # columnar sidecar loader) reach it via the active-trace hook.
+        self.trace = TraceLog()
+        self.spans.trace = self.trace
+        set_active_trace(self.trace)
 
     # ------------------------------------------------------------------
     # Registry delegation
@@ -113,6 +120,7 @@ class Telemetry:
                 )
                 for path, record in self.spans.records.items()
             },
+            trace=self.trace.copy() if self.trace.events else None,
         )
 
     def absorb(self, snapshot: TelemetrySnapshot) -> None:
@@ -138,3 +146,5 @@ class Telemetry:
                 histogram["observations"],
             )
         self.spans.absorb(snapshot.spans)
+        if snapshot.trace is not None and snapshot.trace.events:
+            self.trace.merge(snapshot.trace)

@@ -186,6 +186,32 @@ def build_run_manifest(
             for path, _ in snapshot.span_roots()
         },
     }
+    if snapshot.trace is not None and snapshot.trace.events:
+        manifest["trace"] = {
+            "event_count": len(snapshot.trace.events),
+            "lanes": sorted(
+                {event.shard for event in snapshot.trace.events}
+            ),
+            "digest": snapshot.trace.digest(),
+        }
+    sidecar = {
+        name: int(value)
+        for name, value in sorted(snapshot.counters.items())
+        if name.startswith("columnar.sidecar_")
+    }
+    if not sidecar:
+        # The sidecar loader runs without a Telemetry handle (analysis
+        # processes have no campaign), so its counters are process
+        # globals; imported locally to keep telemetry import-light.
+        from repro.measurement.columnar import SIDECAR_STATS
+
+        sidecar = {
+            name: value
+            for name, value in SIDECAR_STATS.as_dict().items()
+            if value
+        }
+    if sidecar:
+        manifest["columnar"] = sidecar
     if "validate.records_total" in snapshot.counters:
         reason_prefix = "validate.quarantined."
         manifest["validation"] = {

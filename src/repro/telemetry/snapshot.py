@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import TelemetryError
 from repro.telemetry.registry import GAUGE_MERGE_MODES
 from repro.telemetry.spans import PATH_SEPARATOR, SpanRecord
+from repro.telemetry.trace import TraceLog
 
 #: Format marker written into every snapshot export.
 SNAPSHOT_FORMAT_VERSION = 1
@@ -51,6 +52,8 @@ class TelemetrySnapshot:
         histograms: name → ``{"start", "growth", "bucket_count",
             "counts" (overflow last), "sum", "observations"}``.
         spans: path → :class:`SpanRecord`.
+        trace: optional :class:`TraceLog` of structured timeline
+            events; merged by clock-rebased event-set union.
     """
 
     context: Dict[str, Any] = field(default_factory=dict)
@@ -58,6 +61,7 @@ class TelemetrySnapshot:
     gauges: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     spans: Dict[str, SpanRecord] = field(default_factory=dict)
+    trace: Optional[TraceLog] = None
 
     # ------------------------------------------------------------------
     # Merging
@@ -134,6 +138,10 @@ class TelemetrySnapshot:
                 )
             else:
                 mine_record.absorb(record)
+        if other.trace is not None and other.trace.events:
+            if self.trace is None:
+                self.trace = TraceLog(origin=other.trace.origin)
+            self.trace.merge(other.trace)
         return self
 
     # ------------------------------------------------------------------
@@ -187,7 +195,7 @@ class TelemetrySnapshot:
 
     def to_obj(self) -> Dict[str, Any]:
         """A JSON-compatible document for this snapshot."""
-        return {
+        document: Dict[str, Any] = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "context": dict(self.context),
             "counters": dict(self.counters),
@@ -207,6 +215,9 @@ class TelemetrySnapshot:
                 for path, record in self.spans.items()
             },
         }
+        if self.trace is not None and self.trace.events:
+            document["trace"] = self.trace.to_obj()
+        return document
 
     @classmethod
     def from_obj(cls, document: Dict[str, Any]) -> "TelemetrySnapshot":
@@ -252,6 +263,11 @@ class TelemetrySnapshot:
                 )
                 for path, record in document.get("spans", {}).items()
             },
+            trace=(
+                TraceLog.from_obj(document["trace"])
+                if "trace" in document
+                else None
+            ),
         )
 
     def to_json(self, indent: int = 2) -> str:

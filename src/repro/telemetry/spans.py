@@ -62,11 +62,19 @@ class SpanRecord:
 
 
 class SpanTracker:
-    """Accumulates nested span timings into path-keyed records."""
+    """Accumulates nested span timings into path-keyed records.
+
+    When :attr:`trace` is set (the owning :class:`~repro.telemetry.core
+    .Telemetry` installs its :class:`~repro.telemetry.trace.TraceLog`),
+    every completed span additionally emits a ``cat="phase"`` complete
+    slice onto the trace timeline — the aggregate records and the
+    timeline stay two views of the same ``perf_counter`` measurements.
+    """
 
     def __init__(self) -> None:
         self._records: Dict[str, SpanRecord] = {}
         self._stack: List[str] = []
+        self.trace = None  # Optional[repro.telemetry.trace.TraceLog]
 
     @property
     def records(self) -> Dict[str, SpanRecord]:
@@ -85,6 +93,7 @@ class SpanTracker:
         """Time a region under ``name``, nested below the current span."""
         self._stack.append(name)
         path = PATH_SEPARATOR.join(self._stack)
+        trace_start = None if self.trace is None else self.trace.now_us()
         started = time.perf_counter()
         try:
             yield
@@ -95,6 +104,15 @@ class SpanTracker:
             if record is None:
                 record = self._records[path] = SpanRecord()
             record.add(elapsed, index)
+            if trace_start is not None:
+                args = {} if index is None else {"index": index}
+                self.trace.complete(
+                    path,
+                    "phase",
+                    ts_us=trace_start,
+                    dur_us=round(elapsed * 1e6),
+                    **args,
+                )
 
     def record_seconds(
         self, path: str, seconds: float, index: Optional[object] = None
@@ -104,6 +122,16 @@ class SpanTracker:
         if record is None:
             record = self._records[path] = SpanRecord()
         record.add(seconds, index)
+        if self.trace is not None:
+            args = {} if index is None else {"index": index}
+            dur_us = max(0, round(seconds * 1e6))
+            self.trace.complete(
+                path,
+                "phase",
+                ts_us=max(0, self.trace.now_us() - dur_us),
+                dur_us=dur_us,
+                **args,
+            )
 
     def absorb(self, records: Dict[str, SpanRecord]) -> None:
         """Merge another tracker's (or snapshot's) records into this one."""

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Perf-history regression gate over a ``BENCH_history.json`` ledger.
+
+Reads the append-only performance ledger written by ``repro run
+--history-out`` / ``tools/perf_smoke.py`` and compares the newest record
+in each comparison group (label, engine, host, config hash) against the
+median of the preceding records.  With ``--check`` the exit status is
+nonzero when any group regresses beyond the threshold; groups with
+fewer than two comparable records always pass, so the gate is
+non-blocking until a baseline exists.
+
+Usage::
+
+    python tools/bench_history.py benchmarks/out/BENCH_history.json
+    python tools/bench_history.py BENCH_history.json --check
+    python tools/bench_history.py BENCH_history.json --check \
+        --threshold 0.3 --window 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.telemetry.history import (  # noqa: E402
+    DEFAULT_BASELINE_WINDOW,
+    DEFAULT_THRESHOLD,
+    BenchHistory,
+    check_history,
+    format_history_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "ledger",
+        help="path to a BENCH_history.json performance ledger",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when a comparison group regresses",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression tolerance (default %(default)s)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_BASELINE_WINDOW,
+        help="baseline window size in records (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.ledger):
+        print(f"bench-history: no ledger at {args.ledger}; nothing to gate")
+        return 0
+    try:
+        history = BenchHistory.load(args.ledger)
+    except ValueError as error:
+        print(f"bench-history: unreadable ledger: {error}", file=sys.stderr)
+        return 2
+
+    results = check_history(
+        history, threshold=args.threshold, window=args.window
+    )
+    print(format_history_report(results))
+    if args.check and any(not result.ok for result in results):
+        print("bench-history: FAIL", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

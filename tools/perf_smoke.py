@@ -72,7 +72,13 @@ from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
-from repro.telemetry import MemoryProbe, peak_rss_bytes, write_run_manifest
+from repro.telemetry import (
+    BenchHistory,
+    MemoryProbe,
+    peak_rss_bytes,
+    record_from_snapshot,
+    write_run_manifest,
+)
 
 
 def _timed_serial(scenario: Scenario, engine: str):
@@ -159,6 +165,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--rss-manifest-out", metavar="PATH",
         help="write the memory/RSS accounting manifest here",
     )
+    parser.add_argument(
+        "--history-out", metavar="PATH", default="BENCH_history.json",
+        help=(
+            "append one perf-history record per engine leg to this "
+            "ledger for tools/bench_history.py (empty string disables; "
+            "default %(default)s)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     scenario = Scenario.build(
@@ -169,8 +183,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
 
-    _, ref_rate, ref_seconds, ref_snapshot, ref_peak = _timed_serial(
-        scenario, "reference"
+    ref_dataset, ref_rate, ref_seconds, ref_snapshot, ref_peak = (
+        _timed_serial(scenario, "reference")
     )
     vec_dataset, vec_rate, vec_seconds, vec_snapshot, vec_peak = (
         _timed_serial(scenario, "vectorized")
@@ -528,6 +542,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.dirty_manifest_out:
         print("FAIL: --dirty-manifest-out requires --dirty-plan")
         return 1
+
+    if args.history_out:
+        # Seed the perf-history ledger so tools/bench_history.py has a
+        # record per engine even on a job's very first run.
+        history = BenchHistory.load(args.history_out)
+        for engine, dataset, snapshot in (
+            ("reference", ref_dataset, ref_snapshot),
+            ("vectorized", vec_dataset, vec_snapshot),
+            ("matrix", mat_dataset, mat_snapshot),
+        ):
+            history.append(
+                record_from_snapshot(
+                    snapshot, "perf-smoke", engine=engine, dataset=dataset
+                )
+            )
+        history.save(args.history_out)
+        print(
+            f"  appended 3 perf-history records to {args.history_out} "
+            f"({len(history.records)} total)"
+        )
 
     if speedup < args.min_speedup:
         print(
