@@ -8,6 +8,10 @@ Commands:
 * ``failover`` — withdraw a front-end and trace the §2 overload cascade.
 * ``telemetry`` — pretty-print a saved telemetry snapshot as a run report.
 * ``trace`` — render a trace timeline summary from a ``trace.json``.
+* ``serve`` — run a campaign, then stream it through the live service
+  (online §6 predictions at every day close).
+* ``replay`` — stream a recorded dataset through the live service at a
+  configurable speed-up, with checkpoint/resume and fault kill points.
 
 Study-running commands also accept ``--telemetry-out`` (export the run's
 merged telemetry snapshot as JSON, or Prometheus text for ``.prom``/
@@ -32,8 +36,10 @@ from repro.analysis.prediction_eval import evaluate_prediction
 from repro.cdn.catalog import catalog
 from repro.cdn.failover import WithdrawalSimulator
 from repro.clients.population import ClientPopulationConfig
+from repro.core.predictor import PredictorConfig
 from repro.core.study import AnycastStudy
 from repro.faults import FaultPlan
+from repro.faults.inject import InjectedCrashError
 from repro.geo.coords import haversine_km
 from repro.errors import StorageError
 from repro.measurement.export import load_dataset, recover_dataset, save_dataset
@@ -44,12 +50,17 @@ from repro.measurement.sketch import (
 from repro.measurement.storage import atomic_write_text
 from repro.measurement.probes import ProbeNetwork
 from repro.net.topology import AsRole
+from repro.service.ingest import LiveService, ServiceConfig
+from repro.service.predictor import predictions_to_obj
+from repro.service.replay import dirty_events, events_from_dataset
 from repro.simulation.campaign import CampaignConfig, CampaignProgress
 from repro.simulation.clock import SimulationCalendar
+from repro.simulation.dataset import StudyDataset
 from repro.simulation.scenario import ScenarioConfig
 from repro.telemetry import (
     BenchHistory,
     RunContext,
+    Telemetry,
     TelemetrySnapshot,
     TraceLog,
     config_digest,
@@ -60,6 +71,11 @@ from repro.telemetry import (
     record_from_snapshot,
     write_run_manifest,
 )
+
+#: Process exit code of a service run killed by an injected crash — the
+#: chaos tests' "process died mid-stream" signal, distinct from argparse
+#: errors (2) and analysis failures.
+EXIT_SERVICE_CRASHED = 3
 
 
 def _study_config(args: argparse.Namespace) -> ScenarioConfig:
@@ -353,6 +369,219 @@ def _export_quarantine(args: argparse.Namespace, study: AnycastStudy) -> None:
         f"wrote quarantine log ({quarantine.total} records) to "
         f"{args.quarantine_out}"
     )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags of the live-service loop (``serve`` and ``replay``)."""
+    parser.add_argument(
+        "--window-days", type=int, default=1, metavar="N",
+        help="sliding prediction window length in days (§6 default: 1)",
+    )
+    parser.add_argument(
+        "--metric-percentile", type=float, default=25.0, metavar="P",
+        help="latency percentile scoring each target (§6 default: 25)",
+    )
+    parser.add_argument(
+        "--min-samples", type=int, default=20, metavar="N",
+        help=(
+            "measurements a (group, target) needs inside the window to "
+            "be considered (§6 default: 20)"
+        ),
+    )
+    parser.add_argument(
+        "--speed", type=float, default=0.0, metavar="X",
+        help=(
+            "replay pacing in simulated seconds per wall-clock second "
+            "(86400 streams one day per second; default 0 = unpaced)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help=(
+            "also spill a service checkpoint every N processed events "
+            "(default 0 = at day closes only)"
+        ),
+    )
+    parser.add_argument(
+        "--predictions-out", metavar="PATH",
+        help="write every closed day's online predictions here (JSON)",
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH",
+        help=(
+            "write the service run manifest (event counts, predictions/"
+            "stream/quarantine digests) here (JSON)"
+        ),
+    )
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    """Service knobs from the CLI flags (shared by serve/replay)."""
+    fault_plan = None
+    spec = getattr(args, "fault_plan", None)
+    if spec:
+        fault_plan = FaultPlan.from_spec(spec)
+    resume_from = getattr(args, "resume_from", None)
+    checkpoint_dir = resume_from or getattr(args, "checkpoint_dir", None)
+    return ServiceConfig(
+        window_days=args.window_days,
+        predictor=PredictorConfig(
+            metric_percentile=args.metric_percentile,
+            min_samples=args.min_samples,
+        ),
+        validation=getattr(args, "validation_policy", "lenient"),
+        sketch_threshold=getattr(args, "sketch_threshold", None),
+        sketch_accuracy=getattr(args, "sketch_accuracy", None)
+        or DEFAULT_RELATIVE_ACCURACY,
+        sketch_max_buckets=getattr(args, "sketch_max_buckets", None)
+        or DEFAULT_MAX_BUCKETS,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume_from is not None,
+        checkpoint_every_events=args.checkpoint_every,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        speed=args.speed,
+    )
+
+
+def _run_service(
+    args: argparse.Namespace, dataset: StudyDataset, label: str
+) -> int:
+    """Stream a dataset through the live service and write its outputs."""
+    config = _service_config(args)
+    telemetry = Telemetry(
+        context={"seed": config.seed, "mode": label}
+    )
+    listener = (
+        _progress_ticker() if getattr(args, "progress", False) else None
+    )
+    events = dirty_events(
+        dataset, events_from_dataset(dataset), config.fault_plan, config.seed
+    )
+    service = LiveService(
+        config,
+        num_days=dataset.calendar.num_days,
+        telemetry=telemetry,
+        progress_listener=listener,
+        source_fingerprint=dataset.digest(),
+    )
+    try:
+        result = service.run_stream(events)
+    except InjectedCrashError as error:
+        print(f"service crashed mid-stream: {error}", file=sys.stderr)
+        if config.checkpoint_dir:
+            print(
+                f"resume with --resume-from {config.checkpoint_dir}",
+                file=sys.stderr,
+            )
+        return EXIT_SERVICE_CRASHED
+    print(
+        f"{label} complete: {result.events_total:,} events, "
+        f"{result.beacons_admitted:,} beacons admitted, "
+        f"{result.days_closed} days closed"
+    )
+    if result.resumed_from_cursor:
+        print(
+            f"resumed from checkpoint at event {result.resumed_from_cursor:,}"
+        )
+    if result.retries:
+        print(f"absorbed {result.retries} transient fault(s) via restart")
+    print(f"predictions digest: {result.predictions_digest}")
+    print(f"stream digest:      {result.stream_digest}")
+    print(f"quarantine digest:  {result.quarantine_digest}")
+    if args.predictions_out:
+        atomic_write_text(
+            args.predictions_out,
+            json.dumps(
+                predictions_to_obj(result.predictions),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+        print(f"wrote online predictions to {args.predictions_out}")
+    if args.manifest_out:
+        atomic_write_text(
+            args.manifest_out,
+            json.dumps(result.manifest(), indent=2, sort_keys=True) + "\n",
+        )
+        print(f"wrote service manifest to {args.manifest_out}")
+    if getattr(args, "quarantine_out", None):
+        atomic_write_text(
+            args.quarantine_out,
+            json.dumps(
+                service.gate.quarantine.to_obj(), indent=2, sort_keys=True
+            )
+            + "\n",
+        )
+        print(
+            f"wrote quarantine log ({service.gate.quarantine.total} "
+            f"records) to {args.quarantine_out}"
+        )
+    snapshot = telemetry.snapshot()
+    if getattr(args, "telemetry_out", None):
+        path = args.telemetry_out
+        if path.endswith((".prom", ".txt")):
+            content = snapshot.to_prometheus()
+        else:
+            content = snapshot.to_json()
+        if not content.endswith("\n"):
+            content += "\n"
+        atomic_write_text(path, content)
+        print(f"wrote telemetry snapshot to {path}")
+    if getattr(args, "trace_out", None):
+        trace = snapshot.trace
+        if trace is None or not trace.events:
+            print(
+                "no trace events recorded; skipping --trace-out",
+                file=sys.stderr,
+            )
+        else:
+            atomic_write_text(
+                args.trace_out,
+                json.dumps(trace.to_perfetto_obj(), indent=2, sort_keys=True)
+                + "\n",
+            )
+            print(
+                f"wrote trace timeline ({len(trace.events)} events) to "
+                f"{args.trace_out}"
+            )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a campaign, then stream its dataset through the live service.
+
+    The campaign itself runs clean and exact-mode (its dataset is the
+    stream source of record); ``--fault-plan``, ``--validation-policy``,
+    ``--sketch-*``, and the checkpoint flags all apply to the *service*
+    loop consuming the stream.
+    """
+    config = _study_config(args)
+    _configure_telemetry(args, config)
+    study = AnycastStudy(config)
+    dataset = study.dataset
+    print(
+        f"campaign dataset ready: {dataset.measurement_count:,} "
+        f"measurements over {dataset.calendar.num_days} days; streaming"
+    )
+    return _run_service(args, dataset, "serve")
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Stream a recorded dataset export through the live service."""
+    if args.log_level is not None or args.log_format is not None:
+        configure_logging(
+            level=args.log_level or "info",
+            fmt=args.log_format or "text",
+            context=RunContext(seed=args.seed, engine="service"),
+        )
+    try:
+        dataset = load_dataset(args.dataset)
+    except StorageError as error:
+        print(f"damaged dataset: {error}", file=sys.stderr)
+        return 2
+    return _run_service(args, dataset, "replay")
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -663,6 +892,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace path: Perfetto trace.json or a telemetry snapshot",
     )
     trace.set_defaults(func=cmd_trace)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run a campaign, then stream its dataset through the live "
+            "online-predictor service"
+        ),
+    )
+    _add_scale_arguments(serve)
+    _add_service_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help=(
+            "stream a recorded dataset (from 'run') through the live "
+            "service at configurable speed-up"
+        ),
+    )
+    replay.add_argument("dataset", help="dataset path from 'run'")
+    replay.add_argument(
+        "--seed", type=int, default=2015,
+        help="service seed for fault-plan compilation (default 2015)",
+    )
+    replay.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help=(
+            "inject deterministic faults into the service loop: "
+            "crash/exception specs kill or trip the consumer mid-stream; "
+            "record-* specs dirty beacon values before the gate"
+        ),
+    )
+    replay.add_argument(
+        "--validation-policy", choices=("strict", "lenient", "repair"),
+        default="lenient",
+        help="invalid-record handling at the service's ingest gate",
+    )
+    replay.add_argument(
+        "--quarantine-out", metavar="PATH",
+        help="write the service's quarantine log here (JSON)",
+    )
+    replay.add_argument(
+        "--sketch-threshold", type=int, metavar="N",
+        help=(
+            "promote the service window's digests to bounded sketches "
+            "above N samples per (group, target) bucket"
+        ),
+    )
+    replay.add_argument(
+        "--sketch-accuracy", type=float, metavar="ALPHA",
+        help="relative quantile accuracy above --sketch-threshold",
+    )
+    replay.add_argument(
+        "--sketch-max-buckets", type=int, metavar="N",
+        help="hard per-sketch bucket cap in the service window",
+    )
+    replay.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="spill service checkpoints here (at day closes)",
+    )
+    replay.add_argument(
+        "--resume-from", metavar="DIR",
+        help=(
+            "restore the service from a checkpoint in DIR and continue "
+            "the stream; implies --checkpoint-dir DIR"
+        ),
+    )
+    replay.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help=(
+            "write the service telemetry snapshot here (JSON; Prometheus "
+            "text format for .prom/.txt paths)"
+        ),
+    )
+    replay.add_argument(
+        "--trace-out", metavar="PATH",
+        help=(
+            "write the service trace timeline here as Chrome/Perfetto "
+            "trace-event JSON"
+        ),
+    )
+    replay.add_argument(
+        "--progress", action="store_true",
+        help="render a live one-line day/throughput ticker on stderr",
+    )
+    replay.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        help="enable structured logging on stderr at this level",
+    )
+    replay.add_argument(
+        "--log-format", choices=("json", "text"),
+        help="structured log line format (default text)",
+    )
+    _add_service_arguments(replay)
+    replay.set_defaults(func=cmd_replay)
 
     return parser
 

@@ -14,11 +14,11 @@ The resulting mapping drives DNS redirection next interval via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import PredictionError
 from repro.dns.authoritative import ANYCAST_TARGET, StaticMappingPolicy
-from repro.measurement.aggregate import GroupedDailyAggregates
+from repro.measurement.aggregate import GroupedDailyAggregates, LatencyDigest
 
 
 @dataclass(frozen=True)
@@ -84,18 +84,23 @@ class HistoryBasedPredictor:
         """The prediction parameters."""
         return self._config
 
-    def predict_group(
-        self, aggregates: GroupedDailyAggregates, day: int, group: str
+    def choose_target(
+        self, group: str, digests: Mapping[str, LatencyDigest]
     ) -> Optional[Prediction]:
-        """Prediction for one group from one day's measurements.
+        """The §6 scoring core over one group's target → digest map.
 
-        Returns ``None`` when no target (anycast included) reaches the
-        sample cut — such groups simply stay on anycast.
+        This is the single definition of "score and choose" — the batch
+        paths (:meth:`predict_group`) and the live service's online
+        predictor (:mod:`repro.service.predictor`) both call it, so the
+        two can only ever disagree if their *windows* differ, never
+        their scoring.  Returns ``None`` when no target (anycast
+        included) reaches the sample cut — such groups simply stay on
+        anycast.
         """
         cfg = self._config
         candidates = {
             target_id: digest
-            for target_id, digest in aggregates.targets_for(day, group).items()
+            for target_id, digest in digests.items()
             if digest.count >= cfg.min_samples
         }
         if not candidates:
@@ -119,6 +124,18 @@ class HistoryBasedPredictor:
             target_id=best,
             metric_ms=scores[best],
             anycast_metric_ms=scores.get(ANYCAST_TARGET),
+        )
+
+    def predict_group(
+        self, aggregates: GroupedDailyAggregates, day: int, group: str
+    ) -> Optional[Prediction]:
+        """Prediction for one group from one day's measurements.
+
+        Returns ``None`` when no target (anycast included) reaches the
+        sample cut — such groups simply stay on anycast.
+        """
+        return self.choose_target(
+            group, aggregates.targets_for(day, group)
         )
 
     def predict_day(

@@ -120,6 +120,30 @@ def _digest_from_payload(
     return digest
 
 
+def digest_payload(digest: LatencyDigest) -> Any:
+    """Serialize one :class:`LatencyDigest` to a JSON-safe payload.
+
+    Exact digests pack their float64 samples bit-exactly (base64);
+    promoted digests serialize their sketch.  Public companion of the
+    internal aggregate-row packing, reused by the live service's window
+    checkpoints so a spilled window round-trips without losing a bit.
+    """
+    return _digest_payload(digest)
+
+
+def digest_from_payload(
+    payload: Any,
+    exact_threshold: Optional[int],
+    relative_accuracy: float,
+    max_buckets: int = DEFAULT_MAX_BUCKETS,
+) -> LatencyDigest:
+    """Inverse of :func:`digest_payload`, rebuilding the digest with the
+    given sketch-mode configuration."""
+    return _digest_from_payload(
+        payload, exact_threshold, relative_accuracy, max_buckets
+    )
+
+
 def _aggregates_to_obj(aggregates: GroupedDailyAggregates) -> Dict[str, Any]:
     if aggregates.exact_threshold is not None:
         raise MeasurementError(

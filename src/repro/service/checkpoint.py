@@ -1,0 +1,121 @@
+"""Service-state checkpoints: spill, verify, resume.
+
+The campaign checkpoints (:mod:`repro.simulation.checkpoint`) spill
+per-shard *datasets*; the service spills its *loop state* — the event
+cursor, the sliding window, the quarantine log, the rolling stream
+digest, and every closed day's predictions — everything a restarted
+process needs to continue the stream bit-identically.
+
+The same trust discipline applies: one JSON document written atomically,
+carrying the service's configuration identity (a config hash plus the
+source fingerprint) and an integrity anchor (SHA-256 of the serialized
+state block).  On resume, a checkpoint is used only when the identity
+matches the requesting service; a matching checkpoint that fails its
+integrity check raises :class:`repro.errors.CheckpointError` — a corrupt
+spill must never silently seed a resumed stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.errors import CheckpointError
+from repro.measurement.storage import atomic_write_text
+from repro.telemetry import get_logger
+
+#: Format marker written into every service checkpoint.
+SERVICE_CHECKPOINT_VERSION = 1
+
+#: File name of the (single) service checkpoint inside its directory.
+CHECKPOINT_FILENAME = "service-checkpoint.json"
+
+_log = get_logger("service.checkpoint")
+
+
+def service_checkpoint_path(directory: str) -> str:
+    """Path of the service checkpoint inside a checkpoint directory."""
+    return os.path.join(directory, CHECKPOINT_FILENAME)
+
+
+def _state_sha256(state: Dict[str, Any]) -> str:
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def write_service_checkpoint(
+    directory: str,
+    identity: Dict[str, Any],
+    state: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Spill the service's loop state with an integrity anchor.
+
+    ``identity`` describes which service the state belongs to (config
+    hash, source fingerprint, seed); ``state`` is the loop state block
+    (cursor, window, quarantine, stream digest, predictions, attempt).
+    Returns the document written.  The write is atomic, so a crash
+    mid-spill leaves the previous checkpoint intact — the loop may
+    replay a tail of already-processed events on resume, which the
+    cursor makes idempotent.
+    """
+    os.makedirs(directory, exist_ok=True)
+    document = {
+        "format_version": SERVICE_CHECKPOINT_VERSION,
+        "identity": dict(identity),
+        "state_sha256": _state_sha256(state),
+        "state": state,
+    }
+    atomic_write_text(
+        service_checkpoint_path(directory),
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+    )
+    _log.debug(
+        "service checkpoint written",
+        extra={"cursor": state.get("cursor"), "directory": directory},
+    )
+    return document
+
+
+def load_service_checkpoint(
+    directory: str, identity: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Load the service checkpoint if present, applicable, and intact.
+
+    Returns the ``state`` block, or ``None`` when the checkpoint is
+    absent or belongs to a different service configuration (both mean
+    "start from the beginning of the stream").
+
+    Raises:
+        CheckpointError: when the checkpoint claims to match but is
+            unreadable or fails its integrity anchor.
+    """
+    path = service_checkpoint_path(directory)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"unreadable service checkpoint ({error})"
+        ) from error
+    if document.get("format_version") != SERVICE_CHECKPOINT_VERSION:
+        return None
+    if document.get("identity") != dict(identity):
+        _log.debug(
+            "service checkpoint not applicable",
+            extra={"directory": directory},
+        )
+        return None
+    state = document.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError("service checkpoint carries no state block")
+    actual = _state_sha256(state)
+    if actual != document.get("state_sha256"):
+        raise CheckpointError(
+            "service checkpoint state hash mismatch "
+            f"(expected {document.get('state_sha256')}, got {actual})"
+        )
+    return state

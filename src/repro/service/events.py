@@ -1,0 +1,149 @@
+"""The stream vocabulary of the live service.
+
+Two event shapes cross the ingestion boundary, mirroring the two data
+planes of §3: ``BeaconEvent`` (one joined beacon measurement — the
+client /24, the LDNS that resolved it, the target fetched, and the RTT)
+and ``PassiveEvent`` (one passive-log count: queries a front-end served
+for a client on a day).
+
+:class:`StreamDigest` is the service's rolling dataset digest: an
+incremental, order-insensitive fingerprint of every *admitted* event.
+Each event hashes independently (SHA-256 of its canonical encoding) and
+the per-event hashes combine by modular addition, so the digest is a
+pure function of the admitted-event multiset — invariant under arrival
+order and shard interleaving, mergeable across partial streams, and
+O(1) to checkpoint.  That is exactly the property the chaos-parity
+guarantee needs: a killed-and-resumed stream admits the same multiset,
+so it reaches the same digest as an uninterrupted run, bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Union
+
+from repro.errors import MeasurementError
+
+#: Modulus of the digest accumulator (one SHA-256 word).
+_DIGEST_MODULUS = 1 << 256
+
+
+@dataclass(frozen=True)
+class BeaconEvent:
+    """One joined beacon measurement arriving on the stream.
+
+    Attributes:
+        day: Campaign day index of the measurement.
+        client_key: The client /24 (the ECS grouping key).
+        ldns_id: The resolver that carried the lookup (the LDNS
+            grouping key).  Static per client in this simulation, as
+            the dataset's client records assert.
+        target_id: ``'anycast'`` or a front-end id.
+        rtt_ms: The measured RTT.
+    """
+
+    day: int
+    client_key: str
+    ldns_id: str
+    target_id: str
+    rtt_ms: float
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding (the stream digest's hash input)."""
+        return (
+            f"beacon\x1f{self.day}\x1f{self.client_key}\x1f{self.ldns_id}"
+            f"\x1f{self.target_id}\x1f{self.rtt_ms!r}"
+        ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class PassiveEvent:
+    """One passive-log count arriving on the stream.
+
+    Attributes:
+        day: Campaign day index.
+        client_key: The client /24, or a coarse label when the source
+            retains no per-client counts (bounded passive logs).
+        frontend_id: The front-end that served the queries.
+        count: Queries served.
+    """
+
+    day: int
+    client_key: str
+    frontend_id: str
+    count: int
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding (the stream digest's hash input)."""
+        return (
+            f"passive\x1f{self.day}\x1f{self.client_key}"
+            f"\x1f{self.frontend_id}\x1f{self.count}"
+        ).encode("utf-8")
+
+
+StreamEvent = Union[BeaconEvent, PassiveEvent]
+
+
+class StreamDigest:
+    """Order-insensitive incremental digest of admitted stream events.
+
+    Maintains ``sum(SHA-256(event)) mod 2**256`` plus an exact event
+    count; :meth:`hexdigest` hashes the pair.  Addition commutes, so the
+    digest depends only on the admitted-event *multiset* — two streams
+    carrying the same events in any interleaving agree — and the whole
+    state serializes to two integers, which is what lets a service
+    checkpoint carry its dataset digest without retaining the dataset.
+    """
+
+    __slots__ = ("_sum", "_count")
+
+    def __init__(self, accumulator: int = 0, count: int = 0) -> None:
+        self._sum = accumulator % _DIGEST_MODULUS
+        self._count = count
+
+    @property
+    def count(self) -> int:
+        """Number of events folded in."""
+        return self._count
+
+    def update(self, event: StreamEvent) -> None:
+        """Fold one admitted event into the digest."""
+        value = int.from_bytes(
+            hashlib.sha256(event.encode()).digest(), "big"
+        )
+        self._sum = (self._sum + value) % _DIGEST_MODULUS
+        self._count += 1
+
+    def merge(self, other: "StreamDigest") -> "StreamDigest":
+        """Fold another partial stream's digest into this one."""
+        self._sum = (self._sum + other._sum) % _DIGEST_MODULUS
+        self._count += other._count
+        return self
+
+    def hexdigest(self) -> str:
+        """The canonical fingerprint of the admitted-event multiset."""
+        payload = f"{self._count}\x1f{self._sum:064x}".encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def copy(self) -> "StreamDigest":
+        """An independent digest with identical state."""
+        return StreamDigest(self._sum, self._count)
+
+    def to_obj(self) -> Dict[str, Any]:
+        """JSON-compatible form (service checkpoints)."""
+        return {"sum": f"{self._sum:064x}", "count": self._count}
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, Any]) -> "StreamDigest":
+        """Rebuild a digest from :meth:`to_obj` output.
+
+        Raises:
+            MeasurementError: on a malformed document.
+        """
+        try:
+            return cls(int(str(obj["sum"]), 16), int(obj["count"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise MeasurementError(
+                f"malformed stream digest document ({error})"
+            ) from error

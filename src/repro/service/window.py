@@ -1,0 +1,281 @@
+"""The ring-buffered sliding window behind the online predictor.
+
+The paper's prediction interval is one day: the §6 scheme scores each
+(group, target) over the *previous* day's measurements.  Online, that
+means the service must hold the last ``window_days`` days of per-(group,
+target) latency digests, append as events arrive, and evict whole days
+as the clock advances — the classic ring buffer of aggregation buckets.
+
+Each day bucket is one pair of :class:`~repro.measurement.aggregate
+.GroupedDailyAggregates` (ECS and LDNS groupings) holding only that
+day, so the digests the online predictor reads for day *d* are built
+from exactly the samples the batch predictor sees for day *d*.  Because
+``LatencyDigest`` percentiles are a pure function of the sample
+multiset (sorting internally; canonical sketch promotion), online and
+batch scores agree *bit for bit* — the differential-oracle property
+``tests/test_service_replay.py`` asserts.
+
+The window itself is order-free: :meth:`observe` commutes across
+events, eviction drops whole days without touching retained ones, and
+:meth:`state_digest` hashes a fully-sorted traversal — so window state
+is a pure function of the in-window event multiset, invariant under
+arrival order, shard interleaving, and eviction batching
+(``tests/test_service_window.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.measurement.aggregate import GroupedDailyAggregates
+from repro.measurement.export import digest_from_payload, digest_payload
+from repro.measurement.sketch import (
+    DEFAULT_MAX_BUCKETS,
+    DEFAULT_RELATIVE_ACCURACY,
+)
+from repro.service.events import BeaconEvent
+
+#: Grouping labels of the two aggregate planes each day bucket holds.
+GROUPINGS = ("ecs", "ldns")
+
+
+class PredictionWindow:
+    """A sliding window of per-day (ECS, LDNS) aggregate buckets.
+
+    Args:
+        window_days: How many whole days the window retains.  The §6
+            default is 1 — predictions for day *d* read day *d*'s bucket
+            and day *d − window_days* and older are evictable once the
+            stream reaches day *d + 1*.
+        exact_threshold: Per-digest sketch-promotion threshold
+            (``None`` keeps every digest exact — the oracle mode).
+        relative_accuracy: Sketch accuracy after promotion.
+        max_buckets: Per-sketch bucket cap after promotion.
+    """
+
+    def __init__(
+        self,
+        window_days: int = 1,
+        exact_threshold: Optional[int] = None,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        if window_days < 1:
+            raise ConfigurationError("window_days must be >= 1")
+        self.window_days = window_days
+        self.exact_threshold = exact_threshold
+        self.relative_accuracy = relative_accuracy
+        self.max_buckets = max_buckets
+        self._days: Dict[
+            int, Tuple[GroupedDailyAggregates, GroupedDailyAggregates]
+        ] = {}
+        #: Events dropped because their day was already evicted.
+        self.late_drops = 0
+        # Highest day index the window has evicted past (None before the
+        # first advance).  Lateness is judged against this horizon, not
+        # against the retained days: an out-of-order arrival *within*
+        # the window must be admitted even when newer days got there
+        # first, and a straggler for an evicted day must be dropped even
+        # when the window happens to be empty.
+        self._evicted_through: Optional[int] = None
+
+    def _new_bucket(
+        self,
+    ) -> Tuple[GroupedDailyAggregates, GroupedDailyAggregates]:
+        return tuple(
+            GroupedDailyAggregates(
+                grouping,
+                exact_threshold=self.exact_threshold,
+                relative_accuracy=self.relative_accuracy,
+                max_buckets=self.max_buckets,
+            )
+            for grouping in GROUPINGS
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest and eviction
+    # ------------------------------------------------------------------
+
+    def observe(self, event: BeaconEvent, rtt_ms: Optional[float] = None) -> bool:
+        """Fold one admitted beacon into its day bucket.
+
+        ``rtt_ms`` overrides the event's value (the repair policy admits
+        a clamped value).  Returns ``False`` — and counts a late drop —
+        when the event's day was already evicted; retained state is
+        never touched by such stragglers, which is what "evicted events
+        never influence predictions" means operationally.
+        """
+        if (
+            self._evicted_through is not None
+            and event.day <= self._evicted_through
+        ):
+            self.late_drops += 1
+            return False
+        bucket = self._days.get(event.day)
+        if bucket is None:
+            bucket = self._new_bucket()
+            self._days[event.day] = bucket
+        value = event.rtt_ms if rtt_ms is None else rtt_ms
+        ecs, ldns = bucket
+        ecs.observe(event.day, event.client_key, event.target_id, value)
+        ldns.observe(event.day, event.ldns_id, event.target_id, value)
+        return True
+
+    def advance_to(self, day: int) -> Tuple[int, ...]:
+        """Evict buckets older than the window ending at ``day``.
+
+        Keeps days in ``(day - window_days, day]`` — i.e. with the
+        default 1-day window, reaching day *d* evicts day *d − 1* and
+        older once their predictions have been taken.  Returns the
+        evicted day indices (ascending).  Calling this at any cadence
+        (per event, per day, or once at the end) leaves identical
+        retained state — eviction drops whole days and never rewrites
+        survivors.
+        """
+        horizon = day - self.window_days
+        evicted = tuple(sorted(d for d in self._days if d <= horizon))
+        for stale in evicted:
+            del self._days[stale]
+        if self._evicted_through is None or horizon > self._evicted_through:
+            self._evicted_through = horizon
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def days(self) -> Tuple[int, ...]:
+        """Retained day indices, ascending."""
+        return tuple(sorted(self._days))
+
+    def aggregates_for(
+        self, day: int
+    ) -> Optional[Tuple[GroupedDailyAggregates, GroupedDailyAggregates]]:
+        """The (ECS, LDNS) aggregate pair of one retained day."""
+        return self._days.get(day)
+
+    def sample_count(self) -> int:
+        """Total retained samples across every digest (both planes)."""
+        total = 0
+        for ecs, ldns in self._days.values():
+            for aggregates in (ecs, ldns):
+                for day in aggregates.days:
+                    for _, _, digest in aggregates.iter_day(day):
+                        total += digest.count
+        return total
+
+    def state_digest(self) -> str:
+        """Canonical SHA-256 of the retained window state.
+
+        Fully sorted traversal, samples canonicalized by sorting, floats
+        hashed by exact ``repr`` — the same discipline as
+        :meth:`repro.simulation.dataset.StudyDataset.digest`, so the
+        digest is a pure function of the in-window event multiset.
+        """
+        h = hashlib.sha256()
+
+        def put(*parts: object) -> None:
+            for part in parts:
+                h.update(str(part).encode("utf-8"))
+                h.update(b"\x1f")
+
+        put("window", self.window_days)
+        for day in self.days:
+            ecs, ldns = self._days[day]
+            for aggregates in (ecs, ldns):
+                put("plane", aggregates.grouping, day)
+                for group in aggregates.groups_on(day):
+                    for target_id, digest in sorted(
+                        aggregates.targets_for(day, group).items()
+                    ):
+                        put(day, group, target_id)
+                        if digest.is_exact:
+                            ordered = np.sort(digest.values_view()).tolist()
+                            for value in ordered:
+                                put(repr(value))
+                        else:
+                            assert digest.sketch is not None
+                            put("sketch", digest.sketch.digest())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Serialization (service checkpoints)
+    # ------------------------------------------------------------------
+
+    def to_obj(self) -> Dict[str, Any]:
+        """JSON-compatible form; exact samples round-trip bit-exactly."""
+        days: Dict[str, Any] = {}
+        for day in self.days:
+            ecs, ldns = self._days[day]
+            planes: Dict[str, Any] = {}
+            for aggregates in (ecs, ldns):
+                rows = [
+                    [group, target_id, digest_payload(digest)]
+                    for group, target_id, digest in sorted(
+                        aggregates.iter_day(day),
+                        key=lambda row: (row[0], row[1]),
+                    )
+                ]
+                planes[aggregates.grouping] = rows
+            days[str(day)] = planes
+        return {
+            "window_days": self.window_days,
+            "exact_threshold": self.exact_threshold,
+            "relative_accuracy": self.relative_accuracy,
+            "max_buckets": self.max_buckets,
+            "late_drops": self.late_drops,
+            "evicted_through": self._evicted_through,
+            "days": days,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, Any]) -> "PredictionWindow":
+        """Rebuild a window from :meth:`to_obj` output.
+
+        Raises:
+            MeasurementError: on a malformed document.
+        """
+        try:
+            window = cls(
+                window_days=int(obj["window_days"]),
+                exact_threshold=(
+                    None
+                    if obj.get("exact_threshold") is None
+                    else int(obj["exact_threshold"])
+                ),
+                relative_accuracy=float(obj["relative_accuracy"]),
+                max_buckets=int(obj["max_buckets"]),
+            )
+            window.late_drops = int(obj.get("late_drops", 0))
+            evicted_through = obj.get("evicted_through")
+            window._evicted_through = (
+                None if evicted_through is None else int(evicted_through)
+            )
+            for day_text, planes in obj["days"].items():
+                day = int(day_text)
+                bucket = window._new_bucket()
+                window._days[day] = bucket
+                for aggregates in bucket:
+                    for group, target_id, payload in planes[
+                        aggregates.grouping
+                    ]:
+                        digest = digest_from_payload(
+                            payload,
+                            window.exact_threshold,
+                            window.relative_accuracy,
+                            window.max_buckets,
+                        )
+                        per_day = aggregates._days.setdefault(day, {})
+                        per_day.setdefault(str(group), {})[
+                            str(target_id)
+                        ] = digest
+        except (KeyError, TypeError, ValueError) as error:
+            raise MeasurementError(
+                f"malformed prediction-window document ({error})"
+            ) from error
+        return window

@@ -21,6 +21,7 @@ and never corrupts the nesting of its ancestors.
 
 from __future__ import annotations
 
+import contextvars
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -73,7 +74,16 @@ class SpanTracker:
 
     def __init__(self) -> None:
         self._records: Dict[str, SpanRecord] = {}
-        self._stack: List[str] = []
+        # The nesting stack lives in a ContextVar, so concurrent asyncio
+        # tasks (the live service's producer/consumer pair) and threads
+        # each see their own stack: a span entered by one task can never
+        # splice itself into another task's path or pop another task's
+        # frame.  Records still accumulate into the shared dict — the
+        # isolation is only of the *nesting*, which is exactly the part
+        # a shared list corrupts under interleaving.
+        self._stack: contextvars.ContextVar[Tuple[str, ...]] = (
+            contextvars.ContextVar("span_stack", default=())
+        )
         self.trace = None  # Optional[repro.telemetry.trace.TraceLog]
 
     @property
@@ -83,23 +93,24 @@ class SpanTracker:
 
     @property
     def depth(self) -> int:
-        """Current nesting depth (0 outside any span)."""
-        return len(self._stack)
+        """Current nesting depth (0 outside any span in this context)."""
+        return len(self._stack.get())
 
     @contextmanager
     def span(
         self, name: str, index: Optional[object] = None
     ) -> Iterator[None]:
         """Time a region under ``name``, nested below the current span."""
-        self._stack.append(name)
-        path = PATH_SEPARATOR.join(self._stack)
+        stack = self._stack.get() + (name,)
+        token = self._stack.set(stack)
+        path = PATH_SEPARATOR.join(stack)
         trace_start = None if self.trace is None else self.trace.now_us()
         started = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - started
-            self._stack.pop()
+            self._stack.reset(token)
             record = self._records.get(path)
             if record is None:
                 record = self._records[path] = SpanRecord()

@@ -50,6 +50,32 @@ TRACE_FORMAT_VERSION = 1
 #: (serial runs, the coordinator).  Rendered as the "main" lane.
 MAIN_LANE = -1
 
+#: Lane index of the live service's ingestion loop (``repro serve`` /
+#: ``repro replay``).  Rendered as the "service" lane, so streaming
+#: runs land on their own row of the timeline next to any shard lanes
+#: absorbed from a campaign.
+SERVICE_LANE = -2
+
+#: Perfetto thread id the service lane maps to — far above any
+#: plausible shard index so the two tid ranges can never collide.
+_SERVICE_TID = 1_000_000
+
+
+def _lane_to_tid(lane: int) -> int:
+    if lane == MAIN_LANE:
+        return 0
+    if lane == SERVICE_LANE:
+        return _SERVICE_TID
+    return lane + 1
+
+
+def _tid_to_lane(tid: int) -> int:
+    if tid == 0:
+        return MAIN_LANE
+    if tid == _SERVICE_TID:
+        return SERVICE_LANE
+    return tid - 1
+
 _ArgItems = Tuple[Tuple[str, Any], ...]
 
 
@@ -342,8 +368,8 @@ class TraceLog:
             }
         ]
         for lane in lanes:
-            tid = 0 if lane == MAIN_LANE else lane + 1
-            label = "main" if lane == MAIN_LANE else f"shard {lane}"
+            tid = _lane_to_tid(lane)
+            label = _lane_label(lane)
             trace_events.append(
                 {
                     "name": "thread_name",
@@ -363,7 +389,7 @@ class TraceLog:
                 }
             )
         for event in self.canonical():
-            tid = 0 if event.shard == MAIN_LANE else event.shard + 1
+            tid = _lane_to_tid(event.shard)
             args = dict(event.args)
             args["attempt"] = event.attempt
             args["scope"] = event.scope
@@ -410,7 +436,7 @@ class TraceLog:
                     cat=str(entry.get("cat", "ops")),
                     ts_us=int(entry["ts"]),
                     dur_us=int(entry["dur"]) if ph == "X" else None,
-                    shard=MAIN_LANE if tid == 0 else tid - 1,
+                    shard=_tid_to_lane(tid),
                     attempt=attempt,
                     scope=scope,
                     args=_freeze_args(args),
@@ -423,7 +449,11 @@ class TraceLog:
 
 
 def _lane_label(lane: int) -> str:
-    return "main" if lane == MAIN_LANE else f"shard {lane}"
+    if lane == MAIN_LANE:
+        return "main"
+    if lane == SERVICE_LANE:
+        return "service"
+    return f"shard {lane}"
 
 
 def format_trace_report(log: TraceLog) -> str:

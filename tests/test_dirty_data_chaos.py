@@ -28,6 +28,8 @@ from repro.simulation.clock import SimulationCalendar
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
 
+pytestmark = pytest.mark.chaos
+
 DIRTY_SPEC = "record-corrupt:4,record-clock-skew:3,record-truncate:2"
 
 

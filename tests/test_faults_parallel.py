@@ -36,6 +36,8 @@ from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
 from repro.telemetry import build_run_manifest
 
+pytestmark = pytest.mark.chaos
+
 
 @pytest.fixture(scope="module")
 def chaos_config() -> ScenarioConfig:

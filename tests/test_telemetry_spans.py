@@ -1,8 +1,10 @@
 """Span tracker semantics: nesting, exception safety, merging, logs."""
 
+import asyncio
 import io
 import json
 import logging
+import threading
 
 import pytest
 
@@ -89,6 +91,92 @@ class TestExceptionSafety:
         record = a.records["campaign/day"]
         assert record.seconds == pytest.approx(7.0)
         assert record.indexed == {"0": pytest.approx(3.0), "1": 4.0}
+
+
+class TestConcurrentNesting:
+    """Regression: spans entered by concurrent asyncio tasks must not
+    splice into each other's paths.
+
+    The live service times its producer and consumer with two spans
+    held open *simultaneously* on one tracker.  With a tracker-global
+    nesting stack, whichever task entered second would record itself as
+    a child of the first (``produce/consume``) and pop the other task's
+    frame on exit; the per-context stack keeps each task's nesting (and
+    each thread's) independent while the records still aggregate into
+    one shared tree.
+    """
+
+    def test_concurrent_async_tasks_keep_independent_paths(self):
+        tracker = SpanTracker()
+
+        async def worker(name, rounds):
+            with tracker.span(name):
+                for _ in range(rounds):
+                    with tracker.span("inner"):
+                        # Suspend while the span is open so the other
+                        # task interleaves inside it.
+                        await asyncio.sleep(0)
+
+        async def main():
+            await asyncio.gather(worker("produce", 25), worker("consume", 25))
+
+        asyncio.run(main())
+        assert set(tracker.records) == {
+            "produce",
+            "consume",
+            "produce/inner",
+            "consume/inner",
+        }
+        assert tracker.records["produce"].count == 1
+        assert tracker.records["consume"].count == 1
+        assert tracker.records["produce/inner"].count == 25
+        assert tracker.records["consume/inner"].count == 25
+
+    def test_exception_in_one_task_does_not_corrupt_the_other(self):
+        tracker = SpanTracker()
+
+        async def failing():
+            with tracker.span("failing"):
+                await asyncio.sleep(0)
+                raise RuntimeError("boom")
+
+        async def survivor():
+            with tracker.span("survivor"):
+                for _ in range(10):
+                    with tracker.span("step"):
+                        await asyncio.sleep(0)
+
+        async def main():
+            results = await asyncio.gather(
+                failing(), survivor(), return_exceptions=True
+            )
+            assert any(isinstance(r, RuntimeError) for r in results)
+
+        asyncio.run(main())
+        assert "survivor/step" in tracker.records
+        assert "failing/survivor" not in tracker.records
+        assert tracker.records["survivor/step"].count == 10
+        assert tracker.depth == 0
+
+    def test_threads_keep_independent_stacks(self):
+        tracker = SpanTracker()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracker.span(name):
+                barrier.wait()  # both spans open at once
+                with tracker.span("inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(tracker.records) == {"a", "b", "a/inner", "b/inner"}
 
 
 class TestStructuredLogging:
