@@ -72,6 +72,12 @@ class LayeredAnycastNetwork:
         all_ids = {fe.frontend_id for fe in deployment.frontends}
         if set(layers[0]) != all_ids:
             raise ConfigurationError("layer 0 must contain every front-end")
+        if len(layers[0]) < 2:
+            # A single-front-end ring has nowhere to shed to; every
+            # balancing question over it is degenerate.
+            raise ConfigurationError(
+                "layer 0 needs at least two front-ends"
+            )
         for below, above in zip(layers, layers[1:]):
             if not set(above) <= set(below):
                 raise ConfigurationError("layers must nest (ring k+1 ⊆ ring k)")
@@ -272,7 +278,7 @@ class FastRouteBalancer:
                         continue
                     excess = 1.0 - self._capacities[frontend_id] / load
                     increment = min(self._step, max(0.02, excess))
-                    shed[key] = min(1.0, current + increment)
+                    shed[key] = min(1.0, max(0.0, current + increment))
                     changed = True
                     break
             if not changed:
@@ -307,6 +313,349 @@ class FastRouteBalancer:
             iterations=iterations,
             converged=converged,
         )
+
+
+# ----------------------------------------------------------------------
+# Day-by-day distributed load management (Sinha et al.)
+# ----------------------------------------------------------------------
+#
+# FastRouteBalancer above answers the *static* question: given today's
+# demand, which shed fractions fit?  The companion papers ("Distributed
+# Load Management (Algorithms) in Anycast-based CDNs", Sinha et al.)
+# study the *dynamic* one: each front-end's colocated DNS adjusts its
+# shed fraction from its own load signal, day after day, with no global
+# coordination.  DistributedLoadController is that per-front-end control
+# law; LoadManagementSimulator evolves it (or the hard-withdrawal
+# baseline §2 warns about) over a campaign calendar.
+
+
+def provision_capacities(
+    baseline_loads: Mapping[str, float], headroom: float
+) -> Dict[str, float]:
+    """Capacity per front-end: steady-state load times a headroom factor.
+
+    Front-ends carrying no steady-state load get the median loaded
+    front-end's capacity, so empty edges are not trivially overloaded —
+    the same provisioning rule as
+    :class:`repro.cdn.failover.WithdrawalSimulator`.
+    """
+    if headroom <= 1.0:
+        raise ConfigurationError("headroom must exceed 1.0")
+    if not baseline_loads:
+        raise ConfigurationError("no front-ends to provision")
+    positive = sorted(load for load in baseline_loads.values() if load > 0)
+    median_load = positive[len(positive) // 2] if positive else 1.0
+    return {
+        frontend_id: headroom * (load if load > 0 else median_load)
+        for frontend_id, load in baseline_loads.items()
+    }
+
+
+class DistributedLoadController:
+    """Per-front-end proportional shed control from local load signals.
+
+    Each front-end updates its own shed fraction once per day from its
+    own utilization only::
+
+        shed' = clamp(shed + gain * (utilization - target), 0, 1)
+
+    Above target the front-end sheds more; below target it takes
+    traffic back.  Because every update reads exactly one front-end's
+    signal, the evolution is independent of iteration order — the
+    "no global coordination" property the Sinha et al. algorithms are
+    built on — and the fixed point (where reachable) pins utilization
+    at ``target_utilization``.
+    """
+
+    def __init__(
+        self,
+        frontend_ids: Sequence[str],
+        target_utilization: float = 0.85,
+        gain: float = 0.5,
+    ) -> None:
+        if not frontend_ids:
+            raise ConfigurationError("controller needs front-ends")
+        if not 0.0 < target_utilization < 1.0:
+            raise ConfigurationError(
+                "target_utilization must be in (0, 1)"
+            )
+        if gain <= 0.0:
+            raise ConfigurationError("gain must be positive")
+        self._target = target_utilization
+        self._gain = gain
+        self._shed: Dict[str, float] = {
+            frontend_id: 0.0 for frontend_id in frontend_ids
+        }
+
+    @property
+    def shed_fractions(self) -> Dict[str, float]:
+        """The current per-front-end shed fractions (all in [0, 1])."""
+        return dict(self._shed)
+
+    def observe_day(
+        self, utilizations: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Fold one day's local utilizations into tomorrow's fractions."""
+        for frontend_id in sorted(self._shed):
+            utilization = utilizations.get(frontend_id, 0.0)
+            updated = self._shed[frontend_id] + self._gain * (
+                utilization - self._target
+            )
+            self._shed[frontend_id] = min(1.0, max(0.0, updated))
+        return dict(self._shed)
+
+
+@dataclass(frozen=True)
+class LoadDayState:
+    """One day's converged load-management state.
+
+    Attributes:
+        loads: Realized demand landing on each front-end.
+        utilizations: Load over (possibly drained) capacity; withdrawn
+            front-ends carry no load and read 0.
+        shed_fractions: The shed fraction each front-end applied today.
+        withdrawn: Front-ends offline today (failed, or hard-withdrawn
+            by the ``withdraw`` policy's cascade).
+        landing: For each client whose traffic did *not* all land on its
+            layer-0 front-end, the ``((frontend_id, fraction), ...)``
+            distribution in chain order.  Clients absent here are served
+            entirely by their layer-0 front-end.
+        demand_multipliers: Per-client demand multipliers active today
+            (only entries != 1.0).
+    """
+
+    loads: Dict[str, float]
+    utilizations: Dict[str, float]
+    shed_fractions: Dict[str, float]
+    withdrawn: FrozenSet[str]
+    landing: Dict[str, Tuple[Tuple[str, float], ...]]
+    demand_multipliers: Dict[str, float]
+
+
+#: The load-management policies a campaign can run.
+LOAD_POLICIES = ("none", "withdraw", "fastroute")
+
+
+class LoadManagementSimulator:
+    """Evolves per-day load management over a campaign calendar.
+
+    Deterministic and purely demand-driven: given the same per-day
+    demand multipliers, capacity factors, and failure schedule, the
+    day-state sequence is identical no matter which engine, worker
+    count, or shard asks for it — which is what lets campaign engines
+    fold the results into measurements without breaking serial ==
+    sharded digests.
+
+    Policies:
+
+    * ``none`` — capacities are finite (queueing delay still applies)
+      but nothing reacts; the §2 "anycast is unaware of server load"
+      baseline.
+    * ``withdraw`` — a front-end past capacity is hard-withdrawn the
+      next day and its clients fall through to the next ring; overload
+      can then cascade exactly as §2 warns.
+    * ``fastroute`` — each front-end runs the
+      :class:`DistributedLoadController` law on its own signal and
+      sheds gradually to the next ring.
+    """
+
+    def __init__(
+        self,
+        network: LayeredAnycastNetwork,
+        clients: Sequence[ClientPrefix],
+        capacities: Mapping[str, float],
+        policy: str = "fastroute",
+        target_utilization: float = 0.85,
+        gain: float = 0.5,
+    ) -> None:
+        if policy not in LOAD_POLICIES:
+            raise ConfigurationError(
+                f"unknown load policy {policy!r}; expected one of "
+                f"{', '.join(LOAD_POLICIES)}"
+            )
+        if not clients:
+            raise ConfigurationError("simulator needs clients")
+        self._network = network
+        self._clients = tuple(clients)
+        self._capacities = dict(capacities)
+        self._policy = policy
+        for frontend_id, capacity in self._capacities.items():
+            if capacity <= 0:
+                raise ConfigurationError(
+                    f"capacity for {frontend_id!r} must be positive"
+                )
+        self._assignment: List[Tuple[ClientPrefix, Tuple[str, ...]]] = []
+        for client in self._clients:
+            per_layer = tuple(
+                network.serving_frontend(
+                    layer.index, client.asn, client.home_metro
+                )
+                for layer in network.layers
+            )
+            self._assignment.append((client, per_layer))
+        self._chain_by_key: Dict[str, Tuple[str, ...]] = {
+            client.key: per_layer
+            for client, per_layer in self._assignment
+        }
+        missing = {
+            frontend_id
+            for _, per_layer in self._assignment
+            for frontend_id in per_layer
+        } - set(self._capacities)
+        if missing:
+            raise ConfigurationError(
+                f"capacities missing for {sorted(missing)}"
+            )
+        self._controller = DistributedLoadController(
+            sorted(self._capacities),
+            target_utilization=target_utilization,
+            gain=gain,
+        )
+
+    @property
+    def policy(self) -> str:
+        """The configured load-management policy."""
+        return self._policy
+
+    @property
+    def capacities(self) -> Dict[str, float]:
+        """Provisioned capacity per front-end."""
+        return dict(self._capacities)
+
+    def chain_for(self, client_key: str) -> Tuple[str, ...]:
+        """A client's per-layer serving front-end chain."""
+        try:
+            return self._chain_by_key[client_key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown client {client_key!r}"
+            ) from None
+
+    def layer_frontends(self, layer_index: int) -> Tuple[str, ...]:
+        """Sorted front-end ids of one ring (for selector mapping)."""
+        layers = self._network.layers
+        if not 0 <= layer_index < len(layers):
+            raise ConfigurationError(f"no layer {layer_index}")
+        return tuple(sorted(layers[layer_index].frontend_ids))
+
+    def _route(
+        self,
+        multipliers: Mapping[str, float],
+        shed: Mapping[str, float],
+        withdrawn: FrozenSet[str],
+    ) -> Tuple[Dict[str, float], Dict[str, Tuple[Tuple[str, float], ...]]]:
+        """One day's demand routed through sheds and withdrawals."""
+        loads: Dict[str, float] = {
+            frontend_id: 0.0 for frontend_id in self._capacities
+        }
+        landing: Dict[str, Tuple[Tuple[str, float], ...]] = {}
+        for client, chain in self._assignment:
+            demand = client.daily_queries * multipliers.get(client.key, 1.0)
+            weight = 1.0
+            dist: List[Tuple[str, float]] = []
+            for layer_index, frontend_id in enumerate(chain):
+                if frontend_id in withdrawn:
+                    continue
+                is_last = layer_index == len(chain) - 1
+                fraction = (
+                    0.0
+                    if is_last
+                    else min(1.0, max(0.0, shed.get(frontend_id, 0.0)))
+                )
+                kept = weight * (1.0 - fraction)
+                if kept > 0.0:
+                    loads[frontend_id] += demand * kept
+                    dist.append((frontend_id, kept))
+                weight -= kept
+                if weight <= 1e-12:
+                    break
+            # Residual weight means every ring was withdrawn — that
+            # traffic is simply lost (the client is unreachable).
+            if dist != [(chain[0], 1.0)]:
+                landing[client.key] = tuple(dist)
+        return loads, landing
+
+    def run(
+        self,
+        num_days: int,
+        demand_multipliers: Sequence[Mapping[str, float]],
+        capacity_factors: Sequence[Mapping[str, float]],
+        failures: Sequence[Sequence[str]],
+    ) -> Tuple[LoadDayState, ...]:
+        """Evolve the control loop over the calendar.
+
+        Args:
+            num_days: Calendar length.
+            demand_multipliers: Per day, per-client demand multipliers
+                (absent clients run at 1.0).
+            capacity_factors: Per day, per-front-end capacity factors in
+                (0, 1] (absent front-ends run at full capacity) — the
+                drain episodes.
+            failures: Per day, front-ends failing *on* that day; a
+                failed front-end stays withdrawn for the rest of the
+                calendar.
+
+        Day 0 starts with no shedding: the controller (and the withdraw
+        cascade) only ever react to *yesterday's* utilization, matching
+        the one-day control delay of DNS-TTL-based shedding.
+        """
+        if num_days < 1:
+            raise ConfigurationError("num_days must be >= 1")
+        for name, series in (
+            ("demand_multipliers", demand_multipliers),
+            ("capacity_factors", capacity_factors),
+            ("failures", failures),
+        ):
+            if len(series) != num_days:
+                raise ConfigurationError(
+                    f"{name} must have one entry per day"
+                )
+        shed: Dict[str, float] = {}
+        withdrawn: set = set()
+        states: List[LoadDayState] = []
+        for day in range(num_days):
+            withdrawn.update(failures[day])
+            frozen = frozenset(withdrawn)
+            active_shed = shed if self._policy == "fastroute" else {}
+            loads, landing = self._route(
+                demand_multipliers[day], active_shed, frozen
+            )
+            utilizations: Dict[str, float] = {}
+            for frontend_id, load in loads.items():
+                factor = capacity_factors[day].get(frontend_id, 1.0)
+                if not 0.0 < factor <= 1.0:
+                    raise ConfigurationError(
+                        f"capacity factor for {frontend_id!r} must be in "
+                        "(0, 1]"
+                    )
+                capacity = self._capacities[frontend_id] * factor
+                utilizations[frontend_id] = load / capacity
+            states.append(
+                LoadDayState(
+                    loads=loads,
+                    utilizations=utilizations,
+                    shed_fractions={
+                        k: v for k, v in active_shed.items() if v > 0.0
+                    },
+                    withdrawn=frozen,
+                    landing=landing,
+                    demand_multipliers={
+                        k: v
+                        for k, v in demand_multipliers[day].items()
+                        if v != 1.0
+                    },
+                )
+            )
+            if self._policy == "withdraw":
+                withdrawn.update(
+                    frontend_id
+                    for frontend_id, utilization in utilizations.items()
+                    if utilization > 1.0 + 1e-9
+                    and frontend_id not in withdrawn
+                )
+            elif self._policy == "fastroute":
+                shed = self._controller.observe_day(utilizations)
+        return tuple(states)
 
 
 def default_layers(

@@ -31,6 +31,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.anycast_perf import anycast_penalty_ccdf
+from repro.analysis.load import load_latency_tradeoff, shed_traffic_fractions
 from repro.analysis.poor_paths import poor_path_duration, poor_path_prevalence
 from repro.analysis.prediction_eval import evaluate_prediction
 from repro.cdn.catalog import catalog
@@ -56,6 +57,7 @@ from repro.service.replay import dirty_events, events_from_dataset
 from repro.simulation.campaign import CampaignConfig, CampaignProgress
 from repro.simulation.clock import SimulationCalendar
 from repro.simulation.dataset import StudyDataset
+from repro.simulation.episodes import OverloadPlan
 from repro.simulation.scenario import ScenarioConfig
 from repro.telemetry import (
     BenchHistory,
@@ -118,6 +120,13 @@ def _campaign_config(args: argparse.Namespace) -> CampaignConfig:
         or DEFAULT_RELATIVE_ACCURACY,
         sketch_max_buckets=getattr(args, "sketch_max_buckets", None)
         or DEFAULT_MAX_BUCKETS,
+        frontend_capacity=getattr(args, "frontend_capacity", None),
+        overload_plan=(
+            OverloadPlan.from_spec(getattr(args, "overload_plan"))
+            if getattr(args, "overload_plan", None)
+            else None
+        ),
+        load_policy=getattr(args, "load_policy", None) or "none",
     )
 
 
@@ -212,6 +221,37 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
             "hard per-sketch bucket cap; a sketch over the cap halves "
             "its resolution (doubling its error bound) until it fits, "
             "making peak memory flat in client count (default 512)"
+        ),
+    )
+    parser.add_argument(
+        "--frontend-capacity", type=float, metavar="HEADROOM",
+        help=(
+            "give every front end a finite capacity provisioned as "
+            "HEADROOM times its baseline expected load (must exceed 1.0, "
+            "e.g. 1.5); turns on the convex queueing-delay latency term "
+            "and per-front-end utilization/shed telemetry"
+        ),
+    )
+    parser.add_argument(
+        "--overload-plan", metavar="SPEC",
+        help=(
+            "inject deterministic overload episodes: comma-joined "
+            "kind[:count][@day] specs, kinds flash-crowd/regional-event/"
+            "drain/failure (e.g. 'flash-crowd:1@2,drain:1'); requires "
+            "--frontend-capacity; same seed + spec compiles to the same "
+            "episodes on every shard and engine"
+        ),
+    )
+    parser.add_argument(
+        "--load-policy", choices=("none", "withdraw", "fastroute"),
+        default="none",
+        help=(
+            "load-management response to overload (requires "
+            "--frontend-capacity): none serves everything through "
+            "saturated front ends, withdraw hard-withdraws any front end "
+            "that exceeds capacity (the §2 cascade baseline), fastroute "
+            "sheds traffic down the anycast layer rings with per-front-"
+            "end shed fractions evolved from local signals only"
         ),
     )
     parser.add_argument(
@@ -708,8 +748,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         "fig5": lambda: poor_path_prevalence(dataset).format(),
         "fig6": lambda: poor_path_duration(dataset).format(),
         "fig9": lambda: evaluate_prediction(dataset).format(),
+        "load": lambda: load_latency_tradeoff(dataset).format(),
+        "shed": lambda: shed_traffic_fractions(dataset).format(),
     }
-    wanted = args.figures or sorted(sections)
+    wanted = args.figures
+    if not wanted:
+        # The load figures only exist for capacity-enabled campaigns;
+        # default to them exactly when the dataset can answer.
+        wanted = ["fig3", "fig5", "fig6", "fig9"]
+        if dataset.load_summary is not None:
+            wanted += ["load", "shed"]
     for name in wanted:
         if name not in sections:
             print(
@@ -831,7 +879,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("dataset", help="dataset path from 'run'")
     analyze.add_argument(
         "--figures", nargs="*",
-        help="subset of figures: fig3 fig5 fig6 fig9 (default: all)",
+        help=(
+            "subset of figures: fig3 fig5 fig6 fig9 load shed (default: "
+            "all that the dataset can answer; load/shed need a "
+            "--frontend-capacity campaign)"
+        ),
     )
     analyze.add_argument(
         "--recover", action="store_true",

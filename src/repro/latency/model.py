@@ -82,6 +82,13 @@ class LatencyConfig:
         static_offset_median_ms: Median persistent offset when present.
         static_offset_sigma: Lognormal shape of the persistent offset.
         min_rtt_ms: Floor on any produced RTT.
+        queue_delay_scale_ms: Scale of the convex queueing-delay term a
+            finite-capacity front-end adds as its utilization approaches
+            1 (see :meth:`LatencyModel.queueing_delay_ms`).  Zero keeps
+            the classic infinite-capacity model.
+        queue_delay_cap_ms: Ceiling on the queueing term — a saturated
+            front-end degrades to this plateau (timeouts and admission
+            control bound real queues) instead of diverging.
     """
 
     fiber_km_per_ms: float = 200.0
@@ -102,6 +109,8 @@ class LatencyConfig:
     static_offset_median_ms: float = 8.0
     static_offset_sigma: float = 1.0
     min_rtt_ms: float = 1.0
+    queue_delay_scale_ms: float = 6.0
+    queue_delay_cap_ms: float = 400.0
 
     def __post_init__(self) -> None:
         if self.fiber_km_per_ms <= 0:
@@ -133,6 +142,9 @@ class LatencyConfig:
             raise ConfigurationError(
                 "static_offset_sigma must be non-negative"
             )
+        for name in ("queue_delay_scale_ms", "queue_delay_cap_ms"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
 
 
 class LatencyModel:
@@ -171,6 +183,32 @@ class LatencyModel:
         return max(
             cfg.min_rtt_ms, propagation + processing + access_delay_ms
         )
+
+    def queueing_delay_ms(self, utilization: float) -> float:
+        """Deterministic queueing delay at a given front-end utilization.
+
+        A convex M/M/1-flavored curve, ``scale * u^2 / (1 - u)``, capped
+        at ``queue_delay_cap_ms``: negligible below ~70% utilization,
+        steep as ``u -> 1``, and a bounded plateau at or beyond
+        saturation (``u >= 1`` returns the cap).  Purely a function of
+        utilization — the campaign layer computes one value per
+        (front-end, day) and folds it into the affected baselines, so
+        all engines stay bit-identical.
+        """
+        if utilization < 0:
+            raise ConfigurationError("utilization must be non-negative")
+        cfg = self._config
+        if cfg.queue_delay_scale_ms == 0.0 or utilization == 0.0:
+            return 0.0
+        if utilization >= 1.0:
+            return cfg.queue_delay_cap_ms
+        delay = (
+            cfg.queue_delay_scale_ms
+            * utilization
+            * utilization
+            / (1.0 - utilization)
+        )
+        return min(delay, cfg.queue_delay_cap_ms)
 
     def sample_jitter_ms(self, rng: random.Random) -> float:
         """One jitter draw: lognormal body plus an occasional heavy spike."""

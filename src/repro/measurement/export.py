@@ -329,6 +329,7 @@ def dataset_to_json(dataset: StudyDataset) -> Dict[str, Any]:
         "covered_ranges": [
             [start, stop] for start, stop in (dataset.covered_ranges or ())
         ],
+        "load_summary": dataset.load_summary,
     }
 
 
@@ -385,6 +386,7 @@ def dataset_from_json(document: Dict[str, Any]) -> StudyDataset:
             beacon_count=int(document["beacon_count"]),
             measurement_count=int(document["measurement_count"]),
             covered_ranges=covered,
+            load_summary=document.get("load_summary"),
         )
     except KeyError as error:
         raise MeasurementError(
@@ -440,6 +442,7 @@ def _dataset_frames(dataset: StudyDataset) -> Iterator[Dict[str, Any]]:
         "diffs_accuracy": diffs.relative_accuracy,
         "diffs_max_buckets": diffs.max_buckets,
         "passive_bounded": dataset.passive.is_bounded,
+        "load_summary": dataset.load_summary,
     }
     for index in range(client_chunks):
         start = index * _CLIENT_CHUNK
@@ -689,6 +692,8 @@ def _dataset_from_frames(
                 else recovered_measurements
             ),
             covered_ranges=covered,
+            # .get(): headers written before load awareness lack the key.
+            load_summary=header.get("load_summary"),
         )
         return dataset, recovery
     except KeyError as error:

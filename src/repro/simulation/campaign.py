@@ -76,6 +76,14 @@ from repro.measurement.validate import (
     ValidationGate,
     ValidationPolicy,
 )
+from repro.cdn.fastroute import (
+    LOAD_POLICIES,
+    LayeredAnycastNetwork,
+    LoadDayState,
+    LoadManagementSimulator,
+    default_layers,
+    provision_capacities,
+)
 from repro.clients.population import ClientPrefix
 from repro.rand import derive_rng, derive_seed
 from repro.simulation.churn import DayRoutePlan
@@ -89,7 +97,11 @@ from repro.simulation.counterrng import (
     normal_pair_from_uniforms,
 )
 from repro.simulation.dataset import StudyDataset
-from repro.simulation.episodes import EpisodeScope
+from repro.simulation.episodes import (
+    EpisodeScope,
+    OverloadKind,
+    OverloadPlan,
+)
 from repro.simulation.scenario import Scenario
 
 _log = get_logger("campaign")
@@ -205,6 +217,27 @@ class CampaignConfig:
             error bound per halving — this is what makes peak memory
             genuinely flat in client count rather than merely
             log-linear.  Must be >= 8.
+        frontend_capacity: Headroom multiplier provisioning each
+            front-end's finite capacity (capacity = steady-state load ×
+            headroom; see :func:`repro.cdn.fastroute.provision_capacities`).
+            Must exceed 1.0.  ``None`` (the default) keeps capacity
+            infinite — the historical model, bit-compatible with every
+            existing digest.  When set, a convex queueing-delay term
+            (:meth:`repro.latency.model.LatencyModel.queueing_delay_ms`)
+            degrades RTTs as utilization approaches 1.
+        overload_plan: Optional deterministic overload drill schedule
+            (:class:`repro.simulation.episodes.OverloadPlan`) — flash
+            crowds, regional events, front-end drains and failures —
+            compiled from the scenario seed exactly like ``fault_plan``,
+            so serial and sharded runs realize identical drills.
+            Requires ``frontend_capacity``.
+        load_policy: How the CDN reacts to overload: ``"none"`` (finite
+            capacity, no reaction — the §2 baseline), ``"withdraw"``
+            (hard-withdraw a front-end past capacity the next day; can
+            cascade), or ``"fastroute"`` (per-front-end distributed
+            shedding, :class:`repro.cdn.fastroute.LoadManagementSimulator`).
+            Any value other than ``"none"`` requires
+            ``frontend_capacity``.
     """
 
     beacon: BeaconConfig = BeaconConfig()
@@ -223,6 +256,9 @@ class CampaignConfig:
     sketch_threshold: Optional[int] = None
     sketch_accuracy: float = DEFAULT_RELATIVE_ACCURACY
     sketch_max_buckets: int = DEFAULT_MAX_BUCKETS
+    frontend_capacity: Optional[float] = None
+    overload_plan: Optional[OverloadPlan] = None
+    load_policy: str = "none"
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -257,6 +293,26 @@ class CampaignConfig:
             raise ConfigurationError(
                 "resume requires a checkpoint_dir to resume from"
             )
+        if (
+            self.frontend_capacity is not None
+            and self.frontend_capacity <= 1.0
+        ):
+            raise ConfigurationError(
+                "frontend_capacity is a headroom multiplier and must "
+                "exceed 1.0"
+            )
+        if self.load_policy not in LOAD_POLICIES:
+            raise ConfigurationError(
+                f"unknown load policy {self.load_policy!r}; expected one "
+                f"of: {', '.join(LOAD_POLICIES)}"
+            )
+        if self.frontend_capacity is None and (
+            self.overload_plan is not None or self.load_policy != "none"
+        ):
+            raise ConfigurationError(
+                "overload_plan and load_policy require frontend_capacity "
+                "(front-ends must have finite capacity to overload)"
+            )
 
 
 def largest_remainder_apportion(
@@ -289,6 +345,338 @@ def largest_remainder_apportion(
         for i in by_remainder[:leftover]:
             counts[i] += 1
     return counts
+
+
+#: Extra RTT (ms) a request pays for landing off its layer-0 front-end
+#: after shedding or withdrawal — the detour through the next anycast
+#: ring is a longer path by construction (FastRoute's rings are
+#: progressively sparser).
+_REROUTE_PENALTY_MS = 25.0
+
+
+class _LoadSchedule:
+    """One campaign's precomputed load-management timeline.
+
+    Built once at campaign setup over the *full* client population from
+    expected demand, so every shard and engine reads the identical
+    schedule — the same trick the churn and episode processes use.  The
+    day loop then folds three deterministic signals into measurements:
+
+    * per-client demand multipliers (flash crowds, regional events),
+    * per-front-end queueing-delay extras (convex in utilization;
+      withdrawn front-ends pin at the cap),
+    * per-client landing distributions (where shed/rerouted production
+      traffic actually serves).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        cfg: "CampaignConfig",
+        simulator: LoadManagementSimulator,
+        states: Sequence[LoadDayState],
+        events: Sequence[Dict[str, object]],
+    ) -> None:
+        latency = scenario.latency_model
+        cap_ms = latency.config.queue_delay_cap_ms
+        self._cap_ms = cap_ms
+        self._chain0 = {
+            client.key: simulator.chain_for(client.key)[0]
+            for client in scenario.clients
+        }
+        self._queue: List[Dict[str, float]] = []
+        self._multipliers: List[Dict[str, float]] = []
+        self._landing: List[Dict[str, Tuple[Tuple[str, float], ...]]] = []
+        peak_util: Dict[str, float] = {}
+        peak_shed: Dict[str, float] = {}
+        withdrawn_day: Dict[str, int] = {}
+        day_rows: List[Dict[str, object]] = []
+        for day, state in enumerate(states):
+            queue: Dict[str, float] = {}
+            for frontend_id, utilization in state.utilizations.items():
+                delay = latency.queueing_delay_ms(utilization)
+                if delay != 0.0:
+                    queue[frontend_id] = delay
+                if utilization > peak_util.get(frontend_id, 0.0):
+                    peak_util[frontend_id] = utilization
+            for frontend_id in state.withdrawn:
+                queue[frontend_id] = cap_ms
+                withdrawn_day.setdefault(frontend_id, day)
+            for frontend_id, fraction in state.shed_fractions.items():
+                if fraction > peak_shed.get(frontend_id, 0.0):
+                    peak_shed[frontend_id] = fraction
+            self._queue.append(queue)
+            self._multipliers.append(dict(state.demand_multipliers))
+            self._landing.append(dict(state.landing))
+            utilizations = state.utilizations
+            day_rows.append(
+                {
+                    "day": day,
+                    "max_utilization": (
+                        max(utilizations.values()) if utilizations else 0.0
+                    ),
+                    "mean_utilization": (
+                        # Summed in sorted-key order: float addition is
+                        # not associative, and this value lands in the
+                        # digest-covered load summary — iteration order
+                        # must not depend on the process hash seed.
+                        sum(
+                            utilizations[frontend_id]
+                            for frontend_id in sorted(utilizations)
+                        )
+                        / len(utilizations)
+                        if utilizations
+                        else 0.0
+                    ),
+                    "max_shed_fraction": (
+                        max(state.shed_fractions.values())
+                        if state.shed_fractions
+                        else 0.0
+                    ),
+                    "shedding_frontends": len(state.shed_fractions),
+                    "withdrawn": sorted(state.withdrawn),
+                    "rerouted_clients": len(state.landing),
+                }
+            )
+        #: JSON-clean global summary — identical in every shard, carried
+        #: on the dataset and into run manifests.
+        self.summary: Dict[str, object] = {
+            "policy": cfg.load_policy,
+            "headroom": cfg.frontend_capacity,
+            "num_days": len(states),
+            "overload_plan": (
+                cfg.overload_plan.spec_string()
+                if cfg.overload_plan is not None
+                else None
+            ),
+            "events": list(events),
+            "days": day_rows,
+            "frontends": {
+                frontend_id: {
+                    "capacity": simulator.capacities[frontend_id],
+                    "peak_utilization": peak_util.get(frontend_id, 0.0),
+                    "peak_shed_fraction": peak_shed.get(frontend_id, 0.0),
+                    "withdrawn_day": withdrawn_day.get(frontend_id),
+                }
+                for frontend_id in sorted(simulator.capacities)
+            },
+        }
+
+    def scaled_queries(self, day: int, client_key: str, queries: int) -> int:
+        """A client-day's query volume under today's demand multipliers.
+
+        Pure integer arithmetic after the workload draw — the RNG stream
+        is untouched, so engines and shards stay aligned.
+        """
+        multiplier = self._multipliers[day].get(client_key)
+        if multiplier is None or queries <= 0:
+            return queries
+        return max(0, int(round(queries * multiplier)))
+
+    def unicast_extras(self, day: int) -> Dict[str, float]:
+        """Per-front-end unicast RTT extras (queueing delay) for a day."""
+        return self._queue[day]
+
+    def landing(
+        self, day: int, client_key: str
+    ) -> Optional[Tuple[Tuple[str, float], ...]]:
+        """A client's landing distribution, or ``None`` when it is all
+        at its layer-0 front-end."""
+        return self._landing[day].get(client_key)
+
+    def anycast_extra(self, day: int, client_key: str) -> float:
+        """Extra anycast RTT (ms) a client pays today.
+
+        The landing-weighted queueing delay of the front-ends actually
+        serving it, plus a reroute penalty for the fraction served off
+        its layer-0 front-end.  A client whose every ring is withdrawn
+        pays the full cap (its requests effectively time out).
+        """
+        queue = self._queue[day]
+        primary = self._chain0[client_key]
+        dist = self._landing[day].get(client_key)
+        if dist is None:
+            return queue.get(primary, 0.0)
+        total = 0.0
+        weighted = 0.0
+        on_primary = 0.0
+        for frontend_id, weight in dist:
+            total += weight
+            weighted += weight * queue.get(frontend_id, 0.0)
+            if frontend_id == primary:
+                on_primary += weight
+        if total <= 0.0:
+            return self._cap_ms
+        return weighted / total + _REROUTE_PENALTY_MS * (
+            1.0 - on_primary / total
+        )
+
+
+def _passive_routes(
+    paths: "_PathCache",
+    client_key: str,
+    plan: DayRoutePlan,
+    queries: int,
+    landing: Optional[Tuple[Tuple[str, float], ...]],
+) -> Tuple[List[Tuple[str, int]], int]:
+    """Split a client-day's production queries across front-ends.
+
+    The first (primary anycast) rank's share redistributes over the
+    client's landing distribution when load management moved it; the
+    integer remainder that lands nowhere is the shed-and-lost count.
+    Integer apportionment throughout, so per-shard partial sums equal
+    the serial totals exactly.
+    """
+    counts = largest_remainder_apportion(queries, plan.fractions)
+    routes: List[Tuple[str, int]] = []
+    shed = 0
+    for position, (rank, count) in enumerate(zip(plan.ranks, counts)):
+        if position == 0 and landing is not None:
+            total_weight = sum(weight for _, weight in landing)
+            served = (
+                min(count, int(round(count * total_weight)))
+                if total_weight > 0.0
+                else 0
+            )
+            shed += count - served
+            if served > 0:
+                sub_counts = largest_remainder_apportion(
+                    served,
+                    [weight / total_weight for _, weight in landing],
+                )
+                for (frontend_id, _weight), sub in zip(landing, sub_counts):
+                    if sub > 0:
+                        routes.append((frontend_id, sub))
+        else:
+            routes.append((paths.anycast(client_key, rank)[0], count))
+    return routes, shed
+
+
+def _build_load_schedule(
+    scenario: Scenario, cfg: "CampaignConfig"
+) -> Optional[_LoadSchedule]:
+    """Build the campaign's load timeline, or ``None`` when capacity is
+    off.
+
+    Everything here is a pure function of the scenario (topology,
+    population, expected demand) and the campaign config — no campaign
+    RNG streams are consumed — so serial, sharded, and every engine see
+    one identical schedule.
+    """
+    if cfg.frontend_capacity is None:
+        return None
+    network = LayeredAnycastNetwork(
+        scenario.topology,
+        scenario.deployment,
+        default_layers(scenario.deployment),
+    )
+    baseline: Dict[str, float] = {
+        frontend_id: 0.0
+        for frontend_id in network.layers[0].frontend_ids
+    }
+    chains = {
+        client.key: tuple(
+            network.serving_frontend(
+                layer.index, client.asn, client.home_metro
+            )
+            for layer in network.layers
+        )
+        for client in scenario.clients
+    }
+    for client in scenario.clients:
+        baseline[chains[client.key][0]] += client.daily_queries
+    capacities = provision_capacities(baseline, cfg.frontend_capacity)
+    simulator = LoadManagementSimulator(
+        network,
+        scenario.clients,
+        capacities,
+        policy=cfg.load_policy,
+    )
+
+    num_days = scenario.calendar.num_days
+    multipliers: List[Dict[str, float]] = [{} for _ in range(num_days)]
+    factors: List[Dict[str, float]] = [{} for _ in range(num_days)]
+    failures: List[List[str]] = [[] for _ in range(num_days)]
+    event_rows: List[Dict[str, object]] = []
+    if cfg.overload_plan is not None:
+        compiled = cfg.overload_plan.compile(
+            scenario.config.seed, num_days
+        )
+        # Drills target front-ends that actually carry traffic: a drain
+        # of an unloaded site is a no-op at any population scale.  The
+        # candidate lists stay deterministic — baseline load is a pure
+        # function of the seeded population.
+        layer0 = [
+            frontend_id
+            for frontend_id in simulator.layer_frontends(0)
+            if baseline.get(frontend_id, 0.0) > 0
+        ] or simulator.layer_frontends(0)
+        hub_load: Dict[str, float] = {}
+        for client in scenario.clients:
+            chain = chains[client.key]
+            hub_load[chain[min(1, len(chain) - 1)]] = (
+                hub_load.get(chain[min(1, len(chain) - 1)], 0.0)
+                + client.daily_queries
+            )
+        hubs = (
+            [
+                frontend_id
+                for frontend_id in simulator.layer_frontends(1)
+                if hub_load.get(frontend_id, 0.0) > 0
+            ]
+            or simulator.layer_frontends(1)
+        ) if len(network.layers) > 1 else layer0
+        for event in compiled.events:
+            days = [
+                day
+                for day in range(
+                    event.start_day, event.start_day + event.duration_days
+                )
+                if day < num_days
+            ]
+            if event.kind in (
+                OverloadKind.FLASH_CROWD, OverloadKind.REGIONAL_EVENT
+            ):
+                if event.kind is OverloadKind.FLASH_CROWD:
+                    target = layer0[int(event.selector * len(layer0))]
+                    chain_index = 0
+                else:
+                    target = hubs[int(event.selector * len(hubs))]
+                    chain_index = 1
+                affected = [
+                    client.key
+                    for client in scenario.clients
+                    if chains[client.key][
+                        min(chain_index, len(chains[client.key]) - 1)
+                    ] == target
+                ]
+                for day in days:
+                    for key in affected:
+                        multipliers[day][key] = (
+                            multipliers[day].get(key, 1.0)
+                            * event.magnitude
+                        )
+            elif event.kind is OverloadKind.DRAIN:
+                target = layer0[int(event.selector * len(layer0))]
+                for day in days:
+                    factors[day][target] = min(
+                        factors[day].get(target, 1.0), event.magnitude
+                    )
+            else:  # FAILURE
+                target = layer0[int(event.selector * len(layer0))]
+                if event.start_day < num_days:
+                    failures[event.start_day].append(target)
+            event_rows.append(
+                {
+                    "kind": event.kind.value,
+                    "start_day": event.start_day,
+                    "duration_days": event.duration_days,
+                    "magnitude": event.magnitude,
+                    "target": target,
+                }
+            )
+    states = simulator.run(num_days, multipliers, factors, failures)
+    return _LoadSchedule(scenario, cfg, simulator, states, event_rows)
 
 
 @dataclass
@@ -827,6 +1215,7 @@ class _VectorizedBeaconEngine:
         degraded_frontend: Optional[str],
         unicast_inflation_ms: float,
         dirty_slots: Optional[Dict[int, FaultKind]] = None,
+        load_extras: Optional[Dict[str, float]] = None,
     ) -> None:
         """Synthesize and sink one client-day's ``beacons`` sessions.
 
@@ -880,6 +1269,17 @@ class _VectorizedBeaconEngine:
             unicast_fixed[1 + position] = (
                 self._paths.unicast(key, target_id) + offsets[1 + position]
             )
+        if load_extras:
+            # Queueing-delay extras land after the daily offsets and
+            # before episode degradation — the same element-wise order
+            # the matrix engine applies its staged adjustments in.
+            extra = load_extras.get(closest)
+            if extra is not None:
+                unicast_fixed[0] += extra
+            for position, target_id in enumerate(pool):
+                extra = load_extras.get(target_id)
+                if extra is not None:
+                    unicast_fixed[1 + position] += extra
         if degraded_frontend is not None:
             if closest == degraded_frontend:
                 unicast_fixed[0] += unicast_inflation_ms
@@ -1088,6 +1488,7 @@ class _MatrixGroup:
         "staged_frac0",
         "staged_af0",
         "staged_af1",
+        "staged_load",
         "staged_degraded",
         "staged_dirty",
     )
@@ -1114,6 +1515,8 @@ class _MatrixGroup:
         self.staged_frac0: List[float] = []
         self.staged_af0: List[float] = []
         self.staged_af1: List[float] = []
+        #: (staged row, unicast column, extra) queueing-delay adjustments
+        self.staged_load: List[Tuple[int, int, float]] = []
         #: (staged row, unicast column, inflation) episode adjustments
         self.staged_degraded: List[Tuple[int, int, float]] = []
         #: staged row → flat-slot dirty-record map
@@ -1248,6 +1651,7 @@ class _MatrixBeaconEngine:
         degraded_frontend: Optional[str],
         unicast_inflation_ms: float,
         dirty_slots: Optional[Dict[int, FaultKind]] = None,
+        load_extras: Optional[Dict[str, float]] = None,
     ) -> None:
         """Queue one active client-day for the next :meth:`run_day`.
 
@@ -1275,6 +1679,17 @@ class _MatrixBeaconEngine:
             group.staged_frac0.append(1.0)
             group.staged_af1.append(anycast_fixed0)
         group.staged_af0.append(anycast_fixed0)
+        if load_extras:
+            slot = group.ldns_slot[member]
+            extra = load_extras.get(group.closests[slot])
+            if extra is not None:
+                group.staged_load.append((staged_row, 0, extra))
+            for position, target_id in enumerate(group.pools[slot]):
+                extra = load_extras.get(target_id)
+                if extra is not None:
+                    group.staged_load.append(
+                        (staged_row, 1 + position, extra)
+                    )
         if degraded_frontend is not None:
             slot = group.ldns_slot[member]
             if group.closests[slot] == degraded_frontend:
@@ -1321,6 +1736,8 @@ class _MatrixBeaconEngine:
             cidx,
             group.pool_size,
         )
+        for staged_row, column, extra in group.staged_load:
+            unicast_fixed[staged_row, column] += extra
         for staged_row, column, inflation in group.staged_degraded:
             unicast_fixed[staged_row, column] += inflation
 
@@ -1925,6 +2342,22 @@ class CampaignRunner:
                 episodes.inflations_for_day(day) for day in calendar.days()
             ]
 
+            # Load management is another global day-ordered process:
+            # the whole timeline (demand surges, shed fractions,
+            # withdrawals, queueing delays) is fixed here from expected
+            # demand over the full population, so every shard folds in
+            # identical load signals.
+            load_schedule = _build_load_schedule(scenario, cfg)
+            shed_counter = (
+                tel.counter(
+                    "load.shed_queries_total",
+                    "production queries shed and lost to overload "
+                    "management",
+                )
+                if load_schedule is not None
+                else None
+            )
+
             if self._client_slice is None:
                 clients = scenario.clients
             else:
@@ -2058,6 +2491,12 @@ class CampaignRunner:
             inflations = day_inflations[day]
             is_weekend = calendar.is_weekend(day)
             day_start = calendar.seconds_at(day)
+            day_unicast_extras = (
+                load_schedule.unicast_extras(day)
+                if load_schedule is not None
+                else None
+            )
+            day_shed = 0
             # Sub-phase times are accumulated with bare perf_counter
             # reads (not nested spans) to keep per-client overhead off
             # the hot path, then recorded once per day below.
@@ -2078,6 +2517,10 @@ class CampaignRunner:
                     key = client.key
                     rng = derive_rng(scenario_seed, "campaign", day, key)
                     queries = workload.daily_queries(client, is_weekend, rng)
+                    if load_schedule is not None:
+                        queries = load_schedule.scaled_queries(
+                            day, key, queries
+                        )
                     if queries <= 0:
                         idle_days += 1
                         continue
@@ -2101,21 +2544,41 @@ class CampaignRunner:
                 section_start = section_now
 
                 passive_appends = 0
-                for client, plan, queries, _beacons in active:
-                    key = client.key
-                    for rank, count in zip(
-                        plan.ranks,
-                        largest_remainder_apportion(queries, plan.fractions),
-                    ):
-                        frontend_id = paths.anycast(key, rank)[0]
-                        admitted_count = gate.admit_count(
-                            day, key, frontend_id, count
-                        )
-                        if admitted_count is not None:
-                            passive.record(
-                                day, key, frontend_id, admitted_count
+                if load_schedule is None:
+                    for client, plan, queries, _beacons in active:
+                        key = client.key
+                        for rank, count in zip(
+                            plan.ranks,
+                            largest_remainder_apportion(
+                                queries, plan.fractions
+                            ),
+                        ):
+                            frontend_id = paths.anycast(key, rank)[0]
+                            admitted_count = gate.admit_count(
+                                day, key, frontend_id, count
                             )
-                    passive_appends += len(plan.ranks)
+                            if admitted_count is not None:
+                                passive.record(
+                                    day, key, frontend_id, admitted_count
+                                )
+                        passive_appends += len(plan.ranks)
+                else:
+                    for client, plan, queries, _beacons in active:
+                        key = client.key
+                        routes, shed = _passive_routes(
+                            paths, key, plan, queries,
+                            load_schedule.landing(day, key),
+                        )
+                        day_shed += shed
+                        for frontend_id, count in routes:
+                            admitted_count = gate.admit_count(
+                                day, key, frontend_id, count
+                            )
+                            if admitted_count is not None:
+                                passive.record(
+                                    day, key, frontend_id, admitted_count
+                                )
+                        passive_appends += len(routes)
                 passive_counter.inc(passive_appends)
                 section_now = time.perf_counter()
                 passive_seconds = section_now - section_start
@@ -2150,6 +2613,11 @@ class CampaignRunner:
                         ),
                         anycast=True,
                     )
+                    anycast_extra = anycast_inflation + anycast_offset
+                    if load_schedule is not None:
+                        anycast_extra += load_schedule.anycast_extra(
+                            day, key
+                        )
                     dirty_slots = None
                     if record_faults is not None:
                         n_targets = 2 + min(
@@ -2165,10 +2633,11 @@ class CampaignRunner:
                         key,
                         plan,
                         beacons,
-                        anycast_inflation + anycast_offset,
+                        anycast_extra,
                         degraded_frontend,
                         unicast_inflation,
                         dirty_slots,
+                        load_extras=day_unicast_extras,
                     )
                 chunks_counter.inc(matrix.run_day(day, day_keys))
                 beacons_counter.inc(day_beacons)
@@ -2197,6 +2666,10 @@ class CampaignRunner:
                             unicast_inflation = effect.inflation_ms
 
                     queries = workload.daily_queries(client, is_weekend, rng)
+                    if load_schedule is not None:
+                        queries = load_schedule.scaled_queries(
+                            day, key, queries
+                        )
                     if queries <= 0:
                         idle_counter.inc()
                         workload_seconds += time.perf_counter() - section_start
@@ -2210,19 +2683,39 @@ class CampaignRunner:
                     # Passive production traffic: split across the day's
                     # routes with largest-remainder apportionment, so the
                     # recorded counts sum exactly to the day's query volume.
-                    rank_frontends = tuple(
-                        paths.anycast(key, rank)[0] for rank in plan.ranks
-                    )
-                    for frontend_id, count in zip(
-                        rank_frontends,
-                        largest_remainder_apportion(queries, plan.fractions),
-                    ):
-                        admitted_count = gate.admit_count(
-                            day, key, frontend_id, count
+                    if load_schedule is None:
+                        rank_frontends = tuple(
+                            paths.anycast(key, rank)[0] for rank in plan.ranks
                         )
-                        if admitted_count is not None:
-                            passive.record(day, key, frontend_id, admitted_count)
-                    passive_counter.inc(len(rank_frontends))
+                        for frontend_id, count in zip(
+                            rank_frontends,
+                            largest_remainder_apportion(
+                                queries, plan.fractions
+                            ),
+                        ):
+                            admitted_count = gate.admit_count(
+                                day, key, frontend_id, count
+                            )
+                            if admitted_count is not None:
+                                passive.record(
+                                    day, key, frontend_id, admitted_count
+                                )
+                        passive_counter.inc(len(rank_frontends))
+                    else:
+                        routes, shed = _passive_routes(
+                            paths, key, plan, queries,
+                            load_schedule.landing(day, key),
+                        )
+                        day_shed += shed
+                        for frontend_id, count in routes:
+                            admitted_count = gate.admit_count(
+                                day, key, frontend_id, count
+                            )
+                            if admitted_count is not None:
+                                passive.record(
+                                    day, key, frontend_id, admitted_count
+                                )
+                        passive_counter.inc(len(routes))
 
                     beacons = workload.daily_beacons(queries, rng)
                     section_now = time.perf_counter()
@@ -2249,6 +2742,11 @@ class CampaignRunner:
                         ),
                         anycast=True,
                     )
+                    anycast_extra = anycast_inflation + anycast_offset
+                    if load_schedule is not None:
+                        anycast_extra += load_schedule.anycast_extra(
+                            day, key
+                        )
 
                     # Record faults for this (day, client) cell, as flat
                     # session * T + position slots.  The target count T is a
@@ -2274,10 +2772,11 @@ class CampaignRunner:
                             resource_timing_supported=rt_supported,
                             plan=plan,
                             beacons=beacons,
-                            anycast_extra_ms=anycast_inflation + anycast_offset,
+                            anycast_extra_ms=anycast_extra,
                             degraded_frontend=degraded_frontend,
                             unicast_inflation_ms=unicast_inflation,
                             dirty_slots=dirty_slots,
+                            load_extras=day_unicast_extras,
                         )
                         beacon_count += beacons
                         batches_counter.inc()
@@ -2292,7 +2791,7 @@ class CampaignRunner:
                             frontend_id, baseline = paths.anycast(
                                 key, session_rank_cell[0]
                             )
-                            extra = anycast_inflation + anycast_offset
+                            extra = anycast_extra
                         else:
                             frontend_id = target_id
                             baseline = paths.unicast(key, target_id)
@@ -2307,6 +2806,10 @@ class CampaignRunner:
                                 )
                                 unicast_offsets[target_id] = offset
                             extra = offset
+                            if day_unicast_extras:
+                                extra += day_unicast_extras.get(
+                                    target_id, 0.0
+                                )
                             if target_id == degraded_frontend:
                                 extra += unicast_inflation
                         rtt = (
@@ -2392,6 +2895,14 @@ class CampaignRunner:
               engine=engine,
               beacons=beacon_count - day_beacons_before,
           )
+          if load_schedule is not None:
+            # Shed counts are integers apportioned per client, so each
+            # shard's partial sum plus the trace digest's numeric
+            # aggregation reproduce the serial totals exactly.
+            shed_counter.inc(day_shed)
+            tel.trace.data(
+                "load.day", "load", index=day, shed_queries=day_shed
+            )
           if self._heartbeat is not None:
             self._heartbeat(day, calendar.num_days, beacon_count)
           if cfg.progress_callback is not None:
@@ -2469,6 +2980,54 @@ class CampaignRunner:
                         f"records dirtied as {kind_value}",
                     ).inc(count)
 
+            if load_schedule is not None:
+                # The schedule is global and identical in every shard,
+                # so max-merged gauges survive shard merging unchanged.
+                summary = load_schedule.summary
+                frontends = summary["frontends"]
+                tel.gauge(
+                    "load.peak_utilization",
+                    "highest per-front-end utilization over the run",
+                    merge="max",
+                ).set(
+                    max(
+                        row["peak_utilization"]
+                        for row in frontends.values()
+                    )
+                    if frontends
+                    else 0.0
+                )
+                tel.gauge(
+                    "load.peak_shed_fraction",
+                    "highest per-front-end shed fraction over the run",
+                    merge="max",
+                ).set(
+                    max(
+                        row["peak_shed_fraction"]
+                        for row in frontends.values()
+                    )
+                    if frontends
+                    else 0.0
+                )
+                withdrawn_rows = sorted(
+                    (frontend_id, row["withdrawn_day"])
+                    for frontend_id, row in frontends.items()
+                    if row["withdrawn_day"] is not None
+                )
+                tel.gauge(
+                    "load.withdrawn_frontends",
+                    "front-ends withdrawn (failed or cascaded) by "
+                    "the end of the run",
+                    merge="max",
+                ).set(float(len(withdrawn_rows)))
+                for frontend_id, withdrawn_day in withdrawn_rows:
+                    tel.trace.instant(
+                        "load.withdrawn",
+                        "load",
+                        frontend=frontend_id,
+                        day=withdrawn_day,
+                    )
+
             # Memory accounting: lifetime peak RSS (max-merged across
             # shards) plus sketch-compression counters when the bounded
             # mode is on.
@@ -2540,4 +3099,9 @@ class CampaignRunner:
             beacon_count=beacon_count,
             measurement_count=backend.joined_count,
             covered_ranges=covered,
+            load_summary=(
+                load_schedule.summary
+                if load_schedule is not None
+                else None
+            ),
         )

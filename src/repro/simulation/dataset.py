@@ -21,6 +21,7 @@ the "partial but trustworthy" contract of the resilient executor in
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -87,6 +88,12 @@ class StudyDataset:
             Shard partials carry their slice; merging disjoint shards
             unions the ranges, and a degraded campaign that lost shards
             ends up with gaps (see :meth:`missing_ranges`).
+        load_summary: JSON-clean summary of the campaign's load
+            management (per-day utilization/shed series, per-front-end
+            peaks, overload events) when the campaign ran with finite
+            front-end capacity, else ``None``.  The schedule is global —
+            every shard of one campaign carries an identical copy, so
+            merging keeps whichever side has one.
     """
 
     calendar: SimulationCalendar
@@ -98,6 +105,7 @@ class StudyDataset:
     beacon_count: int = 0
     measurement_count: int = 0
     covered_ranges: Optional[Tuple[Tuple[int, int], ...]] = None
+    load_summary: Optional[Dict[str, object]] = None
     _index: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -173,6 +181,8 @@ class StudyDataset:
         self.passive.merge(other.passive)
         self.beacon_count += other.beacon_count
         self.measurement_count += other.measurement_count
+        if self.load_summary is None:
+            self.load_summary = other.load_summary
         return self
 
     def __add__(self, other: "StudyDataset") -> "StudyDataset":
@@ -328,4 +338,9 @@ class StudyDataset:
             put("missing", len(missing))
             for start, stop in missing:
                 put(start, stop)
+        # Same only-when-present rule as coverage: capacity-off datasets
+        # keep their historical digests, capacity-on runs must agree on
+        # the whole load timeline bit for bit.
+        if self.load_summary is not None:
+            put("load", json.dumps(self.load_summary, sort_keys=True))
         return h.hexdigest()

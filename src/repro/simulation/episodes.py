@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.clients.population import ClientPrefix
-from repro.rand import derive_rng
+from repro.rand import derive_rng, derive_seed
 from repro.simulation.clock import SimulationCalendar
 
 
@@ -177,3 +177,255 @@ class PoorPathEpisodeModel:
                 )
         self._active = surviving
         return dict(surviving)
+
+
+# ----------------------------------------------------------------------
+# Overload episodes: demand surges and capacity losses
+# ----------------------------------------------------------------------
+#
+# Where poor-path episodes degrade one client's *route*, overload
+# episodes degrade a *front-end*: demand surges toward it (flash crowd,
+# regional event) or capacity drains away from it (maintenance drain,
+# outright failure).  They use the same compact, seed-derived plan
+# grammar as :mod:`repro.faults` — ``kind[:count][@day]`` — so a chaos
+# drill is one CLI string, and compile to concrete (day, target) events
+# from the scenario seed alone: no engine, shard, or worker-count
+# dependence, which is what keeps serial == sharded digests bit-exact.
+
+
+class OverloadKind(enum.Enum):
+    """The overload drill kinds a campaign can schedule.
+
+    * ``FLASH_CROWD`` — a demand multiplier on the clients one front-end
+      serves (the §2 "particular front-end becomes overloaded" case).
+    * ``REGIONAL_EVENT`` — a demand multiplier on every client in one
+      geographic region (correlated surges hit several front-ends).
+    * ``DRAIN`` — one front-end's capacity is reduced for maintenance,
+      the gradual drain-off §2 says anycast makes hard.
+    * ``FAILURE`` — one front-end loses all capacity for the rest of the
+      study and is withdrawn, triggering the §5 route-change machinery.
+    """
+
+    FLASH_CROWD = "flash-crowd"
+    REGIONAL_EVENT = "regional-event"
+    DRAIN = "drain"
+    FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class OverloadSpec:
+    """One overload kind with a multiplicity and an optional pinned day.
+
+    Attributes:
+        kind: The overload drill to schedule.
+        count: How many instances of it to schedule.
+        day: Pin every instance's start to this day (modulo the compiled
+            calendar length); ``None`` picks days from a seed-derived
+            stream.
+    """
+
+    kind: OverloadKind
+    count: int = 1
+    day: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"overload spec {self.kind.value!r}: count must be >= 1"
+            )
+        if self.day is not None and self.day < 0:
+            raise ConfigurationError(
+                f"overload spec {self.kind.value!r}: day must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class OverloadPlan:
+    """A deterministic schedule of overload drills for a campaign.
+
+    Attributes:
+        specs: The drills to schedule, in order.
+    """
+
+    specs: Tuple[OverloadSpec, ...] = ()
+
+    @classmethod
+    def from_spec(cls, text: str) -> "OverloadPlan":
+        """Parse a plan from a compact CLI spec string.
+
+        The grammar is ``kind[:count][@day]`` entries joined by commas,
+        e.g. ``"flash-crowd:1"``, ``"flash-crowd:2,drain:1"``, or
+        ``"failure:1@0"`` (a front-end failure on the first day).
+
+        Raises:
+            ConfigurationError: on an unknown kind or malformed entry.
+        """
+        specs = []
+        for raw_entry in text.split(","):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            day: Optional[int] = None
+            if "@" in entry:
+                entry, _, day_text = entry.partition("@")
+                try:
+                    day = int(day_text)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"overload spec {raw_entry!r}: day must be an integer"
+                    ) from None
+            kind_text, _, count_text = entry.partition(":")
+            try:
+                kind = OverloadKind(kind_text.strip())
+            except ValueError:
+                valid = ", ".join(k.value for k in OverloadKind)
+                raise ConfigurationError(
+                    f"unknown overload kind {kind_text.strip()!r}; expected "
+                    f"one of: {valid}"
+                ) from None
+            try:
+                count = int(count_text) if count_text else 1
+            except ValueError:
+                raise ConfigurationError(
+                    f"overload spec {raw_entry!r}: count must be an integer"
+                ) from None
+            specs.append(OverloadSpec(kind=kind, count=count, day=day))
+        if not specs:
+            raise ConfigurationError(f"empty overload plan spec {text!r}")
+        return cls(specs=tuple(specs))
+
+    def spec_string(self) -> str:
+        """The compact spec string this plan round-trips to."""
+        parts = []
+        for spec in self.specs:
+            entry = f"{spec.kind.value}:{spec.count}"
+            if spec.day is not None:
+                entry += f"@{spec.day}"
+            parts.append(entry)
+        return ",".join(parts)
+
+    def compile(self, seed: int, num_days: int) -> "CompiledOverloadPlan":
+        """Pin every instance to a concrete (start day, target, size).
+
+        Everything derives from ``derive_seed(seed, "overload",
+        spec_index, instance, <field>)`` over the scenario seed and the
+        calendar length only, so the compiled events are identical for
+        every engine, worker count, and shard layout.  Targets are
+        uniform selectors in [0, 1): the campaign maps them onto its
+        sorted front-end (or region) list, keeping this module free of
+        topology knowledge — the same pattern as
+        :attr:`EpisodeEffect.selector`.
+
+        Raises:
+            ConfigurationError: if ``num_days`` < 1.
+        """
+        if num_days < 1:
+            raise ConfigurationError(
+                "cannot compile an overload plan for an empty calendar"
+            )
+        events = []
+        for spec_index, spec in enumerate(self.specs):
+            for instance in range(spec.count):
+                if spec.day is not None:
+                    start_day = spec.day % num_days
+                else:
+                    start_day = derive_seed(
+                        seed, "overload", spec_index, instance, "day"
+                    ) % num_days
+
+                def uniform(tag: str) -> float:
+                    raw = derive_seed(
+                        seed, "overload", spec_index, instance, tag
+                    )
+                    return (raw % (1 << 53)) / float(1 << 53)
+
+                if spec.kind is OverloadKind.FLASH_CROWD:
+                    duration = 1 + derive_seed(
+                        seed, "overload", spec_index, instance, "duration"
+                    ) % 3
+                    magnitude = 2.0 + 4.0 * uniform("magnitude")
+                elif spec.kind is OverloadKind.REGIONAL_EVENT:
+                    duration = 1 + derive_seed(
+                        seed, "overload", spec_index, instance, "duration"
+                    ) % 3
+                    magnitude = 1.5 + 2.5 * uniform("magnitude")
+                elif spec.kind is OverloadKind.DRAIN:
+                    duration = 2 + derive_seed(
+                        seed, "overload", spec_index, instance, "duration"
+                    ) % 3
+                    # Residual capacity fraction while draining.
+                    magnitude = 0.1 + 0.4 * uniform("magnitude")
+                else:  # FAILURE: down for the rest of the study.
+                    duration = num_days - start_day
+                    magnitude = 0.0
+                events.append(
+                    OverloadEvent(
+                        kind=spec.kind,
+                        start_day=start_day,
+                        duration_days=duration,
+                        magnitude=magnitude,
+                        selector=uniform("target"),
+                    )
+                )
+        events.sort(
+            key=lambda e: (e.start_day, e.kind.value, e.selector)
+        )
+        return CompiledOverloadPlan(events=tuple(events), seed=seed)
+
+
+@dataclass(frozen=True)
+class OverloadEvent:
+    """One compiled overload drill.
+
+    Attributes:
+        kind: What happens.
+        start_day: First day (0-based calendar index) the event is live.
+        duration_days: How many consecutive days it stays live.
+        magnitude: Demand multiplier (flash crowd, regional event) or
+            residual capacity fraction (drain; 0.0 for failure).
+        selector: Uniform [0, 1) value the campaign maps onto its sorted
+            front-end list (or region list for regional events) to pick
+            the target.
+    """
+
+    kind: OverloadKind
+    start_day: int
+    duration_days: int
+    magnitude: float
+    selector: float
+
+    def __post_init__(self) -> None:
+        if self.start_day < 0:
+            raise ConfigurationError("start_day must be >= 0")
+        if self.duration_days < 1:
+            raise ConfigurationError("duration_days must be >= 1")
+        if self.magnitude < 0:
+            raise ConfigurationError("magnitude must be non-negative")
+        if not 0.0 <= self.selector < 1.0:
+            raise ConfigurationError("selector must be in [0, 1)")
+
+    def active_on(self, day: int) -> bool:
+        """Whether the event is live on a calendar day."""
+        return self.start_day <= day < self.start_day + self.duration_days
+
+
+@dataclass(frozen=True)
+class CompiledOverloadPlan:
+    """An overload plan resolved to concrete events.
+
+    Attributes:
+        events: All compiled events, sorted by (start day, kind).
+        seed: The scenario seed the plan was compiled against.
+    """
+
+    events: Tuple[OverloadEvent, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing is scheduled."""
+        return not self.events
+
+    def events_on(self, day: int) -> Tuple[OverloadEvent, ...]:
+        """The events live on a calendar day, in compiled order."""
+        return tuple(e for e in self.events if e.active_on(day))

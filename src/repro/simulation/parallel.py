@@ -607,6 +607,13 @@ class ParallelCampaignRunner:
                 cfg.sketch_threshold,
                 cfg.sketch_accuracy,
                 cfg.sketch_max_buckets,
+                cfg.frontend_capacity,
+                cfg.load_policy,
+                (
+                    cfg.overload_plan.spec_string()
+                    if cfg.overload_plan is not None
+                    else None
+                ),
             )
         )
         compiled: Optional[CompiledFaultPlan] = (

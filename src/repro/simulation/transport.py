@@ -343,6 +343,7 @@ def encode_shard_payload(
         "beacon_count": dataset.beacon_count,
         "measurement_count": dataset.measurement_count,
         "covered_ranges": dataset.covered_ranges,
+        "load_summary": dataset.load_summary,
         "client_count": len(dataset.clients),
         "ecs": _aggregates_spec(dataset.ecs_aggregates, columns),
         "ldns": _aggregates_spec(dataset.ldns_aggregates, columns),
@@ -412,6 +413,8 @@ def decode_shard_payload(
         beacon_count=manifest["beacon_count"],
         measurement_count=manifest["measurement_count"],
         covered_ranges=manifest["covered_ranges"],
+        # .get(): payloads written before load awareness carry no key.
+        load_summary=manifest.get("load_summary"),
     )
     return (
         dataset,

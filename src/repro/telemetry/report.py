@@ -243,6 +243,12 @@ def build_run_manifest(
                 [start, stop] for start, stop in missing()
             ]
             manifest["client_coverage"] = dataset.coverage_fraction
+        # Load-management record: per-front-end peak utilization and
+        # shed fractions, withdrawal days, and the overload drills that
+        # ran — present only for capacity-enabled campaigns.
+        load_summary = getattr(dataset, "load_summary", None)
+        if load_summary is not None:
+            manifest["load"] = load_summary
     if extra:
         manifest.update(extra)
     return manifest

@@ -5,9 +5,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.cdn.failover import frontend_loads
 from repro.cdn.fastroute import (
+    DistributedLoadController,
     FastRouteBalancer,
     LayeredAnycastNetwork,
+    LoadManagementSimulator,
     default_layers,
+    provision_capacities,
 )
 
 
@@ -144,3 +147,180 @@ class TestBalancer:
         balancer, _, _ = self.make_balancer(small_scenario, layered, 1.0)
         with pytest.raises(ConfigurationError, match="max_rounds"):
             balancer.balance(max_rounds=0)
+
+    def test_single_frontend_ring_rejected(self, small_scenario):
+        """A one-front-end layer 0 has nowhere to shed to."""
+        import dataclasses
+
+        deployment = small_scenario.deployment
+        solo = dataclasses.replace(
+            deployment, frontends=(deployment.frontends[0],)
+        )
+        lone = frozenset([deployment.frontends[0].frontend_id])
+        with pytest.raises(ConfigurationError, match="at least two"):
+            LayeredAnycastNetwork(small_scenario.topology, solo, [lone])
+
+    def test_empty_layer_rejected(self, small_scenario):
+        deployment = small_scenario.deployment
+        all_ids = frozenset(fe.frontend_id for fe in deployment.frontends)
+        with pytest.raises(ConfigurationError, match="empty"):
+            LayeredAnycastNetwork(
+                small_scenario.topology, deployment, [all_ids, frozenset()]
+            )
+
+    def test_shed_fractions_stay_clamped(self, small_scenario, layered):
+        """Even under absurd overload no shed fraction leaves [0, 1]."""
+        balancer, _, _ = self.make_balancer(small_scenario, layered, 0.01)
+        result = balancer.balance()
+        assert result.decisions
+        for decision in result.decisions:
+            assert 0.0 <= decision.shed_fraction <= 1.0
+
+    def test_top_layer_never_sheds(self, small_scenario, layered):
+        """A saturated core cannot shed; balance stops, not spins."""
+        network, layers = layered
+        baseline = frontend_loads(
+            small_scenario.network, small_scenario.clients
+        )
+        positive = sorted(v for v in baseline.values() if v > 0)
+        median = positive[len(positive) // 2]
+        # Edges are huge but hubs and cores are starved: everything shed
+        # upward lands somewhere that cannot fit it.
+        capacities = {}
+        for fe in small_scenario.deployment.frontends:
+            load = max(baseline.get(fe.frontend_id, 0.0), median)
+            factor = 0.01 if fe.frontend_id in layers[1] else 100.0
+            capacities[fe.frontend_id] = load * factor
+        balancer = FastRouteBalancer(
+            network, small_scenario.clients, capacities
+        )
+        result = balancer.balance(max_rounds=50)
+        assert not result.converged
+        top = len(network.layers) - 1
+        assert all(d.layer_index < top for d in result.decisions)
+
+
+class TestProvisioning:
+    def test_headroom_must_exceed_one(self):
+        with pytest.raises(ConfigurationError, match="headroom"):
+            provision_capacities({"fe-a": 10.0}, 1.0)
+        with pytest.raises(ConfigurationError, match="no front-ends"):
+            provision_capacities({}, 1.5)
+
+    def test_zero_load_gets_median_capacity(self):
+        capacities = provision_capacities(
+            {"fe-a": 100.0, "fe-b": 0.0, "fe-c": 300.0}, 1.5
+        )
+        assert capacities["fe-a"] == pytest.approx(150.0)
+        assert capacities["fe-c"] == pytest.approx(450.0)
+        # fe-b inherits the median loaded capacity (300 * 1.5).
+        assert capacities["fe-b"] == pytest.approx(450.0)
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="front-ends"):
+            DistributedLoadController([])
+        with pytest.raises(ConfigurationError, match="target"):
+            DistributedLoadController(["fe-a"], target_utilization=1.0)
+        with pytest.raises(ConfigurationError, match="gain"):
+            DistributedLoadController(["fe-a"], gain=0.0)
+
+    def test_shed_clamped_to_unit_interval(self):
+        controller = DistributedLoadController(["fe-a"], gain=10.0)
+        after_spike = controller.observe_day({"fe-a": 50.0})
+        assert after_spike["fe-a"] == 1.0
+        after_idle = controller.observe_day({"fe-a": 0.0})
+        assert after_idle["fe-a"] == 0.0
+
+    def test_relaxes_below_target(self):
+        controller = DistributedLoadController(
+            ["fe-a"], target_utilization=0.85, gain=0.5
+        )
+        controller.observe_day({"fe-a": 1.85})  # shed rises to 0.5
+        assert controller.shed_fractions["fe-a"] == pytest.approx(0.5)
+        controller.observe_day({"fe-a": 0.45})  # 0.4 below target
+        assert controller.shed_fractions["fe-a"] == pytest.approx(0.3)
+
+
+class TestLoadManagementSimulator:
+    def make_simulator(self, small_scenario, layered, policy, headroom=1.5):
+        network, _ = layered
+        baseline = frontend_loads(
+            small_scenario.network, small_scenario.clients
+        )
+        capacities = provision_capacities(baseline, headroom)
+        return LoadManagementSimulator(
+            network, small_scenario.clients, capacities, policy=policy
+        )
+
+    def test_unknown_policy_rejected(self, small_scenario, layered):
+        with pytest.raises(ConfigurationError, match="policy"):
+            self.make_simulator(small_scenario, layered, "panic")
+
+    def test_unknown_client_rejected(self, small_scenario, layered):
+        simulator = self.make_simulator(small_scenario, layered, "none")
+        with pytest.raises(ConfigurationError, match="unknown client"):
+            simulator.chain_for("203.0.113.0/24")
+
+    def test_series_length_validated(self, small_scenario, layered):
+        simulator = self.make_simulator(small_scenario, layered, "none")
+        with pytest.raises(ConfigurationError, match="per day"):
+            simulator.run(2, [{}], [{}, {}], [[], []])
+
+    def test_capacity_factor_validated(self, small_scenario, layered):
+        simulator = self.make_simulator(small_scenario, layered, "none")
+        target = simulator.layer_frontends(0)[0]
+        with pytest.raises(ConfigurationError, match="factor"):
+            simulator.run(1, [{}], [{target: 0.0}], [[]])
+
+    def test_withdraw_policy_cascades_next_day(self, small_scenario, layered):
+        simulator = self.make_simulator(
+            small_scenario, layered, "withdraw", headroom=1.2
+        )
+        baseline = frontend_loads(
+            small_scenario.network, small_scenario.clients
+        )
+        hot = max(baseline, key=baseline.get)
+        surge = {
+            client.key: 3.0
+            for client in small_scenario.clients
+            if simulator.chain_for(client.key)[0] == hot
+        }
+        states = simulator.run(3, [surge, surge, surge], [{}, {}, {}], [[], [], []])
+        # Reaction is delayed one day (DNS TTL): hot is up on day 0,
+        # withdrawn from day 1 on, and carries no load once withdrawn.
+        assert hot not in states[0].withdrawn
+        assert hot in states[1].withdrawn
+        assert hot in states[2].withdrawn
+        assert states[1].loads[hot] == 0.0
+
+    def test_fastroute_sheds_stay_bounded(self, small_scenario, layered):
+        simulator = self.make_simulator(
+            small_scenario, layered, "fastroute", headroom=1.2
+        )
+        surge = {client.key: 5.0 for client in small_scenario.clients}
+        days = 4
+        states = simulator.run(
+            days, [surge] * days, [{}] * days, [[]] * days
+        )
+        assert not states[0].shed_fractions  # one-day control delay
+        assert any(state.shed_fractions for state in states[1:])
+        for state in states:
+            for fraction in state.shed_fractions.values():
+                assert 0.0 < fraction <= 1.0
+            assert not state.withdrawn
+
+    def test_landing_distributions_sum_to_one(self, small_scenario, layered):
+        simulator = self.make_simulator(
+            small_scenario, layered, "fastroute", headroom=1.2
+        )
+        surge = {client.key: 5.0 for client in small_scenario.clients}
+        states = simulator.run(2, [surge, surge], [{}, {}], [[], []])
+        assert states[1].landing  # someone shed somewhere
+        for key, dist in states[1].landing.items():
+            chain = simulator.chain_for(key)
+            assert sum(f for _, f in dist) == pytest.approx(1.0)
+            # Every landing spot is somewhere on the client's own chain
+            # (a chain may repeat a front-end that serves two rings).
+            assert {fe for fe, _ in dist} <= set(chain)

@@ -1,0 +1,183 @@
+"""Property tests: the load-management control law and overload grammar.
+
+Hypothesis drives the invariants the load-aware campaign machinery leans
+on:
+
+* the distributed shed controller is monotone in offered load — a
+  front-end that saw uniformly higher utilization never sheds less;
+* its fixed point is independent of iteration order (the "no global
+  coordination" property): permuting front-end registration and signal
+  dict ordering never changes the outcome;
+* overload plans compile shard/engine-invariantly — a pure function of
+  (spec, seed, calendar length) that survives spec-string round-trips;
+* the convex queueing-delay term is monotone, zero at zero, and capped.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.fastroute import DistributedLoadController
+from repro.latency.model import LatencyConfig, LatencyModel
+from repro.simulation.episodes import OverloadKind, OverloadPlan, OverloadSpec
+
+pytestmark = pytest.mark.overload
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_FRONTENDS = tuple(f"fe-{i:02d}" for i in range(5))
+
+_utilization_day = st.fixed_dictionaries(
+    {frontend_id: st.floats(0.0, 4.0) for frontend_id in _FRONTENDS}
+)
+
+
+class TestControllerProperties:
+    @given(
+        days=st.lists(_utilization_day, min_size=1, max_size=6),
+        bumps=st.lists(
+            st.fixed_dictionaries(
+                {fe: st.floats(0.0, 2.0) for fe in _FRONTENDS}
+            ),
+            min_size=6,
+            max_size=6,
+        ),
+    )
+    @SETTINGS
+    def test_shed_monotone_in_offered_load(self, days, bumps):
+        """Uniformly higher utilization never produces less shedding."""
+        low = DistributedLoadController(_FRONTENDS)
+        high = DistributedLoadController(_FRONTENDS)
+        for day, bump in zip(days, bumps):
+            low.observe_day(day)
+            high.observe_day(
+                {fe: day[fe] + bump[fe] for fe in _FRONTENDS}
+            )
+        low_shed = low.shed_fractions
+        high_shed = high.shed_fractions
+        for frontend_id in _FRONTENDS:
+            assert (
+                high_shed[frontend_id] >= low_shed[frontend_id] - 1e-12
+            )
+
+    @given(
+        days=st.lists(_utilization_day, min_size=1, max_size=6),
+        order=st.permutations(_FRONTENDS),
+        data=st.data(),
+    )
+    @SETTINGS
+    def test_fixed_point_independent_of_iteration_order(
+        self, days, order, data
+    ):
+        """Registration and signal-dict order never change the outcome.
+
+        Each update reads exactly one front-end's own signal, so any
+        iteration order folds the same per-front-end sequence.
+        """
+        canonical = DistributedLoadController(_FRONTENDS)
+        shuffled = DistributedLoadController(order)
+        for day in days:
+            canonical.observe_day(day)
+            key_order = data.draw(st.permutations(sorted(day)))
+            shuffled.observe_day({key: day[key] for key in key_order})
+        assert canonical.shed_fractions == shuffled.shed_fractions
+
+    @given(days=st.lists(_utilization_day, min_size=1, max_size=8))
+    @SETTINGS
+    def test_shed_always_in_unit_interval(self, days):
+        controller = DistributedLoadController(_FRONTENDS, gain=2.0)
+        for day in days:
+            fractions = controller.observe_day(day)
+            for value in fractions.values():
+                assert 0.0 <= value <= 1.0
+
+
+_specs = st.lists(
+    st.builds(
+        OverloadSpec,
+        kind=st.sampled_from(sorted(OverloadKind, key=lambda k: k.value)),
+        count=st.integers(1, 3),
+        day=st.one_of(st.none(), st.integers(0, 30)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestOverloadCompileProperties:
+    @given(specs=_specs, seed=st.integers(0, 2**32), days=st.integers(1, 14))
+    @SETTINGS
+    def test_compile_is_deterministic(self, specs, seed, days):
+        """Same (spec, seed, calendar) -> identical events, always.
+
+        This is the invariant that lets every shard and engine compile
+        the plan independently and still agree bit-for-bit.
+        """
+        plan = OverloadPlan(specs=tuple(specs))
+        first = plan.compile(seed, days)
+        second = plan.compile(seed, days)
+        assert first.events == second.events
+
+    @given(specs=_specs, seed=st.integers(0, 2**32), days=st.integers(1, 14))
+    @SETTINGS
+    def test_spec_string_round_trip_compiles_identically(
+        self, specs, seed, days
+    ):
+        plan = OverloadPlan(specs=tuple(specs))
+        reparsed = OverloadPlan.from_spec(plan.spec_string())
+        assert reparsed == plan
+        assert reparsed.compile(seed, days).events == plan.compile(
+            seed, days
+        ).events
+
+    @given(specs=_specs, seed=st.integers(0, 2**32), days=st.integers(1, 14))
+    @SETTINGS
+    def test_compiled_events_are_well_formed(self, specs, seed, days):
+        plan = OverloadPlan(specs=tuple(specs))
+        compiled = plan.compile(seed, days)
+        assert len(compiled.events) == sum(spec.count for spec in specs)
+        for event in compiled.events:
+            assert 0 <= event.start_day < days
+            assert event.duration_days >= 1
+            assert 0.0 <= event.selector < 1.0
+            if event.kind is OverloadKind.FLASH_CROWD:
+                assert 2.0 <= event.magnitude <= 6.0
+            elif event.kind is OverloadKind.REGIONAL_EVENT:
+                assert 1.5 <= event.magnitude <= 4.0
+            elif event.kind is OverloadKind.DRAIN:
+                assert 0.1 <= event.magnitude <= 0.5
+            else:
+                assert event.magnitude == 0.0
+                assert event.start_day + event.duration_days == days
+        starts = [
+            (e.start_day, e.kind.value, e.selector) for e in compiled.events
+        ]
+        assert starts == sorted(starts)
+
+
+class TestQueueingDelayProperties:
+    @given(
+        us=st.lists(st.floats(0.0, 3.0), min_size=2, max_size=10),
+        scale=st.floats(0.1, 20.0),
+        cap=st.floats(10.0, 1000.0),
+    )
+    @SETTINGS
+    def test_monotone_zero_at_zero_and_capped(self, us, scale, cap):
+        model = LatencyModel(
+            LatencyConfig(
+                queue_delay_scale_ms=scale, queue_delay_cap_ms=cap
+            )
+        )
+        assert model.queueing_delay_ms(0.0) == 0.0
+        ordered = sorted(us)
+        delays = [model.queueing_delay_ms(u) for u in ordered]
+        for earlier, later in zip(delays, delays[1:]):
+            assert later >= earlier - 1e-12
+        for u, delay in zip(ordered, delays):
+            assert 0.0 <= delay <= cap
+            if u >= 1.0:
+                assert delay == cap

@@ -70,6 +70,7 @@ from repro.faults import FaultPlan
 from repro.measurement.export import recover_dataset, save_dataset
 from repro.simulation.campaign import CampaignConfig, CampaignRunner
 from repro.simulation.clock import SimulationCalendar
+from repro.simulation.episodes import OverloadPlan
 from repro.simulation.parallel import ParallelCampaignRunner
 from repro.simulation.scenario import Scenario, ScenarioConfig
 from repro.telemetry import (
@@ -145,6 +146,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=(
             "max absolute drift allowed between exact and sketch-mode "
             "Fig 3 / Fig 5 headline fractions"
+        ),
+    )
+    parser.add_argument(
+        "--max-load-overhead", type=float, default=0.10, metavar="FRAC",
+        help=(
+            "max beacons/s throughput loss the finite-capacity leg "
+            "(--frontend-capacity path with a live overload drill) may "
+            "cost over the capacity-off vectorized run"
         ),
     )
     parser.add_argument(
@@ -307,6 +316,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{args.sketch_tolerance} of exact: ok "
         f"(peak traced memory {sketch_probe.peak_bytes / 1e6:.1f} MB)"
     )
+
+    # ------------------------------------------------------------------
+    # Load leg: finite front-end capacity with a live overload drill must
+    # not slow the hot path — the schedule is computed once at setup and
+    # folded as per-day extras, so throughput should be within noise of
+    # the capacity-off run.
+    load_config = CampaignConfig(
+        engine="vectorized",
+        frontend_capacity=1.5,
+        overload_plan=OverloadPlan.from_spec("flash-crowd:1,drain:1"),
+        load_policy="fastroute",
+    )
+    load_runner = CampaignRunner(scenario, load_config)
+    load_dataset = load_runner.run()
+    load_snapshot = load_runner.telemetry.snapshot()
+    load_seconds = load_snapshot.gauges["campaign.wall_seconds"]["value"]
+    load_rate = (
+        load_snapshot.counters["campaign.beacons_total"] / load_seconds
+    )
+    if load_dataset.load_summary is None:
+        print("FAIL: capacity-enabled run produced no load summary")
+        return 1
+    load_sharded = ParallelCampaignRunner(
+        scenario, load_config, workers=2
+    ).run()
+    if load_sharded.digest() != load_dataset.digest():
+        print("FAIL: load-leg serial and 2-worker digests diverged")
+        return 1
+    load_floor = vec_rate * (1.0 - args.max_load_overhead)
+    if load_rate < load_floor:
+        print(
+            f"FAIL: capacity-enabled path ran at {load_rate:,.0f} "
+            f"beacons/s, more than {args.max_load_overhead:.0%} below the "
+            f"capacity-off rate ({vec_rate:,.0f} beacons/s)"
+        )
+        return 1
+    print(
+        f"  load leg (capacity 1.5x, fastroute, flash-crowd+drain): "
+        f"{load_seconds:6.2f}s  ({load_rate:9,.0f} beacons/s, "
+        f"{load_rate / vec_rate:.2f}x of capacity-off; floor "
+        f"{1.0 - args.max_load_overhead:.0%})"
+    )
+    print("  load leg serial == 2-worker digest + load summary: ok")
 
     # ------------------------------------------------------------------
     # Memory leg: bounded-mode peak memory must not grow super-linearly
@@ -551,6 +603,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ("reference", ref_dataset, ref_snapshot),
             ("vectorized", vec_dataset, vec_snapshot),
             ("matrix", mat_dataset, mat_snapshot),
+            ("vectorized-load", load_dataset, load_snapshot),
         ):
             history.append(
                 record_from_snapshot(
@@ -559,7 +612,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         history.save(args.history_out)
         print(
-            f"  appended 3 perf-history records to {args.history_out} "
+            f"  appended 4 perf-history records to {args.history_out} "
             f"({len(history.records)} total)"
         )
 
